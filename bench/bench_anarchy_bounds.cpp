@@ -1,0 +1,89 @@
+// E6 — the a-posteriori anarchy-cost bounds the paper builds on:
+// rho(M,r,alpha) <= 1/alpha for arbitrary latencies ([41, Thm 6.4.4], via
+// LLF) and <= 4/(3+alpha) for linear latencies ([41, Thm 6.4.5]).
+//
+// Sweeps random instance families and reports the worst observed ratio per
+// alpha against both bounds.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "stackroute/core/strategy.h"
+#include "stackroute/io/table.h"
+#include "stackroute/network/generators.h"
+#include "stackroute/util/rng.h"
+
+int main() {
+  using namespace stackroute;
+  std::cout << "# E6: LLF anarchy-cost bounds over random families\n\n";
+
+  const int kTrials = 60;
+  const double alphas[] = {0.2, 0.4, 0.6, 0.8};
+
+  std::cout << "## Affine links (bound 4/(3+alpha), and 1/alpha)\n\n";
+  {
+    Table t({"alpha", "worst rho", "bound 4/(3+a)", "bound 1/a",
+             "within linear bound"});
+    for (double alpha : alphas) {
+      Rng rng(500);
+      double worst = 0.0;
+      for (int i = 0; i < kTrials; ++i) {
+        const ParallelLinks m =
+            random_affine_links(rng, 2 + i % 7, 1.0 + 0.2 * (i % 5));
+        const StackelbergOutcome out =
+            evaluate_strategy(m, llf_strategy(m, alpha));
+        worst = std::max(worst, out.ratio);
+      }
+      const double linear_bound = 4.0 / (3.0 + alpha);
+      t.add_row({format_double(alpha, 2), format_double(worst, 6),
+                 format_double(linear_bound, 6),
+                 format_double(1.0 / alpha, 6),
+                 worst <= linear_bound + 1e-6 ? "yes" : "NO"});
+    }
+    std::cout << t.to_markdown() << "\n";
+  }
+
+  std::cout << "## Polynomial links (bound 1/alpha)\n\n";
+  {
+    Table t({"alpha", "worst rho", "bound 1/a", "within bound"});
+    for (double alpha : alphas) {
+      Rng rng(600);
+      double worst = 0.0;
+      for (int i = 0; i < kTrials; ++i) {
+        const ParallelLinks m =
+            random_polynomial_links(rng, 2 + i % 6, 1.0 + 0.15 * (i % 4));
+        const StackelbergOutcome out =
+            evaluate_strategy(m, llf_strategy(m, alpha));
+        worst = std::max(worst, out.ratio);
+      }
+      t.add_row({format_double(alpha, 2), format_double(worst, 6),
+                 format_double(1.0 / alpha, 6),
+                 worst <= 1.0 / alpha + 1e-6 ? "yes" : "NO"});
+    }
+    std::cout << t.to_markdown() << "\n";
+  }
+
+  std::cout << "## Pigou-style tightness of 4/(3+alpha)\n\n";
+  // The linear bound is tight on Pigou-like instances: scan scaled Pigou
+  // networks for the worst LLF ratio per alpha.
+  {
+    Table t({"alpha", "worst rho over scaled Pigou", "bound", "gap"});
+    for (double alpha : alphas) {
+      double worst = 0.0;
+      for (int k = 1; k <= 40; ++k) {
+        ParallelLinks m = pigou();
+        m.demand = 0.2 + 0.05 * k;
+        const StackelbergOutcome out =
+            evaluate_strategy(m, llf_strategy(m, alpha));
+        worst = std::max(worst, out.ratio);
+      }
+      const double bound = 4.0 / (3.0 + alpha);
+      t.add_row({format_double(alpha, 2), format_double(worst, 6),
+                 format_double(bound, 6), format_double(bound - worst, 6)});
+    }
+    std::cout << t.to_markdown();
+  }
+  std::cout << "\nShape check: worst ratios stay under their bounds, and the\n"
+               "linear bound is approached by Pigou-style instances.\n";
+  return 0;
+}

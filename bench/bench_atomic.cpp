@@ -1,0 +1,52 @@
+// E13 (extension) — atomic followers (Fotakis [12] direction): how the
+// discrete game converges to the paper's continuous model as player
+// granularity refines, and what the Leader's β buys atomically.
+//
+// Two sweeps on Pigou and Fig 4:
+//  (i)  aloof: atomic Nash cost -> continuous C(N) as players grow;
+//  (ii) Stackelberg at the continuous β share: atomic cost -> C(O).
+#include <iostream>
+
+#include "stackroute/core/atomic.h"
+#include "stackroute/core/optop.h"
+#include "stackroute/equilibrium/parallel.h"
+#include "stackroute/io/table.h"
+#include "stackroute/network/generators.h"
+
+int main() {
+  using namespace stackroute;
+  std::cout << "# E13: atomic followers vs the continuous model\n\n";
+
+  const struct {
+    const char* name;
+    ParallelLinks links;
+  } cases[] = {{"Pigou", pigou()}, {"Fig 4", fig4_instance()}};
+
+  for (const auto& c : cases) {
+    const double continuous_nash = cost(c.links, solve_nash(c.links).flows);
+    const OpTopResult optop = op_top(c.links);
+    std::cout << "## " << c.name << " (C(N) = "
+              << format_double(continuous_nash, 6)
+              << ", C(O) = " << format_double(optop.optimum_cost, 6)
+              << ", beta = " << format_double(optop.beta, 5) << ")\n\n";
+    Table t({"players", "atomic Nash cost", "gap to C(N)",
+             "Stackelberg@beta cost", "gap to C(O)", "BR rounds"});
+    for (int players : {4, 8, 16, 64, 256}) {
+      const AtomicInstance game = atomize(c.links, players);
+      const BestResponseResult aloof = best_response_dynamics(game);
+      const AtomicStackelbergResult stack =
+          atomic_stackelberg_share(game, optop.beta);
+      t.add_row({std::to_string(players), format_double(aloof.cost, 6),
+                 format_double(aloof.cost - continuous_nash, 6),
+                 format_double(stack.cost, 6),
+                 format_double(stack.cost - optop.optimum_cost, 6),
+                 std::to_string(aloof.rounds)});
+    }
+    std::cout << t.to_markdown() << "\n";
+  }
+  std::cout
+      << "Shape check: both gap columns shrink toward 0 as the players\n"
+         "become infinitesimal — the atomic game converges to the paper's\n"
+         "model, and the Leader's beta buys the optimum in the limit.\n";
+  return 0;
+}

@@ -1,0 +1,83 @@
+// E3 — Fig. 7: the price of optimum on Roughgarden's Braess-like graph.
+//
+// The paper reprints only the optimal flows of [41, Example 6.5.1]; our
+// fig7_instance(eps) realizes exactly the caption (see generators.h):
+//   (a) optimum edge flows  o_sv = o_wt = 3/4−ε, o_sw = o_vt = 1/4+ε,
+//       o_vw = 1/2−2ε;
+//   (b) unique shortest path under ℓ_e(o_e): P0 = s→v→w→t carrying 1/2−2ε;
+//   (c) non-shortest paths P1 = s→v→t, P2 = s→w→t carrying 1/4+ε each;
+//   (d) price of optimum β_G = (r − O_P0)/r = 1/2 + 2ε.
+// MOP achieves guarantee exactly 1 on the very topology where no fixed-α
+// strategy can beat 1/α.
+#include <cmath>
+#include <iostream>
+
+#include "stackroute/core/mop.h"
+#include "stackroute/equilibrium/network.h"
+#include "stackroute/io/table.h"
+#include "stackroute/network/generators.h"
+
+int main() {
+  using namespace stackroute;
+  std::cout << "# E3: Fig. 7 — MOP on the Braess-like lower-bound graph\n\n";
+
+  const char* edge_names[] = {"s->v", "s->w", "v->w", "v->t", "w->t"};
+
+  std::cout << "## (a) Optimal edge flows at eps = 0.05\n\n";
+  {
+    const double eps = 0.05;
+    const NetworkInstance inst = fig7_instance(eps);
+    const Fig7Expected e = fig7_expected(eps);
+    const MopResult r = mop(inst);
+    Table t({"edge", "latency", "caption o_e", "measured o_e", "match"});
+    for (std::size_t i = 0; i < 5; ++i) {
+      t.add_row({edge_names[i],
+                 inst.graph.edge(static_cast<EdgeId>(i)).latency->describe(),
+                 format_double(e.optimum_edges[i], 6),
+                 format_double(r.optimum_edge_flow[i], 6),
+                 std::fabs(e.optimum_edges[i] - r.optimum_edge_flow[i]) < 1e-5
+                     ? "yes"
+                     : "NO"});
+    }
+    std::cout << t.to_markdown() << "\n";
+  }
+
+  std::cout << "## (b)-(d) across the eps family\n\n";
+  Table sweep({"eps", "shortest cost (2-4e)", "free flow (1/2-2e)",
+               "beta measured", "beta caption", "C(S+T)/C(O)"});
+  for (double eps : {0.0, 0.025, 0.05, 0.1, 0.2}) {
+    const NetworkInstance inst = fig7_instance(eps);
+    const Fig7Expected e = fig7_expected(eps);
+    const MopResult r = mop(inst);
+    sweep.add_row({format_double(eps, 3),
+                   format_double(r.commodities[0].shortest_cost, 6),
+                   format_double(r.free_flow_total, 6),
+                   format_double(r.beta, 6), format_double(e.beta, 6),
+                   format_double(r.induced_cost / r.optimum_cost, 8)});
+  }
+  std::cout << sweep.to_markdown() << "\n";
+
+  std::cout << "## The 1/alpha lower bound vs MOP's guarantee of 1\n\n";
+  // For a *fixed* alpha < beta, no strategy can induce the optimum here;
+  // demonstrate with SCALE at alpha slightly below beta, vs MOP at beta.
+  const double eps = 0.05;
+  const NetworkInstance inst = fig7_instance(eps);
+  const NetworkAssignment opt = solve_optimum(inst);
+  const MopResult r = mop(inst);
+  Table lb({"strategy", "alpha", "C(S+T)/C(O)"});
+  for (double alpha : {0.3, 0.5, r.beta}) {
+    std::vector<double> preload(opt.edge_flow);
+    for (double& v : preload) v *= alpha;
+    NetworkInstance followers = inst;
+    followers.commodities[0].demand = 1.0 - alpha;
+    const NetworkAssignment induced = solve_induced(followers, preload);
+    lb.add_row({"SCALE", format_double(alpha, 4),
+                format_double(induced.cost / opt.cost, 6)});
+  }
+  lb.add_row({"MOP", format_double(r.beta, 4),
+              format_double(r.induced_cost / r.optimum_cost, 6)});
+  std::cout << lb.to_markdown();
+  std::cout << "\nMOP hits ratio 1 with beta = 1/2 + 2eps, answering the\n"
+               "open question for arbitrary s-t nets with guarantee 1.\n";
+  return 0;
+}

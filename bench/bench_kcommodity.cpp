@@ -1,0 +1,50 @@
+// E9 — the k-commodity extension (§5 / Theorem 2.1): MOP with strong
+// per-commodity strategies on multicommodity grids. For every instance the
+// induced cost must equal C(O); beta varies per instance and the
+// per-commodity ledger (free + controlled = demand) must balance.
+#include <cmath>
+#include <iostream>
+
+#include "stackroute/core/mop.h"
+#include "stackroute/equilibrium/network.h"
+#include "stackroute/io/table.h"
+#include "stackroute/network/generators.h"
+#include "stackroute/util/rng.h"
+
+int main() {
+  using namespace stackroute;
+  std::cout << "# E9: k-commodity MOP on random grids\n\n";
+
+  Table t({"k", "grid", "PoA", "beta (strong)", "beta (weak)",
+           "C(S+T)/C(O)", "residual", "ledger ok"});
+  Rng rng(900);
+  for (int k : {1, 2, 3, 5, 8}) {
+    const int rows = 4, cols = 5;
+    const NetworkInstance inst =
+        k == 1 ? grid_city(rng, rows, cols, 2.0)
+               : grid_city_multicommodity(rng, rows, cols, k, 0.3, 1.0);
+    const double poa = price_of_anarchy(inst);
+    const MopResult r = mop(inst);
+    bool ledger = true;
+    for (std::size_t i = 0; i < inst.commodities.size(); ++i) {
+      ledger = ledger &&
+               std::fabs(r.commodities[i].free_flow +
+                         r.commodities[i].controlled_flow -
+                         inst.commodities[i].demand) < 1e-6;
+    }
+    t.add_row({std::to_string(k),
+               std::to_string(rows) + "x" + std::to_string(cols),
+               format_double(poa, 6), format_double(r.beta, 5),
+               format_double(r.weak_beta, 5),
+               format_double(r.induced_cost / r.optimum_cost, 8),
+               format_double(r.induced_residual, 8),
+               ledger ? "yes" : "NO"});
+  }
+  std::cout << t.to_markdown();
+  std::cout << "\nEvery row must show ratio 1 (up to solver tolerance): the\n"
+               "strong Stackelberg strategy induces the exact optimum for\n"
+               "any number of commodities. 'beta (strong)' lets the Leader\n"
+               "pick a different fraction per commodity (Σα_i·r_i / r);\n"
+               "'beta (weak)' is the uniform-α price, max_i α_i >= strong.\n";
+  return 0;
+}

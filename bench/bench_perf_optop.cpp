@@ -1,0 +1,78 @@
+// E10a — "polynomial time" made concrete: water-filling and OpTop scaling
+// with the number of parallel links (10^2 .. 10^6).
+#include <benchmark/benchmark.h>
+
+#include "stackroute/core/optop.h"
+#include "stackroute/equilibrium/parallel.h"
+#include "stackroute/network/generators.h"
+#include "stackroute/solver/water_filling.h"
+#include "stackroute/util/rng.h"
+
+namespace {
+
+using namespace stackroute;
+
+ParallelLinks make_affine_system(int m) {
+  Rng rng(42);
+  return random_affine_links(rng, m, 0.05 * m, 0.2, 3.0, 0.0, 2.0);
+}
+
+void BM_WaterFillNash(benchmark::State& state) {
+  const ParallelLinks m = make_affine_system(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        water_fill(m.links, m.demand, LevelKind::kLatency));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_WaterFillNash)->RangeMultiplier(10)->Range(100, 1000000)
+    ->Unit(benchmark::kMicrosecond)->Complexity(benchmark::oNLogN);
+
+void BM_WaterFillOptimum(benchmark::State& state) {
+  const ParallelLinks m = make_affine_system(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        water_fill(m.links, m.demand, LevelKind::kMarginalCost));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_WaterFillOptimum)->RangeMultiplier(10)->Range(100, 100000)
+    ->Unit(benchmark::kMicrosecond)->Complexity(benchmark::oNLogN);
+
+void BM_OpTopAffine(benchmark::State& state) {
+  const ParallelLinks m = make_affine_system(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(op_top(m));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_OpTopAffine)->RangeMultiplier(10)->Range(100, 100000)
+    ->Unit(benchmark::kMicrosecond)->Complexity(benchmark::oNSquared);
+
+void BM_OpTopMm1(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(43);
+  std::vector<double> mus;
+  mus.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) mus.push_back(rng.uniform(1.0, 5.0));
+  const ParallelLinks m = mm1_links(std::move(mus), 0.5 * n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(op_top(m));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_OpTopMm1)->RangeMultiplier(10)->Range(100, 10000)
+    ->Unit(benchmark::kMicrosecond)->Complexity(benchmark::oNSquared);
+
+void BM_PriceOfAnarchy(benchmark::State& state) {
+  const ParallelLinks m = make_affine_system(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(price_of_anarchy(m));
+  }
+}
+BENCHMARK(BM_PriceOfAnarchy)->Arg(1000)->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,171 @@
+// E10c — solver ablations called out in DESIGN.md:
+//  * water-filling with closed-form vs generic numeric latency inverses
+//    (the same affine function expressed as AffineLatency vs Polynomial),
+//  * Frank–Wolfe exact line search vs harmonic steps at a fixed budget,
+//  * Frank–Wolfe vs path equilibration to comparable accuracy,
+//  * the free-flow max-flow step of MOP.
+#include <benchmark/benchmark.h>
+
+#include "stackroute/core/mop.h"
+#include "stackroute/latency/families.h"
+#include "stackroute/network/dijkstra.h"
+#include "stackroute/network/generators.h"
+#include "stackroute/network/maxflow.h"
+#include "stackroute/solver/frank_wolfe.h"
+#include "stackroute/solver/traffic_assignment.h"
+#include "stackroute/solver/water_filling.h"
+#include "stackroute/util/numeric.h"
+#include "stackroute/util/rng.h"
+
+namespace {
+
+using namespace stackroute;
+
+std::vector<LatencyPtr> affine_links_closed(int m, Rng& rng) {
+  std::vector<LatencyPtr> links;
+  for (int i = 0; i < m; ++i) {
+    links.push_back(make_affine(rng.uniform(0.3, 3.0), rng.uniform(0.0, 1.5)));
+  }
+  return links;
+}
+
+std::vector<LatencyPtr> affine_links_numeric(int m, Rng& rng) {
+  // Same functions, but as 2-term polynomials: no closed-form inverse, so
+  // water-filling pays the safeguarded-Newton price per response call.
+  std::vector<LatencyPtr> links;
+  for (int i = 0; i < m; ++i) {
+    links.push_back(
+        make_polynomial({rng.uniform(0.0, 1.5), rng.uniform(0.3, 3.0)}));
+  }
+  return links;
+}
+
+void BM_WaterFillClosedFormInverse(benchmark::State& state) {
+  Rng rng(1);
+  const auto links = affine_links_closed(static_cast<int>(state.range(0)), rng);
+  const double demand = 0.05 * state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(water_fill(links, demand, LevelKind::kLatency));
+  }
+}
+BENCHMARK(BM_WaterFillClosedFormInverse)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_WaterFillNumericInverse(benchmark::State& state) {
+  Rng rng(1);
+  const auto links =
+      affine_links_numeric(static_cast<int>(state.range(0)), rng);
+  const double demand = 0.05 * state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(water_fill(links, demand, LevelKind::kLatency));
+  }
+}
+BENCHMARK(BM_WaterFillNumericInverse)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_FrankWolfeExactStep(benchmark::State& state) {
+  Rng rng(2);
+  const NetworkInstance inst = grid_city(rng, 5, 5, 2.0);
+  FrankWolfeOptions opts;
+  opts.max_iters = static_cast<int>(state.range(0));
+  opts.rel_gap_tol = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        frank_wolfe(inst, FlowObjective::kBeckmann, {}, opts));
+  }
+}
+BENCHMARK(BM_FrankWolfeExactStep)->Arg(100)->Unit(benchmark::kMillisecond);
+
+void BM_FrankWolfeHarmonicStep(benchmark::State& state) {
+  Rng rng(2);
+  const NetworkInstance inst = grid_city(rng, 5, 5, 2.0);
+  FrankWolfeOptions opts;
+  opts.max_iters = static_cast<int>(state.range(0));
+  opts.rel_gap_tol = 0.0;
+  opts.step_rule = FwStepRule::kHarmonic;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        frank_wolfe(inst, FlowObjective::kBeckmann, {}, opts));
+  }
+}
+BENCHMARK(BM_FrankWolfeHarmonicStep)->Arg(100)->Unit(benchmark::kMillisecond);
+
+void BM_FrankWolfeToModestGap(benchmark::State& state) {
+  Rng rng(2);
+  const NetworkInstance inst = grid_city(rng, 5, 5, 2.0);
+  FrankWolfeOptions opts;
+  opts.rel_gap_tol = 1e-4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        frank_wolfe(inst, FlowObjective::kBeckmann, {}, opts));
+  }
+}
+BENCHMARK(BM_FrankWolfeToModestGap)->Unit(benchmark::kMillisecond);
+
+void BM_PathEquilibrationToTightTol(benchmark::State& state) {
+  Rng rng(2);
+  const NetworkInstance inst = grid_city(rng, 5, 5, 2.0);
+  AssignmentOptions opts;
+  opts.tol = 1e-10;  // far tighter than FW's 1e-4 gap, usually faster too
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        assign_traffic(inst, FlowObjective::kBeckmann, {}, opts));
+  }
+}
+BENCHMARK(BM_PathEquilibrationToTightTol)->Unit(benchmark::kMillisecond);
+
+void BM_DijkstraGrid(benchmark::State& state) {
+  Rng rng(3);
+  const int n = static_cast<int>(state.range(0));
+  const NetworkInstance inst = grid_city(rng, n, n, 1.0);
+  std::vector<double> costs(static_cast<std::size_t>(inst.graph.num_edges()));
+  for (auto& c : costs) c = rng.uniform(0.1, 2.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dijkstra(inst.graph, 0, costs));
+  }
+}
+BENCHMARK(BM_DijkstraGrid)->Arg(10)->Arg(30)->Unit(benchmark::kMicrosecond);
+
+void BM_MaxFlowGrid(benchmark::State& state) {
+  Rng rng(4);
+  const int n = static_cast<int>(state.range(0));
+  const NetworkInstance inst = grid_city(rng, n, n, 1.0);
+  std::vector<double> caps(static_cast<std::size_t>(inst.graph.num_edges()));
+  for (auto& c : caps) c = rng.uniform(0.1, 2.0);
+  const NodeId t = static_cast<NodeId>(inst.graph.num_nodes() - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(max_flow(inst.graph, 0, t, caps, kInf));
+  }
+}
+BENCHMARK(BM_MaxFlowGrid)->Arg(10)->Arg(30)->Unit(benchmark::kMicrosecond);
+
+// Ablation: MOP's free-flow step via exact Dinic vs greedy widest-path
+// peeling. Greedy is faster but over-estimates beta whenever the tight
+// capacities are unbalanced (see GreedyPeel tests for the correctness
+// gap); this measures the speed side of that trade.
+void BM_MopFreeFlowMaxFlow(benchmark::State& state) {
+  Rng rng(5);
+  const NetworkInstance inst = grid_city(rng, 6, 6, 2.0);
+  MopOptions opts;
+  opts.verify_induced = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mop(inst, opts));
+  }
+}
+BENCHMARK(BM_MopFreeFlowMaxFlow)->Unit(benchmark::kMillisecond);
+
+void BM_MopFreeFlowGreedyPeel(benchmark::State& state) {
+  Rng rng(5);
+  const NetworkInstance inst = grid_city(rng, 6, 6, 2.0);
+  MopOptions opts;
+  opts.verify_induced = false;
+  opts.free_flow_method = FreeFlowMethod::kGreedyPeel;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mop(inst, opts));
+  }
+}
+BENCHMARK(BM_MopFreeFlowGreedyPeel)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

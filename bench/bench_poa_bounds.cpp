@@ -1,0 +1,59 @@
+// E7 — the coordination-ratio landscape of §1: rho(M,r) <= 4/3 for linear
+// latencies (Pigou is worst-case) but unbounded in general (degree-d
+// Pigou: rho = (1 − d·(d+1)^{−(d+1)/d})^{−1} → ∞). Strikingly, the price
+// of optimum moves the *other* way: beta = 1 − (d+1)^{−1/d} → 0, so a
+// Leader with a vanishing portion of the flow can fix an arbitrarily bad
+// equilibrium.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "stackroute/core/optop.h"
+#include "stackroute/equilibrium/parallel.h"
+#include "stackroute/io/table.h"
+#include "stackroute/network/generators.h"
+#include "stackroute/util/rng.h"
+
+int main() {
+  using namespace stackroute;
+  std::cout << "# E7: price of anarchy bounds and the price of optimum\n\n";
+
+  std::cout << "## Linear latencies: rho <= 4/3, Pigou tight\n\n";
+  {
+    Rng rng(700);
+    double worst = 0.0;
+    for (int i = 0; i < 200; ++i) {
+      const ParallelLinks m =
+          random_affine_links(rng, 2 + i % 8, 0.5 + 0.1 * (i % 10));
+      worst = std::max(worst, price_of_anarchy(m));
+    }
+    Table t({"family", "worst rho", "bound 4/3"});
+    t.add_row({"200 random affine systems", format_double(worst, 6),
+               format_double(4.0 / 3.0, 6)});
+    t.add_row({"Pigou", format_double(price_of_anarchy(pigou()), 6),
+               format_double(4.0 / 3.0, 6)});
+    std::cout << t.to_markdown() << "\n";
+  }
+
+  std::cout << "## Nonlinear Pigou: rho unbounded while beta -> 0\n\n";
+  Table t({"degree d", "rho measured", "rho closed form", "beta measured",
+           "beta closed form (1-(d+1)^{-1/d})"});
+  for (int d : {1, 2, 4, 8, 16, 32}) {
+    const ParallelLinks m = pigou_nonlinear(d);
+    const double x_opt = std::pow(d + 1.0, -1.0 / d);
+    const double rho_expected =
+        1.0 / (1.0 - static_cast<double>(d) *
+                         std::pow(d + 1.0, -(d + 1.0) / d));
+    const double beta_expected = 1.0 - x_opt;
+    const OpTopResult r = op_top(m);
+    t.add_row({std::to_string(d), format_double(price_of_anarchy(m), 6),
+               format_double(rho_expected, 6), format_double(r.beta, 6),
+               format_double(beta_expected, 6)});
+  }
+  std::cout << t.to_markdown();
+  std::cout << "\nShape check: rho grows without bound with the degree while\n"
+               "the portion beta = 1 - (d+1)^{-1/d} needed to restore the\n"
+               "optimum *shrinks to zero* — the sharpest advertisement for\n"
+               "computing the price of optimum exactly.\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Life below the price of optimum: Stackelberg scheduling with α < β_M.
+//
+// Computing the optimal Leader strategy for a fixed α is weakly NP-hard in
+// general (Roughgarden). Theorem 2.4 of the paper carves out a polynomial
+// case: links ℓ_i(x) = a·x + b_i with one common slope. This example walks
+// the whole α range on such an instance and compares
+//   * the exact optimum strategy (Theorem 2.4 split algorithm),
+//   * LLF (the 1/α-guarantee heuristic),
+//   * SCALE (preload α·O), and
+//   * the brute-force oracle (grid + pattern search)
+// — showing the exact algorithm matching the oracle everywhere and the
+// ratio reaching 1 exactly at α = β_M.
+//
+// Build & run:  ./build/examples/hard_instances [m] [slope] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "stackroute/core/hard_instances.h"
+#include "stackroute/core/optop.h"
+#include "stackroute/core/strategy.h"
+#include "stackroute/io/table.h"
+#include "stackroute/network/generators.h"
+#include "stackroute/util/rng.h"
+
+int main(int argc, char** argv) {
+  using namespace stackroute;
+  const int m = argc > 1 ? std::atoi(argv[1]) : 4;
+  const double slope = argc > 2 ? std::atof(argv[2]) : 1.0;
+  const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 3;
+
+  Rng rng(seed);
+  const ParallelLinks links = random_common_slope_links(rng, m, 2.0, slope);
+  std::cout << "== Hard instances (alpha < beta) on " << m
+            << " common-slope links ==\n\nLinks:\n";
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    std::cout << "  M" << i + 1 << ": " << links.links[i]->describe() << "\n";
+  }
+
+  const OpTopResult optop = op_top(links);
+  std::cout << "\nC(N) = " << format_double(optop.nash_cost)
+            << ", C(O) = " << format_double(optop.optimum_cost)
+            << ", beta = " << format_double(optop.beta, 5) << "\n\n";
+
+  Table table({"alpha", "exact C(S+T)", "exact ratio", "LLF ratio",
+               "SCALE ratio", "oracle ratio", "split i0"});
+  for (double frac : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0, 1.2}) {
+    const double alpha = std::min(1.0, frac * optop.beta);
+    const Thm24Result exact = optimal_strategy_common_slope(links, alpha);
+    const StackelbergOutcome llf =
+        evaluate_strategy(links, llf_strategy(links, alpha));
+    const StackelbergOutcome scale =
+        evaluate_strategy(links, scale_strategy(links, alpha));
+    const StackelbergOutcome oracle = brute_force_strategy(links, alpha);
+    table.add_row({format_double(alpha, 4), format_double(exact.cost, 6),
+                   format_double(exact.ratio, 6), format_double(llf.ratio, 6),
+                   format_double(scale.ratio, 6),
+                   format_double(oracle.cost / optop.optimum_cost, 6),
+                   std::to_string(exact.prefix_size)});
+    if (frac >= 1.2) break;
+  }
+  std::cout << table.to_markdown() << "\n";
+  std::cout
+      << "Reading the table: the exact algorithm tracks the brute-force\n"
+         "oracle for every alpha, never loses to LLF/SCALE, and its ratio\n"
+         "hits 1 exactly once alpha reaches beta. The 'split i0' column is\n"
+         "the Theorem 2.4 structure: followers are served by the i0\n"
+         "lowest-intercept links; the Leader owns the rest.\n";
+  return 0;
+}

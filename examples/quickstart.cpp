@@ -1,0 +1,70 @@
+// Quickstart: the library in one file, on Pigou's example (Fig. 1–3 of the
+// paper).
+//
+//   1. Build an instance (two parallel links, unit demand).
+//   2. Compute the selfish (Nash) and optimal assignments and the price of
+//      anarchy.
+//   3. Run OpTop to get the price of optimum β — the minimum fraction of
+//      flow a Stackelberg Leader must control to make selfishness optimal —
+//      and the Leader strategy that does it.
+//   4. Verify the induced equilibrium really is the optimum.
+//
+// Build & run:  ./build/examples/quickstart
+#include <iostream>
+
+#include "stackroute/core/optop.h"
+#include "stackroute/core/strategy.h"
+#include "stackroute/equilibrium/parallel.h"
+#include "stackroute/io/serialize.h"
+#include "stackroute/io/table.h"
+#include "stackroute/latency/families.h"
+
+int main() {
+  using namespace stackroute;
+
+  // Pigou's network: a fast load-sensitive link and a slow constant one.
+  ParallelLinks m;
+  m.links = {make_linear(1.0), make_constant(1.0)};  // ℓ1(x) = x, ℓ2(x) = 1
+  m.demand = 1.0;
+
+  std::cout << "== stackroute quickstart: Pigou's example ==\n\n";
+  std::cout << "Instance:\n" << to_string(m) << "\n";
+
+  // Selfish routing floods the fast link; the optimum balances.
+  const LinkAssignment nash = solve_nash(m);
+  const LinkAssignment opt = solve_optimum(m);
+
+  Table flows({"link", "latency", "nash flow", "optimum flow"});
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    flows.add_row({"M" + std::to_string(i + 1), m.links[i]->describe(),
+                   format_double(nash.flows[i]), format_double(opt.flows[i])});
+  }
+  std::cout << flows.to_markdown() << "\n";
+  std::cout << "C(N) = " << format_double(cost(m, nash.flows))
+            << ", C(O) = " << format_double(cost(m, opt.flows))
+            << ", price of anarchy = " << format_double(price_of_anarchy(m))
+            << "\n\n";
+
+  // The price of optimum: how much flow must a Leader control to erase the
+  // inefficiency entirely?
+  const OpTopResult r = op_top(m);
+  std::cout << "OpTop: price of optimum beta = " << format_double(r.beta)
+            << "\n";
+  Table strat({"link", "leader s_i", "induced t_i", "s_i + t_i", "o_i"});
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    strat.add_numeric_row({static_cast<double>(i + 1), r.strategy[i],
+                           r.induced[i], r.strategy[i] + r.induced[i],
+                           r.optimum[i]});
+  }
+  std::cout << strat.to_markdown() << "\n";
+
+  // Independent verification through the generic strategy evaluator.
+  const StackelbergOutcome out = evaluate_strategy(m, r.strategy);
+  std::cout << "C(S+T) = " << format_double(out.cost)
+            << "  (a-posteriori anarchy ratio = " << format_double(out.ratio)
+            << ")\n";
+  std::cout << "\nWith beta = 1/2 of the flow placed on the slow link, the\n"
+               "remaining selfish traffic reproduces the optimum: the\n"
+               "coordination ratio drops from 4/3 to 1.\n";
+  return 0;
+}

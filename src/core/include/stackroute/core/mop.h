@@ -1,0 +1,101 @@
+// Algorithm MOP (Corollary 2.3, generalized to k commodities per §5): the
+// minimum Leader portion β_G inducing the optimum on an arbitrary network,
+// plus the optimal strategy, in polynomial time.
+//
+// Pipeline per the proof of Theorem 2.1:
+//   1. Compute the optimum flow O and fix edge costs ℓ_e(o_e).
+//   2. Per commodity i, find the shortest-path ("tight") subgraph w.r.t.
+//      those costs (footnote 5: Dijkstra from s_i and to t_i).
+//   3. The free flow r'_i is the largest part of commodity i's optimum
+//      routable entirely inside its tight subgraph — a max-flow with
+//      capacities equal to commodity i's optimum edge flows.
+//   4. The Leader controls everything else: exactly the optimum flow on
+//      every non-shortest path. β_G = 1 − (Σ_i r'_i)/r.
+//   5. The followers' selfish routing of the free flow under the preload
+//      reproduces O (uniqueness of equilibrium edge flows), so
+//      C(S+T) = C(O): approximation guarantee exactly 1.
+//
+// k-commodity note: step 3 uses each commodity's own optimum edge flows as
+// capacities (a valid joint decomposition). For k = 1 this is exactly the
+// minimum; for k > 1 a different decomposition of the *total* optimum
+// could in principle free more flow, so β is an upper bound on the
+// minimum portion that is tight in all single-commodity cases.
+#pragma once
+
+#include <vector>
+
+#include "stackroute/equilibrium/network.h"
+#include "stackroute/network/instance.h"
+#include "stackroute/network/maxflow.h"
+#include "stackroute/network/paths.h"
+
+namespace stackroute {
+
+struct MopCommodity {
+  /// Optimum flow the Leader must control on non-shortest paths.
+  std::vector<PathFlow> leader_paths;
+  /// Optimum flow on shortest paths (left to the followers).
+  std::vector<PathFlow> free_paths;
+  double free_flow = 0.0;       // r'_i
+  double controlled_flow = 0.0; // r_i − r'_i
+  double shortest_cost = 0.0;   // L_i := dist(s_i, t_i) under ℓ_e(o_e)
+  std::vector<char> tight_edges;  // shortest-path subgraph mask
+};
+
+struct MopResult {
+  /// The price of optimum β_G ∈ [0, 1] under a *strong* strategy (§4): the
+  /// Leader may control a different fraction α_i of each commodity.
+  double beta = 0.0;
+  /// The price of optimum under a *weak* strategy: one uniform fraction α
+  /// across commodities, so α must cover the worst commodity:
+  /// max_i (controlled_i / r_i). Equals beta for single-commodity nets.
+  double weak_beta = 0.0;
+  std::vector<double> optimum_edge_flow;
+  std::vector<double> leader_edge_flow;    // the strategy S, on edges
+  std::vector<double> follower_edge_flow;  // induced equilibrium T, on edges
+  double optimum_cost = 0.0;
+  double induced_cost = 0.0;  // C(S+T), verified against C(O)
+  double free_flow_total = 0.0;
+  std::vector<MopCommodity> commodities;
+  /// max_e |s_e + τ_e − o_e| — the verification residual.
+  double induced_residual = 0.0;
+};
+
+/// How step 3 computes the free flow inside the tight subgraph.
+enum class FreeFlowMethod {
+  /// Exact: Dinic max-flow with capacities o_e — the minimum-β choice.
+  kMaxFlow,
+  /// Ablation baseline: greedily peel shortest-path flow out of the tight
+  /// subgraph (no residual rerouting). Can under-estimate the free flow on
+  /// diamond-shaped tight subgraphs, i.e. over-estimate β; never wrong
+  /// about inducing the optimum, just possibly wasteful.
+  kGreedyPeel,
+};
+
+struct MopOptions {
+  AssignmentOptions assignment;
+  /// Slack below which an edge counts as lying on a shortest path.
+  double tight_tol = 1e-7;
+  /// Flows below this are treated as zero.
+  double flow_tol = 1e-9;
+  /// Skip the induced-equilibrium verification solve (benches that only
+  /// need β can save the second solve).
+  bool verify_induced = true;
+  FreeFlowMethod free_flow_method = FreeFlowMethod::kMaxFlow;
+};
+
+MopResult mop(const NetworkInstance& inst, const MopOptions& opts = {});
+
+/// Convenience: just β_G.
+double price_of_optimum(const NetworkInstance& inst);
+
+/// The FreeFlowMethod::kGreedyPeel primitive, exposed for tests/benches:
+/// peel widest paths without residual rerouting. Returns a feasible (but
+/// possibly non-maximum) s→t flow under `capacity`, value capped at
+/// `limit`. max_flow() dominates it whenever the capacities do not form a
+/// balanced flow themselves.
+MaxFlowResult greedy_peel_flow(const Graph& g, NodeId s, NodeId t,
+                               std::span<const double> capacity, double limit,
+                               double tol = 1e-12);
+
+}  // namespace stackroute

@@ -1,0 +1,57 @@
+// Algorithm OpTop (Corollary 2.2): the minimum Leader portion β_M needed
+// to induce the optimum on an s–t parallel-links instance, together with
+// the optimal Stackelberg strategy — in polynomial time.
+//
+// Round structure (§3.1, Figs 4–6):
+//   1. Compute the optimum O of (M, r₀) once.
+//   2. Compute the Nash N of the *current* subsystem and remaining flow.
+//   3. Freeze every under-loaded link (n_i < o_i) at s_i = o_i.
+//   4. Discard frozen links, subtract their optimum flow, recurse.
+//   5. Stop when no link is under-loaded; β_M = (r₀ − r_remaining)/r₀.
+// Correctness rests on the Section 7 theorems (frozen links receive no
+// induced flow; strategies that freeze nothing change nothing), which the
+// structure.h predicates expose for testing.
+#pragma once
+
+#include <vector>
+
+#include "stackroute/network/instance.h"
+
+namespace stackroute {
+
+struct OpTopRound {
+  /// Links (original indices) frozen in this round.
+  std::vector<int> frozen;
+  /// Flow entering the round (the subsystem's demand).
+  double flow_before = 0.0;
+  /// Nash level of the subsystem this round inspected.
+  double nash_level = 0.0;
+};
+
+struct OpTopResult {
+  /// The price of optimum: the minimum Leader portion β_M ∈ [0, 1].
+  double beta = 0.0;
+  std::vector<double> optimum;   // O on the full instance
+  std::vector<double> nash;      // N on the full instance
+  std::vector<double> strategy;  // s_i = o_i on frozen links, else 0
+  std::vector<double> induced;   // followers' flows (= O on unfrozen links)
+  double optimum_cost = 0.0;     // C(O)
+  double nash_cost = 0.0;        // C(N)
+  double induced_cost = 0.0;     // C(S+T); equals C(O) by Theorem 2.1
+  std::vector<OpTopRound> rounds;
+};
+
+struct OpTopOptions {
+  /// A link counts as under-loaded when o_i > n_i + freeze_tol·max(1, r).
+  double freeze_tol = 1e-9;
+  /// Water-filling tolerance.
+  double solve_tol = 1e-13;
+};
+
+/// Runs OpTop on (M, r). Throws on malformed instances.
+OpTopResult op_top(const ParallelLinks& m, const OpTopOptions& opts = {});
+
+/// Convenience: just β_M.
+double price_of_optimum(const ParallelLinks& m);
+
+}  // namespace stackroute

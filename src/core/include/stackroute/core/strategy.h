@@ -1,0 +1,41 @@
+// Stackelberg strategies on parallel links: evaluation and the classical
+// baselines the paper positions itself against.
+//
+//  * Aloof  — the Leader does nothing; followers reach the plain Nash N.
+//  * SCALE  — s = α·O (Roughgarden; analyzed for general nets in [18]).
+//  * LLF    — Largest Latency First (Roughgarden [37]): optimally load
+//             links in decreasing optimum latency ℓ_i(o_i) until the αr
+//             budget runs out; guarantees C(S+T) <= (1/α)·C(O) on
+//             parallel links.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "stackroute/equilibrium/parallel.h"
+#include "stackroute/network/instance.h"
+
+namespace stackroute {
+
+struct StackelbergOutcome {
+  std::vector<double> strategy;  // s_i (the Leader's flow per link)
+  std::vector<double> induced;   // t_i (followers' induced Nash)
+  double cost = 0.0;             // C(S+T)
+  double ratio = 0.0;            // C(S+T)/C(O) — the a-posteriori anarchy cost
+};
+
+/// Routes the followers' best response to `strategy` and reports the
+/// Stackelberg equilibrium cost and its ratio to the optimum.
+StackelbergOutcome evaluate_strategy(const ParallelLinks& m,
+                                     std::span<const double> strategy);
+
+/// s = 0: the do-nothing baseline (induces the plain Nash).
+std::vector<double> aloof_strategy(const ParallelLinks& m);
+
+/// s = α·O.
+std::vector<double> scale_strategy(const ParallelLinks& m, double alpha);
+
+/// Largest Latency First with budget αr.
+std::vector<double> llf_strategy(const ParallelLinks& m, double alpha);
+
+}  // namespace stackroute

@@ -1,0 +1,53 @@
+// The Section 7 structural theory as executable predicates, used both by
+// the algorithms' correctness tests and by the Figs. 8–10 bench.
+//
+//  * Definition 4.4 — a link is frozen when the strategy matches or
+//    exceeds its initial Nash load.
+//  * Theorem 7.2 — a strategy that freezes nothing is useless: the
+//    induced equilibrium recreates the initial Nash assignment.
+//  * Theorem 7.4 / Lemma 7.5 — frozen links receive no induced flow.
+//  * Proposition 7.1 — Nash loads are monotone in the total flow.
+//  * Lemma 6.1 — the two-link exchange showing an optimal strategy can
+//    keep follower-free links at the large-intercept end (Figs. 8–10).
+//  * Footnote 6 / [43] — any strategy beating C(N) controls at least the
+//    minimum Nash load among under-loaded links.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "stackroute/network/instance.h"
+
+namespace stackroute {
+
+/// Definition 4.4: mask of links with s_i >= n_i − tol.
+std::vector<char> frozen_links(std::span<const double> strategy,
+                               std::span<const double> nash,
+                               double tol = 1e-9);
+
+/// Theorem 7.2 hypothesis: s_j <= n_j on every link (a useless strategy).
+bool is_useless_strategy(std::span<const double> strategy,
+                         std::span<const double> nash, double tol = 1e-9);
+
+/// Footnote 6 (§7.2) via [43, Eq. (1)]: the minimum flow any useful
+/// strategy must control — min{ n_i : n_i < o_i }. Returns 0 when the Nash
+/// is already optimal (no under-loaded link).
+double minimum_useful_control(const ParallelLinks& m);
+
+/// The Lemma 6.1 exchange on a two-link common-slope subsystem.
+/// Inputs: slope a > 0, intercepts b1 < b2, Leader-only load s1 on the
+/// b1-link (no followers there) and combined load x2 = s2 + t2 on the
+/// b2-link, in the lemma's configuration ℓ1(s1) >= ℓ2(x2).
+struct SwapWitness {
+  double cost_before = 0.0;  // s1·ℓ1(s1) + x2·ℓ2(x2)      (Fig. 8)
+  double cost_after = 0.0;   // (x2+ε)·ℓ1(x2+ε) + (s1−ε)·ℓ2(s1−ε)  (Fig. 10)
+  double ell1 = 0.0;         // ℓ1(s1)
+  double ell2 = 0.0;         // ℓ2(x2)
+  double epsilon = 0.0;      // the shift (b2 − b1)/a from the proof
+  /// True when the proof's move is applicable (ℓ1 >= ℓ2 and s1 >= ε);
+  /// cost_after <= cost_before is guaranteed only in this case.
+  bool applicable = false;
+};
+SwapWitness lemma61_swap(double a, double b1, double b2, double s1, double x2);
+
+}  // namespace stackroute

@@ -1,0 +1,174 @@
+#include "stackroute/core/mop.h"
+
+#include <cmath>
+
+#include "stackroute/network/dijkstra.h"
+#include "stackroute/network/maxflow.h"
+#include "stackroute/solver/objective.h"
+#include "stackroute/util/error.h"
+#include "stackroute/util/numeric.h"
+
+namespace stackroute {
+
+MaxFlowResult greedy_peel_flow(const Graph& g, NodeId s, NodeId t,
+                               std::span<const double> capacity, double limit,
+                               double tol) {
+  std::vector<double> residual(capacity.begin(), capacity.end());
+  MaxFlowResult out;
+  out.edge_flow.assign(capacity.size(), 0.0);
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  while (out.value < limit) {
+    // Walk from s picking the widest usable edge; stop on dead ends.
+    std::vector<char> visited(n, 0);
+    std::vector<EdgeId> walk;
+    NodeId v = s;
+    visited[static_cast<std::size_t>(v)] = 1;
+    while (v != t) {
+      EdgeId best = kInvalidEdge;
+      double best_cap = tol;
+      for (EdgeId e : g.out_edges(v)) {
+        const NodeId w = g.edge(e).head;
+        if (visited[static_cast<std::size_t>(w)]) continue;
+        const double c = residual[static_cast<std::size_t>(e)];
+        if (c > best_cap) {
+          best_cap = c;
+          best = e;
+        }
+      }
+      if (best == kInvalidEdge) break;
+      walk.push_back(best);
+      v = g.edge(best).head;
+      visited[static_cast<std::size_t>(v)] = 1;
+    }
+    if (v != t || walk.empty()) break;
+    double bottleneck = limit - out.value;
+    for (EdgeId e : walk) {
+      bottleneck = std::fmin(bottleneck, residual[static_cast<std::size_t>(e)]);
+    }
+    if (bottleneck <= tol) break;
+    for (EdgeId e : walk) {
+      residual[static_cast<std::size_t>(e)] -= bottleneck;
+      out.edge_flow[static_cast<std::size_t>(e)] += bottleneck;
+    }
+    out.value += bottleneck;
+  }
+  return out;
+}
+
+MopResult mop(const NetworkInstance& inst, const MopOptions& opts) {
+  inst.validate();
+  const Graph& g = inst.graph;
+  const auto ne = static_cast<std::size_t>(g.num_edges());
+  const std::size_t k = inst.commodities.size();
+  const double r = inst.total_demand();
+
+  MopResult result;
+  // (1) Optimum flow and the induced edge costs ℓ_e(o_e).
+  NetworkAssignment opt = solve_optimum(inst, opts.assignment);
+  result.optimum_edge_flow = opt.edge_flow;
+  result.optimum_cost = opt.cost;
+  const std::vector<LatencyPtr> lat = g.latencies();
+  std::vector<double> opt_costs(ne);
+  for (std::size_t e = 0; e < ne; ++e) {
+    opt_costs[e] = lat[e]->value(opt.edge_flow[e]);
+  }
+
+  result.leader_edge_flow.assign(ne, 0.0);
+  result.commodities.resize(k);
+
+  for (std::size_t i = 0; i < k; ++i) {
+    const Commodity& com = inst.commodities[i];
+    MopCommodity& trace = result.commodities[i];
+
+    // (2) Tight subgraph of commodity i under optimum costs.
+    trace.tight_edges = shortest_path_edge_mask(g, com.source, com.sink,
+                                                opt_costs, opts.tight_tol);
+    {
+      const ShortestPathTree tree = dijkstra(g, com.source, opt_costs);
+      trace.shortest_cost = tree.dist[static_cast<std::size_t>(com.sink)];
+    }
+
+    // Commodity i's own optimum edge flows, used as max-flow capacities.
+    std::vector<double> commodity_opt(ne, 0.0);
+    for (const PathFlow& pf : opt.commodity_paths[i]) {
+      for (EdgeId e : pf.path) {
+        commodity_opt[static_cast<std::size_t>(e)] += pf.flow;
+      }
+    }
+    // (3) Free flow: max flow inside the tight subgraph.
+    std::vector<double> caps(ne, 0.0);
+    for (std::size_t e = 0; e < ne; ++e) {
+      if (trace.tight_edges[e]) caps[e] = commodity_opt[e];
+    }
+    const MaxFlowResult mf =
+        opts.free_flow_method == FreeFlowMethod::kMaxFlow
+            ? max_flow(g, com.source, com.sink, caps, com.demand,
+                       opts.flow_tol)
+            : greedy_peel_flow(g, com.source, com.sink, caps, com.demand,
+                               opts.flow_tol);
+    trace.free_flow = mf.value;
+    trace.controlled_flow = com.demand - mf.value;
+    trace.free_paths =
+        decompose_flow(g, com.source, com.sink, mf.edge_flow, opts.flow_tol);
+
+    // (4) Leader controls the remainder of commodity i's optimum.
+    std::vector<double> leader_i(ne);
+    for (std::size_t e = 0; e < ne; ++e) {
+      leader_i[e] = std::fmax(0.0, commodity_opt[e] - mf.edge_flow[e]);
+      result.leader_edge_flow[e] += leader_i[e];
+    }
+    trace.leader_paths =
+        decompose_flow(g, com.source, com.sink, leader_i, opts.flow_tol);
+    result.free_flow_total += trace.free_flow;
+  }
+
+  result.beta = 1.0 - result.free_flow_total / r;
+  // Clamp roundoff at the extremes.
+  result.beta = std::fmin(1.0, std::fmax(0.0, result.beta));
+  // Weak strategy: one uniform fraction must cover the neediest commodity.
+  double weak = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    weak = std::fmax(
+        weak, result.commodities[i].controlled_flow /
+                  inst.commodities[i].demand);
+  }
+  result.weak_beta = std::fmin(1.0, std::fmax(0.0, weak));
+
+  // (5) Verify: followers' selfish routing of the free flow under the
+  // Leader's preload reproduces the optimum.
+  result.follower_edge_flow.assign(ne, 0.0);
+  if (opts.verify_induced) {
+    NetworkInstance followers;
+    followers.graph = g;
+    for (std::size_t i = 0; i < k; ++i) {
+      if (result.commodities[i].free_flow > opts.flow_tol) {
+        Commodity c = inst.commodities[i];
+        c.demand = result.commodities[i].free_flow;
+        followers.commodities.push_back(c);
+      }
+    }
+    if (!followers.commodities.empty()) {
+      const NetworkAssignment induced =
+          solve_induced(followers, result.leader_edge_flow, opts.assignment);
+      result.follower_edge_flow = induced.edge_flow;
+      result.induced_cost = induced.cost;
+    } else {
+      // Leader controls everything; the "induced" flow is the strategy.
+      result.induced_cost = cost(inst, result.leader_edge_flow);
+    }
+    const std::vector<double> combined =
+        add(result.leader_edge_flow, result.follower_edge_flow);
+    result.induced_residual = max_abs_diff(combined, result.optimum_edge_flow);
+  } else {
+    result.induced_cost = result.optimum_cost;
+  }
+  return result;
+}
+
+double price_of_optimum(const NetworkInstance& inst) {
+  MopOptions opts;
+  opts.verify_induced = false;
+  return mop(inst, opts).beta;
+}
+
+}  // namespace stackroute

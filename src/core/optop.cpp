@@ -1,0 +1,86 @@
+#include "stackroute/core/optop.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stackroute/equilibrium/parallel.h"
+#include "stackroute/util/error.h"
+#include "stackroute/util/numeric.h"
+
+namespace stackroute {
+
+OpTopResult op_top(const ParallelLinks& m, const OpTopOptions& opts) {
+  m.validate();
+  const double r0 = m.demand;
+  const double tol = opts.freeze_tol * std::fmax(1.0, r0);
+
+  OpTopResult result;
+  {
+    const LinkAssignment opt = solve_optimum(m, opts.solve_tol);
+    result.optimum = opt.flows;
+    const LinkAssignment nash = solve_nash(m, opts.solve_tol);
+    result.nash = nash.flows;
+  }
+  result.optimum_cost = cost(m, result.optimum);
+  result.nash_cost = cost(m, result.nash);
+  result.strategy.assign(m.size(), 0.0);
+  result.induced.assign(m.size(), 0.0);
+
+  // Active subsystem, tracked by original link index.
+  std::vector<int> active(m.size());
+  for (std::size_t i = 0; i < m.size(); ++i) active[i] = static_cast<int>(i);
+  double remaining = r0;
+
+  for (int round = 0; round < static_cast<int>(m.size()) && !active.empty();
+       ++round) {
+    const ParallelLinks sub = subsystem(m, active, remaining);
+    LinkAssignment nash;
+    if (remaining > tol) {
+      nash = solve_nash(sub, opts.solve_tol);
+    } else {
+      nash.flows.assign(active.size(), 0.0);
+    }
+
+    OpTopRound trace;
+    trace.flow_before = remaining;
+    trace.nash_level = nash.level;
+    std::vector<int> still_active;
+    for (std::size_t pos = 0; pos < active.size(); ++pos) {
+      const int link = active[pos];
+      const double o = result.optimum[static_cast<std::size_t>(link)];
+      if (o > nash.flows[pos] + tol) {
+        // Under-loaded: freeze at its optimum load and discard.
+        trace.frozen.push_back(link);
+        result.strategy[static_cast<std::size_t>(link)] = o;
+        remaining -= o;
+      } else {
+        still_active.push_back(link);
+      }
+    }
+    if (trace.frozen.empty()) break;  // step (3): M' empty -> terminate
+    result.rounds.push_back(std::move(trace));
+    active = std::move(still_active);
+  }
+
+  SR_ASSERT(remaining >= -tol, "OpTop drove the remaining flow negative");
+  remaining = std::fmax(remaining, 0.0);
+  result.beta = (r0 - remaining) / r0;
+
+  // The followers now self-assign the remaining flow on the unfrozen links;
+  // by construction this reproduces the optimum there.
+  if (!active.empty() && remaining > tol) {
+    const ParallelLinks sub = subsystem(m, active, remaining);
+    const LinkAssignment induced = solve_nash(sub, opts.solve_tol);
+    for (std::size_t pos = 0; pos < active.size(); ++pos) {
+      result.induced[static_cast<std::size_t>(active[pos])] =
+          induced.flows[pos];
+    }
+  }
+  result.induced_cost =
+      stackelberg_cost(m, result.strategy, result.induced);
+  return result;
+}
+
+double price_of_optimum(const ParallelLinks& m) { return op_top(m).beta; }
+
+}  // namespace stackroute

@@ -1,0 +1,64 @@
+#include "stackroute/core/strategy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "stackroute/util/error.h"
+#include "stackroute/util/numeric.h"
+
+namespace stackroute {
+
+StackelbergOutcome evaluate_strategy(const ParallelLinks& m,
+                                     std::span<const double> strategy) {
+  SR_REQUIRE(strategy.size() == m.size(), "strategy size mismatch");
+  StackelbergOutcome out;
+  out.strategy.assign(strategy.begin(), strategy.end());
+  const LinkAssignment induced = solve_induced(m, strategy);
+  out.induced = induced.flows;
+  out.cost = stackelberg_cost(m, strategy, out.induced);
+  const LinkAssignment opt = solve_optimum(m);
+  const double opt_cost = cost(m, opt.flows);
+  SR_ASSERT(opt_cost > 0.0, "optimum cost must be positive");
+  out.ratio = out.cost / opt_cost;
+  return out;
+}
+
+std::vector<double> aloof_strategy(const ParallelLinks& m) {
+  return std::vector<double>(m.size(), 0.0);
+}
+
+std::vector<double> scale_strategy(const ParallelLinks& m, double alpha) {
+  SR_REQUIRE(alpha >= 0.0 && alpha <= 1.0, "SCALE needs alpha in [0,1]");
+  const LinkAssignment opt = solve_optimum(m);
+  std::vector<double> s(opt.flows);
+  for (double& v : s) v *= alpha;
+  return s;
+}
+
+std::vector<double> llf_strategy(const ParallelLinks& m, double alpha) {
+  SR_REQUIRE(alpha >= 0.0 && alpha <= 1.0, "LLF needs alpha in [0,1]");
+  const LinkAssignment opt = solve_optimum(m);
+  // Order links by decreasing optimum latency ℓ_i(o_i).
+  std::vector<std::size_t> order(m.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::vector<double> opt_latency(m.size());
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    opt_latency[i] = m.links[i]->value(opt.flows[i]);
+  }
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return opt_latency[a] > opt_latency[b];
+  });
+
+  std::vector<double> s(m.size(), 0.0);
+  double budget = alpha * m.demand;
+  for (std::size_t i : order) {
+    if (budget <= 0.0) break;
+    const double take = std::fmin(budget, opt.flows[i]);
+    s[i] = take;
+    budget -= take;
+  }
+  return s;
+}
+
+}  // namespace stackroute

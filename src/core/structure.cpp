@@ -1,0 +1,60 @@
+#include "stackroute/core/structure.h"
+
+#include <cmath>
+
+#include "stackroute/equilibrium/parallel.h"
+#include "stackroute/util/error.h"
+#include "stackroute/util/numeric.h"
+
+namespace stackroute {
+
+std::vector<char> frozen_links(std::span<const double> strategy,
+                               std::span<const double> nash, double tol) {
+  SR_REQUIRE(strategy.size() == nash.size(), "frozen_links size mismatch");
+  std::vector<char> mask(strategy.size(), 0);
+  for (std::size_t i = 0; i < strategy.size(); ++i) {
+    mask[i] = strategy[i] >= nash[i] - tol ? 1 : 0;
+  }
+  return mask;
+}
+
+bool is_useless_strategy(std::span<const double> strategy,
+                         std::span<const double> nash, double tol) {
+  SR_REQUIRE(strategy.size() == nash.size(),
+             "is_useless_strategy size mismatch");
+  for (std::size_t i = 0; i < strategy.size(); ++i) {
+    if (strategy[i] > nash[i] + tol) return false;
+  }
+  return true;
+}
+
+double minimum_useful_control(const ParallelLinks& m) {
+  const LinkAssignment nash = solve_nash(m);
+  const LinkAssignment opt = solve_optimum(m);
+  double lo = kInf;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (nash.flows[i] < opt.flows[i]) lo = std::fmin(lo, nash.flows[i]);
+  }
+  return std::isfinite(lo) ? lo : 0.0;
+}
+
+SwapWitness lemma61_swap(double a, double b1, double b2, double s1,
+                         double x2) {
+  SR_REQUIRE(a > 0.0, "lemma61_swap needs slope a > 0");
+  SR_REQUIRE(b1 < b2, "lemma61_swap needs b1 < b2");
+  SR_REQUIRE(s1 >= 0.0 && x2 >= 0.0, "lemma61_swap needs non-negative loads");
+  SwapWitness w;
+  w.ell1 = a * s1 + b1;
+  w.ell2 = a * x2 + b2;
+  w.epsilon = (b2 - b1) / a;
+  w.applicable = w.ell1 >= w.ell2 && s1 >= w.epsilon;
+  w.cost_before = s1 * w.ell1 + x2 * w.ell2;
+  // After the interchange plus the ε-shift of the proof, the b1-link ends
+  // at latency ℓ2 and the b2-link at latency ℓ1 (Figs. 9–10):
+  const double load1 = x2 + w.epsilon;  // on the b1-link
+  const double load2 = s1 - w.epsilon;  // on the b2-link
+  w.cost_after = load1 * (a * load1 + b1) + load2 * (a * load2 + b2);
+  return w;
+}
+
+}  // namespace stackroute

@@ -1,0 +1,32 @@
+// Plain-text (de)serialization of routing instances, so examples can ship
+// instance files and tests can round-trip them.
+//
+// Parallel links:                      Network:
+//   parallel_links <demand>             network <num_nodes>
+//   link <kind> <params...>             edge <tail> <head> <kind> <params...>
+//   ...                                 ...
+//                                       commodity <source> <sink> <demand>
+// Lines starting with '#' are comments. Kinds: constant, affine,
+// polynomial, bpr, mm1 (see families.h for parameter orders).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "stackroute/network/instance.h"
+
+namespace stackroute {
+
+void write_instance(std::ostream& os, const ParallelLinks& m);
+void write_instance(std::ostream& os, const NetworkInstance& inst);
+
+ParallelLinks read_parallel_links(std::istream& is);
+NetworkInstance read_network(std::istream& is);
+
+std::string to_string(const ParallelLinks& m);
+std::string to_string(const NetworkInstance& inst);
+
+ParallelLinks parallel_links_from_string(const std::string& text);
+NetworkInstance network_from_string(const std::string& text);
+
+}  // namespace stackroute

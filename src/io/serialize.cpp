@@ -1,0 +1,154 @@
+#include "stackroute/io/serialize.h"
+
+#include <iomanip>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "stackroute/latency/families.h"
+#include "stackroute/util/error.h"
+
+namespace stackroute {
+
+namespace {
+
+const std::map<std::string, LatencyKind>& kind_names() {
+  static const std::map<std::string, LatencyKind> names = {
+      {"constant", LatencyKind::kConstant},
+      {"affine", LatencyKind::kAffine},
+      {"polynomial", LatencyKind::kPolynomial},
+      {"bpr", LatencyKind::kBpr},
+      {"mm1", LatencyKind::kMm1},
+  };
+  return names;
+}
+
+void write_latency(std::ostream& os, const LatencyFunction& fn) {
+  os << to_string(fn.kind());
+  os << std::setprecision(17);
+  for (double p : fn.params()) os << ' ' << p;
+}
+
+LatencyPtr read_latency(std::istringstream& line) {
+  std::string kind_name;
+  SR_REQUIRE(static_cast<bool>(line >> kind_name),
+             "expected a latency kind");
+  const auto it = kind_names().find(kind_name);
+  SR_REQUIRE(it != kind_names().end(),
+             "unknown latency kind '" + kind_name + "'");
+  std::vector<double> params;
+  double v = 0.0;
+  while (line >> v) params.push_back(v);
+  return make_latency(it->second, params);
+}
+
+// Next non-comment, non-blank line; false at EOF.
+bool next_line(std::istream& is, std::string& out) {
+  while (std::getline(is, out)) {
+    const auto pos = out.find_first_not_of(" \t\r");
+    if (pos == std::string::npos) continue;
+    if (out[pos] == '#') continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void write_instance(std::ostream& os, const ParallelLinks& m) {
+  os << std::setprecision(17) << "parallel_links " << m.demand << '\n';
+  for (const auto& link : m.links) {
+    os << "link ";
+    write_latency(os, *link);
+    os << '\n';
+  }
+}
+
+void write_instance(std::ostream& os, const NetworkInstance& inst) {
+  os << "network " << inst.graph.num_nodes() << '\n';
+  os << std::setprecision(17);
+  for (EdgeId e = 0; e < inst.graph.num_edges(); ++e) {
+    const Edge& edge = inst.graph.edge(e);
+    os << "edge " << edge.tail << ' ' << edge.head << ' ';
+    write_latency(os, *edge.latency);
+    os << '\n';
+  }
+  for (const Commodity& c : inst.commodities) {
+    os << "commodity " << c.source << ' ' << c.sink << ' ' << c.demand
+       << '\n';
+  }
+}
+
+ParallelLinks read_parallel_links(std::istream& is) {
+  std::string line;
+  SR_REQUIRE(next_line(is, line), "empty parallel-links document");
+  std::istringstream header(line);
+  std::string tag;
+  ParallelLinks m;
+  SR_REQUIRE(static_cast<bool>(header >> tag >> m.demand) &&
+                 tag == "parallel_links",
+             "expected 'parallel_links <demand>' header");
+  while (next_line(is, line)) {
+    std::istringstream row(line);
+    SR_REQUIRE(static_cast<bool>(row >> tag) && tag == "link",
+               "expected 'link <kind> <params...>'");
+    m.links.push_back(read_latency(row));
+  }
+  m.validate();
+  return m;
+}
+
+NetworkInstance read_network(std::istream& is) {
+  std::string line;
+  SR_REQUIRE(next_line(is, line), "empty network document");
+  std::istringstream header(line);
+  std::string tag;
+  int nodes = 0;
+  SR_REQUIRE(static_cast<bool>(header >> tag >> nodes) && tag == "network",
+             "expected 'network <num_nodes>' header");
+  NetworkInstance inst;
+  inst.graph = Graph(nodes);
+  while (next_line(is, line)) {
+    std::istringstream row(line);
+    SR_REQUIRE(static_cast<bool>(row >> tag), "malformed line");
+    if (tag == "edge") {
+      NodeId tail = 0, head = 0;
+      SR_REQUIRE(static_cast<bool>(row >> tail >> head),
+                 "expected 'edge <tail> <head> <kind> <params...>'");
+      inst.graph.add_edge(tail, head, read_latency(row));
+    } else if (tag == "commodity") {
+      Commodity c;
+      SR_REQUIRE(static_cast<bool>(row >> c.source >> c.sink >> c.demand),
+                 "expected 'commodity <source> <sink> <demand>'");
+      inst.commodities.push_back(c);
+    } else {
+      throw Error("unknown line tag '" + tag + "'");
+    }
+  }
+  inst.validate();
+  return inst;
+}
+
+std::string to_string(const ParallelLinks& m) {
+  std::ostringstream os;
+  write_instance(os, m);
+  return os.str();
+}
+
+std::string to_string(const NetworkInstance& inst) {
+  std::ostringstream os;
+  write_instance(os, inst);
+  return os.str();
+}
+
+ParallelLinks parallel_links_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_parallel_links(is);
+}
+
+NetworkInstance network_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_network(is);
+}
+
+}  // namespace stackroute

@@ -1,0 +1,82 @@
+#include "stackroute/io/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "stackroute/util/error.h"
+
+namespace stackroute {
+
+std::string format_double(double v, int digits) {
+  if (std::isnan(v)) return "nan";
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  std::ostringstream os;
+  os.precision(digits);
+  os << std::fixed << v;
+  std::string s = os.str();
+  // Trim trailing zeros but keep one decimal.
+  if (s.find('.') != std::string::npos) {
+    while (s.size() > 1 && s.back() == '0') s.pop_back();
+    if (s.back() == '.') s.push_back('0');
+  }
+  return s;
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  SR_REQUIRE(!headers_.empty(), "table needs >= 1 column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  SR_REQUIRE(cells.size() == headers_.size(),
+             "row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_numeric_row(const std::vector<double>& cells, int digits) {
+  std::vector<std::string> row;
+  row.reserve(cells.size());
+  for (double v : cells) row.push_back(format_double(v, digits));
+  add_row(std::move(row));
+}
+
+std::string Table::to_markdown() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+    for (const auto& row : rows_) width[c] = std::max(width[c], row[c].size());
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    os << "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << ' ' << cells[c] << std::string(width[c] - cells[c].size(), ' ')
+         << " |";
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  os << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(width[c] + 2, '-') << "|";
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      os << cells[c];
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+}  // namespace stackroute

@@ -1,0 +1,25 @@
+// Sample-based validation of the "standard latency" contract (§4):
+// non-negative, non-decreasing, x·ℓ(x) convex, integral consistent with
+// value. The built-in families satisfy the contract by construction; this
+// checker exists for user-supplied LatencyFunction implementations and for
+// the failure-injection tests.
+#pragma once
+
+#include <string>
+
+#include "stackroute/latency/latency.h"
+
+namespace stackroute {
+
+struct LatencyValidationReport {
+  bool ok = true;
+  std::string violation;  // human-readable description of the first failure
+};
+
+/// Checks the standard-latency contract on `samples` evenly spaced loads in
+/// [0, x_max] (x_max is clipped below capacity() for bounded domains).
+LatencyValidationReport validate_latency(const LatencyFunction& fn,
+                                         double x_max = 10.0,
+                                         int samples = 257);
+
+}  // namespace stackroute

@@ -1,0 +1,83 @@
+#include "stackroute/latency/validate.h"
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "stackroute/util/error.h"
+#include "stackroute/util/numeric.h"
+
+namespace stackroute {
+
+LatencyValidationReport validate_latency(const LatencyFunction& fn,
+                                         double x_max, int samples) {
+  SR_REQUIRE(samples >= 3, "validate_latency needs >= 3 samples");
+  SR_REQUIRE(x_max > 0.0, "validate_latency needs x_max > 0");
+
+  LatencyValidationReport report;
+  auto fail = [&](const std::string& msg) {
+    report.ok = false;
+    report.violation = msg;
+  };
+
+  const double cap = fn.capacity();
+  const double hi = std::isfinite(cap) ? std::fmin(x_max, 0.95 * cap) : x_max;
+  const double step = hi / (samples - 1);
+
+  std::vector<double> xs(samples), vals(samples), costs(samples);
+  for (int i = 0; i < samples; ++i) {
+    xs[i] = step * i;
+    vals[i] = fn.value(xs[i]);
+    costs[i] = xs[i] * vals[i];
+  }
+
+  for (int i = 0; i < samples; ++i) {
+    if (!(vals[i] >= 0.0) || !std::isfinite(vals[i])) {
+      fail("latency negative or non-finite at x=" + std::to_string(xs[i]));
+      return report;
+    }
+  }
+  for (int i = 0; i + 1 < samples; ++i) {
+    if (vals[i + 1] < vals[i] - 1e-12 * std::fabs(vals[i])) {
+      fail("latency decreasing near x=" + std::to_string(xs[i]));
+      return report;
+    }
+  }
+  // Convexity of x·ℓ(x): second differences non-negative up to roundoff.
+  for (int i = 1; i + 1 < samples; ++i) {
+    const double second = costs[i + 1] - 2.0 * costs[i] + costs[i - 1];
+    const double scale =
+        std::fmax(1.0, std::fabs(costs[i + 1]) + std::fabs(costs[i - 1]));
+    if (second < -1e-7 * scale) {
+      fail("x*latency(x) not convex near x=" + std::to_string(xs[i]));
+      return report;
+    }
+  }
+  // Integral consistency: trapezoid of value() vs integral() on each cell.
+  double acc = 0.0;
+  for (int i = 0; i + 1 < samples; ++i) {
+    acc += 0.5 * (vals[i] + vals[i + 1]) * step;
+    const double claimed = fn.integral(xs[i + 1]);
+    const double scale = std::fmax(1.0, std::fabs(claimed));
+    // Trapezoid error is O(step²·ℓ''): loose bound, catches sign errors.
+    if (std::fabs(acc - claimed) > 1e-2 * scale + step * step * 100.0) {
+      fail("integral() inconsistent with value() at x=" +
+           std::to_string(xs[i + 1]));
+      return report;
+    }
+  }
+  // Derivative consistency via central differences on interior points.
+  for (int i = 1; i + 1 < samples; ++i) {
+    const double fd = (vals[i + 1] - vals[i - 1]) / (2.0 * step);
+    const double claimed = fn.derivative(xs[i]);
+    const double scale = std::fmax(1.0, std::fabs(claimed) + std::fabs(fd));
+    if (std::fabs(fd - claimed) > 5e-2 * scale + step * step * 100.0) {
+      fail("derivative() inconsistent with value() at x=" +
+           std::to_string(xs[i]));
+      return report;
+    }
+  }
+  return report;
+}
+
+}  // namespace stackroute

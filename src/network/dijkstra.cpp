@@ -1,0 +1,100 @@
+#include "stackroute/network/dijkstra.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "stackroute/util/error.h"
+#include "stackroute/util/numeric.h"
+
+namespace stackroute {
+
+namespace {
+
+using QueueItem = std::pair<double, NodeId>;  // (dist, node)
+
+template <typename OutEdges, typename Endpoint>
+ShortestPathTree run_dijkstra(const Graph& g, NodeId root,
+                              std::span<const double> edge_cost,
+                              OutEdges out_edges, Endpoint endpoint) {
+  SR_REQUIRE(edge_cost.size() == static_cast<std::size_t>(g.num_edges()),
+             "edge cost vector size mismatch");
+  for (double c : edge_cost) {
+    SR_REQUIRE(c >= 0.0, "Dijkstra needs non-negative edge costs");
+  }
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  ShortestPathTree tree;
+  tree.dist.assign(n, kInf);
+  tree.parent_edge.assign(n, kInvalidEdge);
+  tree.dist[static_cast<std::size_t>(root)] = 0.0;
+
+  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> pq;
+  pq.emplace(0.0, root);
+  while (!pq.empty()) {
+    const auto [d, v] = pq.top();
+    pq.pop();
+    if (d > tree.dist[static_cast<std::size_t>(v)]) continue;  // stale
+    for (EdgeId e : out_edges(v)) {
+      const NodeId w = endpoint(e);
+      const double nd = d + edge_cost[static_cast<std::size_t>(e)];
+      if (nd < tree.dist[static_cast<std::size_t>(w)]) {
+        tree.dist[static_cast<std::size_t>(w)] = nd;
+        tree.parent_edge[static_cast<std::size_t>(w)] = e;
+        pq.emplace(nd, w);
+      }
+    }
+  }
+  return tree;
+}
+
+}  // namespace
+
+ShortestPathTree dijkstra(const Graph& g, NodeId source,
+                          std::span<const double> edge_cost) {
+  return run_dijkstra(
+      g, source, edge_cost, [&g](NodeId v) { return g.out_edges(v); },
+      [&g](EdgeId e) { return g.edge(e).head; });
+}
+
+ShortestPathTree dijkstra_to(const Graph& g, NodeId sink,
+                             std::span<const double> edge_cost) {
+  return run_dijkstra(
+      g, sink, edge_cost, [&g](NodeId v) { return g.in_edges(v); },
+      [&g](EdgeId e) { return g.edge(e).tail; });
+}
+
+std::vector<EdgeId> extract_path(const Graph& g, const ShortestPathTree& tree,
+                                 NodeId target) {
+  SR_REQUIRE(target >= 0 && target < g.num_nodes(), "target out of range");
+  SR_REQUIRE(std::isfinite(tree.dist[static_cast<std::size_t>(target)]),
+             "target unreachable");
+  std::vector<EdgeId> path;
+  NodeId v = target;
+  while (tree.parent_edge[static_cast<std::size_t>(v)] != kInvalidEdge) {
+    const EdgeId e = tree.parent_edge[static_cast<std::size_t>(v)];
+    path.push_back(e);
+    v = g.edge(e).tail;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<char> shortest_path_edge_mask(const Graph& g, NodeId s, NodeId t,
+                                          std::span<const double> edge_cost,
+                                          double tol) {
+  const ShortestPathTree from_s = dijkstra(g, s, edge_cost);
+  const ShortestPathTree to_t = dijkstra_to(g, t, edge_cost);
+  const double best = from_s.dist[static_cast<std::size_t>(t)];
+  SR_REQUIRE(std::isfinite(best), "sink unreachable from source");
+  std::vector<char> mask(static_cast<std::size_t>(g.num_edges()), 0);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& edge = g.edge(e);
+    const double du = from_s.dist[static_cast<std::size_t>(edge.tail)];
+    const double dv = to_t.dist[static_cast<std::size_t>(edge.head)];
+    if (!std::isfinite(du) || !std::isfinite(dv)) continue;
+    const double through = du + edge_cost[static_cast<std::size_t>(e)] + dv;
+    if (through <= best + tol) mask[static_cast<std::size_t>(e)] = 1;
+  }
+  return mask;
+}
+
+}  // namespace stackroute

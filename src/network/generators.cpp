@@ -1,0 +1,255 @@
+#include "stackroute/network/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stackroute/latency/families.h"
+#include "stackroute/util/error.h"
+
+namespace stackroute {
+
+// ---- Paper examples ------------------------------------------------------
+
+ParallelLinks pigou() {
+  return ParallelLinks{{make_linear(1.0), make_constant(1.0)}, 1.0};
+}
+
+ParallelLinks pigou_nonlinear(int degree) {
+  SR_REQUIRE(degree >= 1, "pigou_nonlinear needs degree >= 1");
+  return ParallelLinks{{make_monomial(1.0, degree), make_constant(1.0)}, 1.0};
+}
+
+ParallelLinks fig4_instance() {
+  return ParallelLinks{{make_linear(1.0), make_linear(1.5), make_linear(2.0),
+                        make_affine(2.5, 1.0 / 6.0), make_constant(0.7)},
+                       1.0};
+}
+
+Fig4Expected fig4_expected() {
+  Fig4Expected e;
+  e.optimum = {7.0 / 20.0, 7.0 / 30.0, 7.0 / 40.0, 8.0 / 75.0, 27.0 / 200.0};
+  e.nash = {32.0 / 77.0, 64.0 / 231.0, 16.0 / 77.0, 23.0 / 231.0, 0.0};
+  e.nash_level = 32.0 / 77.0;
+  e.optimum_level = 0.7;
+  e.beta = 29.0 / 120.0;  // = 8/75 + 27/200
+  e.optimum_cost = 14621.0 / 36000.0;
+  e.nash_cost = 32.0 / 77.0;
+  e.underloaded = {3, 4};
+  return e;
+}
+
+NetworkInstance braess_classic() {
+  NetworkInstance inst;
+  inst.graph = Graph(4);
+  const NodeId s = 0, v = 1, w = 2, t = 3;
+  inst.graph.add_edge(s, v, make_linear(1.0));    // e0
+  inst.graph.add_edge(s, w, make_constant(1.0));  // e1
+  inst.graph.add_edge(v, w, make_constant(0.0));  // e2 (the paradox edge)
+  inst.graph.add_edge(v, t, make_constant(1.0));  // e3
+  inst.graph.add_edge(w, t, make_linear(1.0));    // e4
+  inst.commodities.push_back(Commodity{s, t, 1.0});
+  return inst;
+}
+
+NetworkInstance braess_without_shortcut() {
+  NetworkInstance inst;
+  inst.graph = Graph(4);
+  const NodeId s = 0, v = 1, w = 2, t = 3;
+  inst.graph.add_edge(s, v, make_linear(1.0));    // e0
+  inst.graph.add_edge(s, w, make_constant(1.0));  // e1
+  inst.graph.add_edge(v, t, make_constant(1.0));  // e2
+  inst.graph.add_edge(w, t, make_linear(1.0));    // e3
+  inst.commodities.push_back(Commodity{s, t, 1.0});
+  return inst;
+}
+
+NetworkInstance fig7_instance(double eps) {
+  SR_REQUIRE(eps >= 0.0 && eps < 0.25,
+             "fig7_instance needs 0 <= eps < 1/4");
+  const double c = 2.0 - 8.0 * eps;
+  NetworkInstance inst;
+  inst.graph = Graph(4);
+  const NodeId s = 0, v = 1, w = 2, t = 3;
+  inst.graph.add_edge(s, v, make_linear(1.0));   // e0
+  inst.graph.add_edge(s, w, make_affine(1.0, c));  // e1
+  inst.graph.add_edge(v, w, make_linear(1.0));   // e2
+  inst.graph.add_edge(v, t, make_affine(1.0, c));  // e3
+  inst.graph.add_edge(w, t, make_linear(1.0));   // e4
+  inst.commodities.push_back(Commodity{s, t, 1.0});
+  return inst;
+}
+
+Fig7Expected fig7_expected(double eps) {
+  Fig7Expected e;
+  const double oa = 0.75 - eps;        // s→v and w→t
+  const double ob = 0.25 + eps;        // s→w and v→t
+  const double om = 0.5 - 2.0 * eps;   // v→w
+  e.optimum_edges = {oa, ob, om, ob, oa};
+  e.beta = 0.5 + 2.0 * eps;
+  e.shortest_path_cost = 2.0 - 4.0 * eps;
+  e.free_flow = om;
+  e.optimum_cost = 2.0 * oa * oa + om * om +
+                   2.0 * ob * (ob + 2.0 - 8.0 * eps);
+  e.nash_cost = 3.0 - 8.0 * eps;
+  return e;
+}
+
+// ---- Parallel-link families ----------------------------------------------
+
+ParallelLinks random_affine_links(Rng& rng, int m, double r, double slope_lo,
+                                  double slope_hi, double b_lo, double b_hi) {
+  SR_REQUIRE(m >= 1, "random_affine_links needs m >= 1");
+  SR_REQUIRE(slope_lo > 0.0, "random_affine_links needs positive slopes");
+  ParallelLinks out;
+  out.demand = r;
+  out.links.reserve(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    out.links.push_back(make_affine(rng.uniform(slope_lo, slope_hi),
+                                    rng.uniform(b_lo, b_hi)));
+  }
+  return out;
+}
+
+ParallelLinks random_common_slope_links(Rng& rng, int m, double r,
+                                        double slope, double b_lo,
+                                        double b_hi) {
+  SR_REQUIRE(m >= 1, "random_common_slope_links needs m >= 1");
+  SR_REQUIRE(slope > 0.0, "random_common_slope_links needs slope > 0");
+  std::vector<double> bs(static_cast<std::size_t>(m));
+  for (auto& b : bs) b = rng.uniform(b_lo, b_hi);
+  std::sort(bs.begin(), bs.end());
+  // Enforce strictly increasing intercepts (Theorem 2.4's normalization).
+  for (std::size_t i = 1; i < bs.size(); ++i) {
+    if (bs[i] <= bs[i - 1]) bs[i] = bs[i - 1] + 1e-6 * (b_hi - b_lo + 1.0);
+  }
+  ParallelLinks out;
+  out.demand = r;
+  for (double b : bs) out.links.push_back(make_affine(slope, b));
+  return out;
+}
+
+ParallelLinks random_polynomial_links(Rng& rng, int m, double r,
+                                      int max_degree, double c_hi) {
+  SR_REQUIRE(m >= 1 && max_degree >= 1, "bad random_polynomial_links args");
+  ParallelLinks out;
+  out.demand = r;
+  for (int i = 0; i < m; ++i) {
+    const int degree = static_cast<int>(rng.uniform_int(1, max_degree));
+    std::vector<double> coeffs(static_cast<std::size_t>(degree) + 1);
+    for (auto& c : coeffs) c = rng.uniform(0.0, c_hi);
+    // Guarantee strict increase: a positive leading coefficient.
+    if (coeffs.back() <= 0.0) coeffs.back() = 0.5 * c_hi + 1e-3;
+    out.links.push_back(make_polynomial(std::move(coeffs)));
+  }
+  return out;
+}
+
+ParallelLinks mm1_links(std::vector<double> mus, double r) {
+  SR_REQUIRE(!mus.empty(), "mm1_links needs >= 1 service rate");
+  ParallelLinks out;
+  out.demand = r;
+  for (double mu : mus) out.links.push_back(make_mm1(mu));
+  out.validate();  // checks r against total capacity
+  return out;
+}
+
+ParallelLinks mm1_two_groups(int fast_count, double fast_mu, int slow_count,
+                             double slow_mu, double r) {
+  SR_REQUIRE(fast_count >= 1 && slow_count >= 0, "bad mm1_two_groups counts");
+  SR_REQUIRE(fast_mu > slow_mu && slow_mu > 0.0,
+             "mm1_two_groups needs fast_mu > slow_mu > 0");
+  std::vector<double> mus;
+  mus.insert(mus.end(), static_cast<std::size_t>(fast_count), fast_mu);
+  mus.insert(mus.end(), static_cast<std::size_t>(slow_count), slow_mu);
+  return mm1_links(std::move(mus), r);
+}
+
+// ---- Network families -----------------------------------------------------
+
+NetworkInstance random_layered_dag(Rng& rng, int layers, int width,
+                                   double edge_prob, double r) {
+  SR_REQUIRE(layers >= 1 && width >= 1, "bad random_layered_dag shape");
+  SR_REQUIRE(edge_prob >= 0.0 && edge_prob <= 1.0, "bad edge_prob");
+  NetworkInstance inst;
+  const int n = 2 + layers * width;
+  inst.graph = Graph(n);
+  const NodeId s = 0;
+  const NodeId t = static_cast<NodeId>(n - 1);
+  auto node = [&](int layer, int i) {
+    return static_cast<NodeId>(1 + layer * width + i);
+  };
+  auto random_latency = [&]() {
+    return make_affine(rng.uniform(0.2, 2.0), rng.uniform(0.0, 1.0));
+  };
+  // Source to first layer and last layer to sink: always fully wired so
+  // every hidden node is useful.
+  for (int i = 0; i < width; ++i) {
+    inst.graph.add_edge(s, node(0, i), random_latency());
+    inst.graph.add_edge(node(layers - 1, i), t, random_latency());
+  }
+  for (int layer = 0; layer + 1 < layers; ++layer) {
+    for (int i = 0; i < width; ++i) {
+      bool any = false;
+      for (int j = 0; j < width; ++j) {
+        if (rng.bernoulli(edge_prob)) {
+          inst.graph.add_edge(node(layer, i), node(layer + 1, j),
+                              random_latency());
+          any = true;
+        }
+      }
+      if (!any) {  // guarantee progress out of every node
+        inst.graph.add_edge(node(layer, i),
+                            node(layer + 1, static_cast<int>(rng.uniform_int(
+                                                0, width - 1))),
+                            random_latency());
+      }
+    }
+  }
+  inst.commodities.push_back(Commodity{s, t, r});
+  return inst;
+}
+
+namespace {
+LatencyPtr random_bpr(Rng& rng) {
+  return make_bpr(rng.uniform(0.5, 2.0), rng.uniform(0.5, 2.0), 0.15, 4.0);
+}
+}  // namespace
+
+NetworkInstance grid_city(Rng& rng, int rows, int cols, double r) {
+  SR_REQUIRE(rows >= 2 && cols >= 2, "grid_city needs rows, cols >= 2");
+  NetworkInstance inst;
+  inst.graph = Graph(rows * cols);
+  auto node = [&](int i, int j) { return static_cast<NodeId>(i * cols + j); };
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) {
+      if (j + 1 < cols) {
+        inst.graph.add_edge(node(i, j), node(i, j + 1), random_bpr(rng));
+      }
+      if (i + 1 < rows) {
+        inst.graph.add_edge(node(i, j), node(i + 1, j), random_bpr(rng));
+      }
+    }
+  }
+  inst.commodities.push_back(Commodity{node(0, 0), node(rows - 1, cols - 1), r});
+  return inst;
+}
+
+NetworkInstance grid_city_multicommodity(Rng& rng, int rows, int cols, int k,
+                                         double r_lo, double r_hi) {
+  SR_REQUIRE(k >= 1, "grid_city_multicommodity needs k >= 1");
+  NetworkInstance inst = grid_city(rng, rows, cols, 1.0);
+  inst.commodities.clear();
+  auto node = [&](int i, int j) { return static_cast<NodeId>(i * cols + j); };
+  for (int c = 0; c < k; ++c) {
+    // NW→SE oriented pair so a (rightward/downward) path always exists.
+    const int i1 = static_cast<int>(rng.uniform_int(0, rows - 2));
+    const int j1 = static_cast<int>(rng.uniform_int(0, cols - 2));
+    const int i2 = static_cast<int>(rng.uniform_int(i1 + 1, rows - 1));
+    const int j2 = static_cast<int>(rng.uniform_int(j1 + 1, cols - 1));
+    inst.commodities.push_back(
+        Commodity{node(i1, j1), node(i2, j2), rng.uniform(r_lo, r_hi)});
+  }
+  return inst;
+}
+
+}  // namespace stackroute

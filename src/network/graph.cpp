@@ -1,0 +1,57 @@
+#include "stackroute/network/graph.h"
+
+#include "stackroute/util/error.h"
+
+namespace stackroute {
+
+Graph::Graph(int num_nodes) {
+  SR_REQUIRE(num_nodes >= 0, "graph needs num_nodes >= 0");
+  out_.resize(static_cast<std::size_t>(num_nodes));
+  in_.resize(static_cast<std::size_t>(num_nodes));
+}
+
+NodeId Graph::add_node() {
+  out_.emplace_back();
+  in_.emplace_back();
+  return static_cast<NodeId>(out_.size() - 1);
+}
+
+EdgeId Graph::add_edge(NodeId tail, NodeId head, LatencyPtr latency) {
+  check_node(tail);
+  check_node(head);
+  SR_REQUIRE(tail != head, "self-loops are not allowed (paper §4)");
+  SR_REQUIRE(latency != nullptr, "edge needs a latency function");
+  const EdgeId e = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{tail, head, std::move(latency)});
+  out_[static_cast<std::size_t>(tail)].push_back(e);
+  in_[static_cast<std::size_t>(head)].push_back(e);
+  return e;
+}
+
+const Edge& Graph::edge(EdgeId e) const {
+  SR_REQUIRE(e >= 0 && e < num_edges(), "edge id out of range");
+  return edges_[static_cast<std::size_t>(e)];
+}
+
+std::span<const EdgeId> Graph::out_edges(NodeId v) const {
+  check_node(v);
+  return out_[static_cast<std::size_t>(v)];
+}
+
+std::span<const EdgeId> Graph::in_edges(NodeId v) const {
+  check_node(v);
+  return in_[static_cast<std::size_t>(v)];
+}
+
+std::vector<LatencyPtr> Graph::latencies() const {
+  std::vector<LatencyPtr> out;
+  out.reserve(edges_.size());
+  for (const Edge& e : edges_) out.push_back(e.latency);
+  return out;
+}
+
+void Graph::check_node(NodeId v) const {
+  SR_REQUIRE(v >= 0 && v < num_nodes(), "node id out of range");
+}
+
+}  // namespace stackroute

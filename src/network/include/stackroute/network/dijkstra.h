@@ -1,0 +1,42 @@
+// Dijkstra shortest paths with externally supplied non-negative edge costs
+// (footnote 5 of the paper), plus the "tight edge" shortest-path subgraph
+// used by algorithm MOP: edge e = (u,v) lies on some shortest s→t path iff
+// dist_s(u) + c_e + dist_t(v) = dist_s(t).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "stackroute/network/graph.h"
+
+namespace stackroute {
+
+struct ShortestPathTree {
+  /// dist[v] = cost of the cheapest path; +inf when unreachable.
+  std::vector<double> dist;
+  /// parent_edge[v] = last edge on a cheapest path (kInvalidEdge at the
+  /// root and at unreachable nodes).
+  std::vector<EdgeId> parent_edge;
+};
+
+/// Single-source shortest paths from `source` following edge direction.
+ShortestPathTree dijkstra(const Graph& g, NodeId source,
+                          std::span<const double> edge_cost);
+
+/// Shortest distance *to* `sink` from every node (Dijkstra on the reverse
+/// graph); parent_edge[v] is the first edge of a cheapest v→sink path.
+ShortestPathTree dijkstra_to(const Graph& g, NodeId sink,
+                             std::span<const double> edge_cost);
+
+/// Cheapest source→target path from a forward tree; empty if target is the
+/// source. Throws if the target is unreachable.
+std::vector<EdgeId> extract_path(const Graph& g, const ShortestPathTree& tree,
+                                 NodeId target);
+
+/// Mask (indexed by EdgeId) of edges lying on some shortest s→t path under
+/// `edge_cost`, using absolute slack tolerance `tol`.
+std::vector<char> shortest_path_edge_mask(const Graph& g, NodeId s, NodeId t,
+                                          std::span<const double> edge_cost,
+                                          double tol = 1e-9);
+
+}  // namespace stackroute

@@ -1,0 +1,111 @@
+// Instance zoo: the paper's worked examples with their closed-form expected
+// values, plus randomized families for property tests and benches.
+//
+// Fig-7 note (documented substitution): the paper's Fig. 7 reprints only
+// the *optimal flows* of Roughgarden's Example 6.5.1, not its latency
+// functions. fig7_instance(eps) constructs the Braess-topology instance
+//   s→v: x     s→w: x + (2−8ε)     v→w: x     v→t: x + (2−8ε)     w→t: x
+// with r = 1, which realizes the caption exactly: optimum edge flows
+// (3/4−ε, 1/4+ε, 1/2−2ε, 1/4+ε, 3/4−ε), unique shortest path s→v→w→t of
+// cost 2−4ε carrying 1/2−2ε, and price of optimum β = 1/2+2ε. Removing the
+// middle edge improves the Nash cost (3 → 3−8ε): the Braess paradox the
+// example is "reminiscent" of.
+#pragma once
+
+#include <vector>
+
+#include "stackroute/network/instance.h"
+#include "stackroute/util/rng.h"
+
+namespace stackroute {
+
+// ---- Paper examples ------------------------------------------------------
+
+/// Pigou's example (Fig. 1): links {x, 1}, r = 1. PoA = 4/3, β = 1/2.
+ParallelLinks pigou();
+
+/// Nonlinear Pigou: links {x^degree, 1}, r = 1. PoA → ∞ as degree grows —
+/// the "unbounded coordination ratio" of §1 (Roughgarden–Tardos).
+ParallelLinks pigou_nonlinear(int degree);
+
+/// The Fig. 4 five-link system: {x, 3x/2, 2x, 5x/2 + 1/6, 7/10}, r = 1.
+ParallelLinks fig4_instance();
+
+struct Fig4Expected {
+  std::vector<double> optimum;  // {7/20, 7/30, 7/40, 8/75, 27/200}
+  std::vector<double> nash;     // {32/77, 64/231, 16/77, 23/231, 0}
+  double nash_level;            // 32/77
+  double optimum_level;         // 7/10 (marginal cost, set by the constant)
+  double beta;                  // 29/120 (= o4 + o5)
+  double optimum_cost;          // 14621/36000
+  double nash_cost;             // 32/77
+  std::vector<int> underloaded;  // {3, 4} — links M4, M5 (0-based)
+};
+Fig4Expected fig4_expected();
+
+/// Classic Braess paradox: s→v: x, s→w: 1, v→w: 0, v→t: 1, w→t: x, r = 1.
+/// Edge order: (s,v), (s,w), (v,w), (v,t), (w,t). C(N) = 2, C(O) = 3/2.
+NetworkInstance braess_classic();
+
+/// Classic Braess without the v→w shortcut (4 edges, same order minus v→w).
+NetworkInstance braess_without_shortcut();
+
+/// The Fig. 7 ε-family (see header comment). Edge order:
+/// (s,v), (s,w), (v,w), (v,t), (w,t); nodes s=0, v=1, w=2, t=3; r = 1.
+NetworkInstance fig7_instance(double eps);
+
+struct Fig7Expected {
+  std::vector<double> optimum_edges;  // caption flows in edge order
+  double beta;                        // 1/2 + 2ε
+  double shortest_path_cost;          // 2 − 4ε  (path s→v→w→t)
+  double free_flow;                   // 1/2 − 2ε (= optimum flow on it)
+  double optimum_cost;                // 2(3/4−ε)² + (1/2−2ε)² + 2(1/4+ε)(9/4−7ε)
+  double nash_cost;                   // 3 − 8ε (for this realization)
+};
+Fig7Expected fig7_expected(double eps);
+
+// ---- Parallel-link families ----------------------------------------------
+
+/// m affine links with slopes in [slope_lo, slope_hi] and intercepts in
+/// [b_lo, b_hi]; demand r.
+ParallelLinks random_affine_links(Rng& rng, int m, double r,
+                                  double slope_lo = 0.2, double slope_hi = 3.0,
+                                  double b_lo = 0.0, double b_hi = 2.0);
+
+/// m links ℓ_i(x) = a·x + b_i with a common slope — the Theorem 2.4 class.
+/// Intercepts are drawn in [b_lo, b_hi] and then made strictly increasing.
+ParallelLinks random_common_slope_links(Rng& rng, int m, double r,
+                                        double slope, double b_lo = 0.0,
+                                        double b_hi = 2.0);
+
+/// m polynomial links with degree <= max_degree and coefficients in [0, c_hi]
+/// (at least one strictly positive non-constant term each).
+ParallelLinks random_polynomial_links(Rng& rng, int m, double r,
+                                      int max_degree = 3, double c_hi = 2.0);
+
+/// M/M/1 links with the given service rates.
+ParallelLinks mm1_links(std::vector<double> mus, double r);
+
+/// The paper's remark after Corollary 2.2: systems with a small group of
+/// highly appealing (fast) links next to a large group of identical slow
+/// links. fast_count links of rate fast_mu, slow_count of rate slow_mu.
+ParallelLinks mm1_two_groups(int fast_count, double fast_mu, int slow_count,
+                             double slow_mu, double r);
+
+// ---- Network families -----------------------------------------------------
+
+/// Layered random DAG: source, `layers` hidden layers of `width` nodes,
+/// sink; consecutive layers fully connected with probability edge_prob,
+/// plus a guaranteed connecting chain. Affine latencies. Single commodity.
+NetworkInstance random_layered_dag(Rng& rng, int layers, int width,
+                                   double edge_prob, double r);
+
+/// rows×cols grid with rightward/downward edges and BPR latencies; one
+/// commodity from the north-west to the south-east corner.
+NetworkInstance grid_city(Rng& rng, int rows, int cols, double r);
+
+/// Same grid, k commodities between random NW→SE oriented corner pairs.
+NetworkInstance grid_city_multicommodity(Rng& rng, int rows, int cols, int k,
+                                         double r_lo, double r_hi);
+
+}  // namespace stackroute

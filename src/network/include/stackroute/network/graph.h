@@ -1,0 +1,60 @@
+// Directed multigraph with latency-labeled edges (§4 "Multicommodity
+// networks" model). Self-loops are rejected per the paper; parallel edges
+// are allowed (an s–t parallel-links system is exactly a two-node
+// multigraph).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "stackroute/latency/latency.h"
+
+namespace stackroute {
+
+using NodeId = std::int32_t;
+using EdgeId = std::int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr EdgeId kInvalidEdge = -1;
+
+struct Edge {
+  NodeId tail = kInvalidNode;
+  NodeId head = kInvalidNode;
+  LatencyPtr latency;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(int num_nodes);
+
+  NodeId add_node();
+
+  /// Adds tail -> head with the given latency; throws on self-loops,
+  /// out-of-range endpoints or a null latency.
+  EdgeId add_edge(NodeId tail, NodeId head, LatencyPtr latency);
+
+  [[nodiscard]] int num_nodes() const {
+    return static_cast<int>(out_.size());
+  }
+  [[nodiscard]] int num_edges() const {
+    return static_cast<int>(edges_.size());
+  }
+
+  [[nodiscard]] const Edge& edge(EdgeId e) const;
+  [[nodiscard]] std::span<const EdgeId> out_edges(NodeId v) const;
+  [[nodiscard]] std::span<const EdgeId> in_edges(NodeId v) const;
+
+  /// Latencies of all edges, indexed by EdgeId (convenience for solvers).
+  [[nodiscard]] std::vector<LatencyPtr> latencies() const;
+
+ private:
+  void check_node(NodeId v) const;
+
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> out_;
+  std::vector<std::vector<EdgeId>> in_;
+};
+
+}  // namespace stackroute

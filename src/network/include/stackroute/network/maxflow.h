@@ -1,0 +1,30 @@
+// Dinic max-flow on real-valued capacities.
+//
+// MOP uses this to compute the "free flow" r' — the largest part of the
+// optimum that can be routed entirely inside the shortest-path subgraph
+// (capacities = optimum edge flows o_e restricted to tight edges). With
+// real capacities termination needs an explicit tolerance: augmenting
+// paths with bottleneck <= tol are not pursued.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "stackroute/network/graph.h"
+
+namespace stackroute {
+
+struct MaxFlowResult {
+  double value = 0.0;
+  /// Flow routed on each original edge (indexed by EdgeId).
+  std::vector<double> edge_flow;
+};
+
+/// Max s→t flow respecting `capacity` (indexed by EdgeId; edges with zero
+/// capacity are effectively absent). `limit` optionally caps the flow value
+/// (used to stop at a commodity's demand); pass kInf for a true max flow.
+MaxFlowResult max_flow(const Graph& g, NodeId s, NodeId t,
+                       std::span<const double> capacity, double limit,
+                       double tol = 1e-12);
+
+}  // namespace stackroute

@@ -1,0 +1,46 @@
+// Path utilities: enumeration, costing, and flow decomposition.
+//
+// MOP reasons about *paths* (shortest vs non-shortest under optimum costs)
+// while the solvers produce *edge* flows; decompose_flow bridges the two by
+// peeling an edge flow into path flows (with cycle cancellation, so it is
+// safe on any conservation-respecting flow).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "stackroute/network/graph.h"
+
+namespace stackroute {
+
+/// A path is the sequence of edge ids from source to sink.
+using Path = std::vector<EdgeId>;
+
+struct PathFlow {
+  Path path;
+  double flow = 0.0;
+};
+
+/// Sum of edge costs along the path.
+double path_cost(std::span<const double> edge_cost, const Path& path);
+
+/// True if `path` is a contiguous s→t walk in g.
+bool is_path(const Graph& g, NodeId s, NodeId t, const Path& path);
+
+/// All simple s→t paths found by DFS, up to `max_paths` (throws if the
+/// graph has more — enumeration is meant for small/analytic instances).
+std::vector<Path> enumerate_paths(const Graph& g, NodeId s, NodeId t,
+                                  std::size_t max_paths = 10000);
+
+/// Decomposes a non-negative, conservation-respecting s→t edge flow into at
+/// most |E| path flows (plus silently cancelled cycles). Edge flow below
+/// `tol` is treated as zero.
+std::vector<PathFlow> decompose_flow(const Graph& g, NodeId s, NodeId t,
+                                     std::span<const double> edge_flow,
+                                     double tol = 1e-12);
+
+/// Accumulates path flows back onto edges (inverse of decompose_flow).
+std::vector<double> path_flows_to_edge_flows(const Graph& g,
+                                             std::span<const PathFlow> paths);
+
+}  // namespace stackroute

@@ -1,0 +1,134 @@
+#include "stackroute/network/maxflow.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "stackroute/util/error.h"
+#include "stackroute/util/numeric.h"
+
+namespace stackroute {
+
+namespace {
+
+// Residual arc: original edges become (cap, 0) pairs; arc ^1 is the mate.
+struct Arc {
+  NodeId to;
+  double residual;
+  EdgeId original;  // EdgeId for forward arcs, kInvalidEdge for backward
+};
+
+class Dinic {
+ public:
+  Dinic(const Graph& g, std::span<const double> capacity, double tol)
+      : tol_(tol), head_(static_cast<std::size_t>(g.num_nodes())) {
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const double cap = capacity[static_cast<std::size_t>(e)];
+      SR_REQUIRE(cap >= 0.0, "max_flow needs non-negative capacities");
+      if (cap <= tol_) continue;
+      const Edge& edge = g.edge(e);
+      head_[static_cast<std::size_t>(edge.tail)].push_back(
+          static_cast<int>(arcs_.size()));
+      arcs_.push_back(Arc{edge.head, cap, e});
+      head_[static_cast<std::size_t>(edge.head)].push_back(
+          static_cast<int>(arcs_.size()));
+      arcs_.push_back(Arc{edge.tail, 0.0, kInvalidEdge});
+    }
+  }
+
+  double run(NodeId s, NodeId t, double limit) {
+    double total = 0.0;
+    while (total < limit && bfs(s, t)) {
+      iter_.assign(head_.size(), 0);
+      while (true) {
+        const double pushed = dfs(s, t, limit - total);
+        if (pushed <= tol_) break;
+        total += pushed;
+        if (total >= limit) break;
+      }
+    }
+    return total;
+  }
+
+  /// Net flow on each original edge after run().
+  std::vector<double> edge_flows(int num_edges,
+                                 std::span<const double> capacity) const {
+    std::vector<double> out(static_cast<std::size_t>(num_edges), 0.0);
+    for (std::size_t a = 0; a < arcs_.size(); a += 2) {
+      const EdgeId e = arcs_[a].original;
+      out[static_cast<std::size_t>(e)] =
+          capacity[static_cast<std::size_t>(e)] - arcs_[a].residual;
+    }
+    return out;
+  }
+
+ private:
+  bool bfs(NodeId s, NodeId t) {
+    level_.assign(head_.size(), -1);
+    std::queue<NodeId> q;
+    level_[static_cast<std::size_t>(s)] = 0;
+    q.push(s);
+    while (!q.empty()) {
+      const NodeId v = q.front();
+      q.pop();
+      for (int a : head_[static_cast<std::size_t>(v)]) {
+        const Arc& arc = arcs_[static_cast<std::size_t>(a)];
+        if (arc.residual > tol_ &&
+            level_[static_cast<std::size_t>(arc.to)] < 0) {
+          level_[static_cast<std::size_t>(arc.to)] =
+              level_[static_cast<std::size_t>(v)] + 1;
+          q.push(arc.to);
+        }
+      }
+    }
+    return level_[static_cast<std::size_t>(t)] >= 0;
+  }
+
+  double dfs(NodeId v, NodeId t, double pushed) {
+    if (v == t || pushed <= tol_) return pushed;
+    auto& it = iter_[static_cast<std::size_t>(v)];
+    for (; it < static_cast<int>(head_[static_cast<std::size_t>(v)].size());
+         ++it) {
+      const int a = head_[static_cast<std::size_t>(v)][static_cast<std::size_t>(it)];
+      Arc& arc = arcs_[static_cast<std::size_t>(a)];
+      if (arc.residual <= tol_ ||
+          level_[static_cast<std::size_t>(arc.to)] !=
+              level_[static_cast<std::size_t>(v)] + 1) {
+        continue;
+      }
+      const double d = dfs(arc.to, t, std::fmin(pushed, arc.residual));
+      if (d > tol_) {
+        arc.residual -= d;
+        arcs_[static_cast<std::size_t>(a ^ 1)].residual += d;
+        return d;
+      }
+    }
+    return 0.0;
+  }
+
+  double tol_;
+  std::vector<Arc> arcs_;
+  std::vector<std::vector<int>> head_;
+  std::vector<int> level_;
+  std::vector<int> iter_;
+};
+
+}  // namespace
+
+MaxFlowResult max_flow(const Graph& g, NodeId s, NodeId t,
+                       std::span<const double> capacity, double limit,
+                       double tol) {
+  SR_REQUIRE(capacity.size() == static_cast<std::size_t>(g.num_edges()),
+             "capacity vector size mismatch");
+  SR_REQUIRE(s >= 0 && s < g.num_nodes() && t >= 0 && t < g.num_nodes(),
+             "max_flow endpoints out of range");
+  SR_REQUIRE(s != t, "max_flow needs s != t");
+  SR_REQUIRE(limit >= 0.0, "max_flow needs limit >= 0");
+  Dinic dinic(g, capacity, tol);
+  MaxFlowResult result;
+  result.value = dinic.run(s, t, limit);
+  result.edge_flow = dinic.edge_flows(g.num_edges(), capacity);
+  return result;
+}
+
+}  // namespace stackroute

@@ -1,0 +1,116 @@
+#include "stackroute/solver/frank_wolfe.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stackroute/network/dijkstra.h"
+#include "stackroute/network/paths.h"
+#include "stackroute/util/error.h"
+#include "stackroute/util/numeric.h"
+#include "stackroute/util/parallel.h"
+#include "stackroute/util/scalar.h"
+
+namespace stackroute {
+
+namespace {
+
+/// All-or-nothing assignment at the given costs: every commodity's demand
+/// on its cheapest path. Returns edge flows and c·y.
+struct AonResult {
+  std::vector<double> flow;
+  double cost = 0.0;  // c·y
+};
+
+AonResult all_or_nothing(const NetworkInstance& inst,
+                         std::span<const double> costs) {
+  const Graph& g = inst.graph;
+  const std::size_t k = inst.commodities.size();
+  std::vector<Path> paths(k);
+  std::vector<double> dists(k, 0.0);
+  parallel_for(
+      k,
+      [&](std::size_t i) {
+        const Commodity& com = inst.commodities[i];
+        const ShortestPathTree tree = dijkstra(g, com.source, costs);
+        paths[i] = extract_path(g, tree, com.sink);
+        dists[i] = tree.dist[static_cast<std::size_t>(com.sink)];
+      },
+      /*grain=*/1);
+
+  AonResult out;
+  out.flow.assign(static_cast<std::size_t>(g.num_edges()), 0.0);
+  for (std::size_t i = 0; i < k; ++i) {
+    const double d = inst.commodities[i].demand;
+    for (EdgeId e : paths[i]) out.flow[static_cast<std::size_t>(e)] += d;
+    out.cost += d * dists[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+FrankWolfeResult frank_wolfe(const NetworkInstance& inst,
+                             FlowObjective objective,
+                             std::span<const double> preload,
+                             const FrankWolfeOptions& opts) {
+  inst.validate();
+  const Graph& g = inst.graph;
+  const std::vector<LatencyPtr> lat = effective_latencies(g, preload);
+  const auto ne = static_cast<std::size_t>(g.num_edges());
+
+  FrankWolfeResult result;
+  // Initialize with AON at empty-network costs.
+  {
+    std::vector<double> zero(ne, 0.0);
+    result.edge_flow =
+        all_or_nothing(inst, edge_costs(lat, zero, objective)).flow;
+  }
+
+  std::vector<double> direction(ne, 0.0);
+  for (int iter = 1; iter <= opts.max_iters; ++iter) {
+    result.iterations = iter;
+    const std::vector<double> costs =
+        edge_costs(lat, result.edge_flow, objective);
+    const AonResult aon = all_or_nothing(inst, costs);
+
+    double cf = 0.0;
+    for (std::size_t e = 0; e < ne; ++e) cf += costs[e] * result.edge_flow[e];
+    result.rel_gap = (cf - aon.cost) / std::fmax(std::fabs(cf), 1e-300);
+    if (result.rel_gap <= opts.rel_gap_tol) {
+      result.converged = true;
+      break;
+    }
+
+    for (std::size_t e = 0; e < ne; ++e) {
+      direction[e] = aon.flow[e] - result.edge_flow[e];
+    }
+    double theta = 2.0 / (iter + 2.0);
+    if (opts.step_rule == FwStepRule::kExactLineSearch) {
+      // g'(theta) = sum_e d_e * cost_e(f + theta*d): increasing in theta.
+      auto dg = [&](double th) {
+        double acc = 0.0;
+        for (std::size_t e = 0; e < ne; ++e) {
+          if (direction[e] == 0.0) continue;
+          const double x = result.edge_flow[e] + th * direction[e];
+          acc += direction[e] * (objective == FlowObjective::kBeckmann
+                                     ? lat[e]->value(x)
+                                     : lat[e]->marginal(x));
+        }
+        return acc;
+      };
+      theta = dg(1.0) <= 0.0 ? 1.0 : bisect_increasing(dg, 0.0, 1.0, 1e-14, 80);
+    }
+    if (theta <= 0.0) {
+      result.converged = true;  // stationary
+      break;
+    }
+    for (std::size_t e = 0; e < ne; ++e) {
+      result.edge_flow[e] =
+          std::fmax(0.0, result.edge_flow[e] + theta * direction[e]);
+    }
+  }
+  result.objective = objective_value(lat, result.edge_flow, objective);
+  return result;
+}
+
+}  // namespace stackroute

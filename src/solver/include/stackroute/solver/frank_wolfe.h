@@ -1,0 +1,46 @@
+// Frank–Wolfe (convex combinations) traffic assignment.
+//
+// The classical method for the convex routing programs: linearize at the
+// current flow, route everything all-or-nothing on shortest paths
+// (Dijkstra per commodity, OpenMP-parallel), then take the best convex
+// combination. Converges O(1/k) — kept as an independent cross-check of
+// the path-equilibration solver and as the ablation baseline for the
+// bench suite (exact vs harmonic step, FW vs equilibration).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "stackroute/network/instance.h"
+#include "stackroute/solver/objective.h"
+
+namespace stackroute {
+
+enum class FwStepRule {
+  kExactLineSearch,  // 1-D convex minimization per iteration
+  kHarmonic,         // theta_k = 2/(k+2)
+};
+
+struct FrankWolfeOptions {
+  int max_iters = 100000;
+  /// Stop when (c·f − c·y)/max(c·f, eps) <= rel_gap_tol, y the AON flow.
+  double rel_gap_tol = 1e-6;
+  FwStepRule step_rule = FwStepRule::kExactLineSearch;
+};
+
+struct FrankWolfeResult {
+  std::vector<double> edge_flow;
+  double objective = 0.0;
+  double rel_gap = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Minimizes `objective` over feasible flows of `inst` under the Leader's
+/// edge `preload` (empty = none).
+FrankWolfeResult frank_wolfe(const NetworkInstance& inst,
+                             FlowObjective objective,
+                             std::span<const double> preload = {},
+                             const FrankWolfeOptions& opts = {});
+
+}  // namespace stackroute

@@ -1,0 +1,53 @@
+// Path-equilibration traffic assignment (the library's primary network
+// solver).
+//
+// Solves the two convex routing programs of objective.h to high accuracy
+// by maintaining, per commodity, an active set of paths and repeatedly
+// shifting flow from the costliest active path to the cheapest path until
+// all used paths sit within `tol` of the minimum — which is precisely the
+// Wardrop condition (Nash) or the equal-marginal condition (optimum).
+// Each shift is a 1-D convex problem solved by bisection; the Beckmann /
+// total-cost objective decreases monotonically, and for strictly
+// increasing latencies the unique edge flows are recovered to ~tol.
+//
+// Compared to Frank–Wolfe (frank_wolfe.h) this converges linearly rather
+// than O(1/k) and returns an explicit path decomposition per commodity —
+// which MOP needs anyway. FW is kept as an independent cross-check and
+// ablation baseline.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "stackroute/network/instance.h"
+#include "stackroute/network/paths.h"
+#include "stackroute/solver/objective.h"
+
+namespace stackroute {
+
+struct AssignmentOptions {
+  /// Path-cost equalization tolerance (absolute, on the latency scale).
+  double tol = 1e-10;
+  /// Outer sweeps over commodities.
+  int max_sweeps = 2000;
+  /// Inner equalization steps per commodity per sweep.
+  int max_inner = 200;
+};
+
+struct AssignmentResult {
+  std::vector<double> edge_flow;  // total over commodities, by EdgeId
+  std::vector<std::vector<PathFlow>> commodity_paths;  // [commodity]
+  double objective = 0.0;  // Beckmann or total cost, per FlowObjective
+  int sweeps = 0;
+  bool converged = false;
+};
+
+/// Solves min objective over feasible flows of `inst`, with the Leader's
+/// edge preload shifting latencies (empty span = no preload). Throws on
+/// malformed instances.
+AssignmentResult assign_traffic(const NetworkInstance& inst,
+                                FlowObjective objective,
+                                std::span<const double> preload = {},
+                                const AssignmentOptions& opts = {});
+
+}  // namespace stackroute

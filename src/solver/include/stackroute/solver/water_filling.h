@@ -1,0 +1,48 @@
+// Water-filling: the common-level characterization of Nash and optimum
+// assignments on parallel links.
+//
+// For strictly increasing latencies the Nash assignment N of flow r is the
+// unique vector with a level L such that every loaded link has ℓ_i(n_i) = L
+// and every empty link has ℓ_i(0) >= L (Remark 4.1); the optimum O is the
+// same statement for the marginal cost h_i = ℓ_i + x·ℓ_i' ([41], via the
+// convexity of x·ℓ(x)). Both reduce to the scalar equation
+//     S(L) = Σ_i clamp(inv_i(L)) = r
+// with S continuous and non-decreasing, solved here by bisection.
+//
+// Constant-latency links (Remark 2.5 / [16]) make S set-valued: a constant
+// link with level b absorbs any amount of flow at L = b. The solver detects
+// the plateau (S(b_min) < r) and assigns the residual r − S(b_min) to the
+// constant links at b_min, split equally — an arbitrary but cost-invariant
+// tie-break, since every split of the residual among level-b_min constant
+// links yields the same cost and the same level.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "stackroute/latency/latency.h"
+
+namespace stackroute {
+
+enum class LevelKind {
+  kLatency,       // level = common latency  -> Nash assignment
+  kMarginalCost,  // level = common marginal -> optimum assignment
+};
+
+struct WaterFillingResult {
+  std::vector<double> flows;
+  /// The common level: every loaded link sits exactly at it, every empty
+  /// link's at-zero value is >= it. For demand == 0 this is the smallest
+  /// at-zero value over all links.
+  double level = 0.0;
+  /// True when the level is pinned by constant-latency links absorbing the
+  /// residual flow.
+  bool constant_plateau = false;
+};
+
+/// Solves S(L) = demand as described above. Throws if demand is negative,
+/// no links are given, or the demand exceeds total capacity.
+WaterFillingResult water_fill(std::span<const LatencyPtr> links, double demand,
+                              LevelKind kind, double tol = 1e-13);
+
+}  // namespace stackroute

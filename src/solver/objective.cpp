@@ -1,0 +1,53 @@
+#include "stackroute/solver/objective.h"
+
+#include "stackroute/latency/families.h"
+#include "stackroute/util/error.h"
+#include "stackroute/util/numeric.h"
+#include "stackroute/util/parallel.h"
+
+namespace stackroute {
+
+std::vector<LatencyPtr> effective_latencies(const Graph& g,
+                                            std::span<const double> preload) {
+  std::vector<LatencyPtr> lat = g.latencies();
+  if (preload.empty()) return lat;
+  SR_REQUIRE(preload.size() == lat.size(),
+             "preload vector must have one entry per edge");
+  for (std::size_t e = 0; e < lat.size(); ++e) {
+    SR_REQUIRE(preload[e] >= -1e-12, "preload must be non-negative");
+    if (preload[e] > 0.0) {
+      lat[e] = make_shifted(std::move(lat[e]), preload[e]);
+    }
+  }
+  return lat;
+}
+
+std::vector<double> edge_costs(std::span<const LatencyPtr> lat,
+                               std::span<const double> flow,
+                               FlowObjective objective) {
+  SR_REQUIRE(lat.size() == flow.size(), "edge cost size mismatch");
+  std::vector<double> costs(lat.size());
+  parallel_for(lat.size(), [&](std::size_t e) {
+    costs[e] = objective == FlowObjective::kBeckmann
+                   ? lat[e]->value(flow[e])
+                   : lat[e]->marginal(flow[e]);
+  });
+  return costs;
+}
+
+double objective_value(std::span<const LatencyPtr> lat,
+                       std::span<const double> flow, FlowObjective objective) {
+  SR_REQUIRE(lat.size() == flow.size(), "objective size mismatch");
+  return parallel_sum(lat.size(), [&](std::size_t e) {
+    return objective == FlowObjective::kBeckmann
+               ? lat[e]->integral(flow[e])
+               : flow[e] * lat[e]->value(flow[e]);
+  });
+}
+
+double total_cost(std::span<const LatencyPtr> lat,
+                  std::span<const double> flow) {
+  return objective_value(lat, flow, FlowObjective::kTotalCost);
+}
+
+}  // namespace stackroute

@@ -1,0 +1,171 @@
+#include "stackroute/solver/traffic_assignment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stackroute/network/dijkstra.h"
+#include "stackroute/util/error.h"
+#include "stackroute/util/numeric.h"
+#include "stackroute/util/scalar.h"
+
+namespace stackroute {
+
+namespace {
+
+// Cost of `path` when its own flow is perturbed by delta on the edges in
+// `delta_mask` (+1: gains delta, -1: loses delta, 0: unchanged).
+double perturbed_path_cost(std::span<const LatencyPtr> lat,
+                           std::span<const double> flow,
+                           std::span<const int> delta_mask, const Path& path,
+                           double delta, FlowObjective objective) {
+  KahanSum s;
+  for (EdgeId e : path) {
+    const auto ei = static_cast<std::size_t>(e);
+    const double x = flow[ei] + delta_mask[ei] * delta;
+    s.add(objective == FlowObjective::kBeckmann ? lat[ei]->value(x)
+                                                : lat[ei]->marginal(x));
+  }
+  return s.value();
+}
+
+struct CommodityState {
+  std::vector<PathFlow> active;  // paths currently carrying flow
+};
+
+// One equalization step for a commodity: move flow from its costliest
+// active path onto the globally cheapest path. Returns the cost spread
+// (max active cost − min cost) before the move.
+double equalize_once(const Graph& g, const Commodity& com,
+                     std::span<const LatencyPtr> lat,
+                     std::vector<double>& flow, CommodityState& state,
+                     FlowObjective objective, double tol) {
+  const std::vector<double> costs =
+      edge_costs(lat, flow, objective);
+  const ShortestPathTree tree = dijkstra(g, com.source, costs);
+  Path shortest = extract_path(g, tree, com.sink);
+  const double best_cost = path_cost(costs, shortest);
+
+  // Locate (or insert) the shortest path in the active set, and find the
+  // costliest active path.
+  std::size_t best_idx = state.active.size();
+  std::size_t worst_idx = state.active.size();
+  double worst_cost = -kInf;
+  for (std::size_t i = 0; i < state.active.size(); ++i) {
+    const double c = path_cost(costs, state.active[i].path);
+    if (state.active[i].path == shortest) best_idx = i;
+    if (state.active[i].flow > 0.0 && c > worst_cost) {
+      worst_cost = c;
+      worst_idx = i;
+    }
+  }
+  SR_ASSERT(worst_idx < state.active.size(),
+            "commodity lost all of its flow");
+  if (worst_cost - best_cost <= tol) return worst_cost - best_cost;
+
+  if (best_idx == state.active.size()) {
+    state.active.push_back(PathFlow{std::move(shortest), 0.0});
+    best_idx = state.active.size() - 1;
+  }
+  PathFlow& from = state.active[worst_idx];
+  PathFlow& to = state.active[best_idx];
+
+  // Delta mask: edges only on `from` lose flow, edges only on `to` gain.
+  std::vector<int> mask(static_cast<std::size_t>(g.num_edges()), 0);
+  for (EdgeId e : from.path) mask[static_cast<std::size_t>(e)] -= 1;
+  for (EdgeId e : to.path) mask[static_cast<std::size_t>(e)] += 1;
+
+  // g(delta) = cost(to) − cost(from) after shifting delta; increasing in
+  // delta. Move either to the equalization point or everything.
+  auto gap = [&](double delta) {
+    return perturbed_path_cost(lat, flow, mask, to.path, delta, objective) -
+           perturbed_path_cost(lat, flow, mask, from.path, delta, objective);
+  };
+  const double full = from.flow;
+  double delta = full;
+  if (gap(full) > 0.0) {
+    delta = bisect_increasing(gap, 0.0, full, 1e-15 * std::fmax(1.0, full),
+                              100);
+  }
+  // Apply the shift.
+  for (EdgeId e : from.path) flow[static_cast<std::size_t>(e)] -= delta;
+  for (EdgeId e : to.path) flow[static_cast<std::size_t>(e)] += delta;
+  from.flow -= delta;
+  to.flow += delta;
+  if (from.flow <= 1e-15 * std::fmax(1.0, com.demand)) {
+    // Fold the dust into the receiving path and drop the empty one.
+    for (EdgeId e : from.path) flow[static_cast<std::size_t>(e)] -= from.flow;
+    for (EdgeId e : to.path) flow[static_cast<std::size_t>(e)] += from.flow;
+    to.flow += from.flow;
+    state.active.erase(state.active.begin() +
+                       static_cast<std::ptrdiff_t>(worst_idx));
+  }
+  return worst_cost - best_cost;
+}
+
+}  // namespace
+
+AssignmentResult assign_traffic(const NetworkInstance& inst,
+                                FlowObjective objective,
+                                std::span<const double> preload,
+                                const AssignmentOptions& opts) {
+  inst.validate();
+  const Graph& g = inst.graph;
+  const std::vector<LatencyPtr> lat = effective_latencies(g, preload);
+  const std::size_t k = inst.commodities.size();
+
+  AssignmentResult result;
+  result.edge_flow.assign(static_cast<std::size_t>(g.num_edges()), 0.0);
+  std::vector<CommodityState> states(k);
+
+  // Warm start: all-or-nothing at empty-network costs, commodity by
+  // commodity so later commodities see earlier ones' flow.
+  for (std::size_t i = 0; i < k; ++i) {
+    const Commodity& com = inst.commodities[i];
+    const std::vector<double> costs =
+        edge_costs(lat, result.edge_flow, objective);
+    const ShortestPathTree tree = dijkstra(g, com.source, costs);
+    Path p = extract_path(g, tree, com.sink);
+    for (EdgeId e : p) result.edge_flow[static_cast<std::size_t>(e)] += com.demand;
+    states[i].active.push_back(PathFlow{std::move(p), com.demand});
+  }
+
+  for (int sweep = 1; sweep <= opts.max_sweeps; ++sweep) {
+    double spread = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      for (int inner = 0; inner < opts.max_inner; ++inner) {
+        const double s =
+            equalize_once(g, inst.commodities[i], lat, result.edge_flow,
+                          states[i], objective, opts.tol);
+        if (inner == 0) spread = std::fmax(spread, s);
+        if (s <= opts.tol) break;
+      }
+    }
+    result.sweeps = sweep;
+    if (spread <= opts.tol) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.commodity_paths.resize(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    // Drop zero-flow actives from the report.
+    for (auto& pf : states[i].active) {
+      if (pf.flow > 0.0) result.commodity_paths[i].push_back(std::move(pf));
+    }
+  }
+  // Rebuild edge flows from the path decomposition: removes the tiny drift
+  // the incremental updates accumulate and guarantees the two views agree.
+  std::fill(result.edge_flow.begin(), result.edge_flow.end(), 0.0);
+  for (const auto& paths : result.commodity_paths) {
+    for (const PathFlow& pf : paths) {
+      for (EdgeId e : pf.path) {
+        result.edge_flow[static_cast<std::size_t>(e)] += pf.flow;
+      }
+    }
+  }
+  result.objective = objective_value(lat, result.edge_flow, objective);
+  return result;
+}
+
+}  // namespace stackroute

@@ -1,0 +1,164 @@
+#include "stackroute/solver/water_filling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stackroute/util/error.h"
+#include "stackroute/util/numeric.h"
+#include "stackroute/util/parallel.h"
+#include "stackroute/util/scalar.h"
+
+namespace stackroute {
+
+namespace {
+
+double level_at_zero(const LatencyFunction& fn, LevelKind kind) {
+  return kind == LevelKind::kLatency ? fn.value(0.0) : fn.marginal(0.0);
+}
+
+double response(const LatencyFunction& fn, LevelKind kind, double level) {
+  return kind == LevelKind::kLatency ? fn.inverse(level)
+                                     : fn.inverse_marginal(level);
+}
+
+}  // namespace
+
+WaterFillingResult water_fill(std::span<const LatencyPtr> links, double demand,
+                              LevelKind kind, double tol) {
+  SR_REQUIRE(!links.empty(), "water_fill needs >= 1 link");
+  SR_REQUIRE(demand >= 0.0 && std::isfinite(demand),
+             "water_fill needs demand >= 0");
+  const std::size_t m = links.size();
+  for (const auto& link : links) {
+    SR_REQUIRE(link != nullptr, "water_fill got a null link");
+  }
+
+  // Capacity feasibility must be checked eagerly: bounded-domain latencies
+  // (M/M/1) carry a barrier extension that would otherwise let bisection
+  // "solve" an infeasible instance inside the barrier region.
+  {
+    double cap = 0.0;
+    bool unbounded = false;
+    for (const auto& link : links) {
+      const double c = link->capacity();
+      if (std::isfinite(c)) {
+        cap += c;
+      } else {
+        unbounded = true;
+      }
+    }
+    SR_REQUIRE(unbounded || cap > demand,
+               "water_fill: demand exceeds total link capacity");
+  }
+
+  WaterFillingResult result;
+  result.flows.assign(m, 0.0);
+
+  // Smallest level at which constant links start absorbing flow, and the
+  // set of constant links achieving it.
+  double const_level = kInf;
+  for (const auto& link : links) {
+    if (link->is_constant()) {
+      const_level = std::fmin(const_level, level_at_zero(*link, kind));
+    }
+  }
+
+  // S(L) over the increasing links only (constants contribute 0 below
+  // their level and "anything" at it).
+  auto increasing_supply = [&](double level) {
+    return parallel_sum(m, [&](std::size_t i) {
+      return links[i]->is_constant() ? 0.0
+                                     : response(*links[i], kind, level);
+    });
+  };
+
+  if (demand == 0.0) {
+    double lo = const_level;
+    for (const auto& link : links) {
+      if (!link->is_constant()) {
+        lo = std::fmin(lo, level_at_zero(*link, kind));
+      }
+    }
+    result.level = lo;
+    return result;
+  }
+
+  const bool plateau =
+      std::isfinite(const_level) && increasing_supply(const_level) < demand;
+
+  double level = 0.0;
+  if (plateau) {
+    level = const_level;
+  } else {
+    // Bracket: S is 0 at the smallest at-zero level; expand upward until
+    // S >= demand. Cap the expansion at the constant plateau (if any) or a
+    // generous bound; hitting the bound means demand exceeds capacity.
+    double lo = kInf;
+    for (const auto& link : links) {
+      if (!link->is_constant()) {
+        lo = std::fmin(lo, level_at_zero(*link, kind));
+      }
+    }
+    SR_REQUIRE(std::isfinite(lo),
+               "water_fill: all links constant but demand below plateau?");
+    auto deficit = [&](double l) { return increasing_supply(l) - demand; };
+    const double cap = std::isfinite(const_level) ? const_level : 1e30;
+    const double hi =
+        expand_upper(deficit, lo, std::fmax(1.0, std::fabs(lo)), cap);
+    SR_REQUIRE(deficit(hi) >= 0.0,
+               "water_fill: demand exceeds total link capacity");
+    const double scale = std::fmax(1.0, std::fabs(hi));
+    level = bisect_increasing(deficit, lo, hi, tol * scale);
+  }
+
+  // Fill flows at the computed level.
+  parallel_for(m, [&](std::size_t i) {
+    if (!links[i]->is_constant()) {
+      result.flows[i] = response(*links[i], kind, level);
+    }
+  });
+
+  // Hand the residual to the plateau constants (equal split), or absorb the
+  // bisection roundoff into the increasing links proportionally to their
+  // level-sensitivity so the level stays consistent.
+  const double assigned = sum(result.flows);
+  double residual = demand - assigned;
+  if (plateau) {
+    std::vector<std::size_t> at_plateau;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (links[i]->is_constant() &&
+          level_at_zero(*links[i], kind) <= const_level + tol) {
+        at_plateau.push_back(i);
+      }
+    }
+    SR_ASSERT(!at_plateau.empty(), "plateau without constant links");
+    SR_ASSERT(residual >= -1e-9 * std::fmax(1.0, demand),
+              "negative plateau residual");
+    residual = std::fmax(residual, 0.0);
+    for (std::size_t i : at_plateau) {
+      result.flows[i] = residual / static_cast<double>(at_plateau.size());
+    }
+  } else if (residual != 0.0) {
+    // dx/dL of link i at its current flow; links pinned at zero get none.
+    std::vector<double> weight(m, 0.0);
+    double total_weight = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (links[i]->is_constant() || result.flows[i] <= 0.0) continue;
+      const double d = links[i]->derivative(result.flows[i]);
+      weight[i] = d > 0.0 ? 1.0 / d : 0.0;
+      total_weight += weight[i];
+    }
+    if (total_weight > 0.0) {
+      for (std::size_t i = 0; i < m; ++i) {
+        result.flows[i] =
+            std::fmax(0.0, result.flows[i] + residual * weight[i] / total_weight);
+      }
+    }
+  }
+
+  result.level = level;
+  result.constant_plateau = plateau;
+  return result;
+}
+
+}  // namespace stackroute

@@ -1,0 +1,15 @@
+#include "stackroute/util/error.h"
+
+#include <sstream>
+
+namespace stackroute::detail {
+
+void throw_error(std::string_view kind, std::string_view expr,
+                 std::string_view file, int line, std::string_view message) {
+  std::ostringstream os;
+  os << "stackroute " << kind << " failed: " << message << " [" << expr
+     << "] at " << file << ":" << line;
+  throw Error(os.str());
+}
+
+}  // namespace stackroute::detail

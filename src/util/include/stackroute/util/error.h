@@ -1,0 +1,47 @@
+// Error handling for stackroute.
+//
+// All precondition violations and infeasible-problem conditions raise
+// stackroute::Error carrying the failing expression and source location.
+// Internal invariant checks use SR_ASSERT; public-API precondition checks
+// use SR_REQUIRE. Both are always on: equilibrium computations are cheap
+// relative to the cost of silently returning a non-equilibrium.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace stackroute {
+
+/// Exception type thrown on precondition violations, invariant failures and
+/// infeasible problem instances (e.g. demand exceeding M/M/1 capacity).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_error(std::string_view kind, std::string_view expr,
+                              std::string_view file, int line,
+                              std::string_view message);
+}  // namespace detail
+
+/// Check a caller-facing precondition; throws stackroute::Error on failure.
+#define SR_REQUIRE(cond, message)                                         \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::stackroute::detail::throw_error("precondition", #cond, __FILE__,  \
+                                        __LINE__, (message));             \
+    }                                                                     \
+  } while (false)
+
+/// Check an internal invariant; throws stackroute::Error on failure.
+#define SR_ASSERT(cond, message)                                          \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::stackroute::detail::throw_error("invariant", #cond, __FILE__,     \
+                                        __LINE__, (message));             \
+    }                                                                     \
+  } while (false)
+
+}  // namespace stackroute

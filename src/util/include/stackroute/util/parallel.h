@@ -1,0 +1,56 @@
+// Thin OpenMP wrappers.
+//
+// The solver hot loops (all-or-nothing assignment across commodities,
+// water-filling level evaluation across millions of links, randomized
+// instance sweeps) are shared-memory data-parallel. Routing them through
+// these helpers keeps `#pragma omp` out of algorithm code and gives a
+// single spot to disable threading (set_max_threads(1)) when debugging.
+#pragma once
+
+#include <cstddef>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace stackroute {
+
+/// Maximum threads the wrappers below will use; 0 means the OpenMP default.
+void set_max_threads(int n);
+int max_threads();
+
+/// Parallel loop over [0, n). `fn(i)` must be safe to run concurrently for
+/// distinct i. Falls back to a serial loop for small n where spawning a
+/// team costs more than the work.
+template <typename Fn>
+void parallel_for(std::size_t n, Fn&& fn, std::size_t grain = 64) {
+#ifdef _OPENMP
+  if (n >= 2 * grain && max_threads() != 1) {
+#pragma omp parallel for schedule(static)
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+#else
+  (void)grain;
+#endif
+  for (std::size_t i = 0; i < n; ++i) fn(i);
+}
+
+/// Parallel sum-reduction of fn(i) over [0, n).
+template <typename Fn>
+double parallel_sum(std::size_t n, Fn&& fn, std::size_t grain = 512) {
+  double total = 0.0;
+#ifdef _OPENMP
+  if (n >= 2 * grain && max_threads() != 1) {
+#pragma omp parallel for schedule(static) reduction(+ : total)
+    for (std::size_t i = 0; i < n; ++i) total += fn(i);
+    return total;
+  }
+#else
+  (void)grain;
+#endif
+  for (std::size_t i = 0; i < n; ++i) total += fn(i);
+  return total;
+}
+
+}  // namespace stackroute

@@ -1,0 +1,39 @@
+// Deterministic random number generation.
+//
+// Tests and benchmarks sweep over randomized instance families; results must
+// be bit-reproducible across platforms and standard-library versions, so we
+// hand-roll xoshiro256** plus the uniform transformations instead of relying
+// on std::uniform_real_distribution (whose output is not specified).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace stackroute {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain), seeded via
+/// splitmix64 so that any 64-bit seed yields a well-mixed state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive), hi >= lo.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// True with probability p.
+  bool bernoulli(double p) { return uniform01() < p; }
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace stackroute

@@ -1,0 +1,110 @@
+// One-dimensional root finding and minimization.
+//
+// These are the numeric primitives the equilibrium solvers are built on:
+// inverting strictly increasing latency / marginal-cost functions, finding
+// the common-latency level in water-filling, exact line search inside
+// Frank–Wolfe, and minimizing the convex split objective of Theorem 2.4.
+// All routines are templates over callables so they inline into hot loops.
+#pragma once
+
+#include <cmath>
+
+#include "stackroute/util/error.h"
+
+namespace stackroute {
+
+/// Root of a continuous non-decreasing f on [lo, hi]. Requires
+/// f(lo) <= 0 <= f(hi) (within roundoff). Plain bisection: robust against
+/// the piecewise-smooth functions water-filling produces.
+template <typename F>
+double bisect_increasing(F&& f, double lo, double hi, double tol = 1e-13,
+                         int max_iter = 200) {
+  SR_REQUIRE(lo <= hi, "bisect_increasing: empty bracket");
+  double flo = f(lo);
+  if (flo >= 0.0) return lo;
+  double fhi = f(hi);
+  if (fhi <= 0.0) return hi;
+  for (int it = 0; it < max_iter && hi - lo > tol; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    const double fm = f(mid);
+    if (fm < 0.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+/// Safeguarded Newton iteration for increasing f with derivative df on
+/// [lo, hi]; falls back to bisection steps whenever Newton leaves the
+/// bracket or stalls. Roughly quadratic convergence near the root, never
+/// worse than bisection.
+template <typename F, typename DF>
+double newton_bisect(F&& f, DF&& df, double lo, double hi, double tol = 1e-13,
+                     int max_iter = 100) {
+  SR_REQUIRE(lo <= hi, "newton_bisect: empty bracket");
+  if (f(lo) >= 0.0) return lo;
+  if (f(hi) <= 0.0) return hi;
+  double x = 0.5 * (lo + hi);
+  for (int it = 0; it < max_iter; ++it) {
+    const double fx = f(x);
+    if (fx < 0.0) {
+      lo = x;
+    } else {
+      hi = x;
+    }
+    if (hi - lo <= tol) break;
+    const double d = df(x);
+    double next = (d > 0.0) ? x - fx / d : lo - 1.0;  // force bisection if flat
+    // Alternate with plain midpoint steps: even a badly wrong derivative
+    // (tiny Newton steps hugging one end) then still halves the bracket
+    // every other iteration, so max_iter bounds the precision.
+    if (it % 2 == 1 || !(next > lo && next < hi)) next = 0.5 * (lo + hi);
+    x = next;
+  }
+  return 0.5 * (lo + hi);
+}
+
+/// Expand an upper bound: smallest hi = lo + step * 2^k (k = 0, 1, ...) with
+/// f(hi) >= 0, capped at `limit`. Returns `limit` if f stays negative.
+/// Used to bracket latency inversions whose scale is not known a priori.
+template <typename F>
+double expand_upper(F&& f, double lo, double step, double limit) {
+  double hi = lo + step;
+  while (hi < limit && f(hi) < 0.0) {
+    hi = lo + 2.0 * (hi - lo);
+  }
+  return hi < limit ? hi : limit;
+}
+
+/// Golden-section minimization of a unimodal f on [lo, hi]. Returns the
+/// abscissa of the minimum to within tol.
+template <typename F>
+double golden_section_min(F&& f, double lo, double hi, double tol = 1e-12,
+                          int max_iter = 200) {
+  SR_REQUIRE(lo <= hi, "golden_section_min: empty interval");
+  constexpr double kInvPhi = 0.6180339887498949;
+  double a = lo, b = hi;
+  double x1 = b - kInvPhi * (b - a);
+  double x2 = a + kInvPhi * (b - a);
+  double f1 = f(x1), f2 = f(x2);
+  for (int it = 0; it < max_iter && b - a > tol; ++it) {
+    if (f1 <= f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kInvPhi * (b - a);
+      f1 = f(x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kInvPhi * (b - a);
+      f2 = f(x2);
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+}  // namespace stackroute

@@ -1,0 +1,22 @@
+#include "stackroute/util/parallel.h"
+
+#include <atomic>
+
+namespace stackroute {
+
+namespace {
+std::atomic<int> g_max_threads{0};
+}
+
+void set_max_threads(int n) { g_max_threads.store(n < 0 ? 0 : n); }
+
+int max_threads() {
+  const int n = g_max_threads.load();
+#ifdef _OPENMP
+  return n == 0 ? omp_get_max_threads() : n;
+#else
+  return n == 0 ? 1 : n;
+#endif
+}
+
+}  // namespace stackroute

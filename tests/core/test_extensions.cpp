@@ -1,0 +1,186 @@
+// Extensions beyond the first pass: weak vs strong k-commodity strategies,
+// the greedy-peel free-flow ablation, and the Stackelberg improvement
+// threshold.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stackroute/core/hard_instances.h"
+#include "stackroute/core/mop.h"
+#include "stackroute/core/optop.h"
+#include "stackroute/core/structure.h"
+#include "stackroute/equilibrium/parallel.h"
+#include "stackroute/latency/families.h"
+#include "stackroute/network/generators.h"
+#include "stackroute/util/numeric.h"
+#include "stackroute/util/rng.h"
+
+namespace stackroute {
+namespace {
+
+TEST(WeakStrong, CoincideOnSingleCommodity) {
+  const MopResult r = mop(fig7_instance(0.05));
+  EXPECT_NEAR(r.beta, r.weak_beta, 1e-9);
+}
+
+TEST(WeakStrong, WeakDominatesStrong) {
+  // A uniform fraction must cover the worst commodity, so weak >= strong.
+  Rng rng(180);
+  for (int trial = 0; trial < 8; ++trial) {
+    const NetworkInstance inst =
+        grid_city_multicommodity(rng, 4, 4, 4, 0.2, 1.0);
+    MopOptions opts;
+    opts.verify_induced = false;
+    const MopResult r = mop(inst, opts);
+    EXPECT_GE(r.weak_beta, r.beta - 1e-9) << "trial " << trial;
+    EXPECT_LE(r.weak_beta, 1.0 + 1e-9);
+  }
+}
+
+TEST(WeakStrong, WeakBetaIsTheWorstCommodityFraction) {
+  Rng rng(181);
+  const NetworkInstance inst = grid_city_multicommodity(rng, 4, 5, 5, 0.2, 1.0);
+  MopOptions opts;
+  opts.verify_induced = false;
+  const MopResult r = mop(inst, opts);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < inst.commodities.size(); ++i) {
+    worst = std::fmax(worst, r.commodities[i].controlled_flow /
+                                 inst.commodities[i].demand);
+  }
+  EXPECT_NEAR(r.weak_beta, worst, 1e-12);
+}
+
+Graph reroute_diamond() {
+  // s=0, a=1, b=2, t=3. Capacities below make the widest-first walk
+  // saturate b->t through a->b, stranding capacity that max-flow recovers
+  // by rerouting: greedy 0.5 vs max-flow 0.7.
+  Graph g(4);
+  g.add_edge(0, 1, make_linear(1.0));  // e0: s->a cap 1.0
+  g.add_edge(1, 2, make_linear(1.0));  // e1: a->b cap 0.8
+  g.add_edge(1, 3, make_linear(1.0));  // e2: a->t cap 0.2
+  g.add_edge(2, 3, make_linear(1.0));  // e3: b->t cap 0.5
+  g.add_edge(0, 2, make_linear(1.0));  // e4: s->b cap 0.1
+  return g;
+}
+
+TEST(GreedyPeel, StrictlyWorseThanMaxFlowOnRerouteDiamond) {
+  const Graph g = reroute_diamond();
+  const std::vector<double> caps = {1.0, 0.8, 0.2, 0.5, 0.1};
+  const MaxFlowResult exact = max_flow(g, 0, 3, caps, kInf);
+  const MaxFlowResult greedy = greedy_peel_flow(g, 0, 3, caps, kInf);
+  EXPECT_NEAR(exact.value, 0.7, 1e-12);
+  EXPECT_NEAR(greedy.value, 0.5, 1e-12);
+  EXPECT_LT(greedy.value, exact.value);
+}
+
+TEST(GreedyPeel, MatchesMaxFlowOnBalancedCapacities) {
+  // Capacities that themselves form a flow decompose fully either way.
+  const Graph g = reroute_diamond();
+  const std::vector<double> caps = {1.0, 0.8, 0.2, 0.9, 0.1};
+  const MaxFlowResult exact = max_flow(g, 0, 3, caps, kInf);
+  const MaxFlowResult greedy = greedy_peel_flow(g, 0, 3, caps, kInf);
+  EXPECT_NEAR(exact.value, 1.1, 1e-12);
+  EXPECT_NEAR(greedy.value, 1.1, 1e-12);
+}
+
+TEST(GreedyPeel, RespectsLimit) {
+  const Graph g = reroute_diamond();
+  const std::vector<double> caps = {1.0, 0.8, 0.2, 0.9, 0.1};
+  const MaxFlowResult greedy = greedy_peel_flow(g, 0, 3, caps, 0.3);
+  EXPECT_NEAR(greedy.value, 0.3, 1e-12);
+}
+
+TEST(GreedyPeel, MopBetaNeverBelowMaxFlowBeta) {
+  // The ablation can only over-control, never under-control.
+  Rng rng(182);
+  for (int trial = 0; trial < 8; ++trial) {
+    const NetworkInstance inst = random_layered_dag(rng, 3, 3, 0.5, 1.5);
+    MopOptions exact_opts;
+    exact_opts.verify_induced = false;
+    MopOptions greedy_opts = exact_opts;
+    greedy_opts.free_flow_method = FreeFlowMethod::kGreedyPeel;
+    const double beta_exact = mop(inst, exact_opts).beta;
+    const double beta_greedy = mop(inst, greedy_opts).beta;
+    EXPECT_GE(beta_greedy, beta_exact - 1e-7) << "trial " << trial;
+  }
+}
+
+TEST(GreedyPeel, MopStillInducesOptimum) {
+  // Over-controlling is wasteful but must still induce the optimum: the
+  // extra Leader flow sits on shortest paths at its optimum share.
+  const NetworkInstance inst = fig7_instance(0.05);
+  MopOptions opts;
+  opts.free_flow_method = FreeFlowMethod::kGreedyPeel;
+  const MopResult r = mop(inst, opts);
+  EXPECT_LT(r.induced_residual, 1e-5);
+  EXPECT_NEAR(r.induced_cost, r.optimum_cost, 1e-5);
+}
+
+TEST(ImprovementThreshold, TwoLinkClosedForm) {
+  // ℓ1 = x, ℓ2 = x + 1, r = 2: the threshold equals the minimum Nash load
+  // among under-loaded links (0.5 of flow, i.e. alpha = 0.25) — the cost
+  // derivative at the freeze point is 4·s2 − 3 < 0 at s2 = 0.5, so any
+  // extra budget immediately helps.
+  const ParallelLinks m{{make_linear(1.0), make_affine(1.0, 1.0)}, 2.0};
+  const double threshold = improvement_threshold_common_slope(m, 1e-7);
+  EXPECT_NEAR(threshold, 0.25, 1e-5);
+  EXPECT_NEAR(threshold, minimum_useful_control(m) / m.demand, 1e-5);
+}
+
+TEST(ImprovementThreshold, ZeroWhenNashOptimal) {
+  const ParallelLinks m{{make_affine(1.0, 0.3), make_affine(1.0, 0.3)}, 1.0};
+  EXPECT_DOUBLE_EQ(improvement_threshold_common_slope(m), 0.0);
+}
+
+TEST(ImprovementThreshold, SeparatesUselessFromUseful) {
+  Rng rng(183);
+  for (int trial = 0; trial < 5; ++trial) {
+    const ParallelLinks m = random_common_slope_links(rng, 4, 2.0, 1.0);
+    const LinkAssignment nash = solve_nash(m);
+    const double nash_cost = cost(m, nash.flows);
+    const double opt_cost = cost(m, solve_optimum(m).flows);
+    if (nash_cost <= opt_cost + 1e-9) continue;
+    const double threshold = improvement_threshold_common_slope(m, 1e-6);
+    const double margin = 5e-3;
+    if (threshold > margin) {
+      const Thm24Result below =
+          optimal_strategy_common_slope(m, threshold - margin);
+      EXPECT_GE(below.cost, nash_cost - 1e-7) << "trial " << trial;
+    }
+    if (threshold + margin < 1.0) {
+      const Thm24Result above =
+          optimal_strategy_common_slope(m, threshold + margin);
+      EXPECT_LT(above.cost, nash_cost - 1e-9) << "trial " << trial;
+    }
+  }
+}
+
+TEST(ImprovementThreshold, NeverExceedsBeta) {
+  // Improving starts no later than reaching the optimum outright.
+  Rng rng(184);
+  for (int trial = 0; trial < 5; ++trial) {
+    const ParallelLinks m = random_common_slope_links(rng, 4, 1.5, 1.0);
+    const double threshold = improvement_threshold_common_slope(m, 1e-6);
+    const double beta = op_top(m).beta;
+    EXPECT_LE(threshold, beta + 1e-5) << "trial " << trial;
+  }
+}
+
+TEST(ImprovementThreshold, MatchesMinimumUsefulControlOnRandomInstances) {
+  // [43, Eq. (1)]: on parallel links with linear latencies, the threshold
+  // is exactly the minimum Nash load among under-loaded links.
+  Rng rng(185);
+  for (int trial = 0; trial < 5; ++trial) {
+    const ParallelLinks m = random_common_slope_links(rng, 3, 2.0, 1.0);
+    const double nash_cost = cost(m, solve_nash(m).flows);
+    const double opt_cost = cost(m, solve_optimum(m).flows);
+    if (nash_cost <= opt_cost + 1e-9) continue;
+    const double threshold = improvement_threshold_common_slope(m, 1e-7);
+    EXPECT_NEAR(threshold, minimum_useful_control(m) / m.demand, 1e-4)
+        << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace stackroute

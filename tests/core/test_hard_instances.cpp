@@ -1,0 +1,163 @@
+// Theorem 2.4: the exact split algorithm for common-slope affine links on
+// hard instances (α < β), cross-checked against the brute-force oracle.
+#include "stackroute/core/hard_instances.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stackroute/core/optop.h"
+#include "stackroute/equilibrium/parallel.h"
+#include "stackroute/latency/families.h"
+#include "stackroute/network/generators.h"
+#include "stackroute/util/error.h"
+#include "stackroute/util/numeric.h"
+#include "stackroute/util/rng.h"
+
+namespace stackroute {
+namespace {
+
+ParallelLinks two_links() {
+  // ℓ1 = x, ℓ2 = x + 1, r = 2: N = {1.5, 0.5}, O = {1.25, 0.75}, β = 1/8
+  // (OpTop freezes link 2 at 0.75 − 0.5 = extra 0.25 of the flow? β = o2−?).
+  return ParallelLinks{{make_linear(1.0), make_affine(1.0, 1.0)}, 2.0};
+}
+
+TEST(Thm24, RequiresCommonSlopeAffine) {
+  const ParallelLinks bad1{{make_linear(1.0), make_linear(2.0)}, 1.0};
+  EXPECT_THROW(optimal_strategy_common_slope(bad1, 0.5), Error);
+  const ParallelLinks bad2{{make_linear(1.0), make_mm1(3.0)}, 1.0};
+  EXPECT_THROW(optimal_strategy_common_slope(bad2, 0.5), Error);
+  EXPECT_THROW(optimal_strategy_common_slope(two_links(), 1.5), Error);
+}
+
+TEST(Thm24, AtBetaReachesOptimum) {
+  const ParallelLinks m = two_links();
+  const OpTopResult optop = op_top(m);
+  const Thm24Result r = optimal_strategy_common_slope(m, optop.beta);
+  EXPECT_NEAR(r.ratio, 1.0, 1e-6);
+}
+
+TEST(Thm24, AboveBetaStillOptimum) {
+  const ParallelLinks m = two_links();
+  const OpTopResult optop = op_top(m);
+  const Thm24Result r =
+      optimal_strategy_common_slope(m, std::fmin(1.0, optop.beta + 0.2));
+  EXPECT_NEAR(r.ratio, 1.0, 1e-6);
+}
+
+TEST(Thm24, BelowBetaIsStrictlySuboptimalButBeatsNash) {
+  const ParallelLinks m = two_links();
+  const OpTopResult optop = op_top(m);
+  const double alpha = 0.6 * optop.beta;
+  const Thm24Result r = optimal_strategy_common_slope(m, alpha);
+  EXPECT_GT(r.cost, optop.optimum_cost + 1e-9);
+  EXPECT_LE(r.cost, optop.nash_cost + 1e-9);
+}
+
+TEST(Thm24, BudgetIsRespected) {
+  Rng rng(160);
+  for (int trial = 0; trial < 10; ++trial) {
+    const ParallelLinks m = random_common_slope_links(rng, 5, 2.0, 1.3);
+    for (double alpha : {0.1, 0.3, 0.6}) {
+      const Thm24Result r = optimal_strategy_common_slope(m, alpha);
+      EXPECT_LE(sum(r.strategy), alpha * m.demand + 1e-7)
+          << "trial " << trial << " alpha " << alpha;
+    }
+  }
+}
+
+TEST(Thm24, MatchesBruteForceOnTwoLinks) {
+  const ParallelLinks m = two_links();
+  for (double alpha : {0.05, 0.1, 0.2, 0.4}) {
+    const Thm24Result exact = optimal_strategy_common_slope(m, alpha);
+    const StackelbergOutcome brute = brute_force_strategy(m, alpha);
+    EXPECT_LE(exact.cost, brute.cost + 1e-5)
+        << "alpha " << alpha << ": exact must not lose to brute force";
+    EXPECT_NEAR(exact.cost, brute.cost, 1e-3)
+        << "alpha " << alpha << ": exact should match brute force";
+  }
+}
+
+TEST(Thm24, MatchesBruteForceOnRandomThreeLinks) {
+  Rng rng(161);
+  for (int trial = 0; trial < 6; ++trial) {
+    const ParallelLinks m = random_common_slope_links(rng, 3, 1.5, 1.0);
+    const double beta = op_top(m).beta;
+    if (beta < 0.05) continue;  // nothing "hard" about this draw
+    const double alpha = 0.5 * beta;
+    const Thm24Result exact = optimal_strategy_common_slope(m, alpha);
+    const StackelbergOutcome brute = brute_force_strategy(m, alpha);
+    EXPECT_LE(exact.cost, brute.cost + 1e-5) << "trial " << trial;
+    EXPECT_NEAR(exact.cost, brute.cost, 5e-3) << "trial " << trial;
+  }
+}
+
+TEST(Thm24, CostIsMonotoneInAlpha) {
+  // The optimal strategy can only improve with more control.
+  Rng rng(162);
+  const ParallelLinks m = random_common_slope_links(rng, 4, 2.0, 1.0);
+  double prev = kInf;
+  for (double alpha : {0.05, 0.15, 0.3, 0.5, 0.8, 1.0}) {
+    const Thm24Result r = optimal_strategy_common_slope(m, alpha);
+    EXPECT_LE(r.cost, prev + 1e-7) << "alpha " << alpha;
+    prev = r.cost;
+  }
+}
+
+TEST(Thm24, AlphaZeroGivesNashCost) {
+  const ParallelLinks m = two_links();
+  const Thm24Result r = optimal_strategy_common_slope(m, 0.0);
+  const LinkAssignment n = solve_nash(m);
+  EXPECT_NEAR(r.cost, cost(m, n.flows), 1e-8);
+}
+
+TEST(Thm24, AlphaOneGivesOptimum) {
+  Rng rng(163);
+  for (int trial = 0; trial < 5; ++trial) {
+    const ParallelLinks m = random_common_slope_links(rng, 4, 1.5, 0.8);
+    const Thm24Result r = optimal_strategy_common_slope(m, 1.0);
+    EXPECT_NEAR(r.ratio, 1.0, 1e-6) << "trial " << trial;
+  }
+}
+
+TEST(Thm24, InducedFlowsAreAnEquilibrium) {
+  Rng rng(164);
+  const ParallelLinks m = random_common_slope_links(rng, 4, 2.0, 1.2);
+  const Thm24Result r = optimal_strategy_common_slope(m, 0.25);
+  EXPECT_TRUE(satisfies_wardrop_induced(m, r.strategy, r.induced));
+}
+
+TEST(Thm24, PrefixStructureHolds) {
+  // The winning split serves followers on low-intercept links only: links
+  // with induced flow must have intercepts below every leader-only link
+  // that followers avoid... operationally: induced flow is positive
+  // exactly on the prefix.
+  const ParallelLinks m = two_links();
+  const OpTopResult optop = op_top(m);
+  const Thm24Result r =
+      optimal_strategy_common_slope(m, 0.5 * optop.beta);
+  if (r.prefix_size < static_cast<int>(m.size())) {
+    // Link 0 (intercept 0) is the prefix; link 1 the suffix.
+    EXPECT_GT(r.induced[0], 1e-9);
+    EXPECT_NEAR(r.induced[1], 0.0, 1e-7);
+  }
+}
+
+TEST(BruteForce, RecoversOpTopAtBeta) {
+  const ParallelLinks m = two_links();
+  const OpTopResult optop = op_top(m);
+  const StackelbergOutcome brute = brute_force_strategy(m, optop.beta);
+  EXPECT_NEAR(brute.cost, optop.optimum_cost,
+              1e-3 * std::fmax(1.0, optop.optimum_cost));
+}
+
+TEST(BruteForce, ZeroBudgetIsNash) {
+  const ParallelLinks m = two_links();
+  const StackelbergOutcome brute = brute_force_strategy(m, 0.0);
+  const LinkAssignment n = solve_nash(m);
+  EXPECT_NEAR(brute.cost, cost(m, n.flows), 1e-8);
+}
+
+}  // namespace
+}  // namespace stackroute

@@ -1,0 +1,91 @@
+// A genuinely recursive OpTop run: freezing the first batch of
+// under-loaded links re-equilibrates the remaining subsystem and exposes
+// *new* under-loaded links — three rounds in total on this instance
+// (found by randomized search, pinned here as a regression).
+#include <gtest/gtest.h>
+
+#include "stackroute/core/optop.h"
+#include "stackroute/equilibrium/parallel.h"
+#include "stackroute/latency/families.h"
+#include "stackroute/util/numeric.h"
+
+namespace stackroute {
+namespace {
+
+ParallelLinks three_round_instance() {
+  ParallelLinks m;
+  m.links = {make_affine(1.5291124021839559, 1.2215842961657608),
+             make_affine(1.6724806051111061, 0.42388137510715129),
+             make_affine(3.932534071871185, 1.5022861883534813),
+             make_constant(1.7743682971403618),
+             make_affine(2.666744138411274, 0.78987004644411507)};
+  m.demand = 1.0895683353111503;
+  return m;
+}
+
+TEST(OpTopMultiRound, TakesThreeRounds) {
+  const OpTopResult r = op_top(three_round_instance());
+  EXPECT_EQ(r.rounds.size(), 3u);
+  for (const OpTopRound& round : r.rounds) {
+    EXPECT_FALSE(round.frozen.empty());
+  }
+}
+
+TEST(OpTopMultiRound, LaterRoundsFreezeInitiallyHealthyLinks) {
+  // The links frozen in rounds >= 2 were NOT under-loaded with respect to
+  // the initial Nash — they only became under-loaded after the first
+  // freeze removed flow. This is the recursion earning its keep.
+  const ParallelLinks m = three_round_instance();
+  const OpTopResult r = op_top(m);
+  ASSERT_GE(r.rounds.size(), 2u);
+  for (std::size_t k = 1; k < r.rounds.size(); ++k) {
+    for (int link : r.rounds[k].frozen) {
+      EXPECT_GE(r.nash[static_cast<std::size_t>(link)],
+                r.optimum[static_cast<std::size_t>(link)] - 1e-9)
+          << "round " << k + 1 << " link " << link
+          << " was already under-loaded initially";
+    }
+  }
+}
+
+TEST(OpTopMultiRound, StillInducesTheOptimum) {
+  const ParallelLinks m = three_round_instance();
+  const OpTopResult r = op_top(m);
+  EXPECT_NEAR(max_abs_diff(add(r.strategy, r.induced), r.optimum), 0.0, 1e-7);
+  EXPECT_NEAR(r.induced_cost, r.optimum_cost, 1e-8);
+  EXPECT_NEAR(r.beta, 0.629452, 1e-4);
+}
+
+TEST(OpTopMultiRound, FlowAccountingAcrossRounds) {
+  const OpTopResult r = op_top(three_round_instance());
+  // Flow entering round k+1 = flow entering round k minus what k froze.
+  for (std::size_t k = 0; k + 1 < r.rounds.size(); ++k) {
+    double frozen = 0.0;
+    for (int link : r.rounds[k].frozen) {
+      frozen += r.optimum[static_cast<std::size_t>(link)];
+    }
+    EXPECT_NEAR(r.rounds[k + 1].flow_before,
+                r.rounds[k].flow_before - frozen, 1e-10);
+  }
+}
+
+TEST(OpTopMultiRound, NashLevelDropsEachRound) {
+  // Each freeze removes exactly the frozen links' optimum flow; the
+  // remaining subsystem's common latency can only decrease (Prop. 7.1
+  // applied to the shrinking instance).
+  const OpTopResult r = op_top(three_round_instance());
+  for (std::size_t k = 0; k + 1 < r.rounds.size(); ++k) {
+    EXPECT_LE(r.rounds[k + 1].nash_level, r.rounds[k].nash_level + 1e-9);
+  }
+}
+
+TEST(OpTopMultiRound, InducedVerifiedByGenericSolver) {
+  const ParallelLinks m = three_round_instance();
+  const OpTopResult r = op_top(m);
+  const LinkAssignment t = solve_induced(m, r.strategy);
+  EXPECT_NEAR(max_abs_diff(t.flows, r.induced), 0.0, 1e-7);
+  EXPECT_TRUE(satisfies_wardrop_induced(m, r.strategy, r.induced));
+}
+
+}  // namespace
+}  // namespace stackroute

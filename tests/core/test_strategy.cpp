@@ -1,0 +1,148 @@
+// Baseline strategies (Aloof, SCALE, LLF) and the classical performance
+// guarantees the paper quotes: ρ <= 1/α for LLF on arbitrary latencies and
+// ρ <= 4/(3+α) for linear latencies ([41] Thms 6.4.4 / 6.4.5).
+#include "stackroute/core/strategy.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stackroute/core/optop.h"
+#include "stackroute/latency/families.h"
+#include "stackroute/network/generators.h"
+#include "stackroute/util/error.h"
+#include "stackroute/util/numeric.h"
+#include "stackroute/util/rng.h"
+
+namespace stackroute {
+namespace {
+
+TEST(Strategy, AloofInducesPlainNash) {
+  const ParallelLinks m = fig4_instance();
+  const StackelbergOutcome out = evaluate_strategy(m, aloof_strategy(m));
+  EXPECT_NEAR(out.cost, fig4_expected().nash_cost, 1e-8);
+}
+
+TEST(Strategy, ScaleUsesExactlyAlphaOfTheOptimum) {
+  const ParallelLinks m = fig4_instance();
+  const std::vector<double> s = scale_strategy(m, 0.3);
+  EXPECT_NEAR(sum(s), 0.3, 1e-9);
+  const Fig4Expected e = fig4_expected();
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_NEAR(s[i], 0.3 * e.optimum[i], 1e-8);
+  }
+}
+
+TEST(Strategy, LlfBudgetIsRespected) {
+  Rng rng(150);
+  for (int trial = 0; trial < 10; ++trial) {
+    const ParallelLinks m = random_affine_links(rng, 6, 2.0);
+    for (double alpha : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+      const std::vector<double> s = llf_strategy(m, alpha);
+      EXPECT_NEAR(sum(s), alpha * m.demand, 1e-9);
+      // LLF never over-fills a link beyond its optimum load.
+      const LinkAssignment opt = solve_optimum(m);
+      for (std::size_t i = 0; i < m.size(); ++i) {
+        EXPECT_LE(s[i], opt.flows[i] + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(Strategy, LlfFillsLargestLatencyFirst) {
+  // Pigou: optimum latencies are ℓ1(1/2) = 1/2 < ℓ2 = 1, so LLF fills the
+  // constant link first — recovering the Fig. 2 strategy at α = 1/2.
+  const ParallelLinks m = pigou();
+  const std::vector<double> s = llf_strategy(m, 0.5);
+  EXPECT_NEAR(s[1], 0.5, 1e-9);
+  EXPECT_NEAR(s[0], 0.0, 1e-9);
+  const StackelbergOutcome out = evaluate_strategy(m, s);
+  EXPECT_NEAR(out.ratio, 1.0, 1e-7);
+}
+
+TEST(Strategy, LlfAtFullControlIsOptimal) {
+  Rng rng(151);
+  for (int trial = 0; trial < 10; ++trial) {
+    const ParallelLinks m = random_polynomial_links(rng, 5, 1.5);
+    const StackelbergOutcome out = evaluate_strategy(m, llf_strategy(m, 1.0));
+    EXPECT_NEAR(out.ratio, 1.0, 1e-6) << "trial " << trial;
+  }
+}
+
+TEST(Strategy, LlfOneOverAlphaGuarantee) {
+  // [41, Thm 6.4.4]: C(S+T) <= (1/α)·C(O) on parallel links.
+  Rng rng(152);
+  for (int trial = 0; trial < 15; ++trial) {
+    const ParallelLinks m = random_polynomial_links(rng, 6, 2.0);
+    for (double alpha : {0.2, 0.4, 0.6, 0.8}) {
+      const StackelbergOutcome out =
+          evaluate_strategy(m, llf_strategy(m, alpha));
+      EXPECT_LE(out.ratio, 1.0 / alpha + 1e-6)
+          << "trial " << trial << " alpha " << alpha;
+    }
+  }
+}
+
+TEST(Strategy, LlfLinearLatencyGuarantee) {
+  // [41, Thm 6.4.5]: ρ <= 4/(3+α) for linear latencies.
+  Rng rng(153);
+  for (int trial = 0; trial < 15; ++trial) {
+    const ParallelLinks m = random_affine_links(rng, 6, 2.0);
+    for (double alpha : {0.2, 0.4, 0.6, 0.8}) {
+      const StackelbergOutcome out =
+          evaluate_strategy(m, llf_strategy(m, alpha));
+      EXPECT_LE(out.ratio, 4.0 / (3.0 + alpha) + 1e-6)
+          << "trial " << trial << " alpha " << alpha;
+    }
+  }
+}
+
+TEST(Strategy, LlfReachesOptimumAtBeta) {
+  // At α = β_M, LLF freezes exactly the under-loaded links (they have the
+  // highest optimum latencies? not in general — but its guarantee at β is
+  // still cost C(O) on instances where OpTop's frozen set is LLF's prefix).
+  // Use Fig 4, where the under-loaded links M4, M5 have the *largest*
+  // optimum latencies — check this precondition first.
+  const ParallelLinks m = fig4_instance();
+  const Fig4Expected e = fig4_expected();
+  const double l4 = m.links[3]->value(e.optimum[3]);
+  const double l5 = m.links[4]->value(e.optimum[4]);
+  const double l1 = m.links[0]->value(e.optimum[0]);
+  ASSERT_GT(l4, l1);
+  ASSERT_GT(l5, l1);
+  const StackelbergOutcome out =
+      evaluate_strategy(m, llf_strategy(m, e.beta));
+  EXPECT_NEAR(out.ratio, 1.0, 1e-6);
+}
+
+TEST(Strategy, EvaluateStrategyRatioOfOneMeansOptimum) {
+  const ParallelLinks m = fig4_instance();
+  const OpTopResult r = op_top(m);
+  const StackelbergOutcome out = evaluate_strategy(m, r.strategy);
+  EXPECT_NEAR(out.ratio, 1.0, 1e-8);
+  EXPECT_NEAR(out.cost, r.optimum_cost, 1e-8);
+}
+
+TEST(Strategy, MoreControlNeverHurtsLlf) {
+  Rng rng(154);
+  const ParallelLinks m = random_affine_links(rng, 6, 2.0);
+  double prev = kInf;
+  for (double alpha : {0.1, 0.3, 0.5, 0.7, 0.9, 1.0}) {
+    const StackelbergOutcome out =
+        evaluate_strategy(m, llf_strategy(m, alpha));
+    EXPECT_LE(out.cost, prev + 1e-7) << "alpha " << alpha;
+    prev = out.cost;
+  }
+}
+
+TEST(Strategy, BadArgumentsThrow) {
+  const ParallelLinks m = pigou();
+  EXPECT_THROW(llf_strategy(m, -0.1), Error);
+  EXPECT_THROW(llf_strategy(m, 1.1), Error);
+  EXPECT_THROW(scale_strategy(m, 2.0), Error);
+  const std::vector<double> wrong_size = {0.1};
+  EXPECT_THROW(evaluate_strategy(m, wrong_size), Error);
+}
+
+}  // namespace
+}  // namespace stackroute

@@ -1,0 +1,178 @@
+// The Section 7 structural theory, checked as executable properties:
+// Theorem 7.2 (useless strategies), Theorem 7.4 / Lemma 7.5 (frozen links
+// receive no induced flow), Proposition 7.1 (monotonicity), Lemma 6.1
+// (the two-link exchange of Figs. 8–10) and the footnote-6 threshold.
+#include "stackroute/core/structure.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stackroute/equilibrium/parallel.h"
+#include "stackroute/latency/families.h"
+#include "stackroute/network/generators.h"
+#include "stackroute/util/error.h"
+#include "stackroute/util/numeric.h"
+#include "stackroute/util/rng.h"
+
+namespace stackroute {
+namespace {
+
+// Builds a random sub-Nash strategy (s_i <= n_i) controlling a fraction of
+// the demand.
+std::vector<double> random_sub_nash_strategy(Rng& rng,
+                                             const std::vector<double>& nash) {
+  std::vector<double> s(nash.size());
+  for (std::size_t i = 0; i < nash.size(); ++i) {
+    s[i] = rng.uniform(0.0, nash[i]);
+  }
+  return s;
+}
+
+TEST(Structure, FrozenLinksMask) {
+  const std::vector<double> strategy = {0.5, 0.1, 0.0};
+  const std::vector<double> nash = {0.4, 0.2, 0.0};
+  const std::vector<char> mask = frozen_links(strategy, nash);
+  EXPECT_TRUE(mask[0]);   // 0.5 >= 0.4
+  EXPECT_FALSE(mask[1]);  // 0.1 < 0.2
+  EXPECT_TRUE(mask[2]);   // 0 >= 0
+}
+
+TEST(Structure, Theorem72UselessStrategiesChangeNothing) {
+  // Any strategy with s <= N componentwise induces S + T == N.
+  Rng rng(140);
+  for (int trial = 0; trial < 25; ++trial) {
+    const ParallelLinks m = random_affine_links(rng, 6, 2.0);
+    const LinkAssignment nash = solve_nash(m);
+    const std::vector<double> s = random_sub_nash_strategy(rng, nash.flows);
+    ASSERT_TRUE(is_useless_strategy(s, nash.flows));
+    const LinkAssignment t = solve_induced(m, s);
+    const std::vector<double> combined = add(s, t.flows);
+    EXPECT_NEAR(max_abs_diff(combined, nash.flows), 0.0, 1e-6)
+        << "trial " << trial;
+    EXPECT_NEAR(stackelberg_cost(m, s, t.flows), cost(m, nash.flows), 1e-6)
+        << "trial " << trial;
+  }
+}
+
+TEST(Structure, Theorem74FrozenLinksGetNoInducedFlow) {
+  // Strategy freezing every link it touches (s_j >= n_j or s_j = 0):
+  // induced flow on frozen links must be zero.
+  Rng rng(141);
+  for (int trial = 0; trial < 25; ++trial) {
+    const ParallelLinks m = random_affine_links(rng, 6, 2.0);
+    const LinkAssignment nash = solve_nash(m);
+    std::vector<double> s(m.size(), 0.0);
+    // Freeze a random subset, keeping the budget within the demand.
+    double budget = m.demand;
+    for (std::size_t i = 0; i < m.size() && budget > 0.0; ++i) {
+      if (!rng.bernoulli(0.4)) continue;
+      const double load = std::fmin(budget, nash.flows[i] * 1.05 + 0.01);
+      s[i] = load;
+      budget -= load;
+    }
+    const LinkAssignment t = solve_induced(m, s);
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      if (s[i] >= nash.flows[i] - 1e-12 && s[i] > 0.0) {
+        EXPECT_NEAR(t.flows[i], 0.0, 1e-6)
+            << "trial " << trial << " link " << i;
+      }
+    }
+  }
+}
+
+TEST(Structure, Lemma75PartiallyFrozenStrategies) {
+  // Even if only some touched links are frozen, the frozen ones still get
+  // no induced flow.
+  Rng rng(142);
+  for (int trial = 0; trial < 25; ++trial) {
+    const ParallelLinks m = random_affine_links(rng, 6, 2.0);
+    const LinkAssignment nash = solve_nash(m);
+    std::vector<double> s(m.size(), 0.0);
+    double budget = m.demand * 0.8;
+    for (std::size_t i = 0; i < m.size() && budget > 0.0; ++i) {
+      const double load = rng.bernoulli(0.5)
+                              ? std::fmin(budget, nash.flows[i] * 1.1 + 0.01)
+                              : std::fmin(budget, nash.flows[i] * 0.5);
+      s[i] = load;
+      budget -= load;
+    }
+    const LinkAssignment t = solve_induced(m, s);
+    const std::vector<char> frozen = frozen_links(s, nash.flows, 1e-12);
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      if (frozen[i] && s[i] > 0.0) {
+        EXPECT_NEAR(t.flows[i], 0.0, 1e-6)
+            << "trial " << trial << " link " << i;
+      }
+    }
+  }
+}
+
+TEST(Structure, MinimumUsefulControlOnFig4) {
+  // Under-loaded links of Fig. 4 are M4 (n4 = 23/231) and M5 (n5 = 0); the
+  // minimum useful control is min(n4, n5) = 0 (M5 is free to freeze).
+  EXPECT_NEAR(minimum_useful_control(fig4_instance()), 0.0, 1e-9);
+}
+
+TEST(Structure, MinimumUsefulControlOnTwoAffineLinks) {
+  // ℓ1 = x, ℓ2 = x + 1, r = 2: N = {1.5, 0.5}, O = {1.25, 0.75}.
+  // Under-loaded: link 2 with n2 = 0.5.
+  const ParallelLinks m{{make_linear(1.0), make_affine(1.0, 1.0)}, 2.0};
+  EXPECT_NEAR(minimum_useful_control(m), 0.5, 1e-9);
+}
+
+TEST(Structure, MinimumUsefulControlZeroWhenNashOptimal) {
+  const ParallelLinks m{{make_linear(1.0), make_linear(1.0)}, 1.0};
+  EXPECT_NEAR(minimum_useful_control(m), 0.0, 1e-12);
+}
+
+TEST(Structure, Lemma61SwapNeverIncreasesCost) {
+  // Figs. 8–10: in the lemma's configuration the exchange + ε-shift gives
+  // partial cost A + ε(ℓ2 − ℓ1) <= A.
+  Rng rng(143);
+  int applicable = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const double a = rng.uniform(0.2, 3.0);
+    const double b1 = rng.uniform(0.0, 1.0);
+    const double b2 = b1 + rng.uniform(0.01, 1.5);
+    const double x2 = rng.uniform(0.0, 2.0);
+    // Choose s1 so that ℓ1(s1) >= ℓ2(x2): s1 >= x2 + (b2−b1)/a = x2 + ε.
+    const double eps = (b2 - b1) / a;
+    const double s1 = x2 + eps + rng.uniform(0.0, 1.0);
+    const SwapWitness w = lemma61_swap(a, b1, b2, s1, x2);
+    ASSERT_TRUE(w.applicable);
+    ++applicable;
+    EXPECT_LE(w.cost_after, w.cost_before + 1e-12) << "trial " << trial;
+    // Exact delta from the proof: ε(ℓ2 − ℓ1).
+    EXPECT_NEAR(w.cost_after - w.cost_before, w.epsilon * (w.ell2 - w.ell1),
+                1e-9);
+  }
+  EXPECT_EQ(applicable, 200);
+}
+
+TEST(Structure, Lemma61SwapLatenciesExchange) {
+  // After the move, the b1-link sits at the old ℓ2 and the b2-link at the
+  // old ℓ1 (Fig. 10).
+  const SwapWitness w = lemma61_swap(1.0, 0.0, 1.0, 2.0, 0.5);
+  ASSERT_TRUE(w.applicable);
+  const double a = 1.0;
+  const double load1 = 0.5 + w.epsilon;
+  const double load2 = 2.0 - w.epsilon;
+  EXPECT_NEAR(a * load1 + 0.0, w.ell2, 1e-12);
+  EXPECT_NEAR(a * load2 + 1.0, w.ell1, 1e-12);
+}
+
+TEST(Structure, Lemma61RejectsBadInputs) {
+  EXPECT_THROW(lemma61_swap(0.0, 0.0, 1.0, 1.0, 0.5), Error);
+  EXPECT_THROW(lemma61_swap(1.0, 1.0, 0.5, 1.0, 0.5), Error);
+  EXPECT_THROW(lemma61_swap(1.0, 0.0, 1.0, -1.0, 0.5), Error);
+}
+
+TEST(Structure, Lemma61NotApplicableWhenLatencyOrderFlipped) {
+  // ℓ1 < ℓ2: the lemma's precondition fails; flag must say so.
+  const SwapWitness w = lemma61_swap(1.0, 0.0, 1.0, 0.1, 1.0);
+  EXPECT_FALSE(w.applicable);
+}
+
+}  // namespace
+}  // namespace stackroute

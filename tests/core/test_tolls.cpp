@@ -1,0 +1,141 @@
+// Marginal-cost tolls: the pricing alternative to Stackelberg control.
+// The tolled equilibrium must reproduce the optimum on every family, and
+// the Stackelberg-vs-tolls comparison must be consistent (both reach C(O)).
+#include "stackroute/core/tolls.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stackroute/core/optop.h"
+#include "stackroute/latency/families.h"
+#include "stackroute/network/generators.h"
+#include "stackroute/util/error.h"
+#include "stackroute/util/numeric.h"
+#include "stackroute/util/rng.h"
+
+namespace stackroute {
+namespace {
+
+TEST(Tolls, OffsetLatencyBehaves) {
+  const LatencyPtr fn = make_offset(make_affine(2.0, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(fn->value(1.0), 3.5);
+  EXPECT_DOUBLE_EQ(fn->derivative(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(fn->integral(2.0), (4.0 + 2.0) + 1.0);
+  EXPECT_DOUBLE_EQ(fn->inverse(3.5), 1.0);
+  EXPECT_DOUBLE_EQ(fn->inverse(0.1), 0.0);  // below ℓ(0)+toll -> clamped
+}
+
+TEST(Tolls, OffsetZeroReturnsBase) {
+  const LatencyPtr base = make_linear(1.0);
+  EXPECT_EQ(make_offset(base, 0.0).get(), base.get());
+}
+
+TEST(Tolls, NestedOffsetsCollapse) {
+  const LatencyPtr once = make_offset(make_linear(1.0), 0.25);
+  const LatencyPtr twice = make_offset(once, 0.5);
+  const auto* off = dynamic_cast<const OffsetLatency*>(twice.get());
+  ASSERT_NE(off, nullptr);
+  EXPECT_DOUBLE_EQ(off->offset(), 0.75);
+}
+
+TEST(Tolls, NegativeOffsetRejected) {
+  EXPECT_THROW(make_offset(make_linear(1.0), -0.1), Error);
+}
+
+TEST(Tolls, PigouTollRecoversOptimum) {
+  // Optimum (1/2, 1/2); τ1 = 1/2·1 = 1/2, τ2 = 0. Tolled game: x + 1/2
+  // vs 1 -> equilibrium at x = 1/2 exactly.
+  const TollResult r = marginal_cost_tolls(pigou());
+  EXPECT_NEAR(r.tolls[0], 0.5, 1e-9);
+  EXPECT_NEAR(r.tolls[1], 0.0, 1e-9);
+  EXPECT_NEAR(r.tolled_equilibrium[0], 0.5, 1e-7);
+  EXPECT_NEAR(r.tolled_latency_cost, 0.75, 1e-7);
+  EXPECT_NEAR(r.revenue, 0.25, 1e-7);  // 1/2 flow pays 1/2 toll
+  EXPECT_LT(r.residual, 1e-7);
+}
+
+TEST(Tolls, Fig4TollRecoversOptimum) {
+  const TollResult r = marginal_cost_tolls(fig4_instance());
+  const Fig4Expected e = fig4_expected();
+  EXPECT_LT(r.residual, 1e-7);
+  EXPECT_NEAR(r.tolled_latency_cost, e.optimum_cost, 1e-7);
+  // Constant link has zero derivative -> zero toll.
+  EXPECT_NEAR(r.tolls[4], 0.0, 1e-12);
+}
+
+TEST(Tolls, RandomParallelFamilies) {
+  Rng rng(400);
+  for (int trial = 0; trial < 15; ++trial) {
+    const ParallelLinks m = random_polynomial_links(rng, 6, 1.8);
+    const TollResult r = marginal_cost_tolls(m);
+    EXPECT_LT(r.residual, 1e-6) << "trial " << trial;
+    EXPECT_NEAR(r.tolled_latency_cost, r.optimum_cost, 1e-6)
+        << "trial " << trial;
+    EXPECT_GE(r.revenue, -1e-12);
+  }
+}
+
+TEST(Tolls, NetworkTollsRecoverOptimumOnFig7) {
+  const TollResult r = marginal_cost_tolls(fig7_instance(0.05));
+  EXPECT_LT(r.residual, 1e-5);
+  EXPECT_NEAR(r.tolled_latency_cost, r.optimum_cost, 1e-5);
+}
+
+TEST(Tolls, NetworkTollsFixBraess) {
+  // Tolling the classic Braess graph makes the shortcut unattractive.
+  const TollResult r = marginal_cost_tolls(braess_classic());
+  EXPECT_LT(r.residual, 1e-5);
+  EXPECT_NEAR(r.tolled_latency_cost, 1.5, 1e-5);
+  EXPECT_NEAR(r.untolled_nash_cost, 2.0, 1e-5);
+}
+
+TEST(Tolls, GridNetworks) {
+  Rng rng(401);
+  const NetworkInstance inst = grid_city(rng, 3, 4, 2.0);
+  const TollResult r = marginal_cost_tolls(inst);
+  EXPECT_LT(r.residual, 1e-4);
+  EXPECT_NEAR(r.tolled_latency_cost, r.optimum_cost,
+              1e-4 * std::fmax(1.0, r.optimum_cost));
+}
+
+TEST(Tolls, MulticommodityNetworks) {
+  Rng rng(402);
+  const NetworkInstance inst = grid_city_multicommodity(rng, 4, 4, 3, 0.3, 0.8);
+  const TollResult r = marginal_cost_tolls(inst);
+  EXPECT_LT(r.residual, 1e-3);
+}
+
+TEST(Tolls, StackelbergAndTollsReachTheSameCost) {
+  // The paper's two instruments side by side: β of the flow vs τ revenue,
+  // identical final cost C(O).
+  Rng rng(403);
+  for (int trial = 0; trial < 10; ++trial) {
+    const ParallelLinks m = random_affine_links(rng, 5, 2.0);
+    const OpTopResult stackelberg = op_top(m);
+    const TollResult tolls = marginal_cost_tolls(m);
+    EXPECT_NEAR(stackelberg.induced_cost, tolls.tolled_latency_cost,
+                1e-6 * std::fmax(1.0, tolls.optimum_cost))
+        << "trial " << trial;
+  }
+}
+
+TEST(Tolls, ZeroTollsWhenNashOptimal) {
+  // Identical links: marginal tolls exist but leave the equilibrium as is
+  // (it was already optimal).
+  const ParallelLinks m{{make_linear(1.0), make_linear(1.0)}, 1.0};
+  const TollResult r = marginal_cost_tolls(m);
+  EXPECT_NEAR(r.untolled_nash_cost, r.optimum_cost, 1e-9);
+  EXPECT_LT(r.residual, 1e-7);
+}
+
+TEST(Tolls, WithTollsRejectsSizeMismatch) {
+  const ParallelLinks m = pigou();
+  const std::vector<double> bad = {0.1};
+  EXPECT_THROW(with_tolls(m, bad), Error);
+  const NetworkInstance inst = braess_classic();
+  EXPECT_THROW(with_tolls(inst, bad), Error);
+}
+
+}  // namespace
+}  // namespace stackroute

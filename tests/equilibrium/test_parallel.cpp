@@ -1,0 +1,137 @@
+// Equilibrium wrappers on parallel links: the paper's worked examples,
+// Wardrop/optimality checkers, induced equilibria under preloads, and the
+// Proposition 7.1 monotonicity property.
+#include "stackroute/equilibrium/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include "stackroute/latency/families.h"
+#include "stackroute/network/generators.h"
+#include "stackroute/util/error.h"
+#include "stackroute/util/numeric.h"
+#include "stackroute/util/rng.h"
+
+namespace stackroute {
+namespace {
+
+TEST(ParallelEquilibrium, PigouFig1Numbers) {
+  const ParallelLinks m = pigou();
+  const LinkAssignment n = solve_nash(m);
+  const LinkAssignment o = solve_optimum(m);
+  EXPECT_NEAR(cost(m, n.flows), 1.0, 1e-9);    // C(N) = 1
+  EXPECT_NEAR(cost(m, o.flows), 0.75, 1e-9);   // C(O) = 3/4
+  EXPECT_NEAR(price_of_anarchy(m), 4.0 / 3.0, 1e-9);
+}
+
+TEST(ParallelEquilibrium, PigouFig2Fig3InducedOptimum) {
+  // Leader routes 1/2 on the slow constant link; followers balance.
+  const ParallelLinks m = pigou();
+  const std::vector<double> strategy = {0.0, 0.5};
+  const LinkAssignment t = solve_induced(m, strategy);
+  EXPECT_NEAR(t.flows[0], 0.5, 1e-9);
+  EXPECT_NEAR(t.flows[1], 0.0, 1e-9);
+  EXPECT_NEAR(stackelberg_cost(m, strategy, t.flows), 0.75, 1e-9);
+  EXPECT_TRUE(satisfies_wardrop_induced(m, strategy, t.flows));
+}
+
+TEST(ParallelEquilibrium, Fig4CostsMatchClosedForm) {
+  const ParallelLinks m = fig4_instance();
+  const Fig4Expected e = fig4_expected();
+  const LinkAssignment n = solve_nash(m);
+  const LinkAssignment o = solve_optimum(m);
+  EXPECT_NEAR(cost(m, n.flows), e.nash_cost, 1e-9);
+  EXPECT_NEAR(cost(m, o.flows), e.optimum_cost, 1e-9);
+}
+
+TEST(ParallelEquilibrium, NonlinearPigouPoaGrows) {
+  // PoA = 1/(1 − d·(d+1)^{−(d+1)/d}) → ∞: the unbounded coordination
+  // ratio of §1. Spot-check d = 1 (4/3) and monotone growth.
+  const double poa1 = price_of_anarchy(pigou_nonlinear(1));
+  const double poa4 = price_of_anarchy(pigou_nonlinear(4));
+  const double poa10 = price_of_anarchy(pigou_nonlinear(10));
+  EXPECT_NEAR(poa1, 4.0 / 3.0, 1e-9);
+  EXPECT_GT(poa4, poa1);
+  EXPECT_GT(poa10, poa4);
+  EXPECT_GT(poa10, 2.0);
+}
+
+TEST(ParallelEquilibrium, CheckersAcceptSolutionsRejectOthers) {
+  const ParallelLinks m = fig4_instance();
+  const LinkAssignment n = solve_nash(m);
+  const LinkAssignment o = solve_optimum(m);
+  EXPECT_TRUE(satisfies_wardrop(m, n.flows));
+  EXPECT_TRUE(satisfies_optimality(m, o.flows));
+  EXPECT_FALSE(satisfies_wardrop(m, o.flows));   // O is not an equilibrium
+  EXPECT_FALSE(satisfies_optimality(m, n.flows));
+}
+
+TEST(ParallelEquilibrium, WardropHoldsOnRandomFamilies) {
+  Rng rng(55);
+  for (int trial = 0; trial < 20; ++trial) {
+    const ParallelLinks m = random_polynomial_links(rng, 7, 2.2);
+    const LinkAssignment n = solve_nash(m);
+    EXPECT_TRUE(satisfies_wardrop(m, n.flows)) << "trial " << trial;
+    EXPECT_NEAR(sum(n.flows), m.demand, 1e-8);
+    const LinkAssignment o = solve_optimum(m);
+    EXPECT_TRUE(satisfies_optimality(m, o.flows)) << "trial " << trial;
+    EXPECT_LE(cost(m, o.flows), cost(m, n.flows) + 1e-9);
+  }
+}
+
+TEST(ParallelEquilibrium, Proposition71Monotonicity) {
+  Rng rng(56);
+  for (int trial = 0; trial < 20; ++trial) {
+    ParallelLinks m = random_affine_links(rng, 6, 3.0);
+    const LinkAssignment big = solve_nash(m);
+    ParallelLinks smaller = m;
+    smaller.demand = rng.uniform(0.5, 2.9);
+    const LinkAssignment small = solve_nash(smaller);
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      EXPECT_LE(small.flows[i], big.flows[i] + 1e-9)
+          << "trial " << trial << " link " << i;
+    }
+  }
+}
+
+TEST(ParallelEquilibrium, InducedWithZeroPreloadIsNash) {
+  const ParallelLinks m = fig4_instance();
+  const std::vector<double> zero(m.size(), 0.0);
+  const LinkAssignment t = solve_induced(m, zero);
+  const LinkAssignment n = solve_nash(m);
+  EXPECT_NEAR(max_abs_diff(t.flows, n.flows), 0.0, 1e-9);
+}
+
+TEST(ParallelEquilibrium, InducedSatisfiesShiftedWardrop) {
+  Rng rng(57);
+  for (int trial = 0; trial < 20; ++trial) {
+    const ParallelLinks m = random_affine_links(rng, 5, 2.0);
+    // Random preload of half the demand.
+    std::vector<double> preload(m.size(), 0.0);
+    double left = 1.0;
+    for (std::size_t i = 0; i + 1 < m.size(); ++i) {
+      preload[i] = rng.uniform(0.0, left);
+      left -= preload[i];
+    }
+    preload.back() = left;
+    const LinkAssignment t = solve_induced(m, preload);
+    EXPECT_TRUE(satisfies_wardrop_induced(m, preload, t.flows))
+        << "trial " << trial;
+    EXPECT_NEAR(sum(t.flows), m.demand - 1.0, 1e-8);
+  }
+}
+
+TEST(ParallelEquilibrium, PreloadBeyondDemandThrows) {
+  const ParallelLinks m = pigou();
+  const std::vector<double> preload = {2.0, 0.0};
+  EXPECT_THROW(solve_induced(m, preload), Error);
+}
+
+TEST(ParallelEquilibrium, SizeMismatchesThrow) {
+  const ParallelLinks m = pigou();
+  const std::vector<double> short_vec = {0.5};
+  EXPECT_THROW(solve_induced(m, short_vec), Error);
+  EXPECT_THROW(cost(m, short_vec), Error);
+}
+
+}  // namespace
+}  // namespace stackroute

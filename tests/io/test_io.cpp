@@ -1,0 +1,129 @@
+// Table formatting and instance (de)serialization round-trips.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stackroute/equilibrium/network.h"
+#include "stackroute/equilibrium/parallel.h"
+#include "stackroute/io/serialize.h"
+#include "stackroute/io/table.h"
+#include "stackroute/latency/families.h"
+#include "stackroute/network/generators.h"
+#include "stackroute/util/error.h"
+#include "stackroute/util/numeric.h"
+#include "stackroute/util/rng.h"
+
+namespace stackroute {
+namespace {
+
+TEST(FormatDouble, TrimsTrailingZeros) {
+  EXPECT_EQ(format_double(0.5), "0.5");
+  EXPECT_EQ(format_double(1.0), "1.0");
+  EXPECT_EQ(format_double(4.0 / 3.0, 4), "1.3333");
+  EXPECT_EQ(format_double(-2.25), "-2.25");
+}
+
+TEST(FormatDouble, HandlesSpecials) {
+  EXPECT_EQ(format_double(kInf), "inf");
+  EXPECT_EQ(format_double(-kInf), "-inf");
+  EXPECT_EQ(format_double(std::nan("")), "nan");
+}
+
+TEST(Table, MarkdownLayout) {
+  Table t({"link", "flow"});
+  t.add_row({"M1", "0.35"});
+  t.add_row({"M2", "0.2333"});
+  const std::string md = t.to_markdown();
+  EXPECT_NE(md.find("| link | flow   |"), std::string::npos);
+  EXPECT_NE(md.find("| M1   | 0.35   |"), std::string::npos);
+  EXPECT_NE(md.find("|------|--------|"), std::string::npos);
+}
+
+TEST(Table, CsvLayout) {
+  Table t({"a", "b"});
+  t.add_numeric_row({1.0, 0.5});
+  EXPECT_EQ(t.to_csv(), "a,b\n1.0,0.5\n");
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), Error);
+}
+
+TEST(Serialize, ParallelLinksRoundTrip) {
+  const ParallelLinks m = fig4_instance();
+  const ParallelLinks back = parallel_links_from_string(to_string(m));
+  ASSERT_EQ(back.size(), m.size());
+  EXPECT_DOUBLE_EQ(back.demand, m.demand);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    for (double x : {0.0, 0.25, 0.7, 1.3}) {
+      EXPECT_DOUBLE_EQ(back.links[i]->value(x), m.links[i]->value(x));
+    }
+  }
+  // Equilibrium of the round-tripped instance is identical.
+  const LinkAssignment a = solve_nash(m);
+  const LinkAssignment b = solve_nash(back);
+  EXPECT_NEAR(max_abs_diff(a.flows, b.flows), 0.0, 1e-12);
+}
+
+TEST(Serialize, NetworkRoundTrip) {
+  const NetworkInstance inst = fig7_instance(0.05);
+  const NetworkInstance back = network_from_string(to_string(inst));
+  EXPECT_EQ(back.graph.num_nodes(), inst.graph.num_nodes());
+  EXPECT_EQ(back.graph.num_edges(), inst.graph.num_edges());
+  ASSERT_EQ(back.commodities.size(), 1u);
+  EXPECT_DOUBLE_EQ(back.commodities[0].demand, 1.0);
+  const NetworkAssignment a = solve_optimum(inst);
+  const NetworkAssignment b = solve_optimum(back);
+  EXPECT_NEAR(max_abs_diff(a.edge_flow, b.edge_flow), 0.0, 1e-9);
+}
+
+TEST(Serialize, MulticommodityRoundTrip) {
+  Rng rng(200);
+  const NetworkInstance inst = grid_city_multicommodity(rng, 3, 3, 3, 0.2, 0.6);
+  const NetworkInstance back = network_from_string(to_string(inst));
+  ASSERT_EQ(back.commodities.size(), inst.commodities.size());
+  for (std::size_t i = 0; i < inst.commodities.size(); ++i) {
+    EXPECT_EQ(back.commodities[i].source, inst.commodities[i].source);
+    EXPECT_EQ(back.commodities[i].sink, inst.commodities[i].sink);
+    EXPECT_DOUBLE_EQ(back.commodities[i].demand, inst.commodities[i].demand);
+  }
+}
+
+TEST(Serialize, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "# a Pigou instance\n"
+      "parallel_links 1\n"
+      "\n"
+      "link affine 1 0\n"
+      "# the slow constant link\n"
+      "link constant 1\n";
+  const ParallelLinks m = parallel_links_from_string(text);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_NEAR(price_of_anarchy(m), 4.0 / 3.0, 1e-9);
+}
+
+TEST(Serialize, MalformedDocumentsThrow) {
+  EXPECT_THROW(parallel_links_from_string(""), Error);
+  EXPECT_THROW(parallel_links_from_string("network 3\n"), Error);
+  EXPECT_THROW(parallel_links_from_string("parallel_links 1\nlink bogus 1\n"),
+               Error);
+  EXPECT_THROW(network_from_string("network 2\nedge 0 1 affine 1\n"),
+               Error);  // affine takes 2 params
+  EXPECT_THROW(network_from_string("network 2\nfrobnicate\n"), Error);
+  // Structurally invalid: no commodity.
+  EXPECT_THROW(network_from_string("network 2\nedge 0 1 affine 1 0\n"),
+               Error);
+}
+
+TEST(Serialize, MM1AndBprSurvive) {
+  ParallelLinks m;
+  m.demand = 1.0;
+  m.links = {make_mm1(2.5), make_bpr(1.0, 2.0, 0.15, 4.0)};
+  const ParallelLinks back = parallel_links_from_string(to_string(m));
+  EXPECT_DOUBLE_EQ(back.links[0]->capacity(), 2.5);
+  EXPECT_DOUBLE_EQ(back.links[1]->value(2.0), 1.15);
+}
+
+}  // namespace
+}  // namespace stackroute

@@ -1,0 +1,274 @@
+// Dijkstra, tight-edge subgraph, path utilities, flow decomposition and
+// max-flow — the graph machinery MOP is assembled from.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stackroute/latency/families.h"
+#include "stackroute/network/dijkstra.h"
+#include "stackroute/network/generators.h"
+#include "stackroute/network/maxflow.h"
+#include "stackroute/network/paths.h"
+#include "stackroute/util/error.h"
+#include "stackroute/util/numeric.h"
+#include "stackroute/util/rng.h"
+
+namespace stackroute {
+namespace {
+
+Graph diamond() {
+  // 0 -> {1, 2} -> 3, plus a direct 0 -> 3 edge (id 4).
+  Graph g(4);
+  g.add_edge(0, 1, make_linear(1.0));  // e0
+  g.add_edge(0, 2, make_linear(1.0));  // e1
+  g.add_edge(1, 3, make_linear(1.0));  // e2
+  g.add_edge(2, 3, make_linear(1.0));  // e3
+  g.add_edge(0, 3, make_linear(1.0));  // e4
+  return g;
+}
+
+TEST(Dijkstra, PicksCheapestRoute) {
+  const Graph g = diamond();
+  const std::vector<double> cost = {1.0, 2.0, 1.0, 1.0, 5.0};
+  const ShortestPathTree tree = dijkstra(g, 0, cost);
+  EXPECT_DOUBLE_EQ(tree.dist[3], 2.0);  // via node 1
+  const auto path = extract_path(g, tree, 3);
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(path[0], 0);
+  EXPECT_EQ(path[1], 2);
+}
+
+TEST(Dijkstra, ReverseDistancesMatchForward) {
+  const Graph g = diamond();
+  const std::vector<double> cost = {1.0, 2.0, 3.0, 0.5, 4.0};
+  const ShortestPathTree fwd = dijkstra(g, 0, cost);
+  const ShortestPathTree rev = dijkstra_to(g, 3, cost);
+  EXPECT_DOUBLE_EQ(rev.dist[0], fwd.dist[3]);
+  EXPECT_DOUBLE_EQ(rev.dist[3], 0.0);
+  EXPECT_DOUBLE_EQ(rev.dist[1], 3.0);
+  EXPECT_DOUBLE_EQ(rev.dist[2], 0.5);
+}
+
+TEST(Dijkstra, UnreachableIsInfinite) {
+  Graph g(3);
+  g.add_edge(0, 1, make_linear(1.0));
+  const std::vector<double> cost = {1.0};
+  const ShortestPathTree tree = dijkstra(g, 0, cost);
+  EXPECT_TRUE(std::isinf(tree.dist[2]));
+  EXPECT_THROW(extract_path(g, tree, 2), Error);
+}
+
+TEST(Dijkstra, NegativeCostsRejected) {
+  Graph g(2);
+  g.add_edge(0, 1, make_linear(1.0));
+  const std::vector<double> cost = {-0.1};
+  EXPECT_THROW(dijkstra(g, 0, cost), Error);
+}
+
+TEST(TightEdges, MarksExactlyTheShortestPathEdges) {
+  const Graph g = diamond();
+  // Paths: 0-1-3 cost 2, 0-2-3 cost 2, direct cost 3 -> first two tight.
+  const std::vector<double> cost = {1.0, 1.0, 1.0, 1.0, 3.0};
+  const std::vector<char> mask = shortest_path_edge_mask(g, 0, 3, cost);
+  EXPECT_TRUE(mask[0]);
+  EXPECT_TRUE(mask[1]);
+  EXPECT_TRUE(mask[2]);
+  EXPECT_TRUE(mask[3]);
+  EXPECT_FALSE(mask[4]);
+}
+
+TEST(TightEdges, DirectShortcutOnly) {
+  const Graph g = diamond();
+  const std::vector<double> cost = {1.0, 1.0, 1.0, 1.0, 1.5};
+  const std::vector<char> mask = shortest_path_edge_mask(g, 0, 3, cost);
+  EXPECT_FALSE(mask[0]);
+  EXPECT_FALSE(mask[1]);
+  EXPECT_FALSE(mask[2]);
+  EXPECT_FALSE(mask[3]);
+  EXPECT_TRUE(mask[4]);
+}
+
+TEST(Paths, EnumerateFindsAllSimplePaths) {
+  const Graph g = diamond();
+  const auto paths = enumerate_paths(g, 0, 3);
+  EXPECT_EQ(paths.size(), 3u);
+  for (const auto& p : paths) {
+    EXPECT_TRUE(is_path(g, 0, 3, p));
+  }
+}
+
+TEST(Paths, EnumerateRespectsLimit) {
+  const Graph g = diamond();
+  EXPECT_THROW(enumerate_paths(g, 0, 3, 2), Error);
+}
+
+TEST(Paths, PathCostSums) {
+  const std::vector<double> cost = {1.0, 2.0, 4.0};
+  const Path p = {0, 2};
+  EXPECT_DOUBLE_EQ(path_cost(cost, p), 5.0);
+}
+
+TEST(Paths, IsPathChecksContiguity) {
+  const Graph g = diamond();
+  EXPECT_TRUE(is_path(g, 0, 3, Path{0, 2}));
+  EXPECT_FALSE(is_path(g, 0, 3, Path{0, 3}));  // e3 starts at node 2
+  EXPECT_FALSE(is_path(g, 0, 3, Path{0}));     // stops at node 1
+  EXPECT_FALSE(is_path(g, 0, 3, Path{99}));    // bogus edge id
+}
+
+TEST(Decompose, SplitsFlowAcrossBranches) {
+  const Graph g = diamond();
+  // 0.6 via 0-1-3, 0.3 via 0-2-3, 0.1 direct.
+  const std::vector<double> flow = {0.6, 0.3, 0.6, 0.3, 0.1};
+  const auto paths = decompose_flow(g, 0, 3, flow);
+  double total = 0.0;
+  for (const auto& pf : paths) {
+    EXPECT_TRUE(is_path(g, 0, 3, pf.path));
+    total += pf.flow;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  const auto back = path_flows_to_edge_flows(g, paths);
+  EXPECT_NEAR(max_abs_diff(back, flow), 0.0, 1e-12);
+}
+
+TEST(Decompose, CancelsCycles) {
+  // 0 -> 1 -> 2(sink) plus a 1 -> 3 -> 1 cycle carrying junk flow.
+  Graph g(4);
+  g.add_edge(0, 1, make_linear(1.0));  // e0
+  g.add_edge(1, 2, make_linear(1.0));  // e1
+  g.add_edge(1, 3, make_linear(1.0));  // e2
+  g.add_edge(3, 1, make_linear(1.0));  // e3
+  const std::vector<double> flow = {1.0, 1.0, 0.4, 0.4};
+  const auto paths = decompose_flow(g, 0, 2, flow);
+  double total = 0.0;
+  for (const auto& pf : paths) total += pf.flow;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // The s->t part must not include the cycle edges.
+  for (const auto& pf : paths) {
+    for (EdgeId e : pf.path) {
+      EXPECT_NE(e, 2);
+      EXPECT_NE(e, 3);
+    }
+  }
+}
+
+TEST(Decompose, RejectsConservationViolation) {
+  Graph g(3);
+  g.add_edge(0, 1, make_linear(1.0));
+  g.add_edge(1, 2, make_linear(1.0));
+  const std::vector<double> flow = {1.0, 0.25};  // node 1 leaks 0.75
+  EXPECT_THROW(decompose_flow(g, 0, 2, flow), Error);
+}
+
+TEST(MaxFlow, DiamondBottleneck) {
+  const Graph g = diamond();
+  const std::vector<double> cap = {0.5, 0.25, 1.0, 1.0, 0.125};
+  const MaxFlowResult mf = max_flow(g, 0, 3, cap, kInf);
+  EXPECT_NEAR(mf.value, 0.875, 1e-12);
+}
+
+TEST(MaxFlow, RespectsLimit) {
+  const Graph g = diamond();
+  const std::vector<double> cap = {1.0, 1.0, 1.0, 1.0, 1.0};
+  const MaxFlowResult mf = max_flow(g, 0, 3, cap, 0.75);
+  EXPECT_NEAR(mf.value, 0.75, 1e-12);
+}
+
+TEST(MaxFlow, FlowDecomposesToPaths) {
+  const Graph g = diamond();
+  const std::vector<double> cap = {0.5, 0.25, 0.5, 0.25, 0.125};
+  const MaxFlowResult mf = max_flow(g, 0, 3, cap, kInf);
+  const auto paths = decompose_flow(g, 0, 3, mf.edge_flow);
+  double total = 0.0;
+  for (const auto& pf : paths) total += pf.flow;
+  EXPECT_NEAR(total, mf.value, 1e-12);
+}
+
+TEST(MaxFlow, ZeroCapacityEdgeBlocks) {
+  Graph g(3);
+  g.add_edge(0, 1, make_linear(1.0));
+  g.add_edge(1, 2, make_linear(1.0));
+  const std::vector<double> cap = {1.0, 0.0};
+  const MaxFlowResult mf = max_flow(g, 0, 2, cap, kInf);
+  EXPECT_DOUBLE_EQ(mf.value, 0.0);
+}
+
+TEST(MaxFlow, NeedsResidualReroute) {
+  // Classic case where a greedy path must be partially undone.
+  Graph g(4);
+  g.add_edge(0, 1, make_linear(1.0));  // e0
+  g.add_edge(0, 2, make_linear(1.0));  // e1
+  g.add_edge(1, 2, make_linear(1.0));  // e2
+  g.add_edge(1, 3, make_linear(1.0));  // e3
+  g.add_edge(2, 3, make_linear(1.0));  // e4
+  const std::vector<double> cap = {1.0, 1.0, 1.0, 1.0, 1.0};
+  const MaxFlowResult mf = max_flow(g, 0, 3, cap, kInf);
+  EXPECT_NEAR(mf.value, 2.0, 1e-12);
+}
+
+TEST(MaxFlow, BadArgumentsRejected) {
+  const Graph g = diamond();
+  const std::vector<double> cap = {1.0, 1.0, 1.0, 1.0};  // wrong size
+  EXPECT_THROW(max_flow(g, 0, 3, cap, kInf), Error);
+  const std::vector<double> cap5 = {1.0, 1.0, 1.0, 1.0, -1.0};
+  EXPECT_THROW(max_flow(g, 0, 3, cap5, kInf), Error);
+  const std::vector<double> ok(5, 1.0);
+  EXPECT_THROW(max_flow(g, 2, 2, ok, kInf), Error);
+}
+
+TEST(Generators, RandomLayeredDagIsValid) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const NetworkInstance inst = random_layered_dag(rng, 3, 4, 0.4, 1.0);
+    EXPECT_NO_THROW(inst.validate());
+  }
+}
+
+TEST(Generators, GridCityIsValid) {
+  Rng rng(6);
+  const NetworkInstance inst = grid_city(rng, 4, 5, 2.0);
+  EXPECT_NO_THROW(inst.validate());
+  EXPECT_EQ(inst.graph.num_nodes(), 20);
+  // Right edges: 4*4, down edges: 3*5.
+  EXPECT_EQ(inst.graph.num_edges(), 31);
+}
+
+TEST(Generators, GridCityMulticommodityIsValid) {
+  Rng rng(7);
+  const NetworkInstance inst = grid_city_multicommodity(rng, 4, 4, 5, 0.2, 1.0);
+  EXPECT_EQ(inst.commodities.size(), 5u);
+  EXPECT_NO_THROW(inst.validate());
+}
+
+TEST(Generators, PaperInstancesAreValid) {
+  EXPECT_NO_THROW(pigou().validate());
+  EXPECT_NO_THROW(pigou_nonlinear(4).validate());
+  EXPECT_NO_THROW(fig4_instance().validate());
+  EXPECT_NO_THROW(braess_classic().validate());
+  EXPECT_NO_THROW(braess_without_shortcut().validate());
+  EXPECT_NO_THROW(fig7_instance(0.05).validate());
+  EXPECT_THROW(fig7_instance(0.3), Error);  // eps < 1/4 required
+}
+
+TEST(Generators, Fig4ExpectedIsConsistent) {
+  const Fig4Expected e = fig4_expected();
+  EXPECT_NEAR(sum(e.optimum), 1.0, 1e-12);
+  EXPECT_NEAR(sum(e.nash), 1.0, 1e-12);
+  EXPECT_NEAR(e.beta, e.optimum[3] + e.optimum[4], 1e-12);
+}
+
+TEST(Generators, Fig7ExpectedConservesFlow) {
+  for (double eps : {0.0, 0.01, 0.1}) {
+    const Fig7Expected e = fig7_expected(eps);
+    // Conservation at v: o_sv = o_vw + o_vt.
+    EXPECT_NEAR(e.optimum_edges[0], e.optimum_edges[2] + e.optimum_edges[3],
+                1e-12);
+    // Conservation at w: o_sw + o_vw = o_wt.
+    EXPECT_NEAR(e.optimum_edges[1] + e.optimum_edges[2], e.optimum_edges[4],
+                1e-12);
+    EXPECT_NEAR(e.beta + e.free_flow, 1.0, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace stackroute

@@ -1,0 +1,136 @@
+#include "stackroute/network/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "stackroute/latency/families.h"
+#include "stackroute/network/instance.h"
+#include "stackroute/util/error.h"
+
+namespace stackroute {
+namespace {
+
+TEST(Graph, BuildAndQuery) {
+  Graph g(3);
+  const EdgeId e0 = g.add_edge(0, 1, make_linear(1.0));
+  const EdgeId e1 = g.add_edge(1, 2, make_constant(1.0));
+  const EdgeId e2 = g.add_edge(0, 2, make_affine(2.0, 0.5));
+  EXPECT_EQ(g.num_nodes(), 3);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_EQ(g.edge(e0).tail, 0);
+  EXPECT_EQ(g.edge(e0).head, 1);
+  ASSERT_EQ(g.out_edges(0).size(), 2u);
+  EXPECT_EQ(g.out_edges(0)[0], e0);
+  EXPECT_EQ(g.out_edges(0)[1], e2);
+  ASSERT_EQ(g.in_edges(2).size(), 2u);
+  EXPECT_EQ(g.in_edges(2)[0], e1);
+  EXPECT_EQ(g.in_edges(2)[1], e2);
+  EXPECT_TRUE(g.out_edges(2).empty());
+}
+
+TEST(Graph, AddNodeExtends) {
+  Graph g(1);
+  const NodeId v = g.add_node();
+  EXPECT_EQ(v, 1);
+  EXPECT_EQ(g.num_nodes(), 2);
+  g.add_edge(0, v, make_linear(1.0));
+  EXPECT_EQ(g.num_edges(), 1);
+}
+
+TEST(Graph, ParallelEdgesAllowed) {
+  Graph g(2);
+  g.add_edge(0, 1, make_linear(1.0));
+  g.add_edge(0, 1, make_linear(2.0));
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.out_edges(0).size(), 2u);
+}
+
+TEST(Graph, SelfLoopRejected) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(1, 1, make_linear(1.0)), Error);
+}
+
+TEST(Graph, OutOfRangeRejected) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(0, 5, make_linear(1.0)), Error);
+  EXPECT_THROW(g.add_edge(-1, 0, make_linear(1.0)), Error);
+  EXPECT_THROW((void)g.edge(0), Error);
+  EXPECT_THROW((void)g.out_edges(9), Error);
+}
+
+TEST(Graph, NullLatencyRejected) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(0, 1, nullptr), Error);
+}
+
+TEST(Graph, LatenciesReturnsAllInOrder) {
+  Graph g(2);
+  g.add_edge(0, 1, make_linear(1.0));
+  g.add_edge(0, 1, make_constant(0.5));
+  const auto lat = g.latencies();
+  ASSERT_EQ(lat.size(), 2u);
+  EXPECT_DOUBLE_EQ(lat[0]->value(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(lat[1]->value(1.0), 0.5);
+}
+
+TEST(Instance, ParallelLinksValidate) {
+  ParallelLinks ok{{make_linear(1.0)}, 1.0};
+  EXPECT_NO_THROW(ok.validate());
+
+  ParallelLinks no_links{{}, 1.0};
+  EXPECT_THROW(no_links.validate(), Error);
+
+  ParallelLinks zero_demand{{make_linear(1.0)}, 0.0};
+  EXPECT_THROW(zero_demand.validate(), Error);
+
+  ParallelLinks over_capacity{{make_mm1(0.5), make_mm1(0.25)}, 1.0};
+  EXPECT_THROW(over_capacity.validate(), Error);
+}
+
+TEST(Instance, NetworkValidate) {
+  NetworkInstance inst;
+  inst.graph = Graph(3);
+  inst.graph.add_edge(0, 1, make_linear(1.0));
+  inst.graph.add_edge(1, 2, make_linear(1.0));
+  inst.commodities.push_back(Commodity{0, 2, 1.0});
+  EXPECT_NO_THROW(inst.validate());
+
+  NetworkInstance no_commodity = inst;
+  no_commodity.commodities.clear();
+  EXPECT_THROW(no_commodity.validate(), Error);
+
+  NetworkInstance disconnected = inst;
+  disconnected.commodities[0] = Commodity{2, 0, 1.0};  // edges point away
+  EXPECT_THROW(disconnected.validate(), Error);
+
+  NetworkInstance bad_demand = inst;
+  bad_demand.commodities[0].demand = -1.0;
+  EXPECT_THROW(bad_demand.validate(), Error);
+
+  NetworkInstance same_ends = inst;
+  same_ends.commodities[0] = Commodity{1, 1, 1.0};
+  EXPECT_THROW(same_ends.validate(), Error);
+}
+
+TEST(Instance, ToNetworkPreservesIndexing) {
+  ParallelLinks m{{make_linear(1.0), make_constant(1.0)}, 1.0};
+  const NetworkInstance inst = to_network(m);
+  EXPECT_EQ(inst.graph.num_nodes(), 2);
+  EXPECT_EQ(inst.graph.num_edges(), 2);
+  EXPECT_EQ(inst.commodities.size(), 1u);
+  EXPECT_DOUBLE_EQ(inst.commodities[0].demand, 1.0);
+  EXPECT_DOUBLE_EQ(inst.graph.edge(1).latency->value(9.0), 1.0);
+}
+
+TEST(Instance, SubsystemSelectsLinks) {
+  ParallelLinks m{{make_linear(1.0), make_linear(2.0), make_linear(3.0)}, 1.0};
+  const std::vector<int> keep = {0, 2};
+  const ParallelLinks sub = subsystem(m, keep, 0.5);
+  ASSERT_EQ(sub.size(), 2u);
+  EXPECT_DOUBLE_EQ(sub.demand, 0.5);
+  EXPECT_DOUBLE_EQ(sub.links[1]->value(1.0), 3.0);
+  const std::vector<int> bad = {5};
+  EXPECT_THROW(subsystem(m, bad, 0.5), Error);
+}
+
+}  // namespace
+}  // namespace stackroute

@@ -1,0 +1,274 @@
+// Parameterized property sweeps over randomized instance families: the
+// paper's invariants must hold on every draw, across latency families and
+// system sizes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "stackroute/core/mop.h"
+#include "stackroute/core/optop.h"
+#include "stackroute/core/strategy.h"
+#include "stackroute/core/structure.h"
+#include "stackroute/equilibrium/parallel.h"
+#include "stackroute/latency/families.h"
+#include "stackroute/network/generators.h"
+#include "stackroute/util/error.h"
+#include "stackroute/util/numeric.h"
+#include "stackroute/util/rng.h"
+
+namespace stackroute {
+namespace {
+
+enum class Family { kAffine, kCommonSlope, kPolynomial, kMm1, kBpr, kMixed };
+
+struct SweepCase {
+  Family family;
+  int links;
+  std::uint64_t seed;
+  std::string label;
+};
+
+ParallelLinks draw(const SweepCase& c, Rng& rng) {
+  switch (c.family) {
+    case Family::kAffine:
+      return random_affine_links(rng, c.links, 2.0);
+    case Family::kCommonSlope:
+      return random_common_slope_links(rng, c.links, 2.0, 1.2);
+    case Family::kPolynomial:
+      return random_polynomial_links(rng, c.links, 1.6);
+    case Family::kMm1: {
+      std::vector<double> mus;
+      for (int i = 0; i < c.links; ++i) mus.push_back(rng.uniform(0.8, 4.0));
+      return mm1_links(std::move(mus), 2.0);
+    }
+    case Family::kBpr: {
+      ParallelLinks m;
+      m.demand = 2.0;
+      for (int i = 0; i < c.links; ++i) {
+        m.links.push_back(make_bpr(rng.uniform(0.5, 2.0),
+                                   rng.uniform(0.5, 2.0), 0.15, 4.0));
+      }
+      return m;
+    }
+    case Family::kMixed: {
+      // Affine + polynomial + constants: exercises the Remark 2.5 plateau
+      // paths inside every solver.
+      ParallelLinks m;
+      m.demand = 2.0;
+      for (int i = 0; i < c.links; ++i) {
+        const double coin = rng.uniform01();
+        if (coin < 0.25) {
+          m.links.push_back(make_constant(rng.uniform(0.3, 2.0)));
+        } else if (coin < 0.6) {
+          m.links.push_back(
+              make_affine(rng.uniform(0.2, 3.0), rng.uniform(0.0, 1.5)));
+        } else {
+          m.links.push_back(make_polynomial(
+              {rng.uniform(0.0, 1.0), rng.uniform(0.1, 1.0),
+               rng.uniform(0.0, 1.5)}));
+        }
+      }
+      return m;
+    }
+  }
+  throw Error("unreachable");
+}
+
+std::vector<SweepCase> sweep_cases() {
+  std::vector<SweepCase> cases;
+  const struct {
+    Family family;
+    const char* name;
+  } families[] = {{Family::kAffine, "affine"},
+                  {Family::kCommonSlope, "common_slope"},
+                  {Family::kPolynomial, "polynomial"},
+                  {Family::kMm1, "mm1"},
+                  {Family::kBpr, "bpr"},
+                  {Family::kMixed, "mixed"}};
+  for (const auto& f : families) {
+    for (int links : {2, 4, 8, 16}) {
+      for (std::uint64_t seed : {11ull, 29ull}) {
+        cases.push_back({f.family, links,
+                         seed + static_cast<std::uint64_t>(links) * 1000,
+                         std::string(f.name) + "_m" + std::to_string(links) +
+                             "_s" + std::to_string(seed)});
+      }
+    }
+  }
+  return cases;
+}
+
+class ParallelSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(ParallelSweep, NashAndOptimumAreWellFormed) {
+  Rng rng(GetParam().seed);
+  const ParallelLinks m = draw(GetParam(), rng);
+  const LinkAssignment n = solve_nash(m);
+  const LinkAssignment o = solve_optimum(m);
+  EXPECT_NEAR(sum(n.flows), m.demand, 1e-7);
+  EXPECT_NEAR(sum(o.flows), m.demand, 1e-7);
+  EXPECT_TRUE(satisfies_wardrop(m, n.flows, 1e-6));
+  EXPECT_TRUE(satisfies_optimality(m, o.flows, 1e-6));
+  EXPECT_LE(cost(m, o.flows), cost(m, n.flows) + 1e-8);
+}
+
+TEST_P(ParallelSweep, OpTopInducesTheOptimum) {
+  Rng rng(GetParam().seed + 1);
+  const ParallelLinks m = draw(GetParam(), rng);
+  const OpTopResult r = op_top(m);
+  EXPECT_GE(r.beta, -1e-12);
+  EXPECT_LE(r.beta, 1.0 + 1e-12);
+  const std::vector<double> combined = add(r.strategy, r.induced);
+  EXPECT_NEAR(max_abs_diff(combined, r.optimum), 0.0, 2e-5);
+  EXPECT_NEAR(r.induced_cost, r.optimum_cost,
+              1e-5 * std::fmax(1.0, r.optimum_cost));
+}
+
+TEST_P(ParallelSweep, OpTopStrategyFreezesOnlyUnderloadedFlow) {
+  Rng rng(GetParam().seed + 2);
+  const ParallelLinks m = draw(GetParam(), rng);
+  const OpTopResult r = op_top(m);
+  double frozen_total = 0.0;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (r.strategy[i] > 0.0) {
+      EXPECT_NEAR(r.strategy[i], r.optimum[i], 1e-9);
+      frozen_total += r.strategy[i];
+    }
+  }
+  EXPECT_NEAR(frozen_total, r.beta * m.demand, 1e-7);
+}
+
+TEST_P(ParallelSweep, UselessStrategiesLeaveNashAlone) {
+  // Theorem 7.2 on every family.
+  Rng rng(GetParam().seed + 3);
+  const ParallelLinks m = draw(GetParam(), rng);
+  const LinkAssignment n = solve_nash(m);
+  std::vector<double> s(m.size());
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    s[i] = rng.uniform(0.0, 1.0) * n.flows[i];
+  }
+  const LinkAssignment t = solve_induced(m, s);
+  EXPECT_NEAR(max_abs_diff(add(s, t.flows), n.flows), 0.0, 2e-6);
+}
+
+TEST_P(ParallelSweep, FrozenLinksStayFrozen) {
+  // Theorem 7.4 on every family: freeze the two fastest links fully.
+  Rng rng(GetParam().seed + 4);
+  const ParallelLinks m = draw(GetParam(), rng);
+  const LinkAssignment n = solve_nash(m);
+  std::vector<double> s(m.size(), 0.0);
+  double budget = m.demand;
+  int frozen_count = 0;
+  for (std::size_t i = 0; i < m.size() && frozen_count < 2; ++i) {
+    if (n.flows[i] > 1e-6 && n.flows[i] * 1.02 < budget) {
+      s[i] = n.flows[i] * 1.02;
+      budget -= s[i];
+      ++frozen_count;
+    }
+  }
+  if (frozen_count == 0) GTEST_SKIP() << "no freezable link in this draw";
+  const LinkAssignment t = solve_induced(m, s);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (s[i] > 0.0) {
+      EXPECT_NEAR(t.flows[i], 0.0, 1e-6) << "link " << i;
+    }
+  }
+}
+
+TEST_P(ParallelSweep, LlfGuaranteeHolds) {
+  Rng rng(GetParam().seed + 5);
+  const ParallelLinks m = draw(GetParam(), rng);
+  for (double alpha : {0.3, 0.6, 0.9}) {
+    const StackelbergOutcome out = evaluate_strategy(m, llf_strategy(m, alpha));
+    EXPECT_LE(out.ratio, 1.0 / alpha + 1e-5)
+        << GetParam().label << " alpha " << alpha;
+  }
+}
+
+TEST_P(ParallelSweep, MopAgreesOnTwoNodeNetworks) {
+  Rng rng(GetParam().seed + 6);
+  const ParallelLinks m = draw(GetParam(), rng);
+  if (GetParam().links > 8) GTEST_SKIP() << "network solve kept small";
+  const double beta_links = op_top(m).beta;
+  MopOptions opts;
+  opts.verify_induced = false;
+  const double beta_net = mop(to_network(m), opts).beta;
+  EXPECT_NEAR(beta_links, beta_net, 2e-4) << GetParam().label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, ParallelSweep, ::testing::ValuesIn(sweep_cases()),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      return info.param.label;
+    });
+
+// Network-side sweep.
+
+struct NetCase {
+  int rows, cols, commodities;
+  std::uint64_t seed;
+  std::string label;
+};
+
+std::vector<NetCase> net_cases() {
+  std::vector<NetCase> cases;
+  for (int size : {3, 4}) {
+    for (int k : {1, 2, 4}) {
+      for (std::uint64_t seed : {5ull, 17ull}) {
+        cases.push_back({size, size + 1, k, seed,
+                         "g" + std::to_string(size) + "x" +
+                             std::to_string(size + 1) + "_k" +
+                             std::to_string(k) + "_s" + std::to_string(seed)});
+      }
+    }
+  }
+  return cases;
+}
+
+class NetworkSweep : public ::testing::TestWithParam<NetCase> {};
+
+TEST_P(NetworkSweep, MopInducesOptimum) {
+  const NetCase& c = GetParam();
+  Rng rng(c.seed);
+  const NetworkInstance inst =
+      c.commodities == 1
+          ? grid_city(rng, c.rows, c.cols, 1.5)
+          : grid_city_multicommodity(rng, c.rows, c.cols, c.commodities, 0.2,
+                                     0.7);
+  const MopResult r = mop(inst);
+  EXPECT_GE(r.beta, -1e-9);
+  EXPECT_LE(r.beta, 1.0 + 1e-9);
+  EXPECT_LT(r.induced_residual, 2e-3) << c.label;
+  EXPECT_NEAR(r.induced_cost, r.optimum_cost,
+              2e-3 * std::fmax(1.0, r.optimum_cost))
+      << c.label;
+}
+
+TEST_P(NetworkSweep, ControlledPlusFreeIsDemand) {
+  const NetCase& c = GetParam();
+  Rng rng(c.seed + 1);
+  const NetworkInstance inst =
+      c.commodities == 1
+          ? grid_city(rng, c.rows, c.cols, 1.5)
+          : grid_city_multicommodity(rng, c.rows, c.cols, c.commodities, 0.2,
+                                     0.7);
+  MopOptions opts;
+  opts.verify_induced = false;
+  const MopResult r = mop(inst, opts);
+  for (std::size_t i = 0; i < inst.commodities.size(); ++i) {
+    EXPECT_NEAR(
+        r.commodities[i].free_flow + r.commodities[i].controlled_flow,
+        inst.commodities[i].demand, 1e-6)
+        << c.label << " commodity " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, NetworkSweep, ::testing::ValuesIn(net_cases()),
+    [](const ::testing::TestParamInfo<NetCase>& info) {
+      return info.param.label;
+    });
+
+}  // namespace
+}  // namespace stackroute

@@ -1,0 +1,65 @@
+#include "stackroute/util/numeric.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace stackroute {
+namespace {
+
+TEST(AlmostEqual, ExactValuesMatch) {
+  EXPECT_TRUE(almost_equal(1.0, 1.0));
+  EXPECT_TRUE(almost_equal(0.0, 0.0));
+  EXPECT_TRUE(almost_equal(-3.5, -3.5));
+}
+
+TEST(AlmostEqual, AbsoluteToleranceGovernsSmallValues) {
+  EXPECT_TRUE(almost_equal(1e-12, 5e-12, 1e-9, 0.0));
+  EXPECT_FALSE(almost_equal(0.0, 1e-6, 1e-9, 1e-9));
+}
+
+TEST(AlmostEqual, RelativeToleranceGovernsLargeValues) {
+  EXPECT_TRUE(almost_equal(1e12, 1e12 * (1 + 1e-10), 1e-9, 1e-9));
+  EXPECT_FALSE(almost_equal(1e12, 1.001e12, 1e-9, 1e-9));
+}
+
+TEST(AlmostLeq, RespectsTolerance) {
+  EXPECT_TRUE(almost_leq(1.0, 1.0));
+  EXPECT_TRUE(almost_leq(1.0 + 1e-12, 1.0, 1e-9));
+  EXPECT_FALSE(almost_leq(1.1, 1.0, 1e-9));
+}
+
+TEST(KahanSum, RecoversSmallTermsNextToLargeOnes) {
+  KahanSum s;
+  s.add(1e16);
+  for (int i = 0; i < 10; ++i) s.add(1.0);
+  s.add(-1e16);
+  EXPECT_DOUBLE_EQ(s.value(), 10.0);
+}
+
+TEST(KahanSum, EmptySumIsZero) {
+  KahanSum s;
+  EXPECT_EQ(s.value(), 0.0);
+}
+
+TEST(SpanSum, MatchesManualSum) {
+  const std::vector<double> xs = {0.1, 0.2, 0.3, 0.4};
+  EXPECT_NEAR(sum(xs), 1.0, 1e-15);
+}
+
+TEST(VectorOps, AddSubtractRoundTrip) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {0.5, 0.25, 0.125};
+  const std::vector<double> c = add(a, b);
+  const std::vector<double> d = subtract(c, b);
+  EXPECT_NEAR(max_abs_diff(a, d), 0.0, 1e-15);
+}
+
+TEST(MaxAbsDiff, FindsTheWorstComponent) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {1.0, 2.5, 3.1};
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 0.5);
+}
+
+}  // namespace
+}  // namespace stackroute

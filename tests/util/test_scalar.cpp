@@ -1,0 +1,96 @@
+#include "stackroute/util/scalar.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stackroute/util/error.h"
+
+namespace stackroute {
+namespace {
+
+TEST(BisectIncreasing, FindsLinearRoot) {
+  const double x = bisect_increasing([](double v) { return v - 3.0; }, 0.0,
+                                     10.0, 1e-13);
+  EXPECT_NEAR(x, 3.0, 1e-12);
+}
+
+TEST(BisectIncreasing, FindsCubicRoot) {
+  const double x = bisect_increasing(
+      [](double v) { return v * v * v - 8.0; }, 0.0, 10.0, 1e-13);
+  EXPECT_NEAR(x, 2.0, 1e-11);
+}
+
+TEST(BisectIncreasing, ClampsWhenRootBelowBracket) {
+  const double x =
+      bisect_increasing([](double v) { return v + 5.0; }, 0.0, 1.0);
+  EXPECT_EQ(x, 0.0);
+}
+
+TEST(BisectIncreasing, ClampsWhenRootAboveBracket) {
+  const double x =
+      bisect_increasing([](double v) { return v - 5.0; }, 0.0, 1.0);
+  EXPECT_EQ(x, 1.0);
+}
+
+TEST(BisectIncreasing, EmptyBracketThrows) {
+  EXPECT_THROW(bisect_increasing([](double v) { return v; }, 1.0, 0.0),
+               Error);
+}
+
+TEST(NewtonBisect, QuadraticConvergesTightly) {
+  const double x = newton_bisect(
+      [](double v) { return v * v - 2.0; }, [](double v) { return 2.0 * v; },
+      0.0, 2.0, 1e-15);
+  EXPECT_NEAR(x, std::sqrt(2.0), 1e-12);
+}
+
+TEST(NewtonBisect, SurvivesFlatDerivative) {
+  // df == 0 forces pure bisection; must still converge.
+  const double x = newton_bisect(
+      [](double v) { return v - 1.0; }, [](double) { return 0.0; }, 0.0, 5.0,
+      1e-13);
+  EXPECT_NEAR(x, 1.0, 1e-11);
+}
+
+TEST(NewtonBisect, WrongDerivativeStillSafe) {
+  // A badly wrong derivative must not break the bracket guarantee.
+  const double x = newton_bisect(
+      [](double v) { return std::exp(v) - 3.0; },
+      [](double) { return 100.0; }, 0.0, 5.0, 1e-13);
+  EXPECT_NEAR(x, std::log(3.0), 1e-10);
+}
+
+TEST(ExpandUpper, DoublesUntilSignChange) {
+  const double hi = expand_upper([](double v) { return v - 70.0; }, 0.0, 1.0,
+                                 1e6);
+  EXPECT_GE(hi, 70.0);
+  EXPECT_LT(hi, 1e6);
+}
+
+TEST(ExpandUpper, HitsLimitWhenNeverPositive) {
+  const double hi =
+      expand_upper([](double) { return -1.0; }, 0.0, 1.0, 128.0);
+  EXPECT_EQ(hi, 128.0);
+}
+
+TEST(GoldenSectionMin, FindsParabolaVertex) {
+  const double x = golden_section_min(
+      [](double v) { return (v - 1.7) * (v - 1.7); }, -10.0, 10.0, 1e-12);
+  EXPECT_NEAR(x, 1.7, 1e-9);
+}
+
+TEST(GoldenSectionMin, BoundaryMinimum) {
+  const double x =
+      golden_section_min([](double v) { return v; }, 2.0, 5.0, 1e-12);
+  EXPECT_NEAR(x, 2.0, 1e-9);
+}
+
+TEST(GoldenSectionMin, HandlesAbsoluteValueKink) {
+  const double x = golden_section_min(
+      [](double v) { return std::fabs(v - 0.3); }, -2.0, 2.0, 1e-12);
+  EXPECT_NEAR(x, 0.3, 1e-9);
+}
+
+}  // namespace
+}  // namespace stackroute
