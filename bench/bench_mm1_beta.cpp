@@ -2,15 +2,15 @@
 // of highly appealing links, or large groups of identical links, beta_M
 // can be significantly small.
 //
-// Two sweeps at fixed total capacity: (i) concentration — how beta falls
-// as the fast group shrinks/strengthens; (ii) homogenization — beta -> 0
-// as the system approaches identical links.
+// Two sweeps at fixed total capacity, both driven by the sweep engine:
+// (i) concentration — the builtin mm1-two-groups scenario restricted to
+// one demand; (ii) homogenization — a custom ratio grid, beta -> 0 as the
+// system approaches identical links.
 #include <iostream>
 
-#include "stackroute/core/optop.h"
-#include "stackroute/equilibrium/parallel.h"
-#include "stackroute/io/table.h"
 #include "stackroute/network/generators.h"
+#include "stackroute/sweep/runner.h"
+#include "stackroute/sweep/scenarios.h"
 
 int main() {
   using namespace stackroute;
@@ -18,36 +18,32 @@ int main() {
 
   const double total_capacity = 20.0;
   const double demand = 13.0;
-  const int servers = 10;
 
   std::cout << "## (i) Concentrating 60% of capacity in fewer fast links\n\n";
-  Table t({"fast links", "mu_fast", "mu_slow", "PoA", "beta"});
-  for (int fast : {1, 2, 3, 4, 5}) {
-    const double fast_mu = 0.6 * total_capacity / fast;
-    const double slow_mu = 0.4 * total_capacity / (servers - fast);
-    if (fast_mu <= slow_mu) continue;
-    const ParallelLinks m =
-        mm1_two_groups(fast, fast_mu, servers - fast, slow_mu, demand);
-    const OpTopResult r = op_top(m);
-    t.add_row({std::to_string(fast), format_double(fast_mu, 3),
-               format_double(slow_mu, 3),
-               format_double(price_of_anarchy(m), 5),
-               format_double(r.beta, 5)});
+  {
+    // The builtin scenario, pinned to the single demand this figure uses.
+    sweep::ScenarioSpec spec = sweep::make_scenario("mm1-two-groups");
+    spec.grid = sweep::ParamGrid()
+                    .add_range("fast_links", 1, 5)
+                    .add("demand", {demand});
+    std::cout << sweep::SweepRunner().run(spec).to_markdown() << "\n";
+    std::cout << "Smaller, more appealing fast groups -> smaller beta.\n\n";
   }
-  std::cout << t.to_markdown() << "\n";
-  std::cout << "Smaller, more appealing fast groups -> smaller beta.\n\n";
 
   std::cout << "## (ii) Homogenizing the system\n\n";
-  Table t2({"mu_fast / mu_slow", "beta"});
-  for (double ratio : {8.0, 4.0, 2.0, 1.5, 1.1, 1.0001}) {
-    // 5 fast + 5 slow, capacities normalized to total 20.
-    const double slow_mu = total_capacity / (5.0 * (1.0 + ratio));
-    const double fast_mu = ratio * slow_mu;
-    const ParallelLinks m = mm1_two_groups(5, fast_mu, 5, slow_mu, demand);
-    const OpTopResult r = op_top(m);
-    t2.add_row({format_double(ratio, 4), format_double(r.beta, 6)});
+  {
+    sweep::ScenarioSpec spec;
+    spec.name = "mm1-homogenize";
+    spec.grid.add("mu_fast / mu_slow", {8.0, 4.0, 2.0, 1.5, 1.1, 1.0001});
+    spec.factory = [&](const sweep::ParamPoint& p, Rng&) -> sweep::Instance {
+      // 5 fast + 5 slow, capacities normalized to total 20.
+      const double ratio = p.get("mu_fast / mu_slow");
+      const double slow_mu = total_capacity / (5.0 * (1.0 + ratio));
+      return mm1_two_groups(5, ratio * slow_mu, 5, slow_mu, demand);
+    };
+    spec.metrics = {sweep::metric_beta()};
+    std::cout << sweep::SweepRunner().run(spec).to_markdown();
   }
-  std::cout << t2.to_markdown();
   std::cout << "\nAs the links become identical, Nash -> optimum and\n"
                "beta -> 0: large groups of identical links need no Leader.\n";
   return 0;

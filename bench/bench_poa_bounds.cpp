@@ -4,15 +4,17 @@
 // of optimum moves the *other* way: beta = 1 − (d+1)^{−1/d} → 0, so a
 // Leader with a vanishing portion of the flow can fix an arbitrarily bad
 // equilibrium.
+//
+// Both sweeps run on the sweep engine (src/sweep/): this file only
+// declares the grids and reads the result records.
 #include <algorithm>
 #include <cmath>
 #include <iostream>
 
-#include "stackroute/core/optop.h"
 #include "stackroute/equilibrium/parallel.h"
 #include "stackroute/io/table.h"
 #include "stackroute/network/generators.h"
-#include "stackroute/util/rng.h"
+#include "stackroute/sweep/runner.h"
 
 int main() {
   using namespace stackroute;
@@ -20,37 +22,57 @@ int main() {
 
   std::cout << "## Linear latencies: rho <= 4/3, Pigou tight\n\n";
   {
-    Rng rng(700);
+    sweep::ScenarioSpec spec;
+    spec.name = "affine-worst-rho";
+    spec.grid.add_range("links", 2, 9)
+        .add_linspace("demand", 0.5, 1.4, 10)
+        .add_range("replicate", 0, 2);
+    spec.factory = [](const sweep::ParamPoint& p, Rng& rng) -> sweep::Instance {
+      return random_affine_links(rng, p.get_int("links"), p.get("demand"));
+    };
+    spec.metrics = {sweep::metric_poa()};
+    spec.base_seed = 700;
+
+    // keep_going = false: a failed task would otherwise drop out of the
+    // worst-rho max as NaN while the row still claims the full count.
+    const sweep::SweepResult result =
+        sweep::SweepRunner({.digits = 6, .keep_going = false}).run(spec);
     double worst = 0.0;
-    for (int i = 0; i < 200; ++i) {
-      const ParallelLinks m =
-          random_affine_links(rng, 2 + i % 8, 0.5 + 0.1 * (i % 10));
-      worst = std::max(worst, price_of_anarchy(m));
+    for (const auto& rec : result.records) {
+      worst = std::max(worst, rec.metrics[0]);
     }
     Table t({"family", "worst rho", "bound 4/3"});
-    t.add_row({"200 random affine systems", format_double(worst, 6),
-               format_double(4.0 / 3.0, 6)});
+    t.add_row({std::to_string(result.num_tasks()) + " random affine systems",
+               format_double(worst, 6), format_double(4.0 / 3.0, 6)});
     t.add_row({"Pigou", format_double(price_of_anarchy(pigou()), 6),
                format_double(4.0 / 3.0, 6)});
     std::cout << t.to_markdown() << "\n";
   }
 
   std::cout << "## Nonlinear Pigou: rho unbounded while beta -> 0\n\n";
-  Table t({"degree d", "rho measured", "rho closed form", "beta measured",
-           "beta closed form (1-(d+1)^{-1/d})"});
-  for (int d : {1, 2, 4, 8, 16, 32}) {
-    const ParallelLinks m = pigou_nonlinear(d);
-    const double x_opt = std::pow(d + 1.0, -1.0 / d);
-    const double rho_expected =
-        1.0 / (1.0 - static_cast<double>(d) *
-                         std::pow(d + 1.0, -(d + 1.0) / d));
-    const double beta_expected = 1.0 - x_opt;
-    const OpTopResult r = op_top(m);
-    t.add_row({std::to_string(d), format_double(price_of_anarchy(m), 6),
-               format_double(rho_expected, 6), format_double(r.beta, 6),
-               format_double(beta_expected, 6)});
+  {
+    sweep::ScenarioSpec spec;
+    spec.name = "pigou-degree";
+    spec.grid.add("degree d", {1, 2, 4, 8, 16, 32});
+    spec.factory = [](const sweep::ParamPoint& p, Rng&) -> sweep::Instance {
+      return pigou_nonlinear(p.get_int("degree d"));
+    };
+    spec.metrics = {
+        {"rho measured", [](sweep::TaskEval& e) { return e.poa(); }},
+        {"rho closed form",
+         [](sweep::TaskEval& e) {
+           const double d = e.point().get("degree d");
+           return 1.0 / (1.0 - d * std::pow(d + 1.0, -(d + 1.0) / d));
+         }},
+        {"beta measured", [](sweep::TaskEval& e) { return e.beta(); }},
+        {"beta closed form (1-(d+1)^{-1/d})",
+         [](sweep::TaskEval& e) {
+           const double d = e.point().get("degree d");
+           return 1.0 - std::pow(d + 1.0, -1.0 / d);
+         }}};
+
+    std::cout << sweep::SweepRunner().run(spec).to_markdown();
   }
-  std::cout << t.to_markdown();
   std::cout << "\nShape check: rho grows without bound with the degree while\n"
                "the portion beta = 1 - (d+1)^{-1/d} needed to restore the\n"
                "optimum *shrinks to zero* — the sharpest advertisement for\n"

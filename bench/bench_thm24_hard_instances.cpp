@@ -5,18 +5,23 @@
 // the brute-force oracle, (ii) dominate LLF and SCALE, (iii) reach ratio 1
 // exactly at alpha = beta, and (iv) any strategy controlling less than the
 // minimum Nash load among under-loaded links is useless (cost C(N)).
+//
+// Both experiments sweep a fixed instance over a control axis (alpha/beta
+// fraction, budget factor) through the sweep engine; every strategy
+// evaluator is a pluggable metric.
 #include <algorithm>
 #include <cmath>
 #include <iostream>
 
 #include "stackroute/core/hard_instances.h"
-#include "stackroute/latency/families.h"
 #include "stackroute/core/optop.h"
 #include "stackroute/core/strategy.h"
 #include "stackroute/core/structure.h"
 #include "stackroute/equilibrium/parallel.h"
 #include "stackroute/io/table.h"
+#include "stackroute/latency/families.h"
 #include "stackroute/network/generators.h"
+#include "stackroute/sweep/runner.h"
 #include "stackroute/util/rng.h"
 
 int main() {
@@ -30,26 +35,54 @@ int main() {
             << format_double(optop.nash_cost / optop.optimum_cost, 6)
             << ", beta = " << format_double(optop.beta, 5) << "\n\n";
 
-  Table t({"alpha/beta", "exact ratio", "oracle ratio", "LLF ratio",
-           "SCALE ratio", "split i0", "exact==oracle"});
-  for (double frac : {0.0, 0.25, 0.5, 0.75, 0.9, 1.0}) {
-    const double alpha = std::min(1.0, frac * optop.beta);
-    const Thm24Result exact = optimal_strategy_common_slope(m, alpha);
-    const StackelbergOutcome oracle = brute_force_strategy(m, alpha);
-    const StackelbergOutcome llf =
-        evaluate_strategy(m, llf_strategy(m, alpha));
-    const StackelbergOutcome scale =
-        evaluate_strategy(m, scale_strategy(m, alpha));
-    t.add_row({format_double(frac, 2), format_double(exact.ratio, 6),
-               format_double(oracle.ratio, 6), format_double(llf.ratio, 6),
-               format_double(scale.ratio, 6), std::to_string(exact.prefix_size),
-               std::fabs(exact.cost - oracle.cost) < 5e-3 ? "yes" : "NO"});
+  {
+    const double beta = optop.beta;
+    auto alpha_of = [beta](sweep::TaskEval& e) {
+      return std::min(1.0, e.point().get("alpha/beta") * beta);
+    };
+    sweep::ScenarioSpec spec;
+    spec.name = "thm24-alpha";
+    spec.grid.add("alpha/beta", {0.0, 0.25, 0.5, 0.75, 0.9, 1.0});
+    spec.factory = [&m](const sweep::ParamPoint&, Rng&) -> sweep::Instance {
+      return m;
+    };
+    // Several columns read the same expensive solves; TaskEval::cached
+    // runs each once per grid point.
+    auto exact = [=](sweep::TaskEval& e) -> const Thm24Result& {
+      return e.cached<Thm24Result>("exact", [&] {
+        return optimal_strategy_common_slope(e.links(), alpha_of(e));
+      });
+    };
+    auto oracle = [=](sweep::TaskEval& e) -> const StackelbergOutcome& {
+      return e.cached<StackelbergOutcome>("oracle", [&] {
+        return brute_force_strategy(e.links(), alpha_of(e));
+      });
+    };
+    spec.metrics = {
+        {"exact ratio", [=](sweep::TaskEval& e) { return exact(e).ratio; }},
+        {"oracle ratio", [=](sweep::TaskEval& e) { return oracle(e).ratio; }},
+        {"LLF ratio",
+         [=](sweep::TaskEval& e) {
+           const auto s = llf_strategy(e.links(), alpha_of(e));
+           return evaluate_strategy(e.links(), s).ratio;
+         }},
+        {"SCALE ratio",
+         [=](sweep::TaskEval& e) {
+           const auto s = scale_strategy(e.links(), alpha_of(e));
+           return evaluate_strategy(e.links(), s).ratio;
+         }},
+        {"split i0",
+         [=](sweep::TaskEval& e) { return exact(e).prefix_size; }},
+        {"abs(exact-oracle)",  // pipes would break the markdown header
+         [=](sweep::TaskEval& e) {
+           return std::fabs(exact(e).cost - oracle(e).cost);
+         }}};
+    std::cout << sweep::SweepRunner().run(spec).to_markdown() << "\n";
   }
-  std::cout << t.to_markdown() << "\n";
   std::cout << "Expected shape: ratios decrease with alpha; the exact\n"
-               "algorithm tracks the oracle and hits 1.0 at alpha = beta;\n"
-               "the split index i0 shrinks as the Leader can afford to own\n"
-               "more of the high-intercept suffix.\n\n";
+               "algorithm tracks the oracle (abs(exact-oracle) < 5e-3) and hits\n"
+               "1.0 at alpha = beta; the split index i0 shrinks as the Leader\n"
+               "can afford to own more of the high-intercept suffix.\n\n";
 
   std::cout << "# E11: the useful-strategy threshold (footnote 6, [43])\n\n";
   // Fixed instance with a *positive* threshold: ℓ1 = x, ℓ2 = x + 1, r = 2.
@@ -60,17 +93,33 @@ int main() {
   const double threshold = minimum_useful_control(hard);
   const LinkAssignment nash = solve_nash(hard);
   const double nash_cost = cost(hard, nash.flows);
-  Table t2({"budget (flow)", "vs threshold", "best-found C(S+T)", "C(N)",
-            "improves"});
-  for (double factor : {0.5, 0.9, 0.999, 1.2, 1.5, 2.5}) {
-    const double budget = threshold * factor;
-    const StackelbergOutcome out =
-        brute_force_strategy(hard, std::min(1.0, budget / hard.demand));
-    t2.add_row({format_double(budget, 4), format_double(factor, 3) + "x",
-                format_double(out.cost, 8), format_double(nash_cost, 8),
-                out.cost < nash_cost - 1e-7 ? "yes" : "no"});
+  {
+    sweep::ScenarioSpec spec;
+    spec.name = "threshold-budget";
+    spec.grid.add("budget factor", {0.5, 0.9, 0.999, 1.2, 1.5, 2.5});
+    spec.factory = [&hard](const sweep::ParamPoint&, Rng&) -> sweep::Instance {
+      return hard;
+    };
+    auto best_cost = [threshold](sweep::TaskEval& e) {
+      return e.cached<double>("best_cost", [&] {
+        const double budget = threshold * e.point().get("budget factor");
+        const double alpha = std::min(1.0, budget / e.links().demand);
+        return brute_force_strategy(e.links(), alpha).cost;
+      });
+    };
+    spec.metrics = {
+        {"budget (flow)",
+         [=](sweep::TaskEval& e) {
+           return threshold * e.point().get("budget factor");
+         }},
+        {"best-found C(S+T)", best_cost},
+        {"C(N)", [=](sweep::TaskEval&) { return nash_cost; }},
+        {"improves",
+         [=](sweep::TaskEval& e) {
+           return best_cost(e) < nash_cost - 1e-7 ? 1.0 : 0.0;
+         }}};
+    std::cout << sweep::SweepRunner().run(spec).to_markdown();
   }
-  std::cout << t2.to_markdown();
   std::cout << "\nControlling less than the minimum Nash load among\n"
                "under-loaded links (threshold = "
             << format_double(threshold, 5)

@@ -24,6 +24,11 @@ class Table {
   [[nodiscard]] std::string to_markdown() const;
   [[nodiscard]] std::string to_csv() const;
 
+  /// Array of {header: value} objects; cells that parse as finite numbers
+  /// are emitted unquoted, everything else (including nan/inf, which JSON
+  /// cannot represent) as escaped strings.
+  [[nodiscard]] std::string to_json() const;
+
   [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
 
  private:

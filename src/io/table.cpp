@@ -25,6 +25,14 @@ std::string format_double(double v, int digits) {
 
 Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
   SR_REQUIRE(!headers_.empty(), "table needs >= 1 column");
+  // Duplicate headers would collapse to one key in to_json(), silently
+  // dropping a column.
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    for (std::size_t j = i + 1; j < headers_.size(); ++j) {
+      SR_REQUIRE(headers_[i] != headers_[j],
+                 "duplicate table column name: " + headers_[i]);
+    }
+  }
 }
 
 void Table::add_row(std::vector<std::string> cells) {
@@ -62,6 +70,82 @@ std::string Table::to_markdown() const {
   }
   os << '\n';
   for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+namespace {
+
+void append_json_string(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          // RFC 8259 forbids raw control characters in strings.
+          constexpr char hex[] = "0123456789abcdef";
+          os << "\\u00" << hex[(c >> 4) & 0xF] << hex[c & 0xF];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+// Exactly the RFC 8259 number grammar — stricter than strtod, which also
+// accepts hex floats, leading '+'/whitespace and bare '.5'/'1.' forms that
+// JSON parsers reject.
+bool is_json_number(const std::string& s) {
+  std::size_t i = 0;
+  const std::size_t n = s.size();
+  auto digits = [&] {
+    const std::size_t start = i;
+    while (i < n && s[i] >= '0' && s[i] <= '9') ++i;
+    return i > start;
+  };
+  if (i < n && s[i] == '-') ++i;
+  if (i < n && s[i] == '0') {
+    ++i;  // no leading zeros
+  } else if (!digits()) {
+    return false;
+  }
+  if (i < n && s[i] == '.') {
+    ++i;
+    if (!digits()) return false;
+  }
+  if (i < n && (s[i] == 'e' || s[i] == 'E')) {
+    ++i;
+    if (i < n && (s[i] == '+' || s[i] == '-')) ++i;
+    if (!digits()) return false;
+  }
+  return i == n && i > 0;
+}
+
+}  // namespace
+
+std::string Table::to_json() const {
+  std::ostringstream os;
+  os << "[\n";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    os << "  {";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      if (c) os << ", ";
+      append_json_string(os, headers_[c]);
+      os << ": ";
+      if (is_json_number(rows_[r][c])) {
+        os << rows_[r][c];
+      } else {
+        append_json_string(os, rows_[r][c]);
+      }
+    }
+    os << (r + 1 < rows_.size() ? "},\n" : "}\n");
+  }
+  os << "]\n";
   return os.str();
 }
 

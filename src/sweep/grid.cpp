@@ -1,0 +1,117 @@
+#include "stackroute/sweep/grid.h"
+
+#include <cmath>
+
+#include "stackroute/util/error.h"
+
+namespace stackroute::sweep {
+
+ParamPoint::ParamPoint(SharedNames names, std::vector<double> values)
+    : names_(std::move(names)), values_(std::move(values)) {
+  SR_REQUIRE((names_ ? names_->size() : 0) == values_.size(),
+             "point needs one value per name");
+}
+
+ParamPoint::ParamPoint(std::vector<std::string> names,
+                       std::vector<double> values)
+    : ParamPoint(
+          std::make_shared<const std::vector<std::string>>(std::move(names)),
+          std::move(values)) {}
+
+const std::vector<std::string>& ParamPoint::names() const {
+  static const std::vector<std::string> empty;
+  return names_ ? *names_ : empty;
+}
+
+double ParamPoint::get(std::string_view name) const {
+  const auto& names = this->names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return values_[i];
+  }
+  detail::throw_error("precondition", "point.has(name)", __FILE__, __LINE__,
+                      "unknown sweep parameter: " + std::string(name));
+}
+
+double ParamPoint::get_or(std::string_view name, double fallback) const {
+  const auto& names = this->names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return values_[i];
+  }
+  return fallback;
+}
+
+int ParamPoint::get_int(std::string_view name) const {
+  const double v = get(name);
+  const double r = std::round(v);
+  SR_REQUIRE(std::fabs(v - r) < 1e-9,
+             "parameter " + std::string(name) + " is not integral");
+  return static_cast<int>(r);
+}
+
+bool ParamPoint::has(std::string_view name) const {
+  for (const auto& n : names()) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+ParamGrid::ParamGrid(std::vector<ParamAxis> axes) {
+  for (auto& axis : axes) add(std::move(axis.name), std::move(axis.values));
+}
+
+ParamGrid& ParamGrid::add(std::string name, std::vector<double> values) {
+  SR_REQUIRE(!name.empty(), "axis needs a name");
+  SR_REQUIRE(!values.empty(), "axis " + name + " needs >= 1 value");
+  for (const auto& axis : axes_) {
+    SR_REQUIRE(axis.name != name, "duplicate axis name: " + name);
+  }
+  axes_.push_back({std::move(name), std::move(values)});
+  shared_names_ = std::make_shared<const std::vector<std::string>>(names());
+  return *this;
+}
+
+ParamGrid& ParamGrid::add_linspace(std::string name, double lo, double hi,
+                                   int count) {
+  SR_REQUIRE(count >= 1, "linspace needs count >= 1");
+  std::vector<double> values;
+  values.reserve(static_cast<std::size_t>(count));
+  for (int k = 0; k < count; ++k) {
+    values.push_back(count == 1 ? lo : lo + (hi - lo) * k / (count - 1));
+  }
+  return add(std::move(name), std::move(values));
+}
+
+ParamGrid& ParamGrid::add_range(std::string name, int lo, int hi, int step) {
+  SR_REQUIRE(step > 0, "range needs step > 0");
+  SR_REQUIRE(lo <= hi, "range needs lo <= hi");
+  std::vector<double> values;
+  for (int v = lo; v <= hi; v += step) values.push_back(v);
+  return add(std::move(name), std::move(values));
+}
+
+std::size_t ParamGrid::size() const {
+  std::size_t n = 1;
+  for (const auto& axis : axes_) n *= axis.values.size();
+  return n;
+}
+
+ParamPoint ParamGrid::at(std::size_t index) const {
+  SR_REQUIRE(index < size(), "grid index out of range");
+  std::vector<double> values(axes_.size());
+  for (std::size_t a = axes_.size(); a-- > 0;) {
+    const std::size_t width = axes_[a].values.size();
+    values[a] = axes_[a].values[index % width];
+    index /= width;
+  }
+  if (axes_.empty()) return {};
+  return {shared_names_, std::move(values)};
+}
+
+std::vector<std::string> ParamGrid::names() const {
+  std::vector<std::string> out;
+  out.reserve(axes_.size());
+  for (const auto& axis : axes_) out.push_back(axis.name);
+  return out;
+}
+
+}  // namespace stackroute::sweep

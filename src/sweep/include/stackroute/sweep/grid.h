@@ -1,0 +1,91 @@
+// Parameter grids for scenario sweeps.
+//
+// A sweep crosses named axes (demand r, latency degree, link count, β
+// targets, ...) into their cartesian product; each grid point is a
+// ParamPoint the instance factory and metric extractors read by name.
+// Points are addressable by a flat index in [0, size()), row-major with
+// the first axis slowest, so a sweep is just a parallel loop over indices
+// and task i means the same parameter combination at any thread count.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stackroute::sweep {
+
+/// One named sweep dimension. Integer-valued parameters (degrees, link
+/// counts, replicate ids) are stored as exactly-representable doubles.
+struct ParamAxis {
+  std::string name;
+  std::vector<double> values;
+};
+
+/// Axis names shared by every point of a grid — one heap copy per grid,
+/// not per task (million-task sweeps would otherwise duplicate them).
+using SharedNames = std::shared_ptr<const std::vector<std::string>>;
+
+/// A single grid point: values in axis order, names shared with the grid.
+class ParamPoint {
+ public:
+  ParamPoint() = default;
+  ParamPoint(SharedNames names, std::vector<double> values);
+  /// Convenience for hand-built points (wraps the names in a SharedNames).
+  ParamPoint(std::vector<std::string> names, std::vector<double> values);
+
+  /// Value of the named parameter; throws stackroute::Error if absent.
+  [[nodiscard]] double get(std::string_view name) const;
+
+  /// Value of the named parameter, or `fallback` if the point lacks it.
+  [[nodiscard]] double get_or(std::string_view name, double fallback) const;
+
+  /// get() rounded to int; throws unless the value is integral.
+  [[nodiscard]] int get_int(std::string_view name) const;
+
+  [[nodiscard]] bool has(std::string_view name) const;
+
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+  [[nodiscard]] const std::vector<std::string>& names() const;
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+
+ private:
+  SharedNames names_;
+  std::vector<double> values_;
+};
+
+/// Cartesian product of axes. An axis-free grid has exactly one (empty)
+/// point — the degenerate sweep over a single fixed configuration.
+class ParamGrid {
+ public:
+  ParamGrid() = default;
+  explicit ParamGrid(std::vector<ParamAxis> axes);
+
+  /// Appends an axis; names must be unique, values non-empty.
+  ParamGrid& add(std::string name, std::vector<double> values);
+
+  /// `count` evenly spaced values over [lo, hi] (count == 1 gives {lo}).
+  ParamGrid& add_linspace(std::string name, double lo, double hi, int count);
+
+  /// Integers lo, lo+step, ..., <= hi (inclusive).
+  ParamGrid& add_range(std::string name, int lo, int hi, int step = 1);
+
+  /// Number of grid points (product of axis sizes; 1 when axis-free).
+  [[nodiscard]] std::size_t size() const;
+
+  /// Point for flat index in [0, size()), first axis slowest.
+  [[nodiscard]] ParamPoint at(std::size_t index) const;
+
+  [[nodiscard]] std::size_t num_axes() const { return axes_.size(); }
+  [[nodiscard]] const std::vector<ParamAxis>& axes() const { return axes_; }
+
+  /// Axis names in order — the parameter columns of the result table.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  std::vector<ParamAxis> axes_;
+  SharedNames shared_names_;  // rebuilt by add(); handed to every point
+};
+
+}  // namespace stackroute::sweep

@@ -1,0 +1,101 @@
+// Pluggable metric extractors for scenario sweeps.
+//
+// A Metric is a named function of a TaskEval — the per-task evaluation
+// context holding the grid point and the instance (parallel links or a
+// network). TaskEval caches the expensive solves (OpTop, MOP, the Nash and
+// optimum assignments) so that a metric list like {beta, poa, nash_cost}
+// runs each solver once per task, not once per metric. Custom metrics are
+// plain lambdas; the builtin ones dispatch on the instance shape:
+// β via op_top on parallel links and mop on networks, C(N)/C(O)/C(S+T)
+// from the cached results, and solver round counts.
+#pragma once
+
+#include <any>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "stackroute/core/mop.h"
+#include "stackroute/core/optop.h"
+#include "stackroute/equilibrium/network.h"
+#include "stackroute/equilibrium/parallel.h"
+#include "stackroute/network/instance.h"
+#include "stackroute/sweep/grid.h"
+
+namespace stackroute::sweep {
+
+/// The two input shapes of the paper's algorithms, as one sweepable type.
+using Instance = std::variant<ParallelLinks, NetworkInstance>;
+
+/// Per-task evaluation context with memoized solver results.
+class TaskEval {
+ public:
+  TaskEval(const ParamPoint& point, const Instance& instance)
+      : point_(point), instance_(instance) {}
+
+  [[nodiscard]] const ParamPoint& point() const { return point_; }
+  [[nodiscard]] bool is_parallel() const;
+
+  /// The instance as parallel links / a network; throws on shape mismatch.
+  [[nodiscard]] const ParallelLinks& links() const;
+  [[nodiscard]] const NetworkInstance& network() const;
+
+  /// Cached OpTop run (parallel links only).
+  const OpTopResult& optop();
+  /// Cached MOP run (networks only).
+  const MopResult& mop_result();
+  /// Cached Nash / optimum network assignments (networks only).
+  const NetworkAssignment& network_nash();
+  const NetworkAssignment& network_optimum();
+
+  // Shape-dispatching accessors, usable from any metric.
+  double beta();              // β_M via OpTop or β_G via MOP
+  double poa();               // C(N)/C(O)
+  double nash_cost();         // C(N)
+  double optimum_cost();      // C(O)
+  double stackelberg_cost();  // C(S+T) of the optimal Leader strategy
+  double rounds();  // OpTop freeze rounds; NaN on networks (MOP is one-shot)
+
+  /// Memoizes an arbitrary intermediate result under `key` for this task's
+  /// lifetime, so several custom metrics can share one expensive solve
+  /// (e.g. a Thm 2.4 strategy whose cost, ratio and split index each feed
+  /// a column). TaskEval is confined to one task, hence one thread.
+  template <typename T, typename Fn>
+  const T& cached(const std::string& key, Fn&& compute) {
+    auto it = cache_.find(key);
+    if (it == cache_.end()) {
+      it = cache_.emplace(key, std::any(compute())).first;
+    }
+    return std::any_cast<const T&>(it->second);
+  }
+
+ private:
+  const ParamPoint& point_;
+  const Instance& instance_;
+  std::optional<OpTopResult> optop_;
+  std::optional<MopResult> mop_;
+  std::optional<NetworkAssignment> net_nash_;
+  std::optional<NetworkAssignment> net_opt_;
+  std::map<std::string, std::any> cache_;
+};
+
+/// A result-table column: name plus extractor.
+struct Metric {
+  std::string column;
+  std::function<double(TaskEval&)> fn;
+};
+
+Metric metric_beta();
+Metric metric_poa();
+Metric metric_nash_cost();
+Metric metric_optimum_cost();
+Metric metric_stackelberg_cost();
+Metric metric_optop_rounds();
+
+/// {beta, poa, C(N), C(O), C(S+T)} — the paper's headline quantities.
+std::vector<Metric> default_metrics();
+
+}  // namespace stackroute::sweep

@@ -1,0 +1,79 @@
+// SweepRunner: expands a ScenarioSpec's grid into tasks, executes them
+// through util/parallel.h, and aggregates metric rows into io::Table.
+//
+// Determinism contract: the metric values in a SweepResult — and therefore
+// to_markdown()/to_csv()/to_json() — are bitwise identical at any thread
+// count (set_max_threads(1) vs default), because every task derives its
+// Rng from mix_seed(base_seed, index) and writes only its own record.
+// Wall-clock timings are the one nondeterministic output and live apart:
+// per-task in TaskRecord::millis, aggregated in timing_table()/summary().
+//
+// A task that throws stackroute::Error (infeasible instance, solver
+// failure) is recorded as a failed row with NaN metrics rather than
+// aborting the sweep; num_failed() and the status column report it.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "stackroute/io/table.h"
+#include "stackroute/sweep/scenario.h"
+
+namespace stackroute::sweep {
+
+struct SweepOptions {
+  /// Metric formatting precision in table()/to_csv()/to_markdown().
+  int digits = 6;
+  /// When false, run() rethrows the first task failure after the sweep
+  /// finishes instead of reporting failed rows.
+  bool keep_going = true;
+};
+
+struct TaskRecord {
+  ParamPoint point;
+  std::vector<double> metrics;  // NaN-filled when !ok
+  bool ok = true;
+  std::string error;
+  double millis = 0.0;  // wall clock; excluded from deterministic exports
+};
+
+struct SweepResult {
+  std::string scenario;
+  std::vector<std::string> param_columns;
+  std::vector<std::string> metric_columns;
+  std::vector<TaskRecord> records;
+  int digits = 6;
+  double total_millis = 0.0;
+  int threads = 1;
+
+  [[nodiscard]] std::size_t num_tasks() const { return records.size(); }
+  [[nodiscard]] std::size_t num_failed() const;
+
+  /// Deterministic result table: parameter columns, metric columns, status.
+  [[nodiscard]] Table table() const;
+  /// table() plus the per-task wall-clock column (nondeterministic).
+  [[nodiscard]] Table timing_table() const;
+
+  [[nodiscard]] std::string to_markdown() const { return table().to_markdown(); }
+  [[nodiscard]] std::string to_csv() const { return table().to_csv(); }
+  [[nodiscard]] std::string to_json() const { return table().to_json(); }
+
+  /// One-line run report: task/failure counts, total time, thread count.
+  [[nodiscard]] std::string summary() const;
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions opts = {}) : opts_(opts) {}
+
+  /// Runs every grid point of `spec` (in parallel unless
+  /// set_max_threads(1)); requires a factory, >= 1 metric, and column
+  /// names (axes + metrics) to be pairwise distinct.
+  [[nodiscard]] SweepResult run(const ScenarioSpec& spec) const;
+
+ private:
+  SweepOptions opts_;
+};
+
+}  // namespace stackroute::sweep

@@ -1,0 +1,52 @@
+// Declarative sweep scenarios: an instance source crossed with a
+// parameter grid and a list of metric extractors.
+//
+// The instance source is any callable (ParamPoint, Rng&) -> Instance:
+// paper examples (generators.h / hard_instances.h), randomized families
+// drawn from the per-task Rng, or files via io/serialize (see
+// file_instance_source). The Rng handed to the factory is seeded with
+// mix_seed(base_seed, task_index), so a scenario's results are a pure
+// function of (spec, grid index) — independent of thread count and
+// execution order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "stackroute/sweep/grid.h"
+#include "stackroute/sweep/metrics.h"
+#include "stackroute/util/rng.h"
+
+namespace stackroute::sweep {
+
+using InstanceFactory = std::function<Instance(const ParamPoint&, Rng&)>;
+
+struct ScenarioSpec {
+  std::string name;
+  std::string description;
+  ParamGrid grid;
+  InstanceFactory factory;
+  std::vector<Metric> metrics;
+  /// Root of the per-task seed derivation (see header comment).
+  std::uint64_t base_seed = 1;
+};
+
+/// Parses a serialized instance, auto-detecting the header keyword
+/// (`parallel_links` vs `network`, see io/serialize.h).
+Instance load_instance_text(const std::string& text);
+
+/// load_instance_text over a file's contents; throws on unreadable paths.
+Instance load_instance_file(const std::string& path);
+
+/// Factory serving the given instance file at every grid point. If the
+/// grid has a "demand" axis, the point's demand replaces the file's: set
+/// directly on parallel links, and scaled proportionally across
+/// commodities on networks (so multicommodity splits are preserved).
+InstanceFactory file_instance_source(std::string path);
+
+/// The same demand override, exposed for custom factories.
+void override_demand(Instance& instance, double demand);
+
+}  // namespace stackroute::sweep

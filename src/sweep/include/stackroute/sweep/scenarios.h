@@ -1,0 +1,27 @@
+// Builtin scenario registry — the named sweeps behind `stackroute-sweep`
+// and the bench wrappers. Each entry is a zero-argument recipe so listing
+// the registry stays cheap; make() builds the full spec on demand.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "stackroute/sweep/scenario.h"
+
+namespace stackroute::sweep {
+
+struct NamedScenario {
+  std::string name;
+  std::string summary;
+  std::function<ScenarioSpec()> make;
+};
+
+/// All builtin scenarios, in display order.
+const std::vector<NamedScenario>& builtin_scenarios();
+
+/// Builds the named scenario; throws stackroute::Error (listing the valid
+/// names) when unknown.
+ScenarioSpec make_scenario(const std::string& name);
+
+}  // namespace stackroute::sweep

@@ -1,0 +1,99 @@
+#include "stackroute/sweep/metrics.h"
+
+#include <cmath>
+#include <limits>
+
+#include "stackroute/util/error.h"
+
+namespace stackroute::sweep {
+
+bool TaskEval::is_parallel() const {
+  return std::holds_alternative<ParallelLinks>(instance_);
+}
+
+const ParallelLinks& TaskEval::links() const {
+  SR_REQUIRE(is_parallel(), "metric needs a parallel-links instance");
+  return std::get<ParallelLinks>(instance_);
+}
+
+const NetworkInstance& TaskEval::network() const {
+  SR_REQUIRE(!is_parallel(), "metric needs a network instance");
+  return std::get<NetworkInstance>(instance_);
+}
+
+const OpTopResult& TaskEval::optop() {
+  if (!optop_) optop_ = op_top(links());
+  return *optop_;
+}
+
+const MopResult& TaskEval::mop_result() {
+  if (!mop_) mop_ = mop(network());
+  return *mop_;
+}
+
+const NetworkAssignment& TaskEval::network_nash() {
+  if (!net_nash_) net_nash_ = solve_nash(network());
+  return *net_nash_;
+}
+
+const NetworkAssignment& TaskEval::network_optimum() {
+  if (!net_opt_) net_opt_ = solve_optimum(network());
+  return *net_opt_;
+}
+
+double TaskEval::beta() {
+  return is_parallel() ? optop().beta : mop_result().beta;
+}
+
+double TaskEval::poa() { return nash_cost() / optimum_cost(); }
+
+double TaskEval::nash_cost() {
+  return is_parallel() ? optop().nash_cost : network_nash().cost;
+}
+
+double TaskEval::optimum_cost() {
+  if (is_parallel()) return optop().optimum_cost;
+  // Reuse MOP's optimum when some other metric already paid for it.
+  if (mop_) return mop_->optimum_cost;
+  return network_optimum().cost;
+}
+
+double TaskEval::stackelberg_cost() {
+  return is_parallel() ? optop().induced_cost : mop_result().induced_cost;
+}
+
+double TaskEval::rounds() {
+  if (!is_parallel()) return std::numeric_limits<double>::quiet_NaN();
+  return static_cast<double>(optop().rounds.size());
+}
+
+Metric metric_beta() {
+  return {"beta", [](TaskEval& e) { return e.beta(); }};
+}
+
+Metric metric_poa() {
+  return {"poa", [](TaskEval& e) { return e.poa(); }};
+}
+
+Metric metric_nash_cost() {
+  return {"nash_cost", [](TaskEval& e) { return e.nash_cost(); }};
+}
+
+Metric metric_optimum_cost() {
+  return {"opt_cost", [](TaskEval& e) { return e.optimum_cost(); }};
+}
+
+Metric metric_stackelberg_cost() {
+  return {"stackelberg_cost", [](TaskEval& e) { return e.stackelberg_cost(); }};
+}
+
+Metric metric_optop_rounds() {
+  return {"optop_rounds", [](TaskEval& e) { return e.rounds(); }};
+}
+
+std::vector<Metric> default_metrics() {
+  return {metric_beta(), metric_poa(), metric_nash_cost(),
+          metric_optimum_cost(), metric_stackelberg_cost()};
+}
+
+}  // namespace stackroute::sweep

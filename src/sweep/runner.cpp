@@ -1,0 +1,150 @@
+#include "stackroute/sweep/runner.h"
+
+#include <limits>
+#include <set>
+#include <sstream>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "stackroute/util/error.h"
+#include "stackroute/util/parallel.h"
+#include "stackroute/util/stopwatch.h"
+
+namespace stackroute::sweep {
+
+std::size_t SweepResult::num_failed() const {
+  std::size_t n = 0;
+  for (const auto& rec : records) n += rec.ok ? 0 : 1;
+  return n;
+}
+
+namespace {
+
+Table build_table(const SweepResult& r, bool with_timing) {
+  std::vector<std::string> headers = r.param_columns;
+  headers.insert(headers.end(), r.metric_columns.begin(),
+                 r.metric_columns.end());
+  headers.emplace_back("status");
+  if (with_timing) headers.emplace_back("millis");
+  Table t(std::move(headers));
+  for (const auto& rec : r.records) {
+    std::vector<std::string> row;
+    row.reserve(rec.point.size() + rec.metrics.size() + 2);
+    for (double v : rec.point.values()) row.push_back(format_double(v, r.digits));
+    // A task that failed before its point materialized has no param values.
+    for (std::size_t k = rec.point.size(); k < r.param_columns.size(); ++k) {
+      row.emplace_back("nan");
+    }
+    for (double v : rec.metrics) row.push_back(format_double(v, r.digits));
+    row.emplace_back(rec.ok ? "ok" : "error");
+    if (with_timing) row.push_back(format_double(rec.millis, 3));
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+}  // namespace
+
+Table SweepResult::table() const { return build_table(*this, false); }
+
+Table SweepResult::timing_table() const { return build_table(*this, true); }
+
+std::string SweepResult::summary() const {
+  std::ostringstream os;
+  os << scenario << ": " << num_tasks() << " tasks, " << num_failed()
+     << " failed, " << format_double(total_millis, 1) << " ms total, "
+     << threads << " thread(s)";
+  return os.str();
+}
+
+SweepResult SweepRunner::run(const ScenarioSpec& spec) const {
+  SR_REQUIRE(spec.factory, "scenario " + spec.name + " has no factory");
+  SR_REQUIRE(!spec.metrics.empty(),
+             "scenario " + spec.name + " has no metrics");
+
+  SweepResult result;
+  result.scenario = spec.name;
+  result.param_columns = spec.grid.names();
+  for (const auto& m : spec.metrics) result.metric_columns.push_back(m.column);
+  result.digits = opts_.digits;
+
+  // Duplicate column names would collapse to one key in to_json(),
+  // silently dropping a column; reject them like ParamGrid::add does —
+  // including the columns table()/timing_table() append — before any
+  // compute is spent.
+  std::set<std::string> columns = {"status", "millis"};
+  for (const auto& name : result.param_columns) {
+    SR_REQUIRE(columns.insert(name).second,
+               "reserved or duplicate sweep column name: " + name);
+  }
+  for (const auto& m : spec.metrics) {
+    SR_REQUIRE(columns.insert(m.column).second,
+               "reserved or duplicate sweep column name: " + m.column);
+  }
+
+  const std::size_t n = spec.grid.size();
+  result.records.resize(n);
+
+  // The determinism contract needs the solvers' own parallel reductions
+  // serialized: inside the fan-out below they are nested OpenMP regions and
+  // collapse to one thread, but a single-task sweep never opens the outer
+  // region, so pin it to one thread explicitly. Capping active levels
+  // guards the nested case even under OMP_MAX_ACTIVE_LEVELS overrides.
+#ifdef _OPENMP
+  const int saved_levels = omp_get_max_active_levels();
+  omp_set_max_active_levels(1);
+#endif
+  const int saved_threads = max_threads_setting();
+  if (n < 2) set_max_threads(1);
+  result.threads = max_threads();  // after the pin, so summary() is honest
+
+  Stopwatch total;
+  // grain = 1: tasks are whole equilibrium computations, orders of
+  // magnitude heavier than the OpenMP dispatch overhead the default grain
+  // guards against — and 100-task grids should still fan out.
+  parallel_for(
+      n,
+      [&](std::size_t i) {
+        TaskRecord& rec = result.records[i];
+        Stopwatch sw;
+        // Exceptions must not escape an OpenMP region: record and move on,
+        // decide about rethrowing once the loop has joined. grid.at() is
+        // inside too — even a bad_alloc there must become a failed row.
+        try {
+          rec.point = spec.grid.at(i);
+          Rng rng(mix_seed(spec.base_seed, i));
+          const Instance instance = spec.factory(rec.point, rng);
+          TaskEval eval(rec.point, instance);
+          rec.metrics.reserve(spec.metrics.size());
+          for (const auto& m : spec.metrics) rec.metrics.push_back(m.fn(eval));
+        } catch (const std::exception& e) {
+          rec.ok = false;
+          rec.error = e.what();
+          rec.metrics.assign(spec.metrics.size(),
+                             std::numeric_limits<double>::quiet_NaN());
+        } catch (...) {  // foreign exception types must not escape either
+          rec.ok = false;
+          rec.error = "unknown error (non-std exception)";
+          rec.metrics.assign(spec.metrics.size(),
+                             std::numeric_limits<double>::quiet_NaN());
+        }
+        rec.millis = sw.milliseconds();
+      },
+      /*grain=*/1);
+  result.total_millis = total.milliseconds();
+  if (n < 2) set_max_threads(saved_threads);
+#ifdef _OPENMP
+  omp_set_max_active_levels(saved_levels);
+#endif
+
+  if (!opts_.keep_going) {
+    for (const auto& rec : result.records) {
+      SR_REQUIRE(rec.ok, "sweep task failed: " + rec.error);
+    }
+  }
+  return result;
+}
+
+}  // namespace stackroute::sweep

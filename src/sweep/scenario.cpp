@@ -1,0 +1,66 @@
+#include "stackroute/sweep/scenario.h"
+
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "stackroute/io/serialize.h"
+#include "stackroute/util/error.h"
+
+namespace stackroute::sweep {
+
+namespace {
+
+/// First non-comment, non-blank line decides the format.
+bool looks_like_parallel_links(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto pos = line.find_first_not_of(" \t\r");
+    if (pos == std::string::npos || line[pos] == '#') continue;
+    return line.compare(pos, 14, "parallel_links") == 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+Instance load_instance_text(const std::string& text) {
+  if (looks_like_parallel_links(text)) {
+    return parallel_links_from_string(text);
+  }
+  return network_from_string(text);
+}
+
+Instance load_instance_file(const std::string& path) {
+  std::ifstream in(path);
+  SR_REQUIRE(in.good(), "cannot open instance file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return load_instance_text(buffer.str());
+}
+
+void override_demand(Instance& instance, double demand) {
+  SR_REQUIRE(demand > 0.0, "demand override must be positive");
+  if (auto* m = std::get_if<ParallelLinks>(&instance)) {
+    m->demand = demand;
+    return;
+  }
+  auto& net = std::get<NetworkInstance>(instance);
+  const double total = net.total_demand();
+  SR_REQUIRE(total > 0.0, "instance has no demand to rescale");
+  for (auto& c : net.commodities) c.demand *= demand / total;
+}
+
+InstanceFactory file_instance_source(std::string path) {
+  // Parse once up front (also surfaces bad files before the sweep starts);
+  // tasks copy the prototype and apply their own demand.
+  auto prototype = std::make_shared<Instance>(load_instance_file(path));
+  return [prototype](const ParamPoint& point, Rng&) {
+    Instance inst = *prototype;
+    if (point.has("demand")) override_demand(inst, point.get("demand"));
+    return inst;
+  };
+}
+
+}  // namespace stackroute::sweep

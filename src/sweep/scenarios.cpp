@@ -1,0 +1,172 @@
+#include "stackroute/sweep/scenarios.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "stackroute/core/hard_instances.h"
+#include "stackroute/core/strategy.h"
+#include "stackroute/latency/families.h"
+#include "stackroute/network/generators.h"
+#include "stackroute/util/error.h"
+
+namespace stackroute::sweep {
+
+namespace {
+
+// Degree-d Pigou {x^d, 1} at demand r: the flagship grid. For r = 1 the
+// closed forms β = 1 − (d+1)^{−1/d} and ρ = (1 − d·(d+1)^{−(d+1)/d})^{−1}
+// hold; sweeping r shows how both deform away from the unit-demand story.
+ScenarioSpec pigou_grid() {
+  ScenarioSpec spec;
+  spec.name = "pigou-grid";
+  spec.description =
+      "nonlinear Pigou {x^d, 1}: latency degree x demand, beta/PoA/costs";
+  spec.grid.add_range("degree", 1, 12).add_linspace("demand", 0.25, 3.0, 12);
+  spec.factory = [](const ParamPoint& p, Rng&) -> Instance {
+    ParallelLinks m;
+    m.links = {make_monomial(1.0, p.get_int("degree")), make_constant(1.0)};
+    m.demand = p.get("demand");
+    return m;
+  };
+  spec.metrics = default_metrics();
+  spec.metrics.push_back(metric_optop_rounds());
+  return spec;
+}
+
+ScenarioSpec affine_random() {
+  ScenarioSpec spec;
+  spec.name = "affine-random";
+  spec.description =
+      "random affine links: size x demand x replicate, PoA <= 4/3 check";
+  spec.grid.add("links", {2, 4, 6, 8})
+      .add("demand", {0.5, 1.0, 2.0, 4.0})
+      .add_range("replicate", 0, 9);
+  spec.factory = [](const ParamPoint& p, Rng& rng) -> Instance {
+    return random_affine_links(rng, p.get_int("links"), p.get("demand"));
+  };
+  spec.metrics = {metric_beta(), metric_poa(), metric_nash_cost(),
+                  metric_optimum_cost()};
+  return spec;
+}
+
+ScenarioSpec mm1_two_groups_scenario() {
+  ScenarioSpec spec;
+  spec.name = "mm1-two-groups";
+  spec.description =
+      "M/M/1 fast/slow groups at fixed total capacity 20 (Cor. 2.2 remark)";
+  spec.grid.add_range("fast_links", 1, 5).add("demand", {11, 13, 15, 17});
+  spec.factory = [](const ParamPoint& p, Rng&) -> Instance {
+    const int servers = 10;
+    const double total_capacity = 20.0;
+    const int fast = p.get_int("fast_links");
+    const double fast_mu = 0.6 * total_capacity / fast;
+    const double slow_mu = 0.4 * total_capacity / (servers - fast);
+    return mm1_two_groups(fast, fast_mu, servers - fast, slow_mu,
+                          p.get("demand"));
+  };
+  // The mu columns read the built instance (fast links come first in
+  // mm1_two_groups), so they cannot drift from the factory's formulas.
+  spec.metrics = {
+      {"mu_fast",
+       [](TaskEval& e) { return e.links().links.front()->capacity(); }},
+      {"mu_slow",
+       [](TaskEval& e) { return e.links().links.back()->capacity(); }},
+      metric_poa(),
+      metric_beta()};
+  return spec;
+}
+
+ScenarioSpec thm24_hard() {
+  ScenarioSpec spec;
+  spec.name = "thm24-hard";
+  spec.description =
+      "common-slope hard instances: exact vs LLF strategies at alpha = beta/2";
+  spec.grid.add("links", {3, 5, 8})
+      .add("slope", {0.5, 1.0, 2.0})
+      .add_range("replicate", 0, 4);
+  spec.factory = [](const ParamPoint& p, Rng& rng) -> Instance {
+    return random_common_slope_links(rng, p.get_int("links"), 2.0,
+                                     p.get("slope"));
+  };
+  spec.metrics = {
+      metric_beta(),
+      metric_poa(),
+      {"exact_ratio_halfbeta",
+       [](TaskEval& e) {
+         return optimal_strategy_common_slope(e.links(), 0.5 * e.beta()).ratio;
+       }},
+      {"llf_ratio_halfbeta",
+       [](TaskEval& e) {
+         const auto s = llf_strategy(e.links(), 0.5 * e.beta());
+         return evaluate_strategy(e.links(), s).ratio;
+       }}};
+  return spec;
+}
+
+ScenarioSpec braess_eps() {
+  ScenarioSpec spec;
+  spec.name = "braess-eps";
+  spec.description =
+      "Fig. 7 Braess-topology family: beta_G = 1/2 + 2eps via MOP";
+  spec.grid.add_linspace("eps", 0.001, 0.12, 30);
+  spec.factory = [](const ParamPoint& p, Rng&) -> Instance {
+    return fig7_instance(p.get("eps"));
+  };
+  spec.metrics = {
+      metric_beta(),
+      {"beta_closed_form",
+       [](TaskEval& e) { return 0.5 + 2.0 * e.point().get("eps"); }},
+      metric_poa(),
+      metric_optimum_cost()};
+  return spec;
+}
+
+ScenarioSpec layered_dag() {
+  ScenarioSpec spec;
+  spec.name = "layered-dag";
+  spec.description =
+      "random layered DAGs: beta_G via MOP on arbitrary single-commodity nets";
+  spec.grid.add("layers", {2, 3})
+      .add("width", {3, 4})
+      .add("demand", {1.0, 2.0})
+      .add_range("replicate", 0, 2);
+  spec.factory = [](const ParamPoint& p, Rng& rng) -> Instance {
+    return random_layered_dag(rng, p.get_int("layers"), p.get_int("width"),
+                              0.6, p.get("demand"));
+  };
+  spec.metrics = {metric_beta(), metric_poa(), metric_nash_cost(),
+                  metric_optimum_cost(), metric_stackelberg_cost()};
+  return spec;
+}
+
+}  // namespace
+
+const std::vector<NamedScenario>& builtin_scenarios() {
+  static const std::vector<NamedScenario> registry = {
+      {"pigou-grid", "144-task degree x demand grid on nonlinear Pigou",
+       pigou_grid},
+      {"affine-random", "160 random affine systems, PoA <= 4/3 territory",
+       affine_random},
+      {"mm1-two-groups", "M/M/1 concentration sweep (remark after Cor. 2.2)",
+       mm1_two_groups_scenario},
+      {"thm24-hard", "Theorem 2.4 common-slope strategies below beta",
+       thm24_hard},
+      {"braess-eps", "Fig. 7 family, beta_G vs closed form 1/2 + 2eps",
+       braess_eps},
+      {"layered-dag", "MOP on random layered DAGs", layered_dag},
+  };
+  return registry;
+}
+
+ScenarioSpec make_scenario(const std::string& name) {
+  for (const auto& s : builtin_scenarios()) {
+    if (s.name == name) return s.make();
+  }
+  std::ostringstream os;
+  os << "unknown scenario: " << name << " (valid:";
+  for (const auto& s : builtin_scenarios()) os << ' ' << s.name;
+  os << ')';
+  throw Error(os.str());
+}
+
+}  // namespace stackroute::sweep

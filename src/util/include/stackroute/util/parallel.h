@@ -19,6 +19,10 @@ namespace stackroute {
 void set_max_threads(int n);
 int max_threads();
 
+/// The raw set_max_threads value (0 = default), for save/restore around a
+/// scope that needs to pin the thread count.
+int max_threads_setting();
+
 /// Parallel loop over [0, n). `fn(i)` must be safe to run concurrently for
 /// distinct i. Falls back to a serial loop for small n where spawning a
 /// team costs more than the work.
@@ -26,7 +30,7 @@ template <typename Fn>
 void parallel_for(std::size_t n, Fn&& fn, std::size_t grain = 64) {
 #ifdef _OPENMP
   if (n >= 2 * grain && max_threads() != 1) {
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) num_threads(max_threads())
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
@@ -42,7 +46,8 @@ double parallel_sum(std::size_t n, Fn&& fn, std::size_t grain = 512) {
   double total = 0.0;
 #ifdef _OPENMP
   if (n >= 2 * grain && max_threads() != 1) {
-#pragma omp parallel for schedule(static) reduction(+ : total)
+#pragma omp parallel for schedule(static) reduction(+ : total) \
+    num_threads(max_threads())
     for (std::size_t i = 0; i < n; ++i) total += fn(i);
     return total;
   }

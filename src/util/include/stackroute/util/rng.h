@@ -36,4 +36,10 @@ class Rng {
   std::array<std::uint64_t, 4> state_{};
 };
 
+/// Derives an independent seed for stream `stream` of a family rooted at
+/// `base`, by hashing both through splitmix64. Parallel sweeps seed task i
+/// with mix_seed(base_seed, i) so every task draws the same numbers no
+/// matter which thread runs it or in what order.
+std::uint64_t mix_seed(std::uint64_t base, std::uint64_t stream);
+
 }  // namespace stackroute

@@ -10,6 +10,8 @@ std::atomic<int> g_max_threads{0};
 
 void set_max_threads(int n) { g_max_threads.store(n < 0 ? 0 : n); }
 
+int max_threads_setting() { return g_max_threads.load(); }
+
 int max_threads() {
   const int n = g_max_threads.load();
 #ifdef _OPENMP

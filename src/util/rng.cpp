@@ -44,6 +44,15 @@ double Rng::uniform(double lo, double hi) {
   return lo + (hi - lo) * uniform01();
 }
 
+std::uint64_t mix_seed(std::uint64_t base, std::uint64_t stream) {
+  // Two dependent splitmix64 steps: absorbing the stream between them keeps
+  // nearby (base, stream) pairs far apart in seed space.
+  std::uint64_t s = base;
+  (void)splitmix64(s);
+  s ^= stream * 0xD1342543DE82EF95ull + 0x2545F4914F6CDD1Dull;
+  return splitmix64(s);
+}
+
 std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
   SR_REQUIRE(lo <= hi, "uniform_int(lo, hi) needs lo <= hi");
   const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;

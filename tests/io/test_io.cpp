@@ -1,6 +1,7 @@
 // Table formatting and instance (de)serialization round-trips.
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
 #include "stackroute/equilibrium/network.h"
@@ -48,6 +49,84 @@ TEST(Table, CsvLayout) {
 TEST(Table, RowWidthMismatchThrows) {
   Table t({"a", "b"});
   EXPECT_THROW(t.add_row({"only one"}), Error);
+}
+
+TEST(Table, DuplicateHeadersThrow) {
+  EXPECT_THROW(Table({"x", "y", "x"}), Error);
+}
+
+TEST(Table, JsonLayout) {
+  Table t({"link", "beta"});
+  t.add_row({"M1", "0.5"});
+  t.add_row({"say \"hi\"", "nan"});
+  const std::string json = t.to_json();
+  // Numeric cells unquoted; nan and free text quoted (and escaped).
+  EXPECT_NE(json.find("\"beta\": 0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"link\": \"M1\""), std::string::npos);
+  EXPECT_NE(json.find("\"beta\": \"nan\""), std::string::npos);
+  EXPECT_NE(json.find("\"say \\\"hi\\\"\""), std::string::npos);
+}
+
+TEST(Table, JsonEmptyTable) {
+  EXPECT_EQ(Table({"a"}).to_json(), "[\n]\n");
+}
+
+TEST(Table, JsonOnlyEmitsStrictNumbersUnquoted) {
+  // strtod accepts these, RFC 8259 does not: they must stay strings.
+  Table t({"a", "b", "c", "d", "e"});
+  t.add_row({"+5", ".5", "1.", "0x1A", "01"});
+  const std::string json = t.to_json();
+  EXPECT_NE(json.find("\"a\": \"+5\""), std::string::npos);
+  EXPECT_NE(json.find("\"b\": \".5\""), std::string::npos);
+  EXPECT_NE(json.find("\"c\": \"1.\""), std::string::npos);
+  EXPECT_NE(json.find("\"d\": \"0x1A\""), std::string::npos);
+  EXPECT_NE(json.find("\"e\": \"01\""), std::string::npos);
+  // Valid JSON numbers stay bare, including exponent forms.
+  Table n({"x", "y", "z"});
+  n.add_row({"-2.25", "1e-9", "0.5"});
+  const std::string bare = n.to_json();
+  EXPECT_NE(bare.find("\"x\": -2.25"), std::string::npos);
+  EXPECT_NE(bare.find("\"y\": 1e-9"), std::string::npos);
+  EXPECT_NE(bare.find("\"z\": 0.5"), std::string::npos);
+}
+
+TEST(Table, JsonEscapesControlCharacters) {
+  Table t({"a"});
+  t.add_row({std::string("esc\x1b") + "\x01" "end"});
+  const std::string json = t.to_json();
+  EXPECT_NE(json.find("esc\\u001b\\u0001end"), std::string::npos);
+}
+
+TEST(Serialize, ParallelLinksFileRoundTrip) {
+  // Through a real file, as sweep specs load instances from disk.
+  const std::string path = "io_test_roundtrip.links";
+  const ParallelLinks m = fig4_instance();
+  {
+    std::ofstream out(path);
+    write_instance(out, m);
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  const ParallelLinks back = read_parallel_links(in);
+  ASSERT_EQ(back.size(), m.size());
+  EXPECT_DOUBLE_EQ(back.demand, m.demand);
+  EXPECT_NEAR(price_of_anarchy(back), price_of_anarchy(m), 1e-12);
+}
+
+TEST(Serialize, NetworkFileRoundTrip) {
+  const std::string path = "io_test_roundtrip.net";
+  const NetworkInstance inst = braess_classic();
+  {
+    std::ofstream out(path);
+    write_instance(out, inst);
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  const NetworkInstance back = read_network(in);
+  EXPECT_EQ(back.graph.num_edges(), inst.graph.num_edges());
+  const NetworkAssignment a = solve_nash(inst);
+  const NetworkAssignment b = solve_nash(back);
+  EXPECT_NEAR(max_abs_diff(a.edge_flow, b.edge_flow), 0.0, 1e-9);
 }
 
 TEST(Serialize, ParallelLinksRoundTrip) {

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "stackroute/util/error.h"
 
 namespace stackroute {
@@ -72,6 +75,28 @@ TEST(Rng, InvalidRangesThrow) {
   Rng rng(23);
   EXPECT_THROW(rng.uniform(2.0, 1.0), Error);
   EXPECT_THROW(rng.uniform_int(2, 1), Error);
+}
+
+TEST(MixSeed, DeterministicAndStreamSeparating) {
+  EXPECT_EQ(mix_seed(42, 0), mix_seed(42, 0));
+  // Nearby (base, stream) pairs land far apart: all distinct over a block.
+  std::vector<std::uint64_t> seen;
+  for (std::uint64_t base : {0ull, 1ull, 42ull}) {
+    for (std::uint64_t stream = 0; stream < 64; ++stream) {
+      seen.push_back(mix_seed(base, stream));
+    }
+  }
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end());
+}
+
+TEST(MixSeed, DrivesIndependentRngStreams) {
+  Rng a(mix_seed(7, 0)), b(mix_seed(7, 1));
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
 }
 
 TEST(Rng, BernoulliExtremes) {
