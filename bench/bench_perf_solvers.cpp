@@ -114,6 +114,79 @@ void BM_PathEquilibrationToTightTol(benchmark::State& state) {
 }
 BENCHMARK(BM_PathEquilibrationToTightTol)->Unit(benchmark::kMillisecond);
 
+// ---- Large-instance hot-path cases -------------------------------------
+// The kernel/workspace acceptance targets: the largest Frank–Wolfe and
+// path-equilibration cases in this suite. Fixed iteration budgets (FW) and
+// tolerances (equilibration) keep the measured work identical across
+// implementations. The layered DAG is affine (dispatch-bound: virtual-call
+// and allocation overhead dominates), the grid is BPR (pow-bound).
+
+void BM_FrankWolfeLayeredLarge(benchmark::State& state) {
+  Rng rng(7);
+  const NetworkInstance inst = random_layered_dag(rng, 30, 16, 0.35, 4.0);
+  FrankWolfeOptions opts;
+  opts.max_iters = 60;
+  opts.rel_gap_tol = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        frank_wolfe(inst, FlowObjective::kBeckmann, {}, opts));
+  }
+}
+BENCHMARK(BM_FrankWolfeLayeredLarge)->Unit(benchmark::kMillisecond);
+
+void BM_FrankWolfeGridLarge(benchmark::State& state) {
+  Rng rng(8);
+  const NetworkInstance inst = grid_city(rng, 12, 12, 3.0);
+  FrankWolfeOptions opts;
+  opts.max_iters = 40;
+  opts.rel_gap_tol = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        frank_wolfe(inst, FlowObjective::kBeckmann, {}, opts));
+  }
+}
+BENCHMARK(BM_FrankWolfeGridLarge)->Unit(benchmark::kMillisecond);
+
+void BM_PathEquilibrationLayeredLarge(benchmark::State& state) {
+  Rng rng(7);
+  const NetworkInstance inst = random_layered_dag(rng, 20, 10, 0.35, 4.0);
+  AssignmentOptions opts;
+  opts.tol = 1e-7;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        assign_traffic(inst, FlowObjective::kBeckmann, {}, opts));
+  }
+}
+BENCHMARK(BM_PathEquilibrationLayeredLarge)->Unit(benchmark::kMillisecond);
+
+void BM_PathEquilibrationGridLarge(benchmark::State& state) {
+  Rng rng(8);
+  const NetworkInstance inst = grid_city_multicommodity(rng, 10, 10, 8, 0.5, 1.5);
+  AssignmentOptions opts;
+  opts.tol = 1e-8;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        assign_traffic(inst, FlowObjective::kBeckmann, {}, opts));
+  }
+}
+BENCHMARK(BM_PathEquilibrationGridLarge)->Unit(benchmark::kMillisecond);
+
+// The largest path-equilibration case: a 30×30 BPR grid (1740 edges).
+// Per-step cost here is dominated by edge-cost evaluation (BPR = pow), so
+// it isolates the incremental-cost-update win: only the two moved paths'
+// edges are re-evaluated per step instead of all m.
+void BM_PathEquilibrationGridXL(benchmark::State& state) {
+  Rng rng(9);
+  const NetworkInstance inst = grid_city(rng, 30, 30, 3.0);
+  AssignmentOptions opts;
+  opts.tol = 1e-7;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        assign_traffic(inst, FlowObjective::kBeckmann, {}, opts));
+  }
+}
+BENCHMARK(BM_PathEquilibrationGridXL)->Unit(benchmark::kMillisecond);
+
 void BM_DijkstraGrid(benchmark::State& state) {
   Rng rng(3);
   const int n = static_cast<int>(state.range(0));

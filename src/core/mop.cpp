@@ -62,15 +62,20 @@ MopResult mop(const NetworkInstance& inst, const MopOptions& opts) {
   const std::size_t k = inst.commodities.size();
   const double r = inst.total_demand();
 
+  // One workspace across the optimum solve, the cost fix-up and the
+  // induced verification solve.
+  SolverWorkspace ws;
+
   MopResult result;
   // (1) Optimum flow and the induced edge costs ℓ_e(o_e).
-  NetworkAssignment opt = solve_optimum(inst, opts.assignment);
+  NetworkAssignment opt = solve_optimum(inst, opts.assignment, ws);
   result.optimum_edge_flow = opt.edge_flow;
   result.optimum_cost = opt.cost;
   const std::vector<LatencyPtr> lat = g.latencies();
+  ws.table.compile(lat);  // the instance's own latencies, no preload
   std::vector<double> opt_costs(ne);
   for (std::size_t e = 0; e < ne; ++e) {
-    opt_costs[e] = lat[e]->value(opt.edge_flow[e]);
+    opt_costs[e] = ws.table.value(e, opt.edge_flow[e]);
   }
 
   result.leader_edge_flow.assign(ne, 0.0);
@@ -148,8 +153,8 @@ MopResult mop(const NetworkInstance& inst, const MopOptions& opts) {
       }
     }
     if (!followers.commodities.empty()) {
-      const NetworkAssignment induced =
-          solve_induced(followers, result.leader_edge_flow, opts.assignment);
+      const NetworkAssignment induced = solve_induced(
+          followers, result.leader_edge_flow, opts.assignment, ws);
       result.follower_edge_flow = induced.edge_flow;
       result.induced_cost = induced.cost;
     } else {

@@ -14,11 +14,16 @@ OpTopResult op_top(const ParallelLinks& m, const OpTopOptions& opts) {
   const double r0 = m.demand;
   const double tol = opts.freeze_tol * std::fmax(1.0, r0);
 
+  // One workspace across the optimum solve, every round's Nash solve and
+  // the induced solve: the water-filling kernels recompile the (shrinking)
+  // subsystem into the same flat table each round without reallocating.
+  SolverWorkspace ws;
+
   OpTopResult result;
   {
-    const LinkAssignment opt = solve_optimum(m, opts.solve_tol);
+    const LinkAssignment opt = solve_optimum(m, opts.solve_tol, ws);
     result.optimum = opt.flows;
-    const LinkAssignment nash = solve_nash(m, opts.solve_tol);
+    const LinkAssignment nash = solve_nash(m, opts.solve_tol, ws);
     result.nash = nash.flows;
   }
   result.optimum_cost = cost(m, result.optimum);
@@ -36,7 +41,7 @@ OpTopResult op_top(const ParallelLinks& m, const OpTopOptions& opts) {
     const ParallelLinks sub = subsystem(m, active, remaining);
     LinkAssignment nash;
     if (remaining > tol) {
-      nash = solve_nash(sub, opts.solve_tol);
+      nash = solve_nash(sub, opts.solve_tol, ws);
     } else {
       nash.flows.assign(active.size(), 0.0);
     }
@@ -70,7 +75,7 @@ OpTopResult op_top(const ParallelLinks& m, const OpTopOptions& opts) {
   // by construction this reproduces the optimum there.
   if (!active.empty() && remaining > tol) {
     const ParallelLinks sub = subsystem(m, active, remaining);
-    const LinkAssignment induced = solve_nash(sub, opts.solve_tol);
+    const LinkAssignment induced = solve_nash(sub, opts.solve_tol, ws);
     for (std::size_t pos = 0; pos < active.size(); ++pos) {
       result.induced[static_cast<std::size_t>(active[pos])] =
           induced.flows[pos];

@@ -37,6 +37,19 @@ NetworkAssignment solve_induced(const NetworkInstance& inst,
                                 std::span<const double> preload,
                                 const AssignmentOptions& opts = {});
 
+/// Workspace-reusing variants (see solver/workspace.h); MOP passes one
+/// workspace through its optimum and induced solves.
+NetworkAssignment solve_nash(const NetworkInstance& inst,
+                             const AssignmentOptions& opts,
+                             SolverWorkspace& ws);
+NetworkAssignment solve_optimum(const NetworkInstance& inst,
+                                const AssignmentOptions& opts,
+                                SolverWorkspace& ws);
+NetworkAssignment solve_induced(const NetworkInstance& inst,
+                                std::span<const double> preload,
+                                const AssignmentOptions& opts,
+                                SolverWorkspace& ws);
+
 /// C(f) on the instance's latencies.
 double cost(const NetworkInstance& inst, std::span<const double> edge_flow);
 

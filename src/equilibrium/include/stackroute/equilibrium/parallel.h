@@ -33,6 +33,17 @@ LinkAssignment solve_induced(const ParallelLinks& m,
                              std::span<const double> preload,
                              double tol = 1e-13);
 
+/// Workspace-reusing variants (see solver/workspace.h): one workspace
+/// across repeated solves — OpTop's round recursion is the main caller —
+/// keeps the water-filling setup allocation-free.
+LinkAssignment solve_nash(const ParallelLinks& m, double tol,
+                          SolverWorkspace& ws);
+LinkAssignment solve_optimum(const ParallelLinks& m, double tol,
+                             SolverWorkspace& ws);
+LinkAssignment solve_induced(const ParallelLinks& m,
+                             std::span<const double> preload, double tol,
+                             SolverWorkspace& ws);
+
 /// C(X) = Σ_i x_i·ℓ_i(x_i).
 double cost(const ParallelLinks& m, std::span<const double> flows);
 

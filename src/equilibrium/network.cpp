@@ -23,21 +23,43 @@ NetworkAssignment from_assignment(const NetworkInstance& inst,
 
 NetworkAssignment solve_nash(const NetworkInstance& inst,
                              const AssignmentOptions& opts) {
-  return from_assignment(
-      inst, assign_traffic(inst, FlowObjective::kBeckmann, {}, opts));
+  SolverWorkspace ws;
+  return solve_nash(inst, opts, ws);
 }
 
 NetworkAssignment solve_optimum(const NetworkInstance& inst,
                                 const AssignmentOptions& opts) {
-  return from_assignment(
-      inst, assign_traffic(inst, FlowObjective::kTotalCost, {}, opts));
+  SolverWorkspace ws;
+  return solve_optimum(inst, opts, ws);
 }
 
 NetworkAssignment solve_induced(const NetworkInstance& inst,
                                 std::span<const double> preload,
                                 const AssignmentOptions& opts) {
+  SolverWorkspace ws;
+  return solve_induced(inst, preload, opts, ws);
+}
+
+NetworkAssignment solve_nash(const NetworkInstance& inst,
+                             const AssignmentOptions& opts,
+                             SolverWorkspace& ws) {
+  return from_assignment(
+      inst, assign_traffic(inst, FlowObjective::kBeckmann, {}, opts, ws));
+}
+
+NetworkAssignment solve_optimum(const NetworkInstance& inst,
+                                const AssignmentOptions& opts,
+                                SolverWorkspace& ws) {
+  return from_assignment(
+      inst, assign_traffic(inst, FlowObjective::kTotalCost, {}, opts, ws));
+}
+
+NetworkAssignment solve_induced(const NetworkInstance& inst,
+                                std::span<const double> preload,
+                                const AssignmentOptions& opts,
+                                SolverWorkspace& ws) {
   AssignmentResult r =
-      assign_traffic(inst, FlowObjective::kBeckmann, preload, opts);
+      assign_traffic(inst, FlowObjective::kBeckmann, preload, opts, ws);
   NetworkAssignment out;
   out.edge_flow = std::move(r.edge_flow);
   out.commodity_paths = std::move(r.commodity_paths);

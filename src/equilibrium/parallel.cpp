@@ -37,26 +37,46 @@ std::vector<LatencyPtr> shifted_links(const ParallelLinks& m,
 }  // namespace
 
 LinkAssignment solve_nash(const ParallelLinks& m, double tol) {
-  m.validate();
-  return from_water_fill(
-      water_fill(m.links, m.demand, LevelKind::kLatency, tol));
+  SolverWorkspace ws;
+  return solve_nash(m, tol, ws);
 }
 
 LinkAssignment solve_optimum(const ParallelLinks& m, double tol) {
-  m.validate();
-  return from_water_fill(
-      water_fill(m.links, m.demand, LevelKind::kMarginalCost, tol));
+  SolverWorkspace ws;
+  return solve_optimum(m, tol, ws);
 }
 
 LinkAssignment solve_induced(const ParallelLinks& m,
                              std::span<const double> preload, double tol) {
+  SolverWorkspace ws;
+  return solve_induced(m, preload, tol, ws);
+}
+
+LinkAssignment solve_nash(const ParallelLinks& m, double tol,
+                          SolverWorkspace& ws) {
+  m.validate();
+  return from_water_fill(
+      water_fill(m.links, m.demand, LevelKind::kLatency, tol, ws));
+}
+
+LinkAssignment solve_optimum(const ParallelLinks& m, double tol,
+                             SolverWorkspace& ws) {
+  m.validate();
+  return from_water_fill(
+      water_fill(m.links, m.demand, LevelKind::kMarginalCost, tol, ws));
+}
+
+LinkAssignment solve_induced(const ParallelLinks& m,
+                             std::span<const double> preload, double tol,
+                             SolverWorkspace& ws) {
   m.validate();
   const std::vector<LatencyPtr> links = shifted_links(m, preload);
   const double controlled = sum(preload);
   SR_REQUIRE(controlled <= m.demand + 1e-9 * std::fmax(1.0, m.demand),
              "Leader preload exceeds total demand");
   const double rest = std::fmax(0.0, m.demand - controlled);
-  return from_water_fill(water_fill(links, rest, LevelKind::kLatency, tol));
+  return from_water_fill(
+      water_fill(links, rest, LevelKind::kLatency, tol, ws));
 }
 
 double cost(const ParallelLinks& m, std::span<const double> flows) {

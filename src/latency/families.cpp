@@ -129,18 +129,29 @@ BprLatency::BprLatency(double free_flow_time, double capacity, double b,
   SR_REQUIRE(cap_ > 0.0, "BPR latency needs capacity > 0");
   SR_REQUIRE(b_ > 0.0, "BPR latency needs B > 0");
   SR_REQUIRE(p_ >= 1.0, "BPR latency needs power >= 1");
+  // Strength-reduce small integer powers (p = 4 is the standard BPR
+  // parameterization): (x/cap)^p as sequential multiplies instead of
+  // std::pow, which otherwise dominates edge cost evaluation. The
+  // LatencyTable kernels replicate exactly this choice.
+  if (p_ == std::floor(p_) && p_ <= 16.0) ip_ = static_cast<int>(p_);
 }
 
 double BprLatency::value(double x) const {
-  return t0_ * (1.0 + b_ * std::pow(x / cap_, p_));
+  const double r = x / cap_;
+  const double rp = ip_ > 0 ? ipow_small(r, ip_) : std::pow(r, p_);
+  return t0_ * (1.0 + b_ * rp);
 }
 
 double BprLatency::derivative(double x) const {
-  return t0_ * b_ * p_ * std::pow(x / cap_, p_ - 1.0) / cap_;
+  const double r = x / cap_;
+  const double rp1 = ip_ > 0 ? ipow_small(r, ip_ - 1) : std::pow(r, p_ - 1.0);
+  return t0_ * b_ * p_ * rp1 / cap_;
 }
 
 double BprLatency::integral(double x) const {
-  return t0_ * x + t0_ * b_ * std::pow(x / cap_, p_) * x / (p_ + 1.0);
+  const double r = x / cap_;
+  const double rp = ip_ > 0 ? ipow_small(r, ip_) : std::pow(r, p_);
+  return t0_ * x + t0_ * b_ * rp * x / (p_ + 1.0);
 }
 
 double BprLatency::inverse(double target) const {

@@ -95,6 +95,7 @@ class BprLatency final : public LatencyFunction {
 
  private:
   double t0_, cap_, b_, p_;
+  int ip_ = 0;  // p_ when it is a small integer (the common case), else 0
 };
 
 /// M/M/1 queueing delay ℓ(x) = 1/(mu − x) on [0, mu). To keep intermediate
@@ -207,6 +208,9 @@ class ScaledLatency final : public LatencyFunction {
   LatencyKind kind() const override { return LatencyKind::kScaled; }
   std::vector<double> params() const override { return {c_}; }
   std::string describe() const override;
+
+  [[nodiscard]] const LatencyPtr& base() const { return base_; }
+  [[nodiscard]] double factor() const { return c_; }
 
  private:
   LatencyPtr base_;

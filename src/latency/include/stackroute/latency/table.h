@@ -1,0 +1,362 @@
+// Flat, cache-friendly compilation of latency functions — the evaluation
+// kernel underneath the solver hot loops.
+//
+// compile() walks each LatencyPtr once, peeling shifted/scaled/offset
+// wrappers into a short per-entry op chain and packing the primitive family
+// underneath into struct-of-arrays slots (family tag + coefficient slots,
+// polynomial coefficients in a shared pool). The kernels then evaluate
+// without virtual dispatch or shared_ptr chasing, with *bit-identical*
+// arithmetic to the virtual interface: each family/wrapper case replays the
+// exact expression sequence of families.cpp, so solvers can switch between
+// the two representations freely without perturbing equilibria — the sweep
+// determinism contract ("bitwise identical tables") relies on this.
+//
+// Unknown LatencyFunction subclasses (or wrapper chains compile() cannot
+// see through) degrade to an opaque entry that forwards to the original
+// virtual object, so compilation is total; inverses without a closed-form
+// chain (constants, polynomials, marginal-inverses under a shift) fall back
+// to the source object's own implementation the same way.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "stackroute/latency/latency.h"
+#include "stackroute/util/numeric.h"
+
+namespace stackroute {
+
+class LatencyTable {
+ public:
+  LatencyTable() = default;
+
+  /// Compiles the given latencies, reusing this table's storage. Throws on
+  /// null entries.
+  void compile(std::span<const LatencyPtr> lats);
+
+  /// One-shot convenience: a fresh table compiled from `lats`.
+  [[nodiscard]] static LatencyTable compiled(std::span<const LatencyPtr> lats);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  // ---- Scalar kernels (indexed by compile order) -------------------------
+
+  /// ℓ_i(x).
+  [[nodiscard]] double value(std::size_t i, double x) const {
+    if (all_affine_) return aff_a_[i] * x + aff_b_[i];
+    const Entry& en = entries_[i];
+    if (en.fam == Fam::kOpaque) return src_[i]->value(x);
+    return en.wrap_count == 0 ? prim_value(en, x) : wrapped_value(en, 0, x);
+  }
+
+  /// ℓ_i'(x).
+  [[nodiscard]] double derivative(std::size_t i, double x) const {
+    if (all_affine_) return aff_a_[i];
+    const Entry& en = entries_[i];
+    if (en.fam == Fam::kOpaque) return src_[i]->derivative(x);
+    return en.wrap_count == 0 ? prim_derivative(en, x)
+                              : wrapped_derivative(en, 0, x);
+  }
+
+  /// ∫₀ˣ ℓ_i.
+  [[nodiscard]] double integral(std::size_t i, double x) const {
+    if (all_affine_) return 0.5 * aff_a_[i] * x * x + aff_b_[i] * x;
+    const Entry& en = entries_[i];
+    if (en.fam == Fam::kOpaque) return src_[i]->integral(x);
+    return en.wrap_count == 0 ? prim_integral(en, x)
+                              : wrapped_integral(en, 0, x);
+  }
+
+  /// ℓ_i(x) + x·ℓ_i'(x) — same combination as LatencyFunction::marginal.
+  [[nodiscard]] double marginal(std::size_t i, double x) const {
+    if (all_affine_) {
+      const double a = aff_a_[i];
+      return (a * x + aff_b_[i]) + x * a;
+    }
+    return value(i, x) + x * derivative(i, x);
+  }
+
+  /// True when every entry is an unwrapped affine latency — the dominant
+  /// large-network shape. The flat slope/intercept arrays below then let
+  /// hot loops (Frank–Wolfe's line search) run without the per-entry
+  /// family dispatch; evaluation stays bit-identical (same expressions).
+  [[nodiscard]] bool homogeneous_affine() const { return all_affine_; }
+  [[nodiscard]] std::span<const double> affine_slopes() const {
+    return aff_a_;
+  }
+  [[nodiscard]] std::span<const double> affine_intercepts() const {
+    return aff_b_;
+  }
+
+  /// Clamped inverse of ℓ_i; closed-form when the whole wrapper chain has
+  /// one, otherwise the source object's own (possibly numeric) inverse.
+  [[nodiscard]] double inverse(std::size_t i, double target) const {
+    const Entry& en = entries_[i];
+    if (!(en.flags & kFlagClosedInverse)) return src_[i]->inverse(target);
+    return wrapped_inverse(en, 0, target);
+  }
+
+  /// Clamped inverse of the marginal cost; closed-form only when no shift
+  /// wrapper intervenes (a shifted marginal is not the marginal shifted).
+  [[nodiscard]] double inverse_marginal(std::size_t i, double target) const {
+    const Entry& en = entries_[i];
+    if (!(en.flags & kFlagClosedInverseMarginal)) {
+      return src_[i]->inverse_marginal(target);
+    }
+    return wrapped_inverse_marginal(en, 0, target);
+  }
+
+  [[nodiscard]] bool is_constant(std::size_t i) const {
+    return (entries_[i].flags & kFlagConstant) != 0;
+  }
+
+  /// The latency this entry was compiled from.
+  [[nodiscard]] const LatencyPtr& source(std::size_t i) const {
+    return src_[i];
+  }
+
+  // ---- Batched kernels (flow span → out span, sizes must match) ----------
+
+  void values(std::span<const double> flow, std::span<double> out) const;
+  void derivatives(std::span<const double> flow, std::span<double> out) const;
+  void integrals(std::span<const double> flow, std::span<double> out) const;
+  void marginals(std::span<const double> flow, std::span<double> out) const;
+
+ private:
+  enum class Fam : std::uint8_t { kConstant, kAffine, kPoly, kBpr, kMm1, kOpaque };
+  enum class Op : std::uint8_t { kShift, kScale, kOffset };
+  enum Flag : std::uint8_t {
+    kFlagConstant = 1,
+    kFlagClosedInverse = 2,
+    kFlagClosedInverseMarginal = 4,
+  };
+
+  struct Wrap {
+    Op op;
+    double p;
+  };
+
+  struct Entry {
+    Fam fam = Fam::kOpaque;
+    std::uint8_t flags = 0;
+    std::uint16_t wrap_count = 0;
+    std::uint32_t wrap_begin = 0;
+    std::uint32_t coeff_begin = 0;
+    std::uint32_t coeff_count = 0;
+    std::int32_t aux = 0;  // BPR: integer exponent (0 = fractional)
+    // Family slots: Constant {b,-,-,-}, Affine {a,b,-,-},
+    // BPR {t0,cap,B,p}, MM1 {mu,-,-,-}; Poly uses the coefficient pool.
+    double p0 = 0.0, p1 = 0.0, p2 = 0.0, p3 = 0.0;
+  };
+
+  void append_entry(const LatencyFunction& f);
+
+  // Every prim_*/wrapped_* body below replays the corresponding
+  // families.cpp expression verbatim; see the header comment for why.
+
+  [[nodiscard]] double prim_value(const Entry& en, double x) const {
+    switch (en.fam) {
+      case Fam::kConstant:
+        return en.p0;
+      case Fam::kAffine:
+        return en.p0 * x + en.p1;
+      case Fam::kPoly: {
+        double acc = 0.0;
+        for (std::size_t k = en.coeff_count; k-- > 0;) {
+          acc = acc * x + coeffs_[en.coeff_begin + k];
+        }
+        return acc;
+      }
+      case Fam::kBpr: {
+        const double r = x / en.p1;
+        const double rp =
+            en.aux > 0 ? ipow_small(r, en.aux) : std::pow(r, en.p3);
+        return en.p0 * (1.0 + en.p2 * rp);
+      }
+      case Fam::kMm1: {
+        const double xb = en.p0 * (1.0 - 1e-7);
+        if (x <= xb) return 1.0 / (en.p0 - x);
+        const double v = 1.0 / (en.p0 - xb);
+        const double d = v * v;
+        return v + d * (x - xb);
+      }
+      case Fam::kOpaque:
+        break;
+    }
+    return 0.0;  // unreachable: opaque entries never reach the prim kernels
+  }
+
+  [[nodiscard]] double prim_derivative(const Entry& en, double x) const {
+    switch (en.fam) {
+      case Fam::kConstant:
+        return 0.0;
+      case Fam::kAffine:
+        return en.p0;
+      case Fam::kPoly: {
+        double acc = 0.0;
+        for (std::size_t k = en.coeff_count; k-- > 1;) {
+          acc = acc * x + static_cast<double>(k) * coeffs_[en.coeff_begin + k];
+        }
+        return acc;
+      }
+      case Fam::kBpr: {
+        const double r = x / en.p1;
+        const double rp1 =
+            en.aux > 0 ? ipow_small(r, en.aux - 1) : std::pow(r, en.p3 - 1.0);
+        return en.p0 * en.p2 * en.p3 * rp1 / en.p1;
+      }
+      case Fam::kMm1: {
+        const double xb = en.p0 * (1.0 - 1e-7);
+        const double xe = std::fmin(x, xb);
+        const double v = 1.0 / (en.p0 - xe);
+        return v * v;
+      }
+      case Fam::kOpaque:
+        break;
+    }
+    return 0.0;
+  }
+
+  [[nodiscard]] double prim_integral(const Entry& en, double x) const {
+    switch (en.fam) {
+      case Fam::kConstant:
+        return en.p0 * x;
+      case Fam::kAffine:
+        return 0.5 * en.p0 * x * x + en.p1 * x;
+      case Fam::kPoly: {
+        double acc = 0.0;
+        for (std::size_t k = en.coeff_count; k-- > 0;) {
+          acc = acc * x +
+                coeffs_[en.coeff_begin + k] / static_cast<double>(k + 1);
+        }
+        return acc * x;
+      }
+      case Fam::kBpr: {
+        const double r = x / en.p1;
+        const double rp =
+            en.aux > 0 ? ipow_small(r, en.aux) : std::pow(r, en.p3);
+        return en.p0 * x + en.p0 * en.p2 * rp * x / (en.p3 + 1.0);
+      }
+      case Fam::kMm1: {
+        const double xb = en.p0 * (1.0 - 1e-7);
+        if (x <= xb) return std::log(en.p0 / (en.p0 - x));
+        const double v = 1.0 / (en.p0 - xb);
+        const double d = v * v;
+        const double t = x - xb;
+        return std::log(en.p0 / (en.p0 - xb)) + v * t + 0.5 * d * t * t;
+      }
+      case Fam::kOpaque:
+        break;
+    }
+    return 0.0;
+  }
+
+  [[nodiscard]] double prim_inverse(const Entry& en, double target) const {
+    switch (en.fam) {
+      case Fam::kAffine:
+        return std::fmax(0.0, (target - en.p1) / en.p0);
+      case Fam::kBpr:
+        if (target <= en.p0) return 0.0;
+        return en.p1 * std::pow((target / en.p0 - 1.0) / en.p2, 1.0 / en.p3);
+      case Fam::kMm1: {
+        if (target <= 1.0 / en.p0) return 0.0;
+        const double xb = en.p0 * (1.0 - 1e-7);
+        const double vb = 1.0 / (en.p0 - xb);
+        if (target <= vb) return en.p0 - 1.0 / target;
+        return xb + (target - vb) / (vb * vb);
+      }
+      default:
+        break;
+    }
+    return 0.0;  // unreachable: the closed-inverse flag gates these fams
+  }
+
+  [[nodiscard]] double prim_inverse_marginal(const Entry& en,
+                                             double target) const {
+    switch (en.fam) {
+      case Fam::kAffine:
+        return std::fmax(0.0, (target - en.p1) / (2.0 * en.p0));
+      case Fam::kBpr:
+        if (target <= en.p0) return 0.0;
+        return en.p1 * std::pow((target / en.p0 - 1.0) / (en.p2 * (en.p3 + 1.0)),
+                                1.0 / en.p3);
+      case Fam::kMm1: {
+        if (target <= 1.0 / en.p0) return 0.0;
+        const double xb = en.p0 * (1.0 - 1e-7);
+        const double vb = 1.0 / (en.p0 - xb);
+        const double mb = en.p0 * vb * vb;
+        if (target <= mb) return en.p0 - std::sqrt(en.p0 / target);
+        const double s = vb * vb;
+        return (target - vb + s * xb) / (2.0 * s);
+      }
+      default:
+        break;
+    }
+    return 0.0;
+  }
+
+  [[nodiscard]] double wrapped_value(const Entry& en, std::uint32_t w,
+                                     double x) const {
+    if (w == en.wrap_count) return prim_value(en, x);
+    const Wrap& wr = wraps_[en.wrap_begin + w];
+    if (wr.op == Op::kShift) return wrapped_value(en, w + 1, x + wr.p);
+    if (wr.op == Op::kScale) return wr.p * wrapped_value(en, w + 1, x);
+    return wrapped_value(en, w + 1, x) + wr.p;
+  }
+
+  [[nodiscard]] double wrapped_derivative(const Entry& en, std::uint32_t w,
+                                          double x) const {
+    if (w == en.wrap_count) return prim_derivative(en, x);
+    const Wrap& wr = wraps_[en.wrap_begin + w];
+    if (wr.op == Op::kShift) return wrapped_derivative(en, w + 1, x + wr.p);
+    if (wr.op == Op::kScale) return wr.p * wrapped_derivative(en, w + 1, x);
+    return wrapped_derivative(en, w + 1, x);
+  }
+
+  [[nodiscard]] double wrapped_integral(const Entry& en, std::uint32_t w,
+                                        double x) const {
+    if (w == en.wrap_count) return prim_integral(en, x);
+    const Wrap& wr = wraps_[en.wrap_begin + w];
+    if (wr.op == Op::kShift) {
+      return wrapped_integral(en, w + 1, x + wr.p) -
+             wrapped_integral(en, w + 1, wr.p);
+    }
+    if (wr.op == Op::kScale) return wr.p * wrapped_integral(en, w + 1, x);
+    return wrapped_integral(en, w + 1, x) + wr.p * x;
+  }
+
+  [[nodiscard]] double wrapped_inverse(const Entry& en, std::uint32_t w,
+                                       double target) const {
+    if (w == en.wrap_count) return prim_inverse(en, target);
+    const Wrap& wr = wraps_[en.wrap_begin + w];
+    if (wr.op == Op::kShift) {
+      return std::fmax(0.0, wrapped_inverse(en, w + 1, target) - wr.p);
+    }
+    if (wr.op == Op::kScale) return wrapped_inverse(en, w + 1, target / wr.p);
+    return wrapped_inverse(en, w + 1, target - wr.p);
+  }
+
+  [[nodiscard]] double wrapped_inverse_marginal(const Entry& en,
+                                                std::uint32_t w,
+                                                double target) const {
+    if (w == en.wrap_count) return prim_inverse_marginal(en, target);
+    const Wrap& wr = wraps_[en.wrap_begin + w];
+    if (wr.op == Op::kScale) {
+      return wrapped_inverse_marginal(en, w + 1, target / wr.p);
+    }
+    return wrapped_inverse_marginal(en, w + 1, target - wr.p);  // offset
+  }
+
+  std::vector<Entry> entries_;
+  std::vector<Wrap> wraps_;
+  std::vector<double> coeffs_;
+  std::vector<LatencyPtr> src_;
+  bool all_affine_ = false;
+  std::vector<double> aff_a_;  // filled only when all_affine_
+  std::vector<double> aff_b_;
+};
+
+}  // namespace stackroute

@@ -1,7 +1,7 @@
 #include "stackroute/network/dijkstra.h"
 
 #include <algorithm>
-#include <queue>
+#include <functional>
 
 #include "stackroute/util/error.h"
 #include "stackroute/util/numeric.h"
@@ -10,79 +10,116 @@ namespace stackroute {
 
 namespace {
 
-using QueueItem = std::pair<double, NodeId>;  // (dist, node)
-
-template <typename OutEdges, typename Endpoint>
-ShortestPathTree run_dijkstra(const Graph& g, NodeId root,
-                              std::span<const double> edge_cost,
-                              OutEdges out_edges, Endpoint endpoint) {
-  SR_REQUIRE(edge_cost.size() == static_cast<std::size_t>(g.num_edges()),
-             "edge cost vector size mismatch");
+// Lazy-deletion Dijkstra over the CSR adjacency, on a workspace-owned
+// binary min-heap. All live queue entries are distinct pairs (a node is
+// only re-pushed with a strictly smaller distance), so every pop removes
+// the unique comparator-minimum — the relaxation sequence, and with it
+// dist[] and parent_edge[], is identical for any correct heap (and to the
+// std::priority_queue the pre-kernel implementation used).
+void run_dijkstra(const CsrAdjacency& adj, std::size_t num_nodes, NodeId root,
+                  std::span<const double> edge_cost, DijkstraWorkspace& ws) {
+#ifndef NDEBUG
+  // O(m) validation kept out of release builds: this sits inside the
+  // solvers' hottest loop, and in-tree callers derive costs from
+  // non-negative latencies.
   for (double c : edge_cost) {
-    SR_REQUIRE(c >= 0.0, "Dijkstra needs non-negative edge costs");
+    SR_ASSERT_DEBUG(c >= 0.0, "Dijkstra needs non-negative edge costs");
   }
-  const auto n = static_cast<std::size_t>(g.num_nodes());
-  ShortestPathTree tree;
-  tree.dist.assign(n, kInf);
-  tree.parent_edge.assign(n, kInvalidEdge);
+#endif
+  ShortestPathTree& tree = ws.tree;
+  tree.dist.assign(num_nodes, kInf);
+  tree.parent_edge.assign(num_nodes, kInvalidEdge);
   tree.dist[static_cast<std::size_t>(root)] = 0.0;
 
-  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> pq;
-  pq.emplace(0.0, root);
-  while (!pq.empty()) {
-    const auto [d, v] = pq.top();
-    pq.pop();
+  auto& heap = ws.heap;
+  heap.clear();
+  heap.emplace_back(0.0, root);
+  while (!heap.empty()) {
+    const auto [d, v] = heap.front();
+    std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+    heap.pop_back();
     if (d > tree.dist[static_cast<std::size_t>(v)]) continue;  // stale
-    for (EdgeId e : out_edges(v)) {
-      const NodeId w = endpoint(e);
-      const double nd = d + edge_cost[static_cast<std::size_t>(e)];
-      if (nd < tree.dist[static_cast<std::size_t>(w)]) {
-        tree.dist[static_cast<std::size_t>(w)] = nd;
-        tree.parent_edge[static_cast<std::size_t>(w)] = e;
-        pq.emplace(nd, w);
+    for (const CsrAdjacency::Arc& arc : adj.arcs_of(v)) {
+      const auto w = static_cast<std::size_t>(arc.target);
+      const double nd = d + edge_cost[static_cast<std::size_t>(arc.edge)];
+      if (nd < tree.dist[w]) {
+        tree.dist[w] = nd;
+        tree.parent_edge[w] = arc.edge;
+        heap.emplace_back(nd, arc.target);
+        std::push_heap(heap.begin(), heap.end(), std::greater<>{});
       }
     }
   }
-  return tree;
+}
+
+void check_sizes(const Graph& g, std::span<const double> edge_cost) {
+  SR_REQUIRE(edge_cost.size() == static_cast<std::size_t>(g.num_edges()),
+             "edge cost vector size mismatch");
 }
 
 }  // namespace
 
 ShortestPathTree dijkstra(const Graph& g, NodeId source,
                           std::span<const double> edge_cost) {
-  return run_dijkstra(
-      g, source, edge_cost, [&g](NodeId v) { return g.out_edges(v); },
-      [&g](EdgeId e) { return g.edge(e).head; });
+  DijkstraWorkspace ws;
+  dijkstra(g, source, edge_cost, ws);
+  return std::move(ws.tree);
+}
+
+const ShortestPathTree& dijkstra(const Graph& g, NodeId source,
+                                 std::span<const double> edge_cost,
+                                 DijkstraWorkspace& ws) {
+  check_sizes(g, edge_cost);
+  run_dijkstra(g.out_csr(), static_cast<std::size_t>(g.num_nodes()), source,
+               edge_cost, ws);
+  return ws.tree;
 }
 
 ShortestPathTree dijkstra_to(const Graph& g, NodeId sink,
                              std::span<const double> edge_cost) {
-  return run_dijkstra(
-      g, sink, edge_cost, [&g](NodeId v) { return g.in_edges(v); },
-      [&g](EdgeId e) { return g.edge(e).tail; });
+  DijkstraWorkspace ws;
+  dijkstra_to(g, sink, edge_cost, ws);
+  return std::move(ws.tree);
+}
+
+const ShortestPathTree& dijkstra_to(const Graph& g, NodeId sink,
+                                    std::span<const double> edge_cost,
+                                    DijkstraWorkspace& ws) {
+  check_sizes(g, edge_cost);
+  run_dijkstra(g.in_csr(), static_cast<std::size_t>(g.num_nodes()), sink,
+               edge_cost, ws);
+  return ws.tree;
 }
 
 std::vector<EdgeId> extract_path(const Graph& g, const ShortestPathTree& tree,
                                  NodeId target) {
+  std::vector<EdgeId> path;
+  extract_path_into(g, tree, target, path);
+  return path;
+}
+
+void extract_path_into(const Graph& g, const ShortestPathTree& tree,
+                       NodeId target, std::vector<EdgeId>& out) {
   SR_REQUIRE(target >= 0 && target < g.num_nodes(), "target out of range");
   SR_REQUIRE(std::isfinite(tree.dist[static_cast<std::size_t>(target)]),
              "target unreachable");
-  std::vector<EdgeId> path;
+  out.clear();
   NodeId v = target;
   while (tree.parent_edge[static_cast<std::size_t>(v)] != kInvalidEdge) {
     const EdgeId e = tree.parent_edge[static_cast<std::size_t>(v)];
-    path.push_back(e);
+    out.push_back(e);
     v = g.edge(e).tail;
   }
-  std::reverse(path.begin(), path.end());
-  return path;
+  std::reverse(out.begin(), out.end());
 }
 
 std::vector<char> shortest_path_edge_mask(const Graph& g, NodeId s, NodeId t,
                                           std::span<const double> edge_cost,
                                           double tol) {
-  const ShortestPathTree from_s = dijkstra(g, s, edge_cost);
-  const ShortestPathTree to_t = dijkstra_to(g, t, edge_cost);
+  thread_local DijkstraWorkspace ws_fwd;
+  thread_local DijkstraWorkspace ws_rev;
+  const ShortestPathTree& from_s = dijkstra(g, s, edge_cost, ws_fwd);
+  const ShortestPathTree& to_t = dijkstra_to(g, t, edge_cost, ws_rev);
   const double best = from_s.dist[static_cast<std::size_t>(t)];
   SR_REQUIRE(std::isfinite(best), "sink unreachable from source");
   std::vector<char> mask(static_cast<std::size_t>(g.num_edges()), 0);

@@ -10,9 +10,41 @@ Graph::Graph(int num_nodes) {
   in_.resize(static_cast<std::size_t>(num_nodes));
 }
 
+Graph::Graph(const Graph& other)
+    : edges_(other.edges_), out_(other.out_), in_(other.in_) {}
+
+Graph::Graph(Graph&& other) noexcept
+    : edges_(std::move(other.edges_)),
+      out_(std::move(other.out_)),
+      in_(std::move(other.in_)) {
+  other.csr_ready_.store(false, std::memory_order_relaxed);
+}
+
+Graph& Graph::operator=(const Graph& other) {
+  if (this != &other) {
+    edges_ = other.edges_;
+    out_ = other.out_;
+    in_ = other.in_;
+    csr_ready_.store(false, std::memory_order_relaxed);
+  }
+  return *this;
+}
+
+Graph& Graph::operator=(Graph&& other) noexcept {
+  if (this != &other) {
+    edges_ = std::move(other.edges_);
+    out_ = std::move(other.out_);
+    in_ = std::move(other.in_);
+    csr_ready_.store(false, std::memory_order_relaxed);
+    other.csr_ready_.store(false, std::memory_order_relaxed);
+  }
+  return *this;
+}
+
 NodeId Graph::add_node() {
   out_.emplace_back();
   in_.emplace_back();
+  csr_ready_.store(false, std::memory_order_relaxed);
   return static_cast<NodeId>(out_.size() - 1);
 }
 
@@ -25,6 +57,7 @@ EdgeId Graph::add_edge(NodeId tail, NodeId head, LatencyPtr latency) {
   edges_.push_back(Edge{tail, head, std::move(latency)});
   out_[static_cast<std::size_t>(tail)].push_back(e);
   in_[static_cast<std::size_t>(head)].push_back(e);
+  csr_ready_.store(false, std::memory_order_relaxed);
   return e;
 }
 
@@ -41,6 +74,40 @@ std::span<const EdgeId> Graph::out_edges(NodeId v) const {
 std::span<const EdgeId> Graph::in_edges(NodeId v) const {
   check_node(v);
   return in_[static_cast<std::size_t>(v)];
+}
+
+const CsrAdjacency& Graph::out_csr() const {
+  if (!csr_ready_.load(std::memory_order_acquire)) build_csr();
+  return out_csr_;
+}
+
+const CsrAdjacency& Graph::in_csr() const {
+  if (!csr_ready_.load(std::memory_order_acquire)) build_csr();
+  return in_csr_;
+}
+
+void Graph::build_csr() const {
+  // Serialize concurrent readers racing to build; double-check under the
+  // lock so only one of them pays for it.
+  std::lock_guard<std::mutex> lock(csr_mutex_);
+  if (csr_ready_.load(std::memory_order_relaxed)) return;
+  const auto fill = [this](const std::vector<std::vector<EdgeId>>& adj,
+                           bool forward, CsrAdjacency& csr) {
+    csr.offsets.assign(adj.size() + 1, 0);
+    csr.arcs.clear();
+    csr.arcs.reserve(edges_.size());
+    for (std::size_t v = 0; v < adj.size(); ++v) {
+      for (EdgeId e : adj[v]) {
+        const Edge& ed = edges_[static_cast<std::size_t>(e)];
+        csr.arcs.push_back(
+            CsrAdjacency::Arc{e, forward ? ed.head : ed.tail});
+      }
+      csr.offsets[v + 1] = static_cast<std::int32_t>(csr.arcs.size());
+    }
+  };
+  fill(out_, /*forward=*/true, out_csr_);
+  fill(in_, /*forward=*/false, in_csr_);
+  csr_ready_.store(true, std::memory_order_release);
 }
 
 std::vector<LatencyPtr> Graph::latencies() const {

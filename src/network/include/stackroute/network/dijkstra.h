@@ -2,9 +2,22 @@
 // (footnote 5 of the paper), plus the "tight edge" shortest-path subgraph
 // used by algorithm MOP: edge e = (u,v) lies on some shortest s→t path iff
 // dist_s(u) + c_e + dist_t(v) = dist_s(t).
+//
+// Two call shapes: the value-returning functions allocate a fresh tree per
+// call; the workspace overloads reuse dist/parent/heap buffers across calls
+// (the solvers keep one workspace per thread, making repeated shortest-path
+// queries allocation-free). Both run on the graph's cached CSR adjacency
+// and produce identical trees: with all queue keys distinct — guaranteed,
+// since a node is only re-pushed with a strictly smaller distance — the
+// relaxation order is independent of the heap implementation.
+//
+// Cost non-negativity is validated in debug builds only (SR_ASSERT behind
+// NDEBUG): the scan is O(m) per call, inside the solvers' hottest loop, and
+// every in-tree caller derives costs from non-negative latencies.
 #pragma once
 
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "stackroute/network/graph.h"
@@ -19,19 +32,42 @@ struct ShortestPathTree {
   std::vector<EdgeId> parent_edge;
 };
 
+/// Reusable buffers for the workspace overloads: the result tree plus the
+/// binary-heap storage. Start empty; sized on first use, never shrunk.
+struct DijkstraWorkspace {
+  ShortestPathTree tree;
+  std::vector<std::pair<double, NodeId>> heap;
+};
+
 /// Single-source shortest paths from `source` following edge direction.
 ShortestPathTree dijkstra(const Graph& g, NodeId source,
                           std::span<const double> edge_cost);
+
+/// Allocation-free variant: fills ws.tree (reusing its buffers) and returns
+/// a reference to it, valid until the next call with the same workspace.
+const ShortestPathTree& dijkstra(const Graph& g, NodeId source,
+                                 std::span<const double> edge_cost,
+                                 DijkstraWorkspace& ws);
 
 /// Shortest distance *to* `sink` from every node (Dijkstra on the reverse
 /// graph); parent_edge[v] is the first edge of a cheapest v→sink path.
 ShortestPathTree dijkstra_to(const Graph& g, NodeId sink,
                              std::span<const double> edge_cost);
 
+/// Allocation-free variant of dijkstra_to.
+const ShortestPathTree& dijkstra_to(const Graph& g, NodeId sink,
+                                    std::span<const double> edge_cost,
+                                    DijkstraWorkspace& ws);
+
 /// Cheapest source→target path from a forward tree; empty if target is the
 /// source. Throws if the target is unreachable.
 std::vector<EdgeId> extract_path(const Graph& g, const ShortestPathTree& tree,
                                  NodeId target);
+
+/// Overwrites `out` with the cheapest source→target path, reusing its
+/// storage (the allocation-free counterpart of extract_path).
+void extract_path_into(const Graph& g, const ShortestPathTree& tree,
+                       NodeId target, std::vector<EdgeId>& out);
 
 /// Mask (indexed by EdgeId) of edges lying on some shortest s→t path under
 /// `edge_cost`, using absolute slack tolerance `tol`.

@@ -2,9 +2,18 @@
 // networks" model). Self-loops are rejected per the paper; parallel edges
 // are allowed (an s–t parallel-links system is exactly a two-node
 // multigraph).
+//
+// Besides the vector-of-vectors adjacency (the mutation-friendly primary
+// representation), the graph lazily caches a compressed-sparse-row view of
+// both directions with the arc target stored next to the edge id — the
+// shortest-path inner loops walk it without per-edge bounds checks or
+// pointer chasing. The cache is built on first use (thread-safe among
+// concurrent readers) and invalidated by mutation.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -24,10 +33,36 @@ struct Edge {
   LatencyPtr latency;
 };
 
+/// One direction of a Graph's adjacency in CSR form: node v's arcs are
+/// arcs[offsets[v] .. offsets[v+1]), in the same order as
+/// out_edges(v)/in_edges(v) (solvers rely on identical iteration order).
+struct CsrAdjacency {
+  struct Arc {
+    EdgeId edge = kInvalidEdge;
+    NodeId target = kInvalidNode;  // head for the out-CSR, tail for the in-CSR
+  };
+  std::vector<std::int32_t> offsets;  // num_nodes + 1
+  std::vector<Arc> arcs;              // num_edges
+
+  [[nodiscard]] std::span<const Arc> arcs_of(NodeId v) const {
+    const auto lo = static_cast<std::size_t>(offsets[static_cast<std::size_t>(v)]);
+    const auto hi =
+        static_cast<std::size_t>(offsets[static_cast<std::size_t>(v) + 1]);
+    return {arcs.data() + lo, hi - lo};
+  }
+};
+
 class Graph {
  public:
   Graph() = default;
   explicit Graph(int num_nodes);
+
+  // The CSR cache (mutex + atomic) is not copyable/movable; copies start
+  // with a cold cache and rebuild on first use.
+  Graph(const Graph& other);
+  Graph(Graph&& other) noexcept;
+  Graph& operator=(const Graph& other);
+  Graph& operator=(Graph&& other) noexcept;
 
   NodeId add_node();
 
@@ -46,15 +81,27 @@ class Graph {
   [[nodiscard]] std::span<const EdgeId> out_edges(NodeId v) const;
   [[nodiscard]] std::span<const EdgeId> in_edges(NodeId v) const;
 
+  /// CSR views for the shortest-path hot loops. Built on first use and
+  /// cached; safe to call from concurrent readers (but, like every other
+  /// accessor, not concurrently with add_node/add_edge).
+  [[nodiscard]] const CsrAdjacency& out_csr() const;
+  [[nodiscard]] const CsrAdjacency& in_csr() const;
+
   /// Latencies of all edges, indexed by EdgeId (convenience for solvers).
   [[nodiscard]] std::vector<LatencyPtr> latencies() const;
 
  private:
   void check_node(NodeId v) const;
+  void build_csr() const;
 
   std::vector<Edge> edges_;
   std::vector<std::vector<EdgeId>> out_;
   std::vector<std::vector<EdgeId>> in_;
+
+  mutable std::mutex csr_mutex_;
+  mutable std::atomic<bool> csr_ready_{false};
+  mutable CsrAdjacency out_csr_;
+  mutable CsrAdjacency in_csr_;
 };
 
 }  // namespace stackroute

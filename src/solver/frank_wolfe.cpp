@@ -15,36 +15,35 @@ namespace stackroute {
 namespace {
 
 /// All-or-nothing assignment at the given costs: every commodity's demand
-/// on its cheapest path. Returns edge flows and c·y.
-struct AonResult {
-  std::vector<double> flow;
-  double cost = 0.0;  // c·y
-};
-
-AonResult all_or_nothing(const NetworkInstance& inst,
-                         std::span<const double> costs) {
+/// on its cheapest path. Writes edge flows into `flow_out` (sized |E|),
+/// fills ws.paths/ws.dists, and returns c·y.
+double all_or_nothing(const NetworkInstance& inst,
+                      std::span<const double> costs, SolverWorkspace& ws,
+                      std::span<double> flow_out) {
   const Graph& g = inst.graph;
   const std::size_t k = inst.commodities.size();
-  std::vector<Path> paths(k);
-  std::vector<double> dists(k, 0.0);
+  if (ws.paths.size() < k) ws.paths.resize(k);
+  ws.dists.assign(k, 0.0);
   parallel_for(
       k,
       [&](std::size_t i) {
+        thread_local DijkstraWorkspace dijkstra_ws;
         const Commodity& com = inst.commodities[i];
-        const ShortestPathTree tree = dijkstra(g, com.source, costs);
-        paths[i] = extract_path(g, tree, com.sink);
-        dists[i] = tree.dist[static_cast<std::size_t>(com.sink)];
+        const ShortestPathTree& tree =
+            dijkstra(g, com.source, costs, dijkstra_ws);
+        extract_path_into(g, tree, com.sink, ws.paths[i]);
+        ws.dists[i] = tree.dist[static_cast<std::size_t>(com.sink)];
       },
       /*grain=*/1);
 
-  AonResult out;
-  out.flow.assign(static_cast<std::size_t>(g.num_edges()), 0.0);
+  std::fill(flow_out.begin(), flow_out.end(), 0.0);
+  double cost = 0.0;  // c·y
   for (std::size_t i = 0; i < k; ++i) {
     const double d = inst.commodities[i].demand;
-    for (EdgeId e : paths[i]) out.flow[static_cast<std::size_t>(e)] += d;
-    out.cost += d * dists[i];
+    for (EdgeId e : ws.paths[i]) flow_out[static_cast<std::size_t>(e)] += d;
+    cost += d * ws.dists[i];
   }
-  return out;
+  return cost;
 }
 
 }  // namespace
@@ -53,52 +52,102 @@ FrankWolfeResult frank_wolfe(const NetworkInstance& inst,
                              FlowObjective objective,
                              std::span<const double> preload,
                              const FrankWolfeOptions& opts) {
+  SolverWorkspace ws;
+  return frank_wolfe(inst, objective, preload, opts, ws);
+}
+
+FrankWolfeResult frank_wolfe(const NetworkInstance& inst,
+                             FlowObjective objective,
+                             std::span<const double> preload,
+                             const FrankWolfeOptions& opts,
+                             SolverWorkspace& ws) {
   inst.validate();
   const Graph& g = inst.graph;
   const std::vector<LatencyPtr> lat = effective_latencies(g, preload);
+  ws.table.compile(lat);
+  const LatencyTable& table = ws.table;
   const auto ne = static_cast<std::size_t>(g.num_edges());
+  ws.costs.resize(ne);
+  ws.aon_flow.resize(ne);
+  ws.direction.resize(ne);
 
   FrankWolfeResult result;
   // Initialize with AON at empty-network costs.
-  {
-    std::vector<double> zero(ne, 0.0);
-    result.edge_flow =
-        all_or_nothing(inst, edge_costs(lat, zero, objective)).flow;
-  }
+  result.edge_flow.assign(ne, 0.0);
+  edge_costs(table, result.edge_flow, objective, ws.costs);
+  all_or_nothing(inst, ws.costs, ws, ws.aon_flow);
+  std::copy(ws.aon_flow.begin(), ws.aon_flow.end(), result.edge_flow.begin());
 
-  std::vector<double> direction(ne, 0.0);
   for (int iter = 1; iter <= opts.max_iters; ++iter) {
     result.iterations = iter;
-    const std::vector<double> costs =
-        edge_costs(lat, result.edge_flow, objective);
-    const AonResult aon = all_or_nothing(inst, costs);
+    edge_costs(table, result.edge_flow, objective, ws.costs);
+    const double aon_cost = all_or_nothing(inst, ws.costs, ws, ws.aon_flow);
 
     double cf = 0.0;
-    for (std::size_t e = 0; e < ne; ++e) cf += costs[e] * result.edge_flow[e];
-    result.rel_gap = (cf - aon.cost) / std::fmax(std::fabs(cf), 1e-300);
+    for (std::size_t e = 0; e < ne; ++e) {
+      cf += ws.costs[e] * result.edge_flow[e];
+    }
+    result.rel_gap = (cf - aon_cost) / std::fmax(std::fabs(cf), 1e-300);
     if (result.rel_gap <= opts.rel_gap_tol) {
       result.converged = true;
       break;
     }
 
+    ws.nonzero.clear();
     for (std::size_t e = 0; e < ne; ++e) {
-      direction[e] = aon.flow[e] - result.edge_flow[e];
+      ws.direction[e] = ws.aon_flow[e] - result.edge_flow[e];
+      if (ws.direction[e] != 0.0) ws.nonzero.push_back(static_cast<EdgeId>(e));
     }
     double theta = 2.0 / (iter + 2.0);
     if (opts.step_rule == FwStepRule::kExactLineSearch) {
       // g'(theta) = sum_e d_e * cost_e(f + theta*d): increasing in theta.
+      // Only edges with d_e != 0 contribute; the index list keeps each
+      // bisection probe O(nnz) instead of O(m). On homogeneous-affine
+      // tables the probe runs four independent partial sums (the serial
+      // accumulator chain is the latency bottleneck); the partials combine
+      // in a fixed order, so the search stays fully deterministic.
       auto dg = [&](double th) {
         double acc = 0.0;
-        for (std::size_t e = 0; e < ne; ++e) {
-          if (direction[e] == 0.0) continue;
-          const double x = result.edge_flow[e] + th * direction[e];
-          acc += direction[e] * (objective == FlowObjective::kBeckmann
-                                     ? lat[e]->value(x)
-                                     : lat[e]->marginal(x));
+        for (EdgeId id : ws.nonzero) {
+          const auto e = static_cast<std::size_t>(id);
+          const double x = result.edge_flow[e] + th * ws.direction[e];
+          acc += ws.direction[e] * edge_cost_at(table, e, x, objective);
         }
         return acc;
       };
-      theta = dg(1.0) <= 0.0 ? 1.0 : bisect_increasing(dg, 0.0, 1.0, 1e-14, 80);
+      auto dg_affine = [&](double th) {
+        const std::span<const double> a = table.affine_slopes();
+        const std::span<const double> b = table.affine_intercepts();
+        const bool marginal = objective == FlowObjective::kTotalCost;
+        const std::size_t n = ws.nonzero.size();
+        double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+        std::size_t j = 0;
+        const auto term = [&](std::size_t lane_e) {
+          const double d = ws.direction[lane_e];
+          const double x = result.edge_flow[lane_e] + th * d;
+          double c = a[lane_e] * x + b[lane_e];
+          if (marginal) c += x * a[lane_e];
+          return d * c;
+        };
+        for (; j + 4 <= n; j += 4) {
+          acc0 += term(static_cast<std::size_t>(ws.nonzero[j]));
+          acc1 += term(static_cast<std::size_t>(ws.nonzero[j + 1]));
+          acc2 += term(static_cast<std::size_t>(ws.nonzero[j + 2]));
+          acc3 += term(static_cast<std::size_t>(ws.nonzero[j + 3]));
+        }
+        for (; j < n; ++j) {
+          acc0 += term(static_cast<std::size_t>(ws.nonzero[j]));
+        }
+        return (acc0 + acc1) + (acc2 + acc3);
+      };
+      if (table.homogeneous_affine()) {
+        theta = dg_affine(1.0) <= 0.0
+                    ? 1.0
+                    : bisect_increasing(dg_affine, 0.0, 1.0, 1e-14, 80);
+      } else {
+        theta =
+            dg(1.0) <= 0.0 ? 1.0 : bisect_increasing(dg, 0.0, 1.0, 1e-14, 80);
+      }
     }
     if (theta <= 0.0) {
       result.converged = true;  // stationary
@@ -106,10 +155,10 @@ FrankWolfeResult frank_wolfe(const NetworkInstance& inst,
     }
     for (std::size_t e = 0; e < ne; ++e) {
       result.edge_flow[e] =
-          std::fmax(0.0, result.edge_flow[e] + theta * direction[e]);
+          std::fmax(0.0, result.edge_flow[e] + theta * ws.direction[e]);
     }
   }
-  result.objective = objective_value(lat, result.edge_flow, objective);
+  result.objective = objective_value(table, result.edge_flow, objective);
   return result;
 }
 

@@ -13,6 +13,7 @@
 
 #include "stackroute/network/instance.h"
 #include "stackroute/solver/objective.h"
+#include "stackroute/solver/workspace.h"
 
 namespace stackroute {
 
@@ -42,5 +43,12 @@ FrankWolfeResult frank_wolfe(const NetworkInstance& inst,
                              FlowObjective objective,
                              std::span<const double> preload = {},
                              const FrankWolfeOptions& opts = {});
+
+/// Same, reusing the caller's workspace across calls (see workspace.h).
+FrankWolfeResult frank_wolfe(const NetworkInstance& inst,
+                             FlowObjective objective,
+                             std::span<const double> preload,
+                             const FrankWolfeOptions& opts,
+                             SolverWorkspace& ws);
 
 }  // namespace stackroute

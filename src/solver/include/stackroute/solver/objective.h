@@ -9,12 +9,18 @@
 // flows equalizing a per-edge "cost": λ_e itself for Nash, the marginal
 // social cost for the optimum. The solvers below only ever interact with
 // the programs through this little vocabulary.
+//
+// Each primitive comes in three shapes: the original vector-returning form
+// over the virtual interface, an out-parameter form (allocation-free), and
+// a LatencyTable form (allocation-free *and* devirtualized — what the
+// solver hot loops use). All three produce bit-identical numbers.
 #pragma once
 
 #include <span>
 #include <vector>
 
 #include "stackroute/latency/latency.h"
+#include "stackroute/latency/table.h"
 #include "stackroute/network/graph.h"
 
 namespace stackroute {
@@ -35,13 +41,36 @@ std::vector<double> edge_costs(std::span<const LatencyPtr> lat,
                                std::span<const double> flow,
                                FlowObjective objective);
 
+/// Out-parameter form; `out` must match the latency count.
+void edge_costs(std::span<const LatencyPtr> lat, std::span<const double> flow,
+                FlowObjective objective, std::span<double> out);
+
+/// Compiled-kernel form.
+void edge_costs(const LatencyTable& lat, std::span<const double> flow,
+                FlowObjective objective, std::span<double> out);
+
+/// One edge's cost at load x — the scalar the line searches evaluate.
+[[nodiscard]] inline double edge_cost_at(const LatencyTable& lat,
+                                         std::size_t e, double x,
+                                         FlowObjective objective) {
+  return objective == FlowObjective::kBeckmann ? lat.value(e, x)
+                                               : lat.marginal(e, x);
+}
+
 /// Objective value at the given edge flows.
 double objective_value(std::span<const LatencyPtr> lat,
                        std::span<const double> flow, FlowObjective objective);
+
+/// Compiled-kernel form.
+double objective_value(const LatencyTable& lat, std::span<const double> flow,
+                       FlowObjective objective);
 
 /// Total system cost Σ_e f_e·λ_e(f_e) regardless of objective (what the
 /// paper calls C(f)).
 double total_cost(std::span<const LatencyPtr> lat,
                   std::span<const double> flow);
+
+/// Compiled-kernel form.
+double total_cost(const LatencyTable& lat, std::span<const double> flow);
 
 }  // namespace stackroute

@@ -22,6 +22,7 @@
 #include "stackroute/network/instance.h"
 #include "stackroute/network/paths.h"
 #include "stackroute/solver/objective.h"
+#include "stackroute/solver/workspace.h"
 
 namespace stackroute {
 
@@ -49,5 +50,12 @@ AssignmentResult assign_traffic(const NetworkInstance& inst,
                                 FlowObjective objective,
                                 std::span<const double> preload = {},
                                 const AssignmentOptions& opts = {});
+
+/// Same, reusing the caller's workspace across calls (see workspace.h).
+AssignmentResult assign_traffic(const NetworkInstance& inst,
+                                FlowObjective objective,
+                                std::span<const double> preload,
+                                const AssignmentOptions& opts,
+                                SolverWorkspace& ws);
 
 }  // namespace stackroute

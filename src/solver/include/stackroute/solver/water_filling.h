@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "stackroute/latency/latency.h"
+#include "stackroute/solver/workspace.h"
 
 namespace stackroute {
 
@@ -44,5 +45,12 @@ struct WaterFillingResult {
 /// no links are given, or the demand exceeds total capacity.
 WaterFillingResult water_fill(std::span<const LatencyPtr> links, double demand,
                               LevelKind kind, double tol = 1e-13);
+
+/// Same, reusing the caller's workspace across calls (see workspace.h):
+/// the links compile into ws.table once per call, and every S(L)
+/// evaluation inside the bisection runs on the flat kernel.
+WaterFillingResult water_fill(std::span<const LatencyPtr> links, double demand,
+                              LevelKind kind, double tol,
+                              SolverWorkspace& ws);
 
 }  // namespace stackroute

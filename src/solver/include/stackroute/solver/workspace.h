@@ -1,0 +1,40 @@
+// Reusable scratch for the solver hot paths.
+//
+// frank_wolfe, assign_traffic and water_fill compile their latencies into a
+// LatencyTable and run every inner loop on preallocated buffers from one of
+// these. The workspace-less public overloads create a workspace per call —
+// the *per-iteration* loops are allocation-free either way — while callers
+// that solve repeatedly (OpTop's rounds, MOP's optimum + induced solves,
+// sweep metrics) pass one workspace across calls so even the per-call
+// setup stops allocating once the buffers have grown to the instance size.
+//
+// Buffers are sized on use and never shrunk; a workspace carries no state
+// between calls beyond capacity (delta_mask is the one exception: it must
+// stay all-zero between equalization steps, which equalize_once maintains
+// by construction).
+#pragma once
+
+#include <vector>
+
+#include "stackroute/latency/table.h"
+#include "stackroute/network/dijkstra.h"
+#include "stackroute/network/paths.h"
+
+namespace stackroute {
+
+struct SolverWorkspace {
+  LatencyTable table;             // compiled effective latencies
+  DijkstraWorkspace dijkstra;     // shortest-path buffers (serial contexts;
+                                  // parallel fan-outs use thread_local ones)
+  std::vector<double> costs;      // per-edge costs, maintained incrementally
+  std::vector<double> direction;  // Frank–Wolfe: AON flow minus current flow
+  std::vector<double> aon_flow;   // Frank–Wolfe: all-or-nothing edge flows
+  std::vector<EdgeId> nonzero;    // Frank–Wolfe: edges with direction != 0
+  std::vector<double> dists;      // per-commodity shortest-path distances
+  std::vector<Path> paths;        // per-commodity path buffers
+  Path path_scratch;              // single-path buffer (equalization)
+  std::vector<int> delta_mask;    // equalization ±1 mask; all-zero at rest
+  std::vector<double> weights;    // water-filling residual weights
+};
+
+}  // namespace stackroute

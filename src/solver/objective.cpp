@@ -22,17 +22,32 @@ std::vector<LatencyPtr> effective_latencies(const Graph& g,
   return lat;
 }
 
+void edge_costs(std::span<const LatencyPtr> lat, std::span<const double> flow,
+                FlowObjective objective, std::span<double> out) {
+  SR_REQUIRE(lat.size() == flow.size() && out.size() == lat.size(),
+             "edge cost size mismatch");
+  parallel_for(lat.size(), [&](std::size_t e) {
+    out[e] = objective == FlowObjective::kBeckmann
+                 ? lat[e]->value(flow[e])
+                 : lat[e]->marginal(flow[e]);
+  });
+}
+
 std::vector<double> edge_costs(std::span<const LatencyPtr> lat,
                                std::span<const double> flow,
                                FlowObjective objective) {
-  SR_REQUIRE(lat.size() == flow.size(), "edge cost size mismatch");
   std::vector<double> costs(lat.size());
-  parallel_for(lat.size(), [&](std::size_t e) {
-    costs[e] = objective == FlowObjective::kBeckmann
-                   ? lat[e]->value(flow[e])
-                   : lat[e]->marginal(flow[e]);
-  });
+  edge_costs(lat, flow, objective, costs);
   return costs;
+}
+
+void edge_costs(const LatencyTable& lat, std::span<const double> flow,
+                FlowObjective objective, std::span<double> out) {
+  SR_REQUIRE(lat.size() == flow.size() && out.size() == lat.size(),
+             "edge cost size mismatch");
+  parallel_for(lat.size(), [&](std::size_t e) {
+    out[e] = edge_cost_at(lat, e, flow[e], objective);
+  });
 }
 
 double objective_value(std::span<const LatencyPtr> lat,
@@ -45,8 +60,22 @@ double objective_value(std::span<const LatencyPtr> lat,
   });
 }
 
+double objective_value(const LatencyTable& lat, std::span<const double> flow,
+                       FlowObjective objective) {
+  SR_REQUIRE(lat.size() == flow.size(), "objective size mismatch");
+  return parallel_sum(lat.size(), [&](std::size_t e) {
+    return objective == FlowObjective::kBeckmann
+               ? lat.integral(e, flow[e])
+               : flow[e] * lat.value(e, flow[e]);
+  });
+}
+
 double total_cost(std::span<const LatencyPtr> lat,
                   std::span<const double> flow) {
+  return objective_value(lat, flow, FlowObjective::kTotalCost);
+}
+
+double total_cost(const LatencyTable& lat, std::span<const double> flow) {
   return objective_value(lat, flow, FlowObjective::kTotalCost);
 }
 

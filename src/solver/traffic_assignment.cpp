@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "stackroute/network/dijkstra.h"
 #include "stackroute/util/error.h"
@@ -12,73 +13,171 @@ namespace stackroute {
 
 namespace {
 
-// Cost of `path` when its own flow is perturbed by delta on the edges in
-// `delta_mask` (+1: gains delta, -1: loses delta, 0: unchanged).
-double perturbed_path_cost(std::span<const LatencyPtr> lat,
-                           std::span<const double> flow,
-                           std::span<const int> delta_mask, const Path& path,
-                           double delta, FlowObjective objective) {
-  KahanSum s;
-  for (EdgeId e : path) {
-    const auto ei = static_cast<std::size_t>(e);
-    const double x = flow[ei] + delta_mask[ei] * delta;
-    s.add(objective == FlowObjective::kBeckmann ? lat[ei]->value(x)
-                                                : lat[ei]->marginal(x));
+// Costs of paths `a` and `b` when their flow is perturbed by delta on the
+// edges in `delta_mask` (+1: gains delta, -1: loses delta, 0: unchanged).
+// The two compensated sums are interleaved: each is a serial dependency
+// chain, and the bisection below evaluates this pair ~50 times per
+// equalization step, so running the independent chains in parallel roughly
+// halves the latency. Per path the arithmetic is exactly the sequential
+// KahanSum, so the values are bit-identical.
+struct PathCostPair {
+  double a = 0.0;
+  double b = 0.0;
+};
+
+PathCostPair perturbed_path_cost_pair(const LatencyTable& table,
+                                      std::span<const double> flow,
+                                      std::span<const int> delta_mask,
+                                      const Path& a, const Path& b,
+                                      double delta, FlowObjective objective) {
+  KahanSum sa, sb;
+  const std::size_t la = a.size(), lb = b.size();
+  const std::size_t l = la > lb ? la : lb;
+  for (std::size_t j = 0; j < l; ++j) {
+    if (j < la) {
+      const auto ei = static_cast<std::size_t>(a[j]);
+      const double x = flow[ei] + delta_mask[ei] * delta;
+      sa.add(edge_cost_at(table, ei, x, objective));
+    }
+    if (j < lb) {
+      const auto ei = static_cast<std::size_t>(b[j]);
+      const double x = flow[ei] + delta_mask[ei] * delta;
+      sb.add(edge_cost_at(table, ei, x, objective));
+    }
   }
-  return s.value();
+  return {sa.value(), sb.value()};
+}
+
+// path_cost over four active paths at once — same interleaving idea as
+// above for the worst-path scan, which sums every active path per step.
+void path_cost_x4(std::span<const double> costs, const Path& p0,
+                  const Path& p1, const Path& p2, const Path& p3,
+                  double out[4]) {
+  KahanSum s0, s1, s2, s3;
+  const std::size_t l0 = p0.size(), l1 = p1.size(), l2 = p2.size(),
+                    l3 = p3.size();
+  std::size_t l = l0 > l1 ? l0 : l1;
+  if (l2 > l) l = l2;
+  if (l3 > l) l = l3;
+  for (std::size_t j = 0; j < l; ++j) {
+    if (j < l0) s0.add(costs[static_cast<std::size_t>(p0[j])]);
+    if (j < l1) s1.add(costs[static_cast<std::size_t>(p1[j])]);
+    if (j < l2) s2.add(costs[static_cast<std::size_t>(p2[j])]);
+    if (j < l3) s3.add(costs[static_cast<std::size_t>(p3[j])]);
+  }
+  out[0] = s0.value();
+  out[1] = s1.value();
+  out[2] = s2.value();
+  out[3] = s3.value();
+}
+
+// FNV-1a over the edge ids: a cheap fingerprint so the per-step "is the
+// shortest path already active?" test compares 8 bytes instead of whole
+// edge vectors (equal hashes still confirm with a full compare, so the
+// selection is exactly the vector-equality semantics).
+std::uint64_t path_fingerprint(const Path& p) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (EdgeId e : p) {
+    h ^= static_cast<std::uint32_t>(e);
+    h *= 1099511628211ull;
+  }
+  return h;
 }
 
 struct CommodityState {
-  std::vector<PathFlow> active;  // paths currently carrying flow
+  std::vector<PathFlow> active;          // paths currently carrying flow
+  std::vector<std::uint64_t> fingerprint;  // path_fingerprint of each
 };
+
+// Refresh the maintained cost entries of every edge on `path` from the
+// current flow — the incremental counterpart of recomputing all m costs.
+void refresh_costs(const LatencyTable& table, std::span<const double> flow,
+                   FlowObjective objective, const Path& path,
+                   std::vector<double>& costs) {
+  for (EdgeId e : path) {
+    const auto ei = static_cast<std::size_t>(e);
+    costs[ei] = edge_cost_at(table, ei, flow[ei], objective);
+  }
+}
 
 // One equalization step for a commodity: move flow from its costliest
 // active path onto the globally cheapest path. Returns the cost spread
-// (max active cost − min cost) before the move.
+// (max active cost − min cost) before the move. `costs` is maintained
+// incrementally: it must equal the per-edge cost of `flow` on entry, and
+// does again on exit — only the edges on the two moved-flow paths change,
+// so only those are recomputed (the full recompute this replaces was O(m)
+// per step).
 double equalize_once(const Graph& g, const Commodity& com,
-                     std::span<const LatencyPtr> lat,
-                     std::vector<double>& flow, CommodityState& state,
-                     FlowObjective objective, double tol) {
-  const std::vector<double> costs =
-      edge_costs(lat, flow, objective);
-  const ShortestPathTree tree = dijkstra(g, com.source, costs);
-  Path shortest = extract_path(g, tree, com.sink);
+                     const LatencyTable& table, std::vector<double>& flow,
+                     std::vector<double>& costs, CommodityState& state,
+                     FlowObjective objective, double tol,
+                     SolverWorkspace& ws) {
+  const ShortestPathTree& tree = dijkstra(g, com.source, costs, ws.dijkstra);
+  Path& shortest = ws.path_scratch;
+  extract_path_into(g, tree, com.sink, shortest);
   const double best_cost = path_cost(costs, shortest);
+  const std::uint64_t shortest_fp = path_fingerprint(shortest);
 
   // Locate (or insert) the shortest path in the active set, and find the
-  // costliest active path.
+  // costliest active path. Costs are summed four paths at a time (see
+  // path_cost_x4); the max/equality bookkeeping runs in index order, so
+  // the selected paths match a sequential scan exactly.
   std::size_t best_idx = state.active.size();
   std::size_t worst_idx = state.active.size();
   double worst_cost = -kInf;
-  for (std::size_t i = 0; i < state.active.size(); ++i) {
-    const double c = path_cost(costs, state.active[i].path);
-    if (state.active[i].path == shortest) best_idx = i;
+  const std::size_t n_active = state.active.size();
+  const auto consider = [&](std::size_t i, double c) {
+    if (state.fingerprint[i] == shortest_fp &&
+        state.active[i].path == shortest) {
+      best_idx = i;
+    }
     if (state.active[i].flow > 0.0 && c > worst_cost) {
       worst_cost = c;
       worst_idx = i;
     }
+  };
+  std::size_t i = 0;
+  for (; i + 4 <= n_active; i += 4) {
+    double c[4];
+    path_cost_x4(costs, state.active[i].path, state.active[i + 1].path,
+                 state.active[i + 2].path, state.active[i + 3].path, c);
+    consider(i, c[0]);
+    consider(i + 1, c[1]);
+    consider(i + 2, c[2]);
+    consider(i + 3, c[3]);
+  }
+  for (; i < n_active; ++i) {
+    consider(i, path_cost(costs, state.active[i].path));
   }
   SR_ASSERT(worst_idx < state.active.size(),
             "commodity lost all of its flow");
   if (worst_cost - best_cost <= tol) return worst_cost - best_cost;
 
   if (best_idx == state.active.size()) {
-    state.active.push_back(PathFlow{std::move(shortest), 0.0});
+    state.active.push_back(PathFlow{shortest, 0.0});
+    state.fingerprint.push_back(shortest_fp);
     best_idx = state.active.size() - 1;
   }
   PathFlow& from = state.active[worst_idx];
   PathFlow& to = state.active[best_idx];
 
   // Delta mask: edges only on `from` lose flow, edges only on `to` gain.
-  std::vector<int> mask(static_cast<std::size_t>(g.num_edges()), 0);
+  // ws.delta_mask is all-zero at rest; set it here, clear it before
+  // returning so the next step sees zeros without an O(m) wipe.
+  if (ws.delta_mask.size() < static_cast<std::size_t>(g.num_edges())) {
+    ws.delta_mask.assign(static_cast<std::size_t>(g.num_edges()), 0);
+  }
+  std::vector<int>& mask = ws.delta_mask;
   for (EdgeId e : from.path) mask[static_cast<std::size_t>(e)] -= 1;
   for (EdgeId e : to.path) mask[static_cast<std::size_t>(e)] += 1;
 
   // g(delta) = cost(to) − cost(from) after shifting delta; increasing in
   // delta. Move either to the equalization point or everything.
   auto gap = [&](double delta) {
-    return perturbed_path_cost(lat, flow, mask, to.path, delta, objective) -
-           perturbed_path_cost(lat, flow, mask, from.path, delta, objective);
+    const PathCostPair c = perturbed_path_cost_pair(table, flow, mask,
+                                                    to.path, from.path, delta,
+                                                    objective);
+    return c.a - c.b;
   };
   const double full = from.flow;
   double delta = full;
@@ -91,13 +190,25 @@ double equalize_once(const Graph& g, const Commodity& com,
   for (EdgeId e : to.path) flow[static_cast<std::size_t>(e)] += delta;
   from.flow -= delta;
   to.flow += delta;
+  bool drop_from = false;
   if (from.flow <= 1e-15 * std::fmax(1.0, com.demand)) {
     // Fold the dust into the receiving path and drop the empty one.
     for (EdgeId e : from.path) flow[static_cast<std::size_t>(e)] -= from.flow;
     for (EdgeId e : to.path) flow[static_cast<std::size_t>(e)] += from.flow;
     to.flow += from.flow;
+    drop_from = true;
+  }
+  // Restore the rest-state invariants: mask back to zero, costs refreshed
+  // on exactly the touched edges.
+  for (EdgeId e : from.path) mask[static_cast<std::size_t>(e)] = 0;
+  for (EdgeId e : to.path) mask[static_cast<std::size_t>(e)] = 0;
+  refresh_costs(table, flow, objective, from.path, costs);
+  refresh_costs(table, flow, objective, to.path, costs);
+  if (drop_from) {
     state.active.erase(state.active.begin() +
                        static_cast<std::ptrdiff_t>(worst_idx));
+    state.fingerprint.erase(state.fingerprint.begin() +
+                            static_cast<std::ptrdiff_t>(worst_idx));
   }
   return worst_cost - best_cost;
 }
@@ -108,25 +219,41 @@ AssignmentResult assign_traffic(const NetworkInstance& inst,
                                 FlowObjective objective,
                                 std::span<const double> preload,
                                 const AssignmentOptions& opts) {
+  SolverWorkspace ws;
+  return assign_traffic(inst, objective, preload, opts, ws);
+}
+
+AssignmentResult assign_traffic(const NetworkInstance& inst,
+                                FlowObjective objective,
+                                std::span<const double> preload,
+                                const AssignmentOptions& opts,
+                                SolverWorkspace& ws) {
   inst.validate();
   const Graph& g = inst.graph;
   const std::vector<LatencyPtr> lat = effective_latencies(g, preload);
+  ws.table.compile(lat);
+  const LatencyTable& table = ws.table;
+  const auto ne = static_cast<std::size_t>(g.num_edges());
   const std::size_t k = inst.commodities.size();
 
   AssignmentResult result;
-  result.edge_flow.assign(static_cast<std::size_t>(g.num_edges()), 0.0);
+  result.edge_flow.assign(ne, 0.0);
   std::vector<CommodityState> states(k);
+  ws.costs.resize(ne);
 
-  // Warm start: all-or-nothing at empty-network costs, commodity by
-  // commodity so later commodities see earlier ones' flow.
+  // Warm start: all-or-nothing at current costs, commodity by commodity so
+  // later commodities see earlier ones' flow.
+  edge_costs(table, result.edge_flow, objective, ws.costs);
   for (std::size_t i = 0; i < k; ++i) {
     const Commodity& com = inst.commodities[i];
-    const std::vector<double> costs =
-        edge_costs(lat, result.edge_flow, objective);
-    const ShortestPathTree tree = dijkstra(g, com.source, costs);
-    Path p = extract_path(g, tree, com.sink);
+    const ShortestPathTree& tree =
+        dijkstra(g, com.source, ws.costs, ws.dijkstra);
+    Path& p = ws.path_scratch;
+    extract_path_into(g, tree, com.sink, p);
     for (EdgeId e : p) result.edge_flow[static_cast<std::size_t>(e)] += com.demand;
-    states[i].active.push_back(PathFlow{std::move(p), com.demand});
+    refresh_costs(table, result.edge_flow, objective, p, ws.costs);
+    states[i].active.push_back(PathFlow{p, com.demand});
+    states[i].fingerprint.push_back(path_fingerprint(p));
   }
 
   for (int sweep = 1; sweep <= opts.max_sweeps; ++sweep) {
@@ -134,8 +261,8 @@ AssignmentResult assign_traffic(const NetworkInstance& inst,
     for (std::size_t i = 0; i < k; ++i) {
       for (int inner = 0; inner < opts.max_inner; ++inner) {
         const double s =
-            equalize_once(g, inst.commodities[i], lat, result.edge_flow,
-                          states[i], objective, opts.tol);
+            equalize_once(g, inst.commodities[i], table, result.edge_flow,
+                          ws.costs, states[i], objective, opts.tol, ws);
         if (inner == 0) spread = std::fmax(spread, s);
         if (s <= opts.tol) break;
       }
@@ -164,7 +291,7 @@ AssignmentResult assign_traffic(const NetworkInstance& inst,
       }
     }
   }
-  result.objective = objective_value(lat, result.edge_flow, objective);
+  result.objective = objective_value(table, result.edge_flow, objective);
   return result;
 }
 

@@ -10,21 +10,15 @@
 
 namespace stackroute {
 
-namespace {
-
-double level_at_zero(const LatencyFunction& fn, LevelKind kind) {
-  return kind == LevelKind::kLatency ? fn.value(0.0) : fn.marginal(0.0);
-}
-
-double response(const LatencyFunction& fn, LevelKind kind, double level) {
-  return kind == LevelKind::kLatency ? fn.inverse(level)
-                                     : fn.inverse_marginal(level);
-}
-
-}  // namespace
-
 WaterFillingResult water_fill(std::span<const LatencyPtr> links, double demand,
                               LevelKind kind, double tol) {
+  SolverWorkspace ws;
+  return water_fill(links, demand, kind, tol, ws);
+}
+
+WaterFillingResult water_fill(std::span<const LatencyPtr> links, double demand,
+                              LevelKind kind, double tol,
+                              SolverWorkspace& ws) {
   SR_REQUIRE(!links.empty(), "water_fill needs >= 1 link");
   SR_REQUIRE(demand >= 0.0 && std::isfinite(demand),
              "water_fill needs demand >= 0");
@@ -32,6 +26,17 @@ WaterFillingResult water_fill(std::span<const LatencyPtr> links, double demand,
   for (const auto& link : links) {
     SR_REQUIRE(link != nullptr, "water_fill got a null link");
   }
+  ws.table.compile(links);
+  const LatencyTable& table = ws.table;
+
+  const auto level_at_zero = [&](std::size_t i) {
+    return kind == LevelKind::kLatency ? table.value(i, 0.0)
+                                       : table.marginal(i, 0.0);
+  };
+  const auto response = [&](std::size_t i, double level) {
+    return kind == LevelKind::kLatency ? table.inverse(i, level)
+                                       : table.inverse_marginal(i, level);
+  };
 
   // Capacity feasibility must be checked eagerly: bounded-domain latencies
   // (M/M/1) carry a barrier extension that would otherwise let bisection
@@ -57,9 +62,9 @@ WaterFillingResult water_fill(std::span<const LatencyPtr> links, double demand,
   // Smallest level at which constant links start absorbing flow, and the
   // set of constant links achieving it.
   double const_level = kInf;
-  for (const auto& link : links) {
-    if (link->is_constant()) {
-      const_level = std::fmin(const_level, level_at_zero(*link, kind));
+  for (std::size_t i = 0; i < m; ++i) {
+    if (table.is_constant(i)) {
+      const_level = std::fmin(const_level, level_at_zero(i));
     }
   }
 
@@ -67,16 +72,15 @@ WaterFillingResult water_fill(std::span<const LatencyPtr> links, double demand,
   // their level and "anything" at it).
   auto increasing_supply = [&](double level) {
     return parallel_sum(m, [&](std::size_t i) {
-      return links[i]->is_constant() ? 0.0
-                                     : response(*links[i], kind, level);
+      return table.is_constant(i) ? 0.0 : response(i, level);
     });
   };
 
   if (demand == 0.0) {
     double lo = const_level;
-    for (const auto& link : links) {
-      if (!link->is_constant()) {
-        lo = std::fmin(lo, level_at_zero(*link, kind));
+    for (std::size_t i = 0; i < m; ++i) {
+      if (!table.is_constant(i)) {
+        lo = std::fmin(lo, level_at_zero(i));
       }
     }
     result.level = lo;
@@ -94,9 +98,9 @@ WaterFillingResult water_fill(std::span<const LatencyPtr> links, double demand,
     // S >= demand. Cap the expansion at the constant plateau (if any) or a
     // generous bound; hitting the bound means demand exceeds capacity.
     double lo = kInf;
-    for (const auto& link : links) {
-      if (!link->is_constant()) {
-        lo = std::fmin(lo, level_at_zero(*link, kind));
+    for (std::size_t i = 0; i < m; ++i) {
+      if (!table.is_constant(i)) {
+        lo = std::fmin(lo, level_at_zero(i));
       }
     }
     SR_REQUIRE(std::isfinite(lo),
@@ -113,8 +117,8 @@ WaterFillingResult water_fill(std::span<const LatencyPtr> links, double demand,
 
   // Fill flows at the computed level.
   parallel_for(m, [&](std::size_t i) {
-    if (!links[i]->is_constant()) {
-      result.flows[i] = response(*links[i], kind, level);
+    if (!table.is_constant(i)) {
+      result.flows[i] = response(i, level);
     }
   });
 
@@ -126,8 +130,7 @@ WaterFillingResult water_fill(std::span<const LatencyPtr> links, double demand,
   if (plateau) {
     std::vector<std::size_t> at_plateau;
     for (std::size_t i = 0; i < m; ++i) {
-      if (links[i]->is_constant() &&
-          level_at_zero(*links[i], kind) <= const_level + tol) {
+      if (table.is_constant(i) && level_at_zero(i) <= const_level + tol) {
         at_plateau.push_back(i);
       }
     }
@@ -140,18 +143,18 @@ WaterFillingResult water_fill(std::span<const LatencyPtr> links, double demand,
     }
   } else if (residual != 0.0) {
     // dx/dL of link i at its current flow; links pinned at zero get none.
-    std::vector<double> weight(m, 0.0);
+    ws.weights.assign(m, 0.0);
     double total_weight = 0.0;
     for (std::size_t i = 0; i < m; ++i) {
-      if (links[i]->is_constant() || result.flows[i] <= 0.0) continue;
-      const double d = links[i]->derivative(result.flows[i]);
-      weight[i] = d > 0.0 ? 1.0 / d : 0.0;
-      total_weight += weight[i];
+      if (table.is_constant(i) || result.flows[i] <= 0.0) continue;
+      const double d = table.derivative(i, result.flows[i]);
+      ws.weights[i] = d > 0.0 ? 1.0 / d : 0.0;
+      total_weight += ws.weights[i];
     }
     if (total_weight > 0.0) {
       for (std::size_t i = 0; i < m; ++i) {
-        result.flows[i] =
-            std::fmax(0.0, result.flows[i] + residual * weight[i] / total_weight);
+        result.flows[i] = std::fmax(
+            0.0, result.flows[i] + residual * ws.weights[i] / total_weight);
       }
     }
   }

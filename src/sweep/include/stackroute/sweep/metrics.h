@@ -23,6 +23,7 @@
 #include "stackroute/equilibrium/network.h"
 #include "stackroute/equilibrium/parallel.h"
 #include "stackroute/network/instance.h"
+#include "stackroute/solver/workspace.h"
 #include "stackroute/sweep/grid.h"
 
 namespace stackroute::sweep {
@@ -75,6 +76,9 @@ class TaskEval {
  private:
   const ParamPoint& point_;
   const Instance& instance_;
+  // One compiled-kernel workspace shared by every solve this task runs
+  // (TaskEval is confined to one task, hence one thread).
+  SolverWorkspace ws_;
   std::optional<OpTopResult> optop_;
   std::optional<MopResult> mop_;
   std::optional<NetworkAssignment> net_nash_;

@@ -32,12 +32,12 @@ const MopResult& TaskEval::mop_result() {
 }
 
 const NetworkAssignment& TaskEval::network_nash() {
-  if (!net_nash_) net_nash_ = solve_nash(network());
+  if (!net_nash_) net_nash_ = solve_nash(network(), {}, ws_);
   return *net_nash_;
 }
 
 const NetworkAssignment& TaskEval::network_optimum() {
-  if (!net_opt_) net_opt_ = solve_optimum(network());
+  if (!net_opt_) net_opt_ = solve_optimum(network(), {}, ws_);
   return *net_opt_;
 }
 

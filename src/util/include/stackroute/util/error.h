@@ -3,8 +3,12 @@
 // All precondition violations and infeasible-problem conditions raise
 // stackroute::Error carrying the failing expression and source location.
 // Internal invariant checks use SR_ASSERT; public-API precondition checks
-// use SR_REQUIRE. Both are always on: equilibrium computations are cheap
-// relative to the cost of silently returning a non-equilibrium.
+// use SR_REQUIRE. Both are always on — equilibrium computations are cheap
+// relative to the cost of silently returning a non-equilibrium — with one
+// carve-out: O(n)-per-call validation scans inside solver hot loops use
+// SR_ASSERT_DEBUG and are compiled out under NDEBUG (currently only the
+// per-edge cost non-negativity scan in Dijkstra). O(1) checks stay on
+// everywhere.
 #pragma once
 
 #include <stdexcept>
@@ -43,5 +47,16 @@ namespace detail {
                                         __LINE__, (message));             \
     }                                                                     \
   } while (false)
+
+/// Debug-only invariant check for validation inside solver hot loops,
+/// where an always-on O(1)-per-element scan measurably slows the kernels.
+/// Compiled out under NDEBUG (i.e., in Release builds).
+#ifndef NDEBUG
+#define SR_ASSERT_DEBUG(cond, message) SR_ASSERT(cond, message)
+#else
+#define SR_ASSERT_DEBUG(cond, message) \
+  do {                                 \
+  } while (false)
+#endif
 
 }  // namespace stackroute

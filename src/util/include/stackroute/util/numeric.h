@@ -17,6 +17,18 @@ namespace stackroute {
 
 inline constexpr double kInf = std::numeric_limits<double>::infinity();
 
+/// base^e for a small non-negative integer exponent, as e−1 sequential
+/// multiplies. Strength reduction for the BPR power curve (p = 4 in the
+/// standard parameterization), where std::pow dominates the solvers' edge
+/// cost evaluations. Note the result differs from std::pow(base, double(e))
+/// in the last ulps — callers choose one form and use it consistently.
+inline double ipow_small(double base, int e) {
+  if (e <= 0) return 1.0;
+  double r = base;
+  for (int k = 1; k < e; ++k) r *= base;
+  return r;
+}
+
 /// Mixed absolute/relative comparison: |a-b| <= abs_tol + rel_tol*max(|a|,|b|).
 inline bool almost_equal(double a, double b, double abs_tol = 1e-9,
                          double rel_tol = 1e-9) {
@@ -37,12 +49,16 @@ inline bool almost_leq(double a, double b, double tol = 1e-9) {
 class KahanSum {
  public:
   void add(double x) {
+    // Branchless select of the larger-magnitude operand: path-cost sums
+    // run this hundreds of millions of times over similar-magnitude terms,
+    // where a conditional branch mispredicts constantly. The selected
+    // expressions are exactly the two classic Neumaier branches, so the
+    // result is bit-identical to the branchy form.
     const double t = sum_ + x;
-    if (std::fabs(sum_) >= std::fabs(x)) {
-      comp_ += (sum_ - t) + x;
-    } else {
-      comp_ += (x - t) + sum_;
-    }
+    const bool sum_big = std::fabs(sum_) >= std::fabs(x);
+    const double big = sum_big ? sum_ : x;
+    const double small = sum_big ? x : sum_;
+    comp_ += (big - t) + small;
     sum_ = t;
   }
   [[nodiscard]] double value() const { return sum_ + comp_; }

@@ -1,0 +1,197 @@
+// LatencyTable vs the virtual LatencyFunction interface: the compiled
+// kernels must agree with the objects they were compiled from — bitwise for
+// value/derivative/integral/marginal (the solver hot paths lean on this for
+// the sweep determinism contract) and to tight tolerance for the inverses.
+// Covers every LatencyKind, nested shifted/scaled/offset wrappers, and the
+// opaque fallback for unknown subclasses.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "stackroute/latency/families.h"
+#include "stackroute/latency/table.h"
+#include "stackroute/util/error.h"
+#include "stackroute/util/rng.h"
+
+namespace stackroute {
+namespace {
+
+struct TableCase {
+  std::string name;
+  LatencyPtr fn;
+  double x_max;  // sample loads in [0, x_max], inside capacity
+};
+
+std::vector<TableCase> table_cases() {
+  Rng rng(77);
+  std::vector<TableCase> cases;
+  cases.push_back({"constant", make_constant(0.7), 8.0});
+  cases.push_back({"constant_zero", make_constant(0.0), 8.0});
+  cases.push_back({"affine", make_affine(2.5, 1.0 / 6.0), 8.0});
+  cases.push_back({"affine_zero_slope", make_affine(0.0, 1.5), 8.0});
+  cases.push_back({"linear", make_linear(3.0), 8.0});
+  cases.push_back({"poly_quadratic", make_polynomial({0.5, 0.0, 2.0}), 5.0});
+  cases.push_back({"poly_cubic", make_polynomial({0.1, 1.0, 0.0, 0.5}), 4.0});
+  cases.push_back({"monomial_d7", make_monomial(0.3, 7), 2.5});
+  cases.push_back({"bpr_default", make_bpr(1.0, 1.0), 3.0});
+  cases.push_back({"bpr_steep", make_bpr(2.0, 0.5, 0.3, 6.0), 1.5});
+  cases.push_back({"mm1", make_mm1(2.0), 1.8});
+  cases.push_back({"mm1_past_break", make_mm1(1.0), 3.0});  // barrier region
+  // Single wrappers around every wrappable family.
+  cases.push_back({"shifted_affine", make_shifted(make_affine(2.0, 0.5), 1.25), 6.0});
+  cases.push_back({"shifted_poly", make_shifted(make_polynomial({0.2, 0.1, 0.7}), 0.4), 4.0});
+  cases.push_back({"shifted_bpr", make_shifted(make_bpr(1.5, 2.0), 0.8), 3.0});
+  cases.push_back({"shifted_mm1", make_shifted(make_mm1(4.0), 1.0), 2.5});
+  cases.push_back({"scaled_poly", make_scaled(make_polynomial({0.2, 0.3, 0.4}), 2.5), 4.0});
+  cases.push_back({"scaled_mm1", make_scaled(make_mm1(3.0), 0.25), 2.5});
+  cases.push_back({"offset_affine", make_offset(make_affine(1.2, 0.3), 0.9), 6.0});
+  cases.push_back({"offset_constant", make_offset(make_constant(0.5), 0.25), 6.0});
+  // Nested wrappers (both orders of scale/offset, shift inside and outside).
+  cases.push_back({"scaled_offset_affine",
+                   make_scaled(make_offset(make_affine(1.0, 0.2), 0.4), 1.5), 5.0});
+  cases.push_back({"offset_scaled_poly",
+                   make_offset(make_scaled(make_polynomial({0.3, 0.6}), 2.0), 0.7), 5.0});
+  cases.push_back({"shifted_scaled_bpr",
+                   make_shifted(make_scaled(make_bpr(1.0, 1.5), 1.2), 0.6), 2.0});
+  cases.push_back({"scaled_shifted_mm1",
+                   make_scaled(make_shifted(make_mm1(5.0), 1.5), 0.8), 2.0});
+  cases.push_back({"offset_shifted_scaled_affine",
+                   make_offset(make_scaled(make_shifted(make_affine(0.9, 0.1), 0.5), 1.7), 0.3),
+                   4.0});
+  for (int i = 0; i < 6; ++i) {
+    cases.push_back({"random_affine_" + std::to_string(i),
+                     make_affine(rng.uniform(0.1, 5.0), rng.uniform(0.0, 3.0)),
+                     6.0});
+    std::vector<double> coeffs(static_cast<std::size_t>(rng.uniform_int(1, 5)));
+    for (auto& c : coeffs) c = rng.uniform(0.0, 2.0);
+    coeffs.back() += 0.1;
+    cases.push_back({"random_poly_" + std::to_string(i),
+                     make_polynomial(std::move(coeffs)), 3.0});
+  }
+  return cases;
+}
+
+class TableEquivalence : public ::testing::TestWithParam<TableCase> {};
+
+TEST_P(TableEquivalence, MatchesVirtualInterfaceBitwise) {
+  const TableCase& c = GetParam();
+  const std::vector<LatencyPtr> lats = {c.fn};
+  const LatencyTable table = LatencyTable::compiled(lats);
+  ASSERT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.is_constant(0), c.fn->is_constant()) << c.name;
+
+  Rng rng(4242);
+  for (int k = 0; k < 200; ++k) {
+    const double x = k == 0 ? 0.0 : rng.uniform(0.0, c.x_max);
+    EXPECT_EQ(table.value(0, x), c.fn->value(x)) << c.name << " value @" << x;
+    EXPECT_EQ(table.derivative(0, x), c.fn->derivative(x))
+        << c.name << " derivative @" << x;
+    EXPECT_EQ(table.integral(0, x), c.fn->integral(x))
+        << c.name << " integral @" << x;
+    EXPECT_EQ(table.marginal(0, x), c.fn->marginal(x))
+        << c.name << " marginal @" << x;
+  }
+}
+
+TEST_P(TableEquivalence, InversesMatchToTightTolerance) {
+  const TableCase& c = GetParam();
+  if (c.fn->is_constant()) return;  // inverses throw for constants
+  const std::vector<LatencyPtr> lats = {c.fn};
+  const LatencyTable table = LatencyTable::compiled(lats);
+
+  Rng rng(1717);
+  for (int k = 0; k < 100; ++k) {
+    const double x = rng.uniform(0.0, c.x_max);
+    {
+      const double target = c.fn->value(x);
+      const double a = table.inverse(0, target);
+      const double b = c.fn->inverse(target);
+      EXPECT_NEAR(a, b, 1e-9 * std::fmax(1.0, std::fabs(b)))
+          << c.name << " inverse @" << target;
+    }
+    {
+      const double target = c.fn->marginal(x);
+      const double a = table.inverse_marginal(0, target);
+      const double b = c.fn->inverse_marginal(target);
+      EXPECT_NEAR(a, b, 1e-9 * std::fmax(1.0, std::fabs(b)))
+          << c.name << " inverse_marginal @" << target;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, TableEquivalence, ::testing::ValuesIn(table_cases()),
+    [](const ::testing::TestParamInfo<TableCase>& info) {
+      return info.param.name;
+    });
+
+TEST(LatencyTable, BatchedKernelsMatchScalar) {
+  Rng rng(99);
+  std::vector<LatencyPtr> lats;
+  for (const TableCase& c : table_cases()) lats.push_back(c.fn);
+  const LatencyTable table = LatencyTable::compiled(lats);
+  ASSERT_EQ(table.size(), lats.size());
+
+  std::vector<double> flow(lats.size());
+  for (auto& x : flow) x = rng.uniform(0.0, 1.2);
+  std::vector<double> out(lats.size());
+
+  table.values(flow, out);
+  for (std::size_t i = 0; i < lats.size(); ++i) {
+    EXPECT_EQ(out[i], lats[i]->value(flow[i])) << i;
+  }
+  table.derivatives(flow, out);
+  for (std::size_t i = 0; i < lats.size(); ++i) {
+    EXPECT_EQ(out[i], lats[i]->derivative(flow[i])) << i;
+  }
+  table.integrals(flow, out);
+  for (std::size_t i = 0; i < lats.size(); ++i) {
+    EXPECT_EQ(out[i], lats[i]->integral(flow[i])) << i;
+  }
+  table.marginals(flow, out);
+  for (std::size_t i = 0; i < lats.size(); ++i) {
+    EXPECT_EQ(out[i], lats[i]->marginal(flow[i])) << i;
+  }
+}
+
+// An unknown subclass must compile to an opaque entry that forwards to the
+// virtual object rather than mis-evaluating.
+class WeirdLatency final : public LatencyFunction {
+ public:
+  double value(double x) const override { return x * x + 3.0; }
+  double derivative(double x) const override { return 2.0 * x; }
+  double integral(double x) const override { return x * x * x / 3.0 + 3.0 * x; }
+  LatencyKind kind() const override { return LatencyKind::kPolynomial; }
+  std::vector<double> params() const override { return {}; }  // malformed
+  std::string describe() const override { return "weird"; }
+};
+
+TEST(LatencyTable, OpaqueFallbackForUnknownSubclass) {
+  const std::vector<LatencyPtr> lats = {std::make_shared<WeirdLatency>()};
+  const LatencyTable table = LatencyTable::compiled(lats);
+  for (double x : {0.0, 0.5, 2.0, 7.25}) {
+    EXPECT_EQ(table.value(0, x), lats[0]->value(x));
+    EXPECT_EQ(table.derivative(0, x), lats[0]->derivative(x));
+    EXPECT_EQ(table.integral(0, x), lats[0]->integral(x));
+    EXPECT_EQ(table.marginal(0, x), lats[0]->marginal(x));
+  }
+}
+
+TEST(LatencyTable, CompileReusesStorageAndRejectsNull) {
+  LatencyTable table;
+  const std::vector<LatencyPtr> a = {make_affine(1.0, 0.5), make_mm1(2.0)};
+  table.compile(a);
+  EXPECT_EQ(table.size(), 2u);
+  const std::vector<LatencyPtr> b = {make_constant(1.0)};
+  table.compile(b);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.value(0, 3.0), 1.0);
+
+  const std::vector<LatencyPtr> bad = {nullptr};
+  EXPECT_THROW(table.compile(bad), Error);
+}
+
+}  // namespace
+}  // namespace stackroute

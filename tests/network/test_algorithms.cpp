@@ -58,11 +58,17 @@ TEST(Dijkstra, UnreachableIsInfinite) {
   EXPECT_THROW(extract_path(g, tree, 2), Error);
 }
 
-TEST(Dijkstra, NegativeCostsRejected) {
+TEST(Dijkstra, NegativeCostsRejectedInDebugBuilds) {
+  // The O(m) non-negativity scan is debug-only (SR_ASSERT behind NDEBUG):
+  // it sat inside the solvers' hottest loop.
+#ifdef NDEBUG
+  GTEST_SKIP() << "cost validation compiled out in release builds";
+#else
   Graph g(2);
   g.add_edge(0, 1, make_linear(1.0));
   const std::vector<double> cost = {-0.1};
   EXPECT_THROW(dijkstra(g, 0, cost), Error);
+#endif
 }
 
 TEST(TightEdges, MarksExactlyTheShortestPathEdges) {
