@@ -1,0 +1,217 @@
+#include "stackroute/gen/generators.h"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "stackroute/latency/families.h"
+#include "stackroute/network/generators.h"
+#include "stackroute/util/error.h"
+#include "stackroute/util/rng.h"
+
+namespace stackroute::gen {
+
+namespace {
+
+LatencyPtr random_affine_in(Rng& rng, double slope_lo, double slope_hi,
+                            double b_lo, double b_hi) {
+  return make_affine(rng.uniform(slope_lo, slope_hi),
+                     rng.uniform(b_lo, b_hi));
+}
+
+void check_affine_ranges(double slope_lo, double slope_hi, double b_lo,
+                         double b_hi) {
+  SR_REQUIRE(slope_lo > 0.0 && slope_hi >= slope_lo,
+             "affine slope range needs 0 < slope_lo <= slope_hi");
+  SR_REQUIRE(b_lo >= 0.0 && b_hi >= b_lo,
+             "affine intercept range needs 0 <= intercept_lo <= intercept_hi");
+}
+
+}  // namespace
+
+NetworkInstance make_grid(const GridSpec& spec, std::uint64_t seed) {
+  SR_REQUIRE(spec.rows >= 2 && spec.cols >= 2,
+             "make_grid needs rows, cols >= 2");
+  SR_REQUIRE(spec.demand > 0.0, "make_grid needs demand > 0");
+  SR_REQUIRE(spec.t0_lo > 0.0 && spec.t0_hi >= spec.t0_lo,
+             "make_grid needs 0 < t0_lo <= t0_hi");
+  SR_REQUIRE(spec.cap_lo > 0.0 && spec.cap_hi >= spec.cap_lo,
+             "make_grid needs 0 < cap_lo <= cap_hi");
+  Rng rng(seed);
+  NetworkInstance inst;
+  inst.graph = Graph(spec.rows * spec.cols);
+  const auto node = [&](int i, int j) {
+    return static_cast<NodeId>(i * spec.cols + j);
+  };
+  const auto bpr = [&]() {
+    return make_bpr(rng.uniform(spec.t0_lo, spec.t0_hi),
+                    rng.uniform(spec.cap_lo, spec.cap_hi), spec.bpr_b,
+                    spec.bpr_power);
+  };
+  // One fixed edge order (row-major, rightward then downward per cell) so
+  // the RNG draw sequence — hence the instance — is a pure function of
+  // (spec, seed). Torus mode adds the wrap-around arcs in the same slots.
+  for (int i = 0; i < spec.rows; ++i) {
+    for (int j = 0; j < spec.cols; ++j) {
+      if (j + 1 < spec.cols) {
+        inst.graph.add_edge(node(i, j), node(i, j + 1), bpr());
+      } else if (spec.torus) {
+        inst.graph.add_edge(node(i, j), node(i, 0), bpr());
+      }
+      if (i + 1 < spec.rows) {
+        inst.graph.add_edge(node(i, j), node(i + 1, j), bpr());
+      } else if (spec.torus) {
+        inst.graph.add_edge(node(i, j), node(0, j), bpr());
+      }
+    }
+  }
+  inst.commodities.push_back(
+      Commodity{node(0, 0), node(spec.rows - 1, spec.cols - 1), spec.demand});
+  return inst;
+}
+
+namespace {
+
+void build_sp(Graph& g, NodeId s, NodeId t, int depth, Rng& rng,
+              const SeriesParallelSpec& spec) {
+  if (depth <= 0) {
+    g.add_edge(s, t,
+               random_affine_in(rng, spec.slope_lo, spec.slope_hi,
+                                spec.intercept_lo, spec.intercept_hi));
+    return;
+  }
+  if (rng.bernoulli(spec.parallel_prob)) {
+    const int k = static_cast<int>(rng.uniform_int(2, spec.max_branch));
+    for (int b = 0; b < k; ++b) build_sp(g, s, t, depth - 1, rng, spec);
+  } else {
+    const NodeId mid = g.add_node();
+    build_sp(g, s, mid, depth - 1, rng, spec);
+    build_sp(g, mid, t, depth - 1, rng, spec);
+  }
+}
+
+}  // namespace
+
+NetworkInstance make_series_parallel(const SeriesParallelSpec& spec,
+                                     std::uint64_t seed) {
+  SR_REQUIRE(spec.depth >= 0 && spec.depth <= 10,
+             "make_series_parallel needs 0 <= depth <= 10");
+  SR_REQUIRE(spec.parallel_prob >= 0.0 && spec.parallel_prob <= 1.0,
+             "make_series_parallel needs parallel_prob in [0, 1]");
+  SR_REQUIRE(spec.max_branch >= 2 && spec.max_branch <= 8,
+             "make_series_parallel needs 2 <= max_branch <= 8");
+  SR_REQUIRE(spec.demand > 0.0, "make_series_parallel needs demand > 0");
+  check_affine_ranges(spec.slope_lo, spec.slope_hi, spec.intercept_lo,
+                      spec.intercept_hi);
+  Rng rng(seed);
+  NetworkInstance inst;
+  inst.graph = Graph(2);
+  const NodeId s = 0, t = 1;
+  build_sp(inst.graph, s, t, spec.depth, rng, spec);
+  inst.commodities.push_back(Commodity{s, t, spec.demand});
+  return inst;
+}
+
+NetworkInstance make_braess_ladder(const BraessLadderSpec& spec,
+                                   std::uint64_t seed) {
+  SR_REQUIRE(spec.rungs >= 1 && spec.rungs <= 100000,
+             "make_braess_ladder needs 1 <= rungs <= 1e5");
+  SR_REQUIRE(spec.demand > 0.0, "make_braess_ladder needs demand > 0");
+  SR_REQUIRE(spec.jitter >= 0.0 && spec.jitter < 1.0,
+             "make_braess_ladder needs jitter in [0, 1)");
+  Rng rng(seed);
+  // (1 +/- jitter) multiplicative perturbation; exactly 1 when jitter = 0,
+  // so the jitter-free ladder does not even consume RNG draws and is the
+  // same instance at every seed.
+  const auto wobble = [&]() {
+    return spec.jitter == 0.0
+               ? 1.0
+               : 1.0 + spec.jitter * rng.uniform(-1.0, 1.0);
+  };
+  NetworkInstance inst;
+  inst.graph = Graph(1 + 3 * spec.rungs);
+  for (int cell = 0; cell < spec.rungs; ++cell) {
+    const NodeId s = static_cast<NodeId>(3 * cell);
+    const NodeId v = s + 1, w = s + 2, t = s + 3;
+    inst.graph.add_edge(s, v, make_linear(wobble()));
+    inst.graph.add_edge(s, w, make_constant(wobble()));
+    inst.graph.add_edge(v, w, make_constant(0.0));  // the paradox shortcut
+    inst.graph.add_edge(v, t, make_constant(wobble()));
+    inst.graph.add_edge(w, t, make_linear(wobble()));
+  }
+  inst.commodities.push_back(
+      Commodity{0, static_cast<NodeId>(3 * spec.rungs), spec.demand});
+  return inst;
+}
+
+NetworkInstance make_random_dag(const DagSpec& spec, std::uint64_t seed) {
+  SR_REQUIRE(spec.nodes >= 2, "make_random_dag needs nodes >= 2");
+  SR_REQUIRE(spec.edge_prob >= 0.0 && spec.edge_prob <= 1.0,
+             "make_random_dag needs edge_prob in [0, 1]");
+  SR_REQUIRE(spec.demand > 0.0, "make_random_dag needs demand > 0");
+  check_affine_ranges(spec.slope_lo, spec.slope_hi, spec.intercept_lo,
+                      spec.intercept_hi);
+  Rng rng(seed);
+  NetworkInstance inst;
+  inst.graph = Graph(spec.nodes);
+  const auto affine = [&]() {
+    return random_affine_in(rng, spec.slope_lo, spec.slope_hi,
+                            spec.intercept_lo, spec.intercept_hi);
+  };
+  // Spine first (guarantees s-t connectivity through every node), then the
+  // skip edges in lexicographic (i, j) order.
+  for (int i = 0; i + 1 < spec.nodes; ++i) {
+    inst.graph.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(i + 1),
+                        affine());
+  }
+  for (int i = 0; i < spec.nodes; ++i) {
+    for (int j = i + 2; j < spec.nodes; ++j) {
+      if (rng.bernoulli(spec.edge_prob)) {
+        inst.graph.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j),
+                            affine());
+      }
+    }
+  }
+  inst.commodities.push_back(
+      Commodity{0, static_cast<NodeId>(spec.nodes - 1), spec.demand});
+  return inst;
+}
+
+ParallelLinks make_parallel_family(const ParallelFamilySpec& spec,
+                                   std::uint64_t seed) {
+  SR_REQUIRE(spec.links >= 1, "make_parallel_family needs links >= 1");
+  SR_REQUIRE(spec.demand > 0.0, "make_parallel_family needs demand > 0");
+  Rng rng(seed);
+  switch (spec.family) {
+    case ParallelFamilySpec::Family::kAffine:
+      return random_affine_links(rng, spec.links, spec.demand);
+    case ParallelFamilySpec::Family::kCommonSlope:
+      SR_REQUIRE(spec.slope > 0.0, "common-slope family needs slope > 0");
+      return random_common_slope_links(rng, spec.links, spec.demand,
+                                       spec.slope);
+    case ParallelFamilySpec::Family::kPolynomial:
+      SR_REQUIRE(spec.max_degree >= 1,
+                 "polynomial family needs max_degree >= 1");
+      return random_polynomial_links(rng, spec.links, spec.demand,
+                                     spec.max_degree);
+    case ParallelFamilySpec::Family::kMm1: {
+      SR_REQUIRE(spec.mu_margin > 1.0, "M/M/1 family needs mu_margin > 1");
+      // Random shares of a total capacity mu_margin * demand, so the
+      // system is feasible by construction at any link count.
+      std::vector<double> shares(static_cast<std::size_t>(spec.links));
+      double total = 0.0;
+      for (auto& s : shares) {
+        s = rng.uniform(0.5, 1.5);
+        total += s;
+      }
+      const double capacity = spec.mu_margin * spec.demand;
+      std::vector<double> mus;
+      mus.reserve(shares.size());
+      for (double s : shares) mus.push_back(capacity * s / total);
+      return mm1_links(std::move(mus), spec.demand);
+    }
+  }
+  throw Error("make_parallel_family: unreachable family");
+}
+
+}  // namespace stackroute::gen

@@ -1,0 +1,58 @@
+// String-keyed front door to the generator subsystem: a registry of named
+// families with documented numeric knobs, so CLIs (`stackroute-sweep
+// --generate NAME`), sweep scenario factories and benches can build
+// instances without depending on the typed spec structs.
+//
+// A GeneratorSpec is (family name, {knob -> value}); generate() validates
+// the family and every knob name (typos are errors, not silent defaults)
+// and forwards to the typed generator in generators.h, so the purity
+// contract holds: same (spec, seed) -> bitwise-identical instance.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "stackroute/gen/generators.h"
+
+namespace stackroute::gen {
+
+struct GeneratorSpec {
+  std::string family;
+  std::map<std::string, double> params;  // unknown keys are rejected
+};
+
+struct GeneratorKnob {
+  std::string name;
+  double fallback = 0.0;
+  std::string help;
+};
+
+struct GeneratorInfo {
+  std::string name;
+  std::string summary;
+  /// The knob `--size N` drives (rows+cols, depth, rungs, nodes, links).
+  std::string size_knob;
+  std::vector<GeneratorKnob> knobs;
+};
+
+/// All registered families, in display order.
+const std::vector<GeneratorInfo>& generator_registry();
+
+/// Builds the family named by the spec; throws stackroute::Error on an
+/// unknown family or knob name (listing the valid ones).
+GeneratedInstance generate(const GeneratorSpec& spec, std::uint64_t seed);
+
+/// Spec for the named family with its registered size knob set to `size`
+/// (size 0 = family default, no knob set). Throws on an unknown family.
+/// The single place the size -> knob routing lives; generate_sized and
+/// the `--generate --size` CLI both go through it.
+GeneratorSpec sized_spec(const std::string& family, int size);
+
+/// CLI sugar: the named family with its size knob set to `size` (size 0 =
+/// family default) and the demand knob set to `demand`.
+GeneratedInstance generate_sized(const std::string& family, int size,
+                                 double demand, std::uint64_t seed);
+
+}  // namespace stackroute::gen

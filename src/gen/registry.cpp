@@ -1,0 +1,256 @@
+#include "stackroute/gen/registry.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "stackroute/util/error.h"
+
+namespace stackroute::gen {
+
+namespace {
+
+/// Resolves knob values against the family's registered knob list:
+/// unknown keys in the spec are hard errors (a typo would otherwise
+/// silently fall back to a default and change the swept family).
+class KnobReader {
+ public:
+  KnobReader(const GeneratorInfo& info, const GeneratorSpec& spec)
+      : info_(info), spec_(spec) {
+    for (const auto& [key, value] : spec.params) {
+      (void)value;
+      bool known = false;
+      for (const auto& knob : info.knobs) known = known || knob.name == key;
+      if (!known) {
+        std::ostringstream os;
+        os << "generator '" << info.name << "' has no knob '" << key
+           << "' (valid:";
+        for (const auto& knob : info.knobs) os << ' ' << knob.name;
+        os << ')';
+        throw Error(os.str());
+      }
+    }
+  }
+
+  [[nodiscard]] double get(const std::string& name) const {
+    const auto it = spec_.params.find(name);
+    if (it != spec_.params.end()) return it->second;
+    for (const auto& knob : info_.knobs) {
+      if (knob.name == name) return knob.fallback;
+    }
+    throw Error("generator '" + info_.name + "' reads unregistered knob '" +
+                name + "'");
+  }
+
+  [[nodiscard]] int get_int(const std::string& name) const {
+    const double v = get(name);
+    SR_REQUIRE(std::floor(v) == v && std::abs(v) < 1e9,
+               "generator knob '" + name + "' must be an integer");
+    return static_cast<int>(v);
+  }
+
+ private:
+  const GeneratorInfo& info_;
+  const GeneratorSpec& spec_;
+};
+
+GridSpec grid_spec(const KnobReader& k, bool torus) {
+  GridSpec spec;
+  spec.torus = torus;
+  const int size = k.get_int("size");
+  spec.rows = size > 0 ? size : k.get_int("rows");
+  spec.cols = size > 0 ? size : k.get_int("cols");
+  spec.demand = k.get("demand");
+  spec.t0_lo = k.get("t0_lo");
+  spec.t0_hi = k.get("t0_hi");
+  spec.cap_lo = k.get("cap_lo");
+  spec.cap_hi = k.get("cap_hi");
+  spec.bpr_b = k.get("bpr_b");
+  spec.bpr_power = k.get("bpr_power");
+  return spec;
+}
+
+const std::vector<GeneratorKnob>& grid_knobs() {
+  static const std::vector<GeneratorKnob> knobs = {
+      {"size", 0, "rows = cols = size when > 0 (the --size knob)"},
+      {"rows", 4, "grid rows (ignored when size > 0)"},
+      {"cols", 4, "grid columns (ignored when size > 0)"},
+      {"demand", 1.0, "single-commodity demand, NW -> SE corner"},
+      {"t0_lo", 0.5, "BPR free-flow time lower bound"},
+      {"t0_hi", 2.0, "BPR free-flow time upper bound"},
+      {"cap_lo", 0.8, "BPR capacity lower bound"},
+      {"cap_hi", 2.5, "BPR capacity upper bound"},
+      {"bpr_b", 0.15, "BPR congestion coefficient B"},
+      {"bpr_power", 4.0, "BPR congestion exponent"},
+  };
+  return knobs;
+}
+
+ParallelFamilySpec parallel_spec(const KnobReader& k,
+                                 ParallelFamilySpec::Family family) {
+  ParallelFamilySpec spec;
+  spec.family = family;
+  const int size = k.get_int("size");
+  spec.links = size > 0 ? size : k.get_int("links");
+  spec.demand = k.get("demand");
+  if (family == ParallelFamilySpec::Family::kCommonSlope) {
+    spec.slope = k.get("slope");
+  } else if (family == ParallelFamilySpec::Family::kPolynomial) {
+    spec.max_degree = k.get_int("max_degree");
+  } else if (family == ParallelFamilySpec::Family::kMm1) {
+    spec.mu_margin = k.get("mu_margin");
+  }
+  return spec;
+}
+
+std::vector<GeneratorKnob> parallel_knobs(double default_demand,
+                                          std::vector<GeneratorKnob> extra) {
+  std::vector<GeneratorKnob> knobs = {
+      {"size", 0, "links = size when > 0 (the --size knob)"},
+      {"links", 8, "number of parallel links (ignored when size > 0)"},
+      {"demand", default_demand, "total flow demand"},
+  };
+  knobs.insert(knobs.end(), extra.begin(), extra.end());
+  return knobs;
+}
+
+}  // namespace
+
+const std::vector<GeneratorInfo>& generator_registry() {
+  static const std::vector<GeneratorInfo> registry = {
+      {"grid-bpr", "rows x cols one-way street grid with random BPR latencies",
+       "size", grid_knobs()},
+      {"torus-bpr", "grid-bpr plus wrap-around arcs (every row/column a ring)",
+       "size", grid_knobs()},
+      {"series-parallel",
+       "random series-parallel s-t network by recursive composition", "size",
+       {{"size", 0, "depth = size when > 0 (the --size knob)"},
+        {"depth", 3, "recursion depth (ignored when size > 0)"},
+        {"parallel_prob", 0.5, "P(parallel composition) at inner levels"},
+        {"max_branch", 3, "parallel composition width, drawn in [2, this]"},
+        {"demand", 1.0, "single-commodity demand"},
+        {"slope_lo", 0.2, "affine slope lower bound"},
+        {"slope_hi", 2.0, "affine slope upper bound"},
+        {"intercept_lo", 0.0, "affine intercept lower bound"},
+        {"intercept_hi", 1.0, "affine intercept upper bound"}}},
+      {"braess-ladder",
+       "chained Braess diamonds, optionally jittered per cell", "size",
+       {{"size", 0, "rungs = size when > 0 (the --size knob)"},
+        {"rungs", 2, "number of chained diamonds (ignored when size > 0)"},
+        {"demand", 1.0, "single-commodity demand"},
+        {"jitter", 0.0, "relative latency perturbation in [0, 1)"}}},
+      {"random-dag",
+       "random DAG with a guaranteed s-t spine plus probabilistic skips",
+       "size",
+       {{"size", 0, "nodes = size when > 0 (the --size knob)"},
+        {"nodes", 12, "node count (ignored when size > 0)"},
+        {"edge_prob", 0.3, "skip-edge probability"},
+        {"demand", 1.0, "single-commodity demand"},
+        {"slope_lo", 0.2, "affine slope lower bound"},
+        {"slope_hi", 2.0, "affine slope upper bound"},
+        {"intercept_lo", 0.0, "affine intercept lower bound"},
+        {"intercept_hi", 1.0, "affine intercept upper bound"}}},
+      {"parallel-affine", "random affine parallel links", "size",
+       parallel_knobs(1.0, {})},
+      {"parallel-common-slope",
+       "the Thm 2.4 / §6 hard instances: common slope, sorted intercepts",
+       "size",
+       parallel_knobs(2.0, {{"slope", 1.0, "the common slope a > 0"}})},
+      {"parallel-polynomial", "random polynomial parallel links", "size",
+       parallel_knobs(1.0, {{"max_degree", 3, "maximum polynomial degree"}})},
+      {"parallel-mm1",
+       "random M/M/1 links, capacities scaled to clear the demand", "size",
+       parallel_knobs(1.0,
+                      {{"mu_margin", 1.5,
+                        "total capacity as a multiple of the demand (> 1)"}})},
+  };
+  return registry;
+}
+
+namespace {
+
+const GeneratorInfo& find_family(const std::string& name) {
+  for (const auto& info : generator_registry()) {
+    if (info.name == name) return info;
+  }
+  std::ostringstream os;
+  os << "unknown generator: " << name << " (valid:";
+  for (const auto& info : generator_registry()) os << ' ' << info.name;
+  os << ')';
+  throw Error(os.str());
+}
+
+}  // namespace
+
+GeneratedInstance generate(const GeneratorSpec& spec, std::uint64_t seed) {
+  const GeneratorInfo& info = find_family(spec.family);
+  const KnobReader k(info, spec);
+  if (info.name == "grid-bpr") return make_grid(grid_spec(k, false), seed);
+  if (info.name == "torus-bpr") return make_grid(grid_spec(k, true), seed);
+  if (info.name == "series-parallel") {
+    SeriesParallelSpec s;
+    const int size = k.get_int("size");
+    s.depth = size > 0 ? size : k.get_int("depth");
+    s.parallel_prob = k.get("parallel_prob");
+    s.max_branch = k.get_int("max_branch");
+    s.demand = k.get("demand");
+    s.slope_lo = k.get("slope_lo");
+    s.slope_hi = k.get("slope_hi");
+    s.intercept_lo = k.get("intercept_lo");
+    s.intercept_hi = k.get("intercept_hi");
+    return make_series_parallel(s, seed);
+  }
+  if (info.name == "braess-ladder") {
+    BraessLadderSpec s;
+    const int size = k.get_int("size");
+    s.rungs = size > 0 ? size : k.get_int("rungs");
+    s.demand = k.get("demand");
+    s.jitter = k.get("jitter");
+    return make_braess_ladder(s, seed);
+  }
+  if (info.name == "random-dag") {
+    DagSpec s;
+    const int size = k.get_int("size");
+    s.nodes = size > 0 ? size : k.get_int("nodes");
+    s.edge_prob = k.get("edge_prob");
+    s.demand = k.get("demand");
+    s.slope_lo = k.get("slope_lo");
+    s.slope_hi = k.get("slope_hi");
+    s.intercept_lo = k.get("intercept_lo");
+    s.intercept_hi = k.get("intercept_hi");
+    return make_random_dag(s, seed);
+  }
+  if (info.name == "parallel-affine") {
+    return make_parallel_family(
+        parallel_spec(k, ParallelFamilySpec::Family::kAffine), seed);
+  }
+  if (info.name == "parallel-common-slope") {
+    return make_parallel_family(
+        parallel_spec(k, ParallelFamilySpec::Family::kCommonSlope), seed);
+  }
+  if (info.name == "parallel-polynomial") {
+    return make_parallel_family(
+        parallel_spec(k, ParallelFamilySpec::Family::kPolynomial), seed);
+  }
+  if (info.name == "parallel-mm1") {
+    return make_parallel_family(
+        parallel_spec(k, ParallelFamilySpec::Family::kMm1), seed);
+  }
+  throw Error("generator '" + info.name + "' registered but not dispatched");
+}
+
+GeneratorSpec sized_spec(const std::string& family, int size) {
+  const GeneratorInfo& info = find_family(family);
+  GeneratorSpec spec;
+  spec.family = family;
+  if (size > 0) spec.params[info.size_knob] = size;
+  return spec;
+}
+
+GeneratedInstance generate_sized(const std::string& family, int size,
+                                 double demand, std::uint64_t seed) {
+  GeneratorSpec spec = sized_spec(family, size);
+  spec.params["demand"] = demand;
+  return generate(spec, seed);
+}
+
+}  // namespace stackroute::gen

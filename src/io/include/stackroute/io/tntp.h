@@ -1,0 +1,57 @@
+// Reader for the Transportation Networks `_net.tntp` format (Bar-Gera's
+// repository, github.com/bstabler/TransportationNetworks) — the de-facto
+// interchange format for real road networks like SiouxFalls, so the
+// paper's algorithms can run on instances the traffic-assignment
+// literature benchmarks against.
+//
+// Format (whitespace-separated, 1-based node ids):
+//   <NUMBER OF NODES> n        metadata tags; unknown tags are ignored
+//   <NUMBER OF LINKS> m
+//   <FIRST THRU NODE> k
+//   <END OF METADATA>
+//   ~ init term capacity length fft B power speed toll type ;   (header)
+//   1 2 25900.2 6 6 0.15 4 0 0 1 ;                              (one/link)
+//
+// Each link becomes a BPR edge ℓ(x) = fft·(1 + B·(x/capacity)^power);
+// links with B = 0 or fft = 0 degenerate to constants, matching how the
+// BPR curve itself degenerates. Lines starting with `~` are comments;
+// the trailing `;` is optional. Errors carry the offending line number.
+//
+// `_net.tntp` carries no demands, so the returned instance has an empty
+// commodity list: attach Commodity{s, t, r} (or sweep::override_demand)
+// before solving. read_tntp_network_file is what sweep's
+// load_instance_file dispatches to for `*.tntp` paths.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "stackroute/network/instance.h"
+
+namespace stackroute {
+
+struct TntpMetadata {
+  int num_nodes = 0;
+  int num_links = 0;
+  /// First non-zone node (1-based, as in the file). NOT enforced by the
+  /// reader: on networks where this exceeds 1 (e.g. Anaheim), standard
+  /// traffic assignment forbids paths *through* the zone-centroid nodes
+  /// below it, so solver results there can route through centroid
+  /// connectors and diverge from published values. SiouxFalls, where
+  /// every node is a through node, is unaffected. Callers needing
+  /// centroid semantics must filter paths themselves.
+  int first_thru_node = 1;
+  int num_zones = 0;
+};
+
+/// Parses a `_net.tntp` document. The returned instance has num_nodes
+/// nodes, num_links BPR edges and NO commodities (see header comment).
+/// Throws stackroute::Error with a line number on malformed input.
+NetworkInstance read_tntp_network(std::istream& is,
+                                  TntpMetadata* metadata = nullptr);
+
+/// read_tntp_network over a file's contents; throws on unreadable paths.
+NetworkInstance read_tntp_network_file(const std::string& path,
+                                       TntpMetadata* metadata = nullptr);
+
+}  // namespace stackroute

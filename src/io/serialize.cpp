@@ -1,6 +1,6 @@
 #include "stackroute/io/serialize.h"
 
-#include <iomanip>
+#include <locale>
 #include <map>
 #include <ostream>
 #include <sstream>
@@ -25,38 +25,109 @@ const std::map<std::string, LatencyKind>& kind_names() {
 
 void write_latency(std::ostream& os, const LatencyFunction& fn) {
   os << to_string(fn.kind());
-  os << std::setprecision(17);
   for (double p : fn.params()) os << ' ' << p;
 }
 
-LatencyPtr read_latency(std::istringstream& line) {
+/// Pins a stream to the classic "C" locale and 17-digit precision (exact
+/// double round-trips) for one writer's scope, restoring the caller's
+/// settings afterwards — serialization must neither read nor leak
+/// stream-formatting state.
+class ScopedClassicFormat {
+ public:
+  explicit ScopedClassicFormat(std::ostream& os)
+      : os_(os),
+        saved_locale_(os.imbue(std::locale::classic())),
+        saved_precision_(os.precision(17)) {}
+  ~ScopedClassicFormat() {
+    os_.precision(saved_precision_);
+    os_.imbue(saved_locale_);
+  }
+  ScopedClassicFormat(const ScopedClassicFormat&) = delete;
+  ScopedClassicFormat& operator=(const ScopedClassicFormat&) = delete;
+
+ private:
+  std::ostream& os_;
+  std::locale saved_locale_;
+  std::streamsize saved_precision_;
+};
+
+/// Reads non-comment, non-blank lines while tracking physical line
+/// numbers, so every parse error can name the offending line. Each line
+/// is handed out as an istringstream imbued with the classic "C" locale:
+/// numeric extraction must not depend on the process's global locale
+/// (a de_DE-style locale would otherwise mis-read the decimal point).
+class LineReader {
+ public:
+  explicit LineReader(std::istream& is) : is_(is) {}
+
+  bool next(std::istringstream& row) {
+    std::string line;
+    while (std::getline(is_, line)) {
+      ++line_no_;
+      const auto pos = line.find_first_not_of(" \t\r");
+      if (pos == std::string::npos) continue;
+      if (line[pos] == '#') continue;
+      row.str(line);
+      row.clear();
+      row.imbue(std::locale::classic());
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] int line() const { return line_no_; }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw Error("line " + std::to_string(line_no_) + ": " + message);
+  }
+
+  void require(bool cond, const std::string& message) const {
+    if (!cond) fail(message);
+  }
+
+  /// Fails unless the whole line was consumed — a parameter loop that
+  /// stops at the first non-numeric token must not silently accept
+  /// `link affine 1.0 2.0 oops` as a valid 2-parameter link.
+  void require_consumed(std::istringstream& row,
+                        const std::string& what) const {
+    if (row.eof()) return;
+    row.clear();
+    std::string extra;
+    if (row >> extra) {
+      fail("trailing garbage '" + extra + "' after " + what);
+    }
+  }
+
+ private:
+  std::istream& is_;
+  int line_no_ = 0;
+};
+
+/// Parses `<kind> <params...>` to the end of the line; the whole
+/// remainder must be numeric parameters.
+LatencyPtr read_latency(std::istringstream& row, const LineReader& reader) {
   std::string kind_name;
-  SR_REQUIRE(static_cast<bool>(line >> kind_name),
-             "expected a latency kind");
+  reader.require(static_cast<bool>(row >> kind_name),
+                 "expected a latency kind");
   const auto it = kind_names().find(kind_name);
-  SR_REQUIRE(it != kind_names().end(),
-             "unknown latency kind '" + kind_name + "'");
+  reader.require(it != kind_names().end(),
+                 "unknown latency kind '" + kind_name + "'");
   std::vector<double> params;
   double v = 0.0;
-  while (line >> v) params.push_back(v);
-  return make_latency(it->second, params);
-}
-
-// Next non-comment, non-blank line; false at EOF.
-bool next_line(std::istream& is, std::string& out) {
-  while (std::getline(is, out)) {
-    const auto pos = out.find_first_not_of(" \t\r");
-    if (pos == std::string::npos) continue;
-    if (out[pos] == '#') continue;
-    return true;
+  while (row >> v) params.push_back(v);
+  reader.require_consumed(row, "'" + kind_name + "' parameters");
+  try {
+    return make_latency(it->second, params);
+  } catch (const Error& e) {
+    reader.fail(e.what());
   }
-  return false;
 }
 
 }  // namespace
 
 void write_instance(std::ostream& os, const ParallelLinks& m) {
-  os << std::setprecision(17) << "parallel_links " << m.demand << '\n';
+  const ScopedClassicFormat fmt(os);
+  os << "parallel_links " << m.demand << '\n';
   for (const auto& link : m.links) {
     os << "link ";
     write_latency(os, *link);
@@ -65,8 +136,8 @@ void write_instance(std::ostream& os, const ParallelLinks& m) {
 }
 
 void write_instance(std::ostream& os, const NetworkInstance& inst) {
+  const ScopedClassicFormat fmt(os);
   os << "network " << inst.graph.num_nodes() << '\n';
-  os << std::setprecision(17);
   for (EdgeId e = 0; e < inst.graph.num_edges(); ++e) {
     const Edge& edge = inst.graph.edge(e);
     os << "edge " << edge.tail << ' ' << edge.head << ' ';
@@ -80,49 +151,59 @@ void write_instance(std::ostream& os, const NetworkInstance& inst) {
 }
 
 ParallelLinks read_parallel_links(std::istream& is) {
-  std::string line;
-  SR_REQUIRE(next_line(is, line), "empty parallel-links document");
-  std::istringstream header(line);
+  LineReader reader(is);
+  std::istringstream row;
+  SR_REQUIRE(reader.next(row), "empty parallel-links document");
   std::string tag;
   ParallelLinks m;
-  SR_REQUIRE(static_cast<bool>(header >> tag >> m.demand) &&
-                 tag == "parallel_links",
-             "expected 'parallel_links <demand>' header");
-  while (next_line(is, line)) {
-    std::istringstream row(line);
-    SR_REQUIRE(static_cast<bool>(row >> tag) && tag == "link",
-               "expected 'link <kind> <params...>'");
-    m.links.push_back(read_latency(row));
+  reader.require(static_cast<bool>(row >> tag >> m.demand) &&
+                     tag == "parallel_links",
+                 "expected 'parallel_links <demand>' header");
+  reader.require_consumed(row, "'parallel_links' header");
+  while (reader.next(row)) {
+    reader.require(static_cast<bool>(row >> tag) && tag == "link",
+                   "expected 'link <kind> <params...>'");
+    m.links.push_back(read_latency(row, reader));
   }
   m.validate();
   return m;
 }
 
 NetworkInstance read_network(std::istream& is) {
-  std::string line;
-  SR_REQUIRE(next_line(is, line), "empty network document");
-  std::istringstream header(line);
+  LineReader reader(is);
+  std::istringstream row;
+  SR_REQUIRE(reader.next(row), "empty network document");
   std::string tag;
   int nodes = 0;
-  SR_REQUIRE(static_cast<bool>(header >> tag >> nodes) && tag == "network",
-             "expected 'network <num_nodes>' header");
+  reader.require(static_cast<bool>(row >> tag >> nodes) && tag == "network",
+                 "expected 'network <num_nodes>' header");
+  reader.require(nodes >= 0, "negative node count");
+  reader.require_consumed(row, "'network' header");
   NetworkInstance inst;
   inst.graph = Graph(nodes);
-  while (next_line(is, line)) {
-    std::istringstream row(line);
-    SR_REQUIRE(static_cast<bool>(row >> tag), "malformed line");
+  while (reader.next(row)) {
+    reader.require(static_cast<bool>(row >> tag), "malformed line");
     if (tag == "edge") {
       NodeId tail = 0, head = 0;
-      SR_REQUIRE(static_cast<bool>(row >> tail >> head),
-                 "expected 'edge <tail> <head> <kind> <params...>'");
-      inst.graph.add_edge(tail, head, read_latency(row));
+      reader.require(static_cast<bool>(row >> tail >> head),
+                     "expected 'edge <tail> <head> <kind> <params...>'");
+      try {
+        inst.graph.add_edge(tail, head, read_latency(row, reader));
+      } catch (const Error& e) {
+        // add_edge diagnostics (range, self-loop) gain the line number;
+        // read_latency failures already carry it.
+        const std::string what = e.what();
+        if (what.rfind("line ", 0) == 0) throw;
+        reader.fail(what);
+      }
     } else if (tag == "commodity") {
       Commodity c;
-      SR_REQUIRE(static_cast<bool>(row >> c.source >> c.sink >> c.demand),
-                 "expected 'commodity <source> <sink> <demand>'");
+      reader.require(static_cast<bool>(row >> c.source >> c.sink >> c.demand),
+                     "expected 'commodity <source> <sink> <demand>'");
+      reader.require_consumed(row, "'commodity' line");
       inst.commodities.push_back(c);
     } else {
-      throw Error("unknown line tag '" + tag + "'");
+      reader.fail("unknown line tag '" + tag + "'");
     }
   }
   inst.validate();

@@ -1,0 +1,164 @@
+#include "stackroute/io/tntp.h"
+
+#include <cctype>
+#include <fstream>
+#include <locale>
+#include <sstream>
+#include <string>
+
+#include "stackroute/latency/families.h"
+#include "stackroute/util/error.h"
+
+namespace stackroute {
+
+namespace {
+
+[[noreturn]] void fail_at(int line_no, const std::string& message) {
+  throw Error("line " + std::to_string(line_no) + ": " + message);
+}
+
+/// `<TAG NAME> value` -> true, with tag/value split out.
+bool parse_metadata_tag(const std::string& line, std::string& tag,
+                        std::string& value) {
+  const auto open = line.find('<');
+  const auto close = line.find('>');
+  if (open == std::string::npos || close == std::string::npos ||
+      close < open) {
+    return false;
+  }
+  tag = line.substr(open + 1, close - open - 1);
+  value = line.substr(close + 1);
+  return true;
+}
+
+int parse_int_value(const std::string& value, const std::string& tag,
+                    int line_no) {
+  std::istringstream is(value);
+  is.imbue(std::locale::classic());
+  int out = 0;
+  if (!(is >> out)) fail_at(line_no, "metadata tag <" + tag + "> needs an integer value");
+  return out;
+}
+
+/// BPR edge for one parsed link row. B = 0 or fft = 0 degenerate exactly
+/// like the BPR formula itself: to a constant latency.
+LatencyPtr tntp_latency(double fft, double capacity, double b, double power,
+                        int line_no) {
+  if (fft < 0.0 || capacity <= 0.0 || b < 0.0) {
+    fail_at(line_no,
+            "link needs free-flow time >= 0, capacity > 0 and B >= 0");
+  }
+  if (fft == 0.0 || b == 0.0) return make_constant(fft);
+  if (power < 1.0) fail_at(line_no, "link needs BPR power >= 1");
+  return make_bpr(fft, capacity, b, power);
+}
+
+}  // namespace
+
+NetworkInstance read_tntp_network(std::istream& is, TntpMetadata* metadata) {
+  TntpMetadata meta;
+  NetworkInstance inst;
+  std::string line;
+  int line_no = 0;
+  bool in_metadata = true;
+  bool have_nodes = false, have_links = false;
+  int links_read = 0;
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto pos = line.find_first_not_of(" \t\r");
+    if (pos == std::string::npos) continue;
+    if (line[pos] == '~') continue;  // comment / column-header line
+
+    if (in_metadata && line[pos] == '<') {
+      std::string tag, value;
+      if (!parse_metadata_tag(line, tag, value)) {
+        fail_at(line_no, "malformed metadata tag");
+      }
+      if (tag == "END OF METADATA") {
+        in_metadata = false;
+      } else if (tag == "NUMBER OF NODES") {
+        meta.num_nodes = parse_int_value(value, tag, line_no);
+        if (meta.num_nodes <= 0) fail_at(line_no, "non-positive node count");
+        have_nodes = true;
+      } else if (tag == "NUMBER OF LINKS") {
+        meta.num_links = parse_int_value(value, tag, line_no);
+        have_links = true;
+      } else if (tag == "FIRST THRU NODE") {
+        meta.first_thru_node = parse_int_value(value, tag, line_no);
+      } else if (tag == "NUMBER OF ZONES") {
+        meta.num_zones = parse_int_value(value, tag, line_no);
+      }
+      // Unknown tags (e.g. <ORIGINAL HEADER>) are ignored.
+      continue;
+    }
+
+    if (in_metadata) fail_at(line_no, "link row before <END OF METADATA>");
+    if (!have_nodes) fail_at(line_no, "missing <NUMBER OF NODES> metadata");
+    if (inst.graph.num_nodes() == 0) inst.graph = Graph(meta.num_nodes);
+
+    // `init term capacity length fft B power speed toll type ;` — the
+    // trailing fields beyond `power` are tolerated and ignored, but any
+    // non-numeric garbage among them is rejected.
+    std::string body = line;
+    if (const auto semi = body.find(';'); semi != std::string::npos) {
+      const auto rest = body.find_first_not_of(" \t\r", semi + 1);
+      if (rest != std::string::npos) {
+        fail_at(line_no, "trailing garbage after ';'");
+      }
+      body.resize(semi);
+    }
+    std::istringstream row(body);
+    row.imbue(std::locale::classic());
+    long long init = 0, term = 0;
+    double capacity = 0.0, length = 0.0, fft = 0.0, b = 0.0, power = 0.0;
+    if (!(row >> init >> term >> capacity >> length >> fft >> b >> power)) {
+      fail_at(line_no,
+              "expected 'init term capacity length fft B power ...'");
+    }
+    double ignored = 0.0;
+    while (row >> ignored) {
+    }
+    if (!row.eof()) {
+      row.clear();
+      std::string extra;
+      row >> extra;
+      fail_at(line_no, "trailing garbage '" + extra + "' in link row");
+    }
+    if (init < 1 || init > meta.num_nodes || term < 1 ||
+        term > meta.num_nodes) {
+      fail_at(line_no, "link endpoint out of range (node ids are 1-based)");
+    }
+    try {
+      inst.graph.add_edge(static_cast<NodeId>(init - 1),
+                          static_cast<NodeId>(term - 1),
+                          tntp_latency(fft, capacity, b, power, line_no));
+    } catch (const Error& e) {
+      const std::string what = e.what();
+      if (what.rfind("line ", 0) == 0) throw;
+      fail_at(line_no, what);  // e.g. self-loop rejection from add_edge
+    }
+    ++links_read;
+  }
+
+  SR_REQUIRE(!in_metadata, "TNTP document has no <END OF METADATA>");
+  SR_REQUIRE(have_nodes, "TNTP document has no <NUMBER OF NODES>");
+  if (have_links) {
+    SR_REQUIRE(links_read == meta.num_links,
+               "TNTP link count mismatch: <NUMBER OF LINKS> says " +
+                   std::to_string(meta.num_links) + ", found " +
+                   std::to_string(links_read));
+  }
+  if (inst.graph.num_nodes() == 0) inst.graph = Graph(meta.num_nodes);
+  if (metadata != nullptr) *metadata = meta;
+  return inst;
+}
+
+NetworkInstance read_tntp_network_file(const std::string& path,
+                                       TntpMetadata* metadata) {
+  std::ifstream in(path);
+  SR_REQUIRE(in.good(), "cannot open TNTP file: " + path);
+  return read_tntp_network(in, metadata);
+}
+
+}  // namespace stackroute

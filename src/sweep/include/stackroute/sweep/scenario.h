@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "stackroute/gen/registry.h"
 #include "stackroute/sweep/grid.h"
 #include "stackroute/sweep/metrics.h"
 #include "stackroute/util/rng.h"
@@ -48,5 +49,12 @@ InstanceFactory file_instance_source(std::string path);
 
 /// The same demand override, exposed for custom factories.
 void override_demand(Instance& instance, double demand);
+
+/// Factory serving gen::generate(spec, seed) at every grid point — one
+/// fixed generated instance (like file_instance_source, but from the
+/// generator subsystem instead of disk), with the same demand-axis
+/// override. Behind `stackroute-sweep --generate`.
+InstanceFactory generated_instance_source(gen::GeneratorSpec spec,
+                                          std::uint64_t seed);
 
 }  // namespace stackroute::sweep

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "stackroute/io/serialize.h"
+#include "stackroute/io/tntp.h"
 #include "stackroute/util/error.h"
 
 namespace stackroute::sweep {
@@ -23,6 +24,11 @@ bool looks_like_parallel_links(const std::string& text) {
   return false;
 }
 
+bool has_suffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
 }  // namespace
 
 Instance load_instance_text(const std::string& text) {
@@ -33,6 +39,18 @@ Instance load_instance_text(const std::string& text) {
 }
 
 Instance load_instance_file(const std::string& path) {
+  if (has_suffix(path, ".tntp")) {
+    // `_net.tntp` carries no demands: attach a unit single commodity
+    // across the network (first node -> last node) so the file is
+    // sweepable; a "demand" axis rescales it like any other instance.
+    NetworkInstance net = read_tntp_network_file(path);
+    SR_REQUIRE(net.graph.num_nodes() >= 2,
+               "TNTP network too small to route: " + path);
+    net.commodities.push_back(
+        Commodity{0, static_cast<NodeId>(net.graph.num_nodes() - 1), 1.0});
+    net.validate();
+    return net;
+  }
   std::ifstream in(path);
   SR_REQUIRE(in.good(), "cannot open instance file: " + path);
   std::ostringstream buffer;
@@ -56,6 +74,18 @@ InstanceFactory file_instance_source(std::string path) {
   // Parse once up front (also surfaces bad files before the sweep starts);
   // tasks copy the prototype and apply their own demand.
   auto prototype = std::make_shared<Instance>(load_instance_file(path));
+  return [prototype](const ParamPoint& point, Rng&) {
+    Instance inst = *prototype;
+    if (point.has("demand")) override_demand(inst, point.get("demand"));
+    return inst;
+  };
+}
+
+InstanceFactory generated_instance_source(gen::GeneratorSpec spec,
+                                          std::uint64_t seed) {
+  // Generate once up front (surfacing bad specs before the sweep starts);
+  // gen::GeneratedInstance and sweep::Instance are the same variant type.
+  auto prototype = std::make_shared<Instance>(gen::generate(spec, seed));
   return [prototype](const ParamPoint& point, Rng&) {
     Instance inst = *prototype;
     if (point.has("demand")) override_demand(inst, point.get("demand"));

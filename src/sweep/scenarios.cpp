@@ -5,6 +5,7 @@
 
 #include "stackroute/core/hard_instances.h"
 #include "stackroute/core/strategy.h"
+#include "stackroute/gen/generators.h"
 #include "stackroute/latency/families.h"
 #include "stackroute/network/generators.h"
 #include "stackroute/util/error.h"
@@ -139,6 +140,64 @@ ScenarioSpec layered_dag() {
   return spec;
 }
 
+// The gen/ scenarios derive each task's generator seed from the task Rng
+// (itself seeded with mix_seed(base_seed, task index)), so the sweep
+// stays a pure function of (spec, grid index) at any thread count.
+
+ScenarioSpec grid_bpr() {
+  ScenarioSpec spec;
+  spec.name = "grid-bpr";
+  spec.description =
+      "random BPR street grids: size x demand x replicate through MOP";
+  spec.grid.add("size", {3, 4, 5})
+      .add("demand", {0.5, 1.0, 2.0})
+      .add_range("replicate", 0, 2);
+  spec.factory = [](const ParamPoint& p, Rng& rng) -> Instance {
+    gen::GridSpec g;
+    g.rows = g.cols = p.get_int("size");
+    g.demand = p.get("demand");
+    return gen::make_grid(g, rng.next_u64());
+  };
+  spec.metrics = default_metrics();
+  return spec;
+}
+
+ScenarioSpec series_parallel() {
+  ScenarioSpec spec;
+  spec.name = "series-parallel";
+  spec.description =
+      "random series-parallel nets: depth x branching x demand via MOP";
+  spec.grid.add("depth", {2, 3, 4})
+      .add("parallel_prob", {0.3, 0.6})
+      .add("demand", {1.0, 2.0})
+      .add_range("replicate", 0, 2);
+  spec.factory = [](const ParamPoint& p, Rng& rng) -> Instance {
+    gen::SeriesParallelSpec g;
+    g.depth = p.get_int("depth");
+    g.parallel_prob = p.get("parallel_prob");
+    g.demand = p.get("demand");
+    return gen::make_series_parallel(g, rng.next_u64());
+  };
+  spec.metrics = default_metrics();
+  return spec;
+}
+
+ScenarioSpec braess_ladder() {
+  ScenarioSpec spec;
+  spec.name = "braess-ladder";
+  spec.description =
+      "chained Braess diamonds: rungs x demand, beta_G via MOP";
+  spec.grid.add("rungs", {1, 2, 4, 8}).add("demand", {0.5, 1.0, 2.0});
+  spec.factory = [](const ParamPoint& p, Rng& rng) -> Instance {
+    gen::BraessLadderSpec g;
+    g.rungs = p.get_int("rungs");
+    g.demand = p.get("demand");
+    return gen::make_braess_ladder(g, rng.next_u64());
+  };
+  spec.metrics = default_metrics();
+  return spec;
+}
+
 }  // namespace
 
 const std::vector<NamedScenario>& builtin_scenarios() {
@@ -154,6 +213,10 @@ const std::vector<NamedScenario>& builtin_scenarios() {
       {"braess-eps", "Fig. 7 family, beta_G vs closed form 1/2 + 2eps",
        braess_eps},
       {"layered-dag", "MOP on random layered DAGs", layered_dag},
+      {"grid-bpr", "random BPR street grids (gen/)", grid_bpr},
+      {"series-parallel", "random series-parallel networks (gen/)",
+       series_parallel},
+      {"braess-ladder", "chained Braess diamonds (gen/)", braess_ladder},
   };
   return registry;
 }

@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <functional>
+#include <locale>
 #include <sstream>
 
 #include "stackroute/equilibrium/network.h"
@@ -193,6 +195,127 @@ TEST(Serialize, MalformedDocumentsThrow) {
   // Structurally invalid: no commodity.
   EXPECT_THROW(network_from_string("network 2\nedge 0 1 affine 1 0\n"),
                Error);
+}
+
+void expect_error_mentions(const std::function<void()>& fn,
+                           std::initializer_list<const char*> fragments) {
+  try {
+    fn();
+    FAIL() << "expected stackroute::Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    for (const char* fragment : fragments) {
+      EXPECT_NE(what.find(fragment), std::string::npos)
+          << "missing '" << fragment << "' in: " << what;
+    }
+  }
+}
+
+TEST(Serialize, TrailingGarbageRejectedWithLineNumber) {
+  // The old parameter loop stopped at the first non-numeric token, so
+  // 'link affine 1.0 2.0 oops' parsed as a valid 2-parameter link.
+  expect_error_mentions(
+      [] {
+        parallel_links_from_string(
+            "parallel_links 1\nlink affine 1 0\nlink affine 1.0 2.0 oops\n");
+      },
+      {"line 3", "oops"});
+  // Physical line numbers count comments and blank lines.
+  expect_error_mentions(
+      [] {
+        parallel_links_from_string(
+            "# header comment\n\nparallel_links 1\n"
+            "link affine 1 0\nlink constant 1 garbage\n");
+      },
+      {"line 5", "garbage"});
+  expect_error_mentions(
+      [] { parallel_links_from_string("parallel_links 1 extra\nlink affine 1 0\n"); },
+      {"line 1", "extra"});
+  expect_error_mentions(
+      [] {
+        network_from_string(
+            "network 2\nedge 0 1 affine 1 0\ncommodity 0 1 1.0 junk\n");
+      },
+      {"line 3", "junk"});
+  expect_error_mentions(
+      [] {
+        network_from_string(
+            "network 2\nedge 0 1 affine 1 0 stray\ncommodity 0 1 1\n");
+      },
+      {"line 2", "stray"});
+}
+
+TEST(Serialize, BadKindsAndCountsRejectedWithLineNumber) {
+  expect_error_mentions(
+      [] { parallel_links_from_string("parallel_links 1\nlink bogus 1\n"); },
+      {"line 2", "bogus"});
+  expect_error_mentions([] { network_from_string("network -3\n"); },
+                        {"line 1", "negative node count"});
+  // Out-of-range endpoints carry the line too.
+  expect_error_mentions(
+      [] {
+        network_from_string(
+            "network 2\nedge 0 5 affine 1 0\ncommodity 0 1 1\n");
+      },
+      {"line 2"});
+  // Wrong parameter arity for the kind.
+  expect_error_mentions(
+      [] { network_from_string("network 2\nedge 0 1 affine 1\n"); },
+      {"line 2"});
+}
+
+// A numpunct facet whose decimal point is ',' — the de_DE shape — without
+// depending on which locales the host has installed.
+class CommaDecimal : public std::numpunct<char> {
+ protected:
+  char do_decimal_point() const override { return ','; }
+  char do_thousands_sep() const override { return '.'; }
+  std::string do_grouping() const override { return "\3"; }
+};
+
+TEST(Serialize, RoundTripsUnderCommaDecimalGlobalLocale) {
+  const std::locale saved = std::locale::global(
+      std::locale(std::locale::classic(), new CommaDecimal));
+  struct RestoreLocale {
+    std::locale loc;
+    ~RestoreLocale() { std::locale::global(loc); }
+  } restore{saved};
+
+  ParallelLinks m;
+  m.demand = 1.0 / 3.0;
+  m.links = {make_affine(0.1, 2.5), make_bpr(1.5, 2.25, 0.15, 4.0),
+             make_mm1(12345.678)};
+  const std::string text = to_string(m);
+  // The writer must ignore the global locale: no comma decimals, no
+  // thousands grouping.
+  EXPECT_EQ(text.find(','), std::string::npos) << text;
+  const ParallelLinks back = parallel_links_from_string(text);
+  ASSERT_EQ(back.size(), m.size());
+  EXPECT_EQ(back.demand, m.demand);  // exact, not approximate
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    const auto pa = m.links[i]->params();
+    const auto pb = back.links[i]->params();
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t j = 0; j < pa.size(); ++j) EXPECT_EQ(pa[j], pb[j]);
+  }
+
+  const NetworkInstance inst = fig7_instance(0.05);
+  const NetworkInstance net_back = network_from_string(to_string(inst));
+  EXPECT_EQ(net_back.graph.num_edges(), inst.graph.num_edges());
+  EXPECT_EQ(net_back.commodities[0].demand, inst.commodities[0].demand);
+}
+
+TEST(Serialize, WriterRestoresCallerStreamFormatting) {
+  std::ostringstream os;
+  const std::locale comma(std::locale::classic(), new CommaDecimal);
+  os.imbue(comma);
+  os.precision(3);
+  write_instance(os, fig4_instance());
+  // Output is classic-locale, full-precision...
+  EXPECT_EQ(os.str().find(','), std::string::npos);
+  // ...but the caller's stream settings come back untouched.
+  EXPECT_EQ(os.precision(), 3);
+  EXPECT_TRUE(os.getloc() == comma);
 }
 
 TEST(Serialize, MM1AndBprSurvive) {

@@ -1,0 +1,154 @@
+// The TNTP `_net.tntp` reader: format coverage on inline documents plus
+// the shipped SiouxFalls instance.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "stackroute/io/tntp.h"
+#include "stackroute/latency/families.h"
+#include "stackroute/util/error.h"
+
+namespace stackroute {
+namespace {
+
+const char* kTinyNet =
+    "<NUMBER OF ZONES> 2\n"
+    "<NUMBER OF NODES> 3\n"
+    "<FIRST THRU NODE> 1\n"
+    "<NUMBER OF LINKS> 3\n"
+    "<ORIGINAL HEADER> something ignorable\n"
+    "<END OF METADATA>\n"
+    "\n"
+    "~ \tInit node \tTerm node \tCapacity \tLength \tFree Flow Time \tB\t"
+    "Power\tSpeed limit \tToll \tLink Type\t;\n"
+    "\t1\t2\t100.5\t6\t6\t0.15\t4\t0\t0\t1\t;\n"
+    "\t2\t3\t50\t2\t2\t0.15\t4\t0\t0\t1\t;\n"
+    "\t1\t3\t10\t9\t9\t0.15\t4\t0\t0\t1\t;\n";
+
+TEST(Tntp, ParsesMetadataAndLinks) {
+  std::istringstream is(kTinyNet);
+  TntpMetadata meta;
+  const NetworkInstance inst = read_tntp_network(is, &meta);
+  EXPECT_EQ(meta.num_nodes, 3);
+  EXPECT_EQ(meta.num_links, 3);
+  EXPECT_EQ(meta.num_zones, 2);
+  EXPECT_EQ(meta.first_thru_node, 1);
+  EXPECT_EQ(inst.graph.num_nodes(), 3);
+  EXPECT_EQ(inst.graph.num_edges(), 3);
+  EXPECT_TRUE(inst.commodities.empty());  // _net.tntp carries no demands
+  // 1-based ids converted; edge 0 is 1->2.
+  EXPECT_EQ(inst.graph.edge(0).tail, 0);
+  EXPECT_EQ(inst.graph.edge(0).head, 1);
+  // BPR: value at 0 is the free-flow time; at capacity it is t0 * 1.15.
+  const auto& lat = *inst.graph.edge(0).latency;
+  EXPECT_EQ(lat.kind(), LatencyKind::kBpr);
+  EXPECT_DOUBLE_EQ(lat.value(0.0), 6.0);
+  EXPECT_DOUBLE_EQ(lat.value(100.5), 6.0 * 1.15);
+}
+
+TEST(Tntp, RowsWithoutSemicolonParse) {
+  std::istringstream is(
+      "<NUMBER OF NODES> 2\n<END OF METADATA>\n"
+      "1 2 100 1 1 0.15 4 0 0 1\n");
+  const NetworkInstance inst = read_tntp_network(is);
+  EXPECT_EQ(inst.graph.num_edges(), 1);
+}
+
+TEST(Tntp, ZeroBDegeneratesToConstant) {
+  std::istringstream is(
+      "<NUMBER OF NODES> 2\n<END OF METADATA>\n"
+      "1 2 100 1 3 0 4 0 0 1 ;\n");
+  const NetworkInstance inst = read_tntp_network(is);
+  const auto& lat = *inst.graph.edge(0).latency;
+  EXPECT_TRUE(lat.is_constant());
+  EXPECT_DOUBLE_EQ(lat.value(50.0), 3.0);
+}
+
+TEST(Tntp, ErrorsCarryLineNumbers) {
+  const auto expect_line = [](const std::string& doc,
+                              const std::string& line_tag) {
+    std::istringstream is(doc);
+    try {
+      read_tntp_network(is);
+      FAIL() << "expected Error for: " << doc;
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find(line_tag), std::string::npos)
+          << e.what();
+    }
+  };
+  // Row before the metadata terminator (row is physical line 2).
+  expect_line("<NUMBER OF NODES> 2\n1 2 100 1 1 0.15 4 0 0 1 ;\n", "line 2");
+  // Non-positive declared node count, rejected at the tag itself — even
+  // with zero link rows.
+  expect_line("<NUMBER OF NODES> 0\n<END OF METADATA>\n", "line 1");
+  expect_line("<NUMBER OF NODES> -3\n<END OF METADATA>\n", "line 1");
+  // Endpoint out of range on line 3.
+  expect_line("<NUMBER OF NODES> 2\n<END OF METADATA>\n"
+              "1 7 100 1 1 0.15 4 0 0 1 ;\n",
+              "line 3");
+  // Non-numeric garbage inside a row.
+  expect_line("<NUMBER OF NODES> 2\n<END OF METADATA>\n"
+              "1 2 100 1 1 0.15 4 oops 0 1 ;\n",
+              "line 3");
+  // Garbage after the terminating semicolon.
+  expect_line("<NUMBER OF NODES> 2\n<END OF METADATA>\n"
+              "1 2 100 1 1 0.15 4 0 0 1 ; trailing\n",
+              "line 3");
+  // Self-loop.
+  expect_line("<NUMBER OF NODES> 2\n<END OF METADATA>\n"
+              "2 2 100 1 1 0.15 4 0 0 1 ;\n",
+              "line 3");
+  // Bad link parameters.
+  expect_line("<NUMBER OF NODES> 2\n<END OF METADATA>\n"
+              "1 2 -5 1 1 0.15 4 0 0 1 ;\n",
+              "line 3");
+}
+
+TEST(Tntp, StructuralErrors) {
+  // No metadata terminator at all.
+  {
+    std::istringstream is("<NUMBER OF NODES> 2\n");
+    EXPECT_THROW(read_tntp_network(is), Error);
+  }
+  // Declared link count disagrees with the rows.
+  {
+    std::istringstream is(
+        "<NUMBER OF NODES> 2\n<NUMBER OF LINKS> 2\n<END OF METADATA>\n"
+        "1 2 100 1 1 0.15 4 0 0 1 ;\n");
+    EXPECT_THROW(read_tntp_network(is), Error);
+  }
+  // Missing node count.
+  {
+    std::istringstream is(
+        "<END OF METADATA>\n1 2 100 1 1 0.15 4 0 0 1 ;\n");
+    EXPECT_THROW(read_tntp_network(is), Error);
+  }
+  // Unreadable path.
+  EXPECT_THROW(read_tntp_network_file("/nonexistent/net.tntp"), Error);
+}
+
+TEST(Tntp, SiouxFallsLoads) {
+  TntpMetadata meta;
+  const NetworkInstance inst = read_tntp_network_file(
+      std::string(STACKROUTE_SOURCE_DIR) +
+          "/examples/instances/SiouxFalls_net.tntp",
+      &meta);
+  EXPECT_EQ(meta.num_nodes, 24);
+  EXPECT_EQ(meta.num_links, 76);
+  EXPECT_EQ(meta.num_zones, 24);
+  EXPECT_EQ(inst.graph.num_nodes(), 24);
+  EXPECT_EQ(inst.graph.num_edges(), 76);
+  // First link: 1 -> 2, free-flow time 6.
+  EXPECT_EQ(inst.graph.edge(0).tail, 0);
+  EXPECT_EQ(inst.graph.edge(0).head, 1);
+  EXPECT_DOUBLE_EQ(inst.graph.edge(0).latency->value(0.0), 6.0);
+  // Every link is a BPR (or constant-degenerate) latency with capacity
+  // recorded in params()[1].
+  for (EdgeId e = 0; e < inst.graph.num_edges(); ++e) {
+    EXPECT_EQ(inst.graph.edge(e).latency->kind(), LatencyKind::kBpr);
+  }
+}
+
+}  // namespace
+}  // namespace stackroute

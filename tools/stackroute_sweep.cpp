@@ -1,11 +1,16 @@
-// stackroute-sweep: run a named scenario sweep (or a file-backed demand
-// sweep) across all cores and print the metric table.
+// stackroute-sweep: run a named scenario sweep, a file-backed demand
+// sweep, or a generated-instance demand sweep across all cores and print
+// the metric table.
 //
 //   stackroute-sweep --list
-//   stackroute-sweep --scenario pigou-grid
+//   stackroute-sweep --list-generators
+//   stackroute-sweep --scenario grid-bpr
 //   stackroute-sweep --scenario pigou-grid --threads 1 --format csv
 //   stackroute-sweep --file examples/instances/fig4.links
 //       --demand 0.5 3.0 11 --format json --out fig4_sweep.json
+//   stackroute-sweep --file examples/instances/SiouxFalls_net.tntp
+//       --demand 500 4000 8
+//   stackroute-sweep --generate grid-bpr --size 6 --gen-seed 7
 //
 // The metric table is bitwise identical at any --threads value; timing
 // lives in the summary line (written to stderr so --out files stay clean).
@@ -14,6 +19,7 @@
 #include <iostream>
 #include <string>
 
+#include "stackroute/gen/registry.h"
 #include "stackroute/sweep/runner.h"
 #include "stackroute/sweep/scenarios.h"
 #include "stackroute/util/error.h"
@@ -25,13 +31,20 @@ int usage(std::ostream& os, int code) {
   os << "usage: stackroute-sweep [options]\n"
         "  --scenario NAME       builtin scenario to run (default pigou-grid)\n"
         "  --file PATH           sweep an instance file over demand instead\n"
-        "  --demand LO HI COUNT  demand axis for --file (default 0.5 3.0 11)\n"
+        "                        (.links/.net text, or a TNTP *_net.tntp)\n"
+        "  --generate NAME       sweep a generated instance over demand\n"
+        "  --size N              generator size knob (0 = family default)\n"
+        "  --gen-seed N          generator seed (default 1)\n"
+        "  --demand LO HI COUNT  demand axis for --file/--generate\n"
+        "                        (default 0.5 3.0 11; needs 0 < LO < HI,\n"
+        "                        COUNT >= 2)\n"
         "  --seed N              base seed for per-task RNG derivation\n"
         "  --threads N           worker threads (0 = all cores, 1 = serial)\n"
         "  --format FMT          md | csv | json (default md)\n"
         "  --out PATH            write the table to a file instead of stdout\n"
         "  --timing              include the per-task wall-clock column\n"
-        "  --list                list builtin scenarios and exit\n";
+        "  --list                list builtin scenarios and exit\n"
+        "  --list-generators     list generator families and knobs, exit\n";
   return code;
 }
 
@@ -39,6 +52,11 @@ struct Args {
   std::string scenario = "pigou-grid";
   bool scenario_given = false;
   std::string file;
+  std::string generate;
+  int gen_size = 0;
+  bool gen_size_given = false;
+  std::uint64_t gen_seed = 1;
+  bool gen_seed_given = false;
   double demand_lo = 0.5, demand_hi = 3.0;
   int demand_count = 11;
   bool demand_given = false;
@@ -48,7 +66,15 @@ struct Args {
   std::string out;
   bool timing = false;
   bool list = false;
+  bool list_generators = false;
 };
+
+/// std::stoull quietly wraps "-1" to 2^64-1; a negated seed must be a
+/// hard error, not a silently different reproducibility token.
+std::uint64_t parse_u64(const std::string& s) {
+  if (!s.empty() && s[0] == '-') throw std::invalid_argument("negative");
+  return std::stoull(s);
+}
 
 bool parse_args(int argc, char** argv, Args& args) {
   auto need = [&](int i, int extra) { return i + extra < argc; };
@@ -58,6 +84,8 @@ bool parse_args(int argc, char** argv, Args& args) {
       const std::string a = current = argv[i];
       if (a == "--list") {
         args.list = true;
+      } else if (a == "--list-generators") {
+        args.list_generators = true;
       } else if (a == "--timing") {
         args.timing = true;
       } else if (a == "--scenario" && need(i, 1)) {
@@ -65,13 +93,21 @@ bool parse_args(int argc, char** argv, Args& args) {
         args.scenario_given = true;
       } else if (a == "--file" && need(i, 1)) {
         args.file = argv[++i];
+      } else if (a == "--generate" && need(i, 1)) {
+        args.generate = argv[++i];
+      } else if (a == "--size" && need(i, 1)) {
+        args.gen_size = std::stoi(argv[++i]);
+        args.gen_size_given = true;
+      } else if (a == "--gen-seed" && need(i, 1)) {
+        args.gen_seed = parse_u64(argv[++i]);
+        args.gen_seed_given = true;
       } else if (a == "--demand" && need(i, 3)) {
         args.demand_lo = std::stod(argv[++i]);
         args.demand_hi = std::stod(argv[++i]);
         args.demand_count = std::stoi(argv[++i]);
         args.demand_given = true;
       } else if (a == "--seed" && need(i, 1)) {
-        args.seed = std::stoull(argv[++i]);
+        args.seed = parse_u64(argv[++i]);
       } else if (a == "--threads" && need(i, 1)) {
         args.threads = std::stoi(argv[++i]);
       } else if (a == "--format" && need(i, 1)) {
@@ -87,12 +123,50 @@ bool parse_args(int argc, char** argv, Args& args) {
     std::cerr << "bad numeric value for option: " << current << "\n";
     return false;
   }
+  const bool generating = !args.generate.empty();
   if (args.scenario_given && !args.file.empty()) {
     std::cerr << "--scenario and --file are mutually exclusive\n";
     return false;
   }
-  if (args.demand_given && args.file.empty()) {
-    std::cerr << "--demand only applies to --file sweeps\n";
+  if (generating && (args.scenario_given || !args.file.empty())) {
+    std::cerr << "--generate is mutually exclusive with --scenario/--file\n";
+    return false;
+  }
+  if ((args.gen_size_given || args.gen_seed_given) && !generating) {
+    std::cerr << "--size/--gen-seed only apply to --generate runs\n";
+    return false;
+  }
+  if (args.gen_size_given && args.gen_size < 0) {
+    std::cerr << "bad value for --size: " << args.gen_size
+              << " (must be >= 0; 0 = family default)\n";
+    return false;
+  }
+  if (args.demand_given && args.file.empty() && !generating) {
+    std::cerr << "--demand only applies to --file/--generate sweeps\n";
+    return false;
+  }
+  if (args.demand_given) {
+    // A hi < lo or single-point axis would silently sweep a degenerate
+    // (or backwards) demand range; reject it up front.
+    if (!(args.demand_lo > 0.0)) {
+      std::cerr << "bad --demand range: LO must be > 0 (got "
+                << args.demand_lo << ")\n";
+      return false;
+    }
+    if (!(args.demand_hi > args.demand_lo)) {
+      std::cerr << "bad --demand range: HI must be > LO (got LO="
+                << args.demand_lo << ", HI=" << args.demand_hi << ")\n";
+      return false;
+    }
+    if (args.demand_count < 2) {
+      std::cerr << "bad --demand range: COUNT must be >= 2 (got "
+                << args.demand_count << ")\n";
+      return false;
+    }
+  }
+  if (args.threads < 0) {
+    std::cerr << "bad value for --threads: " << args.threads
+              << " (must be >= 0; 0 = all cores)\n";
     return false;
   }
   if (args.format != "md" && args.format != "csv" && args.format != "json") {
@@ -116,10 +190,30 @@ int main(int argc, char** argv) {
     }
     return 0;
   }
+  if (args.list_generators) {
+    for (const auto& info : gen::generator_registry()) {
+      std::cout << info.name << " — " << info.summary << "\n";
+      for (const auto& knob : info.knobs) {
+        std::cout << "    " << knob.name << " (default " << knob.fallback
+                  << "): " << knob.help << "\n";
+      }
+    }
+    return 0;
+  }
 
   try {
     sweep::ScenarioSpec spec;
-    if (!args.file.empty()) {
+    if (!args.generate.empty()) {
+      spec.name = "gen:" + args.generate;
+      spec.description = "demand sweep over a generated " + args.generate +
+                         " instance (seed " + std::to_string(args.gen_seed) +
+                         ")";
+      spec.grid.add_linspace("demand", args.demand_lo, args.demand_hi,
+                             args.demand_count);
+      spec.factory = sweep::generated_instance_source(
+          gen::sized_spec(args.generate, args.gen_size), args.gen_seed);
+      spec.metrics = sweep::default_metrics();
+    } else if (!args.file.empty()) {
       spec.name = "file:" + args.file;
       spec.description = "demand sweep over " + args.file;
       spec.grid.add_linspace("demand", args.demand_lo, args.demand_hi,
