@@ -12,8 +12,12 @@
 #include "stackroute/io/table.h"
 #include "stackroute/network/generators.h"
 #include "stackroute/util/rng.h"
+#include "stackroute/util/build_info.h"
 
 int main() {
+  // Figure reproductions are only comparable from Release builds; make
+  // the configuration part of the output so a Debug table is self-evident.
+  std::cout << "_stackroute build: " << stackroute::build_type() << "_\n\n";
   using namespace stackroute;
   std::cout << "# E6: LLF anarchy-cost bounds over random families\n\n";
 

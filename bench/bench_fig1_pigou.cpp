@@ -13,8 +13,12 @@
 #include "stackroute/io/table.h"
 #include "stackroute/network/generators.h"
 #include "stackroute/util/numeric.h"
+#include "stackroute/util/build_info.h"
 
 int main() {
+  // Figure reproductions are only comparable from Release builds; make
+  // the configuration part of the output so a Debug table is self-evident.
+  std::cout << "_stackroute build: " << stackroute::build_type() << "_\n\n";
   using namespace stackroute;
   std::cout << "# E1: Figs. 1-3 — Pigou's example (r = 1, links {x, 1})\n\n";
 

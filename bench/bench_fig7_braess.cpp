@@ -16,8 +16,12 @@
 #include "stackroute/equilibrium/network.h"
 #include "stackroute/io/table.h"
 #include "stackroute/network/generators.h"
+#include "stackroute/util/build_info.h"
 
 int main() {
+  // Figure reproductions are only comparable from Release builds; make
+  // the configuration part of the output so a Debug table is self-evident.
+  std::cout << "_stackroute build: " << stackroute::build_type() << "_\n\n";
   using namespace stackroute;
   std::cout << "# E3: Fig. 7 — MOP on the Braess-like lower-bound graph\n\n";
 

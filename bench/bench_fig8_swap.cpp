@@ -13,8 +13,12 @@
 #include "stackroute/core/structure.h"
 #include "stackroute/io/table.h"
 #include "stackroute/util/rng.h"
+#include "stackroute/util/build_info.h"
 
 int main() {
+  // Figure reproductions are only comparable from Release builds; make
+  // the configuration part of the output so a Debug table is self-evident.
+  std::cout << "_stackroute build: " << stackroute::build_type() << "_\n\n";
   using namespace stackroute;
   std::cout << "# E4: Figs. 8-10 — the Lemma 6.1 swap\n\n";
 

@@ -1,0 +1,23 @@
+// Shared main for the Google Benchmark binaries: identical to
+// BENCHMARK_MAIN() except that it stamps the library's build type into the
+// JSON context ("stackroute_build_type") before running. CI's bench-perf
+// job greps for "Release" there and refuses to upload baselines produced
+// by any other configuration — see .github/workflows/ci.yml and
+// util/build_info.h for why.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include "stackroute/util/build_info.h"
+
+#define STACKROUTE_BENCHMARK_MAIN()                                   \
+  int main(int argc, char** argv) {                                   \
+    benchmark::AddCustomContext("stackroute_build_type",              \
+                                stackroute::build_type());            \
+    benchmark::Initialize(&argc, argv);                               \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    benchmark::RunSpecifiedBenchmarks();                              \
+    benchmark::Shutdown();                                            \
+    return 0;                                                         \
+  }                                                                   \
+  int main(int, char**)

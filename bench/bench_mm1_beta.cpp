@@ -11,8 +11,12 @@
 #include "stackroute/network/generators.h"
 #include "stackroute/sweep/runner.h"
 #include "stackroute/sweep/scenarios.h"
+#include "stackroute/util/build_info.h"
 
 int main() {
+  // Figure reproductions are only comparable from Release builds; make
+  // the configuration part of the output so a Debug table is self-evident.
+  std::cout << "_stackroute build: " << stackroute::build_type() << "_\n\n";
   using namespace stackroute;
   std::cout << "# E8: beta_M on M/M/1 systems (remark after Cor. 2.2)\n\n";
 

@@ -2,6 +2,8 @@
 // per-phase breakdown (optimum solve vs strategy extraction).
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "stackroute/core/mop.h"
 #include "stackroute/equilibrium/network.h"
 #include "stackroute/network/generators.h"
@@ -78,4 +80,4 @@ BENCHMARK(BM_MopLayeredDag)->Arg(2)->Arg(4)->Arg(8)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+STACKROUTE_BENCHMARK_MAIN();

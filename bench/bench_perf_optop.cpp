@@ -2,6 +2,8 @@
 // with the number of parallel links (10^2 .. 10^6).
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "stackroute/core/optop.h"
 #include "stackroute/equilibrium/parallel.h"
 #include "stackroute/network/generators.h"
@@ -75,4 +77,4 @@ BENCHMARK(BM_PriceOfAnarchy)->Arg(1000)->Arg(100000)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+STACKROUTE_BENCHMARK_MAIN();

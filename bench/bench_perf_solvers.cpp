@@ -6,6 +6,8 @@
 //  * the free-flow max-flow step of MOP.
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "stackroute/core/mop.h"
 #include "stackroute/latency/families.h"
 #include "stackroute/network/dijkstra.h"
@@ -241,4 +243,4 @@ BENCHMARK(BM_MopFreeFlowGreedyPeel)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+STACKROUTE_BENCHMARK_MAIN();

@@ -15,8 +15,12 @@
 #include "stackroute/io/table.h"
 #include "stackroute/network/generators.h"
 #include "stackroute/sweep/runner.h"
+#include "stackroute/util/build_info.h"
 
 int main() {
+  // Figure reproductions are only comparable from Release builds; make
+  // the configuration part of the output so a Debug table is self-evident.
+  std::cout << "_stackroute build: " << stackroute::build_type() << "_\n\n";
   using namespace stackroute;
   std::cout << "# E7: price of anarchy bounds and the price of optimum\n\n";
 

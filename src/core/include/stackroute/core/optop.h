@@ -13,9 +13,11 @@
 // structure.h predicates expose for testing.
 #pragma once
 
+#include <limits>
 #include <vector>
 
 #include "stackroute/network/instance.h"
+#include "stackroute/solver/workspace.h"
 
 namespace stackroute {
 
@@ -50,6 +52,29 @@ struct OpTopOptions {
 
 /// Runs OpTop on (M, r). Throws on malformed instances.
 OpTopResult op_top(const ParallelLinks& m, const OpTopOptions& opts = {});
+
+/// Converged water-filling levels of a prior op_top run — warm-start hints
+/// for the chained solves of a demand sweep (the neighboring grid point's
+/// levels bracket this point's in a few probes; see water_filling.h).
+/// Hints only steer root bracketing: results agree with the cold run to
+/// solver tolerance regardless of the hints' quality.
+struct OpTopWarmStart {
+  double optimum_level = std::numeric_limits<double>::quiet_NaN();
+  double nash_level = std::numeric_limits<double>::quiet_NaN();
+  double induced_level = std::numeric_limits<double>::quiet_NaN();
+  /// Nash level of each freeze-round subsystem, by loop iteration (NaN for
+  /// iterations whose remaining flow was below tolerance).
+  std::vector<double> round_levels;
+};
+
+/// Workspace/warm-start variant: reuses the caller's workspace across the
+/// internal water-filling solves, reads level hints from `warm_in` (null =
+/// cold), and, when `warm_out` is non-null, overwrites it with this run's
+/// converged levels for the next chained point. warm_in and warm_out may
+/// alias.
+OpTopResult op_top(const ParallelLinks& m, const OpTopOptions& opts,
+                   SolverWorkspace& ws, const OpTopWarmStart* warm_in,
+                   OpTopWarmStart* warm_out);
 
 /// Convenience: just β_M.
 double price_of_optimum(const ParallelLinks& m);

@@ -1,6 +1,8 @@
 #include "stackroute/core/mop.h"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "stackroute/network/dijkstra.h"
 #include "stackroute/network/maxflow.h"
@@ -56,23 +58,33 @@ MaxFlowResult greedy_peel_flow(const Graph& g, NodeId s, NodeId t,
 }
 
 MopResult mop(const NetworkInstance& inst, const MopOptions& opts) {
+  // One workspace across the optimum solve, the cost fix-up and the
+  // induced verification solve.
+  SolverWorkspace ws;
+  return mop(inst, opts, ws, nullptr, nullptr);
+}
+
+MopResult mop(const NetworkInstance& inst, const MopOptions& opts,
+              SolverWorkspace& ws, const MopWarmStart* warm_in,
+              MopWarmStart* warm_out) {
   inst.validate();
   const Graph& g = inst.graph;
   const auto ne = static_cast<std::size_t>(g.num_edges());
   const std::size_t k = inst.commodities.size();
   const double r = inst.total_demand();
 
-  // One workspace across the optimum solve, the cost fix-up and the
-  // induced verification solve.
-  SolverWorkspace ws;
-
   MopResult result;
   // (1) Optimum flow and the induced edge costs ℓ_e(o_e).
-  NetworkAssignment opt = solve_optimum(inst, opts.assignment, ws);
+  NetworkAssignment opt =
+      warm_in != nullptr
+          ? solve_optimum(inst, opts.assignment, ws, warm_in->optimum)
+          : solve_optimum(inst, opts.assignment, ws);
   result.optimum_edge_flow = opt.edge_flow;
   result.optimum_cost = opt.cost;
   const std::vector<LatencyPtr> lat = g.latencies();
-  ws.table.compile(lat);  // the instance's own latencies, no preload
+  // The instance's own latencies, no preload: pointer-identical to the
+  // optimum solve's set, so this compile is skipped on the fast path.
+  ws.table.ensure_compiled(lat);
   std::vector<double> opt_costs(ne);
   for (std::size_t e = 0; e < ne; ++e) {
     opt_costs[e] = ws.table.value(e, opt.edge_flow[e]);
@@ -81,29 +93,33 @@ MopResult mop(const NetworkInstance& inst, const MopOptions& opts) {
   result.leader_edge_flow.assign(ne, 0.0);
   result.commodities.resize(k);
 
+  // Per-commodity scratch, hoisted out of the loop (and the Dijkstra pairs
+  // below run on the workspace's reused tree/heap buffers).
+  std::vector<double> commodity_opt(ne);
+  std::vector<double> caps(ne);
+  std::vector<double> leader_i(ne);
   for (std::size_t i = 0; i < k; ++i) {
     const Commodity& com = inst.commodities[i];
     MopCommodity& trace = result.commodities[i];
 
-    // (2) Tight subgraph of commodity i under optimum costs.
-    trace.tight_edges = shortest_path_edge_mask(g, com.source, com.sink,
-                                                opt_costs, opts.tight_tol);
-    {
-      const ShortestPathTree tree = dijkstra(g, com.source, opt_costs);
-      trace.shortest_cost = tree.dist[static_cast<std::size_t>(com.sink)];
-    }
+    // (2) Tight subgraph of commodity i under optimum costs; the forward
+    // tree the mask computation leaves behind carries dist(s_i, t_i).
+    shortest_path_edge_mask_into(g, com.source, com.sink, opt_costs,
+                                 opts.tight_tol, ws.dijkstra, ws.dijkstra_rev,
+                                 trace.tight_edges);
+    trace.shortest_cost =
+        ws.dijkstra.tree.dist[static_cast<std::size_t>(com.sink)];
 
     // Commodity i's own optimum edge flows, used as max-flow capacities.
-    std::vector<double> commodity_opt(ne, 0.0);
+    std::fill(commodity_opt.begin(), commodity_opt.end(), 0.0);
     for (const PathFlow& pf : opt.commodity_paths[i]) {
       for (EdgeId e : pf.path) {
         commodity_opt[static_cast<std::size_t>(e)] += pf.flow;
       }
     }
     // (3) Free flow: max flow inside the tight subgraph.
-    std::vector<double> caps(ne, 0.0);
     for (std::size_t e = 0; e < ne; ++e) {
-      if (trace.tight_edges[e]) caps[e] = commodity_opt[e];
+      caps[e] = trace.tight_edges[e] ? commodity_opt[e] : 0.0;
     }
     const MaxFlowResult mf =
         opts.free_flow_method == FreeFlowMethod::kMaxFlow
@@ -117,7 +133,6 @@ MopResult mop(const NetworkInstance& inst, const MopOptions& opts) {
         decompose_flow(g, com.source, com.sink, mf.edge_flow, opts.flow_tol);
 
     // (4) Leader controls the remainder of commodity i's optimum.
-    std::vector<double> leader_i(ne);
     for (std::size_t e = 0; e < ne; ++e) {
       leader_i[e] = std::fmax(0.0, commodity_opt[e] - mf.edge_flow[e]);
       result.leader_edge_flow[e] += leader_i[e];
@@ -141,6 +156,7 @@ MopResult mop(const NetworkInstance& inst, const MopOptions& opts) {
 
   // (5) Verify: followers' selfish routing of the free flow under the
   // Leader's preload reproduces the optimum.
+  MopWarmStart harvest;
   result.follower_edge_flow.assign(ne, 0.0);
   if (opts.verify_induced) {
     NetworkInstance followers;
@@ -153,10 +169,20 @@ MopResult mop(const NetworkInstance& inst, const MopOptions& opts) {
       }
     }
     if (!followers.commodities.empty()) {
-      const NetworkAssignment induced = solve_induced(
-          followers, result.leader_edge_flow, opts.assignment, ws);
+      NetworkAssignment induced =
+          warm_in != nullptr
+              ? solve_induced(followers, result.leader_edge_flow,
+                              opts.assignment, ws, warm_in->induced)
+              : solve_induced(followers, result.leader_edge_flow,
+                              opts.assignment, ws);
       result.follower_edge_flow = induced.edge_flow;
       result.induced_cost = induced.cost;
+      if (warm_out != nullptr) {
+        harvest.induced.commodity_paths = std::move(induced.commodity_paths);
+        for (const Commodity& c : followers.commodities) {
+          harvest.induced.demands.push_back(c.demand);
+        }
+      }
     } else {
       // Leader controls everything; the "induced" flow is the strategy.
       result.induced_cost = cost(inst, result.leader_edge_flow);
@@ -166,6 +192,13 @@ MopResult mop(const NetworkInstance& inst, const MopOptions& opts) {
     result.induced_residual = max_abs_diff(combined, result.optimum_edge_flow);
   } else {
     result.induced_cost = result.optimum_cost;
+  }
+  if (warm_out != nullptr) {
+    harvest.optimum.commodity_paths = std::move(opt.commodity_paths);
+    for (const Commodity& c : inst.commodities) {
+      harvest.optimum.demands.push_back(c.demand);
+    }
+    *warm_out = std::move(harvest);
   }
   return result;
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <utility>
 
 #include "stackroute/equilibrium/parallel.h"
 #include "stackroute/util/error.h"
@@ -10,21 +12,41 @@
 namespace stackroute {
 
 OpTopResult op_top(const ParallelLinks& m, const OpTopOptions& opts) {
-  m.validate();
-  const double r0 = m.demand;
-  const double tol = opts.freeze_tol * std::fmax(1.0, r0);
-
   // One workspace across the optimum solve, every round's Nash solve and
   // the induced solve: the water-filling kernels recompile the (shrinking)
   // subsystem into the same flat table each round without reallocating.
   SolverWorkspace ws;
+  return op_top(m, opts, ws, nullptr, nullptr);
+}
+
+OpTopResult op_top(const ParallelLinks& m, const OpTopOptions& opts,
+                   SolverWorkspace& ws, const OpTopWarmStart* warm_in,
+                   OpTopWarmStart* warm_out) {
+  m.validate();
+  const double r0 = m.demand;
+  const double tol = opts.freeze_tol * std::fmax(1.0, r0);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const auto hint = [&](double OpTopWarmStart::* field) {
+    return warm_in != nullptr ? warm_in->*field : nan;
+  };
+  const auto round_hint = [&](std::size_t round) {
+    return warm_in != nullptr && round < warm_in->round_levels.size()
+               ? warm_in->round_levels[round]
+               : nan;
+  };
+  // Collected locally so warm_in and warm_out may alias.
+  OpTopWarmStart levels;
 
   OpTopResult result;
   {
-    const LinkAssignment opt = solve_optimum(m, opts.solve_tol, ws);
+    const LinkAssignment opt =
+        solve_optimum(m, opts.solve_tol, ws, hint(&OpTopWarmStart::optimum_level));
     result.optimum = opt.flows;
-    const LinkAssignment nash = solve_nash(m, opts.solve_tol, ws);
+    levels.optimum_level = opt.level;
+    const LinkAssignment nash =
+        solve_nash(m, opts.solve_tol, ws, hint(&OpTopWarmStart::nash_level));
     result.nash = nash.flows;
+    levels.nash_level = nash.level;
   }
   result.optimum_cost = cost(m, result.optimum);
   result.nash_cost = cost(m, result.nash);
@@ -41,9 +63,12 @@ OpTopResult op_top(const ParallelLinks& m, const OpTopOptions& opts) {
     const ParallelLinks sub = subsystem(m, active, remaining);
     LinkAssignment nash;
     if (remaining > tol) {
-      nash = solve_nash(sub, opts.solve_tol, ws);
+      nash = solve_nash(sub, opts.solve_tol, ws,
+                        round_hint(static_cast<std::size_t>(round)));
+      levels.round_levels.push_back(nash.level);
     } else {
       nash.flows.assign(active.size(), 0.0);
+      levels.round_levels.push_back(nan);
     }
 
     OpTopRound trace;
@@ -75,7 +100,9 @@ OpTopResult op_top(const ParallelLinks& m, const OpTopOptions& opts) {
   // by construction this reproduces the optimum there.
   if (!active.empty() && remaining > tol) {
     const ParallelLinks sub = subsystem(m, active, remaining);
-    const LinkAssignment induced = solve_nash(sub, opts.solve_tol, ws);
+    const LinkAssignment induced = solve_nash(
+        sub, opts.solve_tol, ws, hint(&OpTopWarmStart::induced_level));
+    levels.induced_level = induced.level;
     for (std::size_t pos = 0; pos < active.size(); ++pos) {
       result.induced[static_cast<std::size_t>(active[pos])] =
           induced.flows[pos];
@@ -83,6 +110,7 @@ OpTopResult op_top(const ParallelLinks& m, const OpTopOptions& opts) {
   }
   result.induced_cost =
       stackelberg_cost(m, result.strategy, result.induced);
+  if (warm_out != nullptr) *warm_out = std::move(levels);
   return result;
 }
 

@@ -50,6 +50,25 @@ NetworkAssignment solve_induced(const NetworkInstance& inst,
                                 const AssignmentOptions& opts,
                                 SolverWorkspace& ws);
 
+/// Warm-started variants for chained solves along a sweep axis: `warm` is
+/// the converged decomposition of the same network at a nearby demand (see
+/// AssignmentWarmStart in solver/traffic_assignment.h — an ill-fitting
+/// payload silently falls back to the cold start, and warm/cold answers
+/// agree to opts.tol either way).
+NetworkAssignment solve_nash(const NetworkInstance& inst,
+                             const AssignmentOptions& opts,
+                             SolverWorkspace& ws,
+                             const AssignmentWarmStart& warm);
+NetworkAssignment solve_optimum(const NetworkInstance& inst,
+                                const AssignmentOptions& opts,
+                                SolverWorkspace& ws,
+                                const AssignmentWarmStart& warm);
+NetworkAssignment solve_induced(const NetworkInstance& inst,
+                                std::span<const double> preload,
+                                const AssignmentOptions& opts,
+                                SolverWorkspace& ws,
+                                const AssignmentWarmStart& warm);
+
 /// C(f) on the instance's latencies.
 double cost(const NetworkInstance& inst, std::span<const double> edge_flow);
 

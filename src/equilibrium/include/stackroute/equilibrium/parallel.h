@@ -44,6 +44,18 @@ LinkAssignment solve_induced(const ParallelLinks& m,
                              std::span<const double> preload, double tol,
                              SolverWorkspace& ws);
 
+/// Warm-started variants for chained solves: `level_hint` is the converged
+/// level of the same system at a nearby demand (see water_filling.h for
+/// the bracketing semantics — a non-finite hint falls back to the cold
+/// path, and any hint yields the cold answer to `tol`).
+LinkAssignment solve_nash(const ParallelLinks& m, double tol,
+                          SolverWorkspace& ws, double level_hint);
+LinkAssignment solve_optimum(const ParallelLinks& m, double tol,
+                             SolverWorkspace& ws, double level_hint);
+LinkAssignment solve_induced(const ParallelLinks& m,
+                             std::span<const double> preload, double tol,
+                             SolverWorkspace& ws, double level_hint);
+
 /// C(X) = Σ_i x_i·ℓ_i(x_i).
 double cost(const ParallelLinks& m, std::span<const double> flows);
 

@@ -43,23 +43,46 @@ NetworkAssignment solve_induced(const NetworkInstance& inst,
 NetworkAssignment solve_nash(const NetworkInstance& inst,
                              const AssignmentOptions& opts,
                              SolverWorkspace& ws) {
-  return from_assignment(
-      inst, assign_traffic(inst, FlowObjective::kBeckmann, {}, opts, ws));
+  return solve_nash(inst, opts, ws, AssignmentWarmStart{});
 }
 
 NetworkAssignment solve_optimum(const NetworkInstance& inst,
                                 const AssignmentOptions& opts,
                                 SolverWorkspace& ws) {
-  return from_assignment(
-      inst, assign_traffic(inst, FlowObjective::kTotalCost, {}, opts, ws));
+  return solve_optimum(inst, opts, ws, AssignmentWarmStart{});
 }
 
 NetworkAssignment solve_induced(const NetworkInstance& inst,
                                 std::span<const double> preload,
                                 const AssignmentOptions& opts,
                                 SolverWorkspace& ws) {
+  return solve_induced(inst, preload, opts, ws, AssignmentWarmStart{});
+}
+
+NetworkAssignment solve_nash(const NetworkInstance& inst,
+                             const AssignmentOptions& opts,
+                             SolverWorkspace& ws,
+                             const AssignmentWarmStart& warm) {
+  return from_assignment(
+      inst, assign_traffic(inst, FlowObjective::kBeckmann, {}, opts, ws, warm));
+}
+
+NetworkAssignment solve_optimum(const NetworkInstance& inst,
+                                const AssignmentOptions& opts,
+                                SolverWorkspace& ws,
+                                const AssignmentWarmStart& warm) {
+  return from_assignment(
+      inst,
+      assign_traffic(inst, FlowObjective::kTotalCost, {}, opts, ws, warm));
+}
+
+NetworkAssignment solve_induced(const NetworkInstance& inst,
+                                std::span<const double> preload,
+                                const AssignmentOptions& opts,
+                                SolverWorkspace& ws,
+                                const AssignmentWarmStart& warm) {
   AssignmentResult r =
-      assign_traffic(inst, FlowObjective::kBeckmann, preload, opts, ws);
+      assign_traffic(inst, FlowObjective::kBeckmann, preload, opts, ws, warm);
   NetworkAssignment out;
   out.edge_flow = std::move(r.edge_flow);
   out.commodity_paths = std::move(r.commodity_paths);

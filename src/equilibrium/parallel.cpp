@@ -1,6 +1,7 @@
 #include "stackroute/equilibrium/parallel.h"
 
 #include <cmath>
+#include <limits>
 
 #include "stackroute/latency/families.h"
 #include "stackroute/util/error.h"
@@ -54,21 +55,39 @@ LinkAssignment solve_induced(const ParallelLinks& m,
 
 LinkAssignment solve_nash(const ParallelLinks& m, double tol,
                           SolverWorkspace& ws) {
-  m.validate();
-  return from_water_fill(
-      water_fill(m.links, m.demand, LevelKind::kLatency, tol, ws));
+  return solve_nash(m, tol, ws, std::numeric_limits<double>::quiet_NaN());
 }
 
 LinkAssignment solve_optimum(const ParallelLinks& m, double tol,
                              SolverWorkspace& ws) {
-  m.validate();
-  return from_water_fill(
-      water_fill(m.links, m.demand, LevelKind::kMarginalCost, tol, ws));
+  return solve_optimum(m, tol, ws, std::numeric_limits<double>::quiet_NaN());
 }
 
 LinkAssignment solve_induced(const ParallelLinks& m,
                              std::span<const double> preload, double tol,
                              SolverWorkspace& ws) {
+  return solve_induced(m, preload, tol, ws,
+                       std::numeric_limits<double>::quiet_NaN());
+}
+
+LinkAssignment solve_nash(const ParallelLinks& m, double tol,
+                          SolverWorkspace& ws, double level_hint) {
+  m.validate();
+  return from_water_fill(
+      water_fill(m.links, m.demand, LevelKind::kLatency, tol, ws, level_hint));
+}
+
+LinkAssignment solve_optimum(const ParallelLinks& m, double tol,
+                             SolverWorkspace& ws, double level_hint) {
+  m.validate();
+  return from_water_fill(water_fill(m.links, m.demand,
+                                    LevelKind::kMarginalCost, tol, ws,
+                                    level_hint));
+}
+
+LinkAssignment solve_induced(const ParallelLinks& m,
+                             std::span<const double> preload, double tol,
+                             SolverWorkspace& ws, double level_hint) {
   m.validate();
   const std::vector<LatencyPtr> links = shifted_links(m, preload);
   const double controlled = sum(preload);
@@ -76,7 +95,7 @@ LinkAssignment solve_induced(const ParallelLinks& m,
              "Leader preload exceeds total demand");
   const double rest = std::fmax(0.0, m.demand - controlled);
   return from_water_fill(
-      water_fill(links, rest, LevelKind::kLatency, tol, ws));
+      water_fill(links, rest, LevelKind::kLatency, tol, ws, level_hint));
 }
 
 double cost(const ParallelLinks& m, std::span<const double> flows) {

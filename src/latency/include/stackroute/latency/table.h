@@ -39,6 +39,21 @@ class LatencyTable {
   /// One-shot convenience: a fresh table compiled from `lats`.
   [[nodiscard]] static LatencyTable compiled(std::span<const LatencyPtr> lats);
 
+  /// compile(), skipped entirely when `lats` is pointer-identical to the
+  /// currently compiled set (same size, same objects elementwise). Latency
+  /// objects are immutable, so identical pointers imply an identical
+  /// compilation; and because the table keeps shared ownership of the last
+  /// compiled set, a *new* object can never coincidentally reuse a still-
+  /// compared address. Returns true when a recompilation actually ran —
+  /// chained sweeps observe this through revision(). This is the fast path
+  /// that lets adjacent grid points differing only in scalar knobs (demand,
+  /// preload-free re-solves) reuse the compiled kernel.
+  bool ensure_compiled(std::span<const LatencyPtr> lats);
+
+  /// Monotonic count of actual recompilations of this table — the
+  /// instance-revision tag a SolverWorkspace carries across chained solves.
+  [[nodiscard]] std::uint64_t revision() const { return revision_; }
+
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
   [[nodiscard]] bool empty() const { return entries_.empty(); }
 
@@ -354,6 +369,7 @@ class LatencyTable {
   std::vector<Wrap> wraps_;
   std::vector<double> coeffs_;
   std::vector<LatencyPtr> src_;
+  std::uint64_t revision_ = 0;
   bool all_affine_ = false;
   std::vector<double> aff_a_;  // filled only when all_affine_
   std::vector<double> aff_b_;

@@ -1,5 +1,7 @@
 #include "stackroute/latency/table.h"
 
+#include <algorithm>
+
 #include "stackroute/latency/families.h"
 #include "stackroute/util/error.h"
 
@@ -14,7 +16,17 @@ constexpr std::size_t kMaxWrapDepth = 64;
 
 }  // namespace
 
+bool LatencyTable::ensure_compiled(std::span<const LatencyPtr> lats) {
+  if (src_.size() == lats.size() &&
+      std::equal(src_.begin(), src_.end(), lats.begin())) {
+    return false;
+  }
+  compile(lats);
+  return true;
+}
+
 void LatencyTable::compile(std::span<const LatencyPtr> lats) {
+  ++revision_;
   entries_.clear();
   wraps_.clear();
   coeffs_.clear();

@@ -10,12 +10,61 @@ namespace stackroute {
 
 namespace {
 
+using HeapItem = std::pair<double, NodeId>;
+
+// 4-ary min-heap primitives on the workspace vector. Wider nodes halve the
+// tree depth, so sift paths touch fewer cache lines of the reused buffer —
+// the classic d-ary trade (more comparisons per level, fewer levels) that
+// favors d = 4 for pop-heavy workloads like Dijkstra.
+inline void heap4_push(std::vector<HeapItem>& heap, HeapItem item) {
+  std::size_t i = heap.size();
+  heap.push_back(item);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!(item < heap[parent])) break;
+    heap[i] = heap[parent];
+    i = parent;
+  }
+  heap[i] = item;
+}
+
+inline HeapItem heap4_pop(std::vector<HeapItem>& heap) {
+  const HeapItem top = heap.front();
+  const HeapItem last = heap.back();
+  heap.pop_back();
+  const std::size_t n = heap.size();
+  if (n > 0) {
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t first = 4 * i + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t stop = first + 4 < n ? first + 4 : n;
+      for (std::size_t c = first + 1; c < stop; ++c) {
+        if (heap[c] < heap[best]) best = c;
+      }
+      if (!(heap[best] < last)) break;
+      heap[i] = heap[best];
+      i = best;
+    }
+    heap[i] = last;
+  }
+  return top;
+}
+
+enum class HeapKind {
+  kBinaryStd,   // the pre-4-ary std::push_heap/pop_heap path (reference)
+  kQuaternary,  // production: hand-rolled 4-ary sift
+};
+
 // Lazy-deletion Dijkstra over the CSR adjacency, on a workspace-owned
-// binary min-heap. All live queue entries are distinct pairs (a node is
-// only re-pushed with a strictly smaller distance), so every pop removes
-// the unique comparator-minimum — the relaxation sequence, and with it
-// dist[] and parent_edge[], is identical for any correct heap (and to the
-// std::priority_queue the pre-kernel implementation used).
+// min-heap whose layout is a compile-time switch. All live queue entries
+// are distinct pairs (a node is only re-pushed with a strictly smaller
+// distance), so every pop removes the unique comparator-minimum — the
+// relaxation sequence, and with it dist[] and parent_edge[], is identical
+// for any correct heap (asserted exactly between the two kinds in
+// tests/network/test_algorithms.cpp).
+template <HeapKind kHeap>
 void run_dijkstra(const CsrAdjacency& adj, std::size_t num_nodes, NodeId root,
                   std::span<const double> edge_cost, DijkstraWorkspace& ws) {
 #ifndef NDEBUG
@@ -35,9 +84,15 @@ void run_dijkstra(const CsrAdjacency& adj, std::size_t num_nodes, NodeId root,
   heap.clear();
   heap.emplace_back(0.0, root);
   while (!heap.empty()) {
-    const auto [d, v] = heap.front();
-    std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
-    heap.pop_back();
+    HeapItem item;
+    if constexpr (kHeap == HeapKind::kQuaternary) {
+      item = heap4_pop(heap);
+    } else {
+      item = heap.front();
+      std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+      heap.pop_back();
+    }
+    const auto [d, v] = item;
     if (d > tree.dist[static_cast<std::size_t>(v)]) continue;  // stale
     for (const CsrAdjacency::Arc& arc : adj.arcs_of(v)) {
       const auto w = static_cast<std::size_t>(arc.target);
@@ -45,8 +100,12 @@ void run_dijkstra(const CsrAdjacency& adj, std::size_t num_nodes, NodeId root,
       if (nd < tree.dist[w]) {
         tree.dist[w] = nd;
         tree.parent_edge[w] = arc.edge;
-        heap.emplace_back(nd, arc.target);
-        std::push_heap(heap.begin(), heap.end(), std::greater<>{});
+        if constexpr (kHeap == HeapKind::kQuaternary) {
+          heap4_push(heap, HeapItem{nd, arc.target});
+        } else {
+          heap.emplace_back(nd, arc.target);
+          std::push_heap(heap.begin(), heap.end(), std::greater<>{});
+        }
       }
     }
   }
@@ -70,8 +129,19 @@ const ShortestPathTree& dijkstra(const Graph& g, NodeId source,
                                  std::span<const double> edge_cost,
                                  DijkstraWorkspace& ws) {
   check_sizes(g, edge_cost);
-  run_dijkstra(g.out_csr(), static_cast<std::size_t>(g.num_nodes()), source,
-               edge_cost, ws);
+  run_dijkstra<HeapKind::kQuaternary>(g.out_csr(),
+                                      static_cast<std::size_t>(g.num_nodes()),
+                                      source, edge_cost, ws);
+  return ws.tree;
+}
+
+const ShortestPathTree& dijkstra_binary_heap(const Graph& g, NodeId source,
+                                             std::span<const double> edge_cost,
+                                             DijkstraWorkspace& ws) {
+  check_sizes(g, edge_cost);
+  run_dijkstra<HeapKind::kBinaryStd>(g.out_csr(),
+                                     static_cast<std::size_t>(g.num_nodes()),
+                                     source, edge_cost, ws);
   return ws.tree;
 }
 
@@ -86,8 +156,9 @@ const ShortestPathTree& dijkstra_to(const Graph& g, NodeId sink,
                                     std::span<const double> edge_cost,
                                     DijkstraWorkspace& ws) {
   check_sizes(g, edge_cost);
-  run_dijkstra(g.in_csr(), static_cast<std::size_t>(g.num_nodes()), sink,
-               edge_cost, ws);
+  run_dijkstra<HeapKind::kQuaternary>(g.in_csr(),
+                                      static_cast<std::size_t>(g.num_nodes()),
+                                      sink, edge_cost, ws);
   return ws.tree;
 }
 
@@ -118,20 +189,29 @@ std::vector<char> shortest_path_edge_mask(const Graph& g, NodeId s, NodeId t,
                                           double tol) {
   thread_local DijkstraWorkspace ws_fwd;
   thread_local DijkstraWorkspace ws_rev;
-  const ShortestPathTree& from_s = dijkstra(g, s, edge_cost, ws_fwd);
-  const ShortestPathTree& to_t = dijkstra_to(g, t, edge_cost, ws_rev);
+  std::vector<char> mask;
+  shortest_path_edge_mask_into(g, s, t, edge_cost, tol, ws_fwd, ws_rev, mask);
+  return mask;
+}
+
+void shortest_path_edge_mask_into(const Graph& g, NodeId s, NodeId t,
+                                  std::span<const double> edge_cost,
+                                  double tol, DijkstraWorkspace& fwd,
+                                  DijkstraWorkspace& rev,
+                                  std::vector<char>& out) {
+  const ShortestPathTree& from_s = dijkstra(g, s, edge_cost, fwd);
+  const ShortestPathTree& to_t = dijkstra_to(g, t, edge_cost, rev);
   const double best = from_s.dist[static_cast<std::size_t>(t)];
   SR_REQUIRE(std::isfinite(best), "sink unreachable from source");
-  std::vector<char> mask(static_cast<std::size_t>(g.num_edges()), 0);
+  out.assign(static_cast<std::size_t>(g.num_edges()), 0);
   for (EdgeId e = 0; e < g.num_edges(); ++e) {
     const Edge& edge = g.edge(e);
     const double du = from_s.dist[static_cast<std::size_t>(edge.tail)];
     const double dv = to_t.dist[static_cast<std::size_t>(edge.head)];
     if (!std::isfinite(du) || !std::isfinite(dv)) continue;
     const double through = du + edge_cost[static_cast<std::size_t>(e)] + dv;
-    if (through <= best + tol) mask[static_cast<std::size_t>(e)] = 1;
+    if (through <= best + tol) out[static_cast<std::size_t>(e)] = 1;
   }
-  return mask;
 }
 
 }  // namespace stackroute

@@ -45,9 +45,20 @@ ShortestPathTree dijkstra(const Graph& g, NodeId source,
 
 /// Allocation-free variant: fills ws.tree (reusing its buffers) and returns
 /// a reference to it, valid until the next call with the same workspace.
+/// Runs on a 4-ary heap (shallower sift paths on the reused buffer than
+/// the binary layout).
 const ShortestPathTree& dijkstra(const Graph& g, NodeId source,
                                  std::span<const double> edge_cost,
                                  DijkstraWorkspace& ws);
+
+/// The pre-4-ary binary-heap implementation (std::push_heap/pop_heap),
+/// kept under a compile-time heap switch as the reference: with all live
+/// queue keys distinct, the relaxation order — hence dist/parent_edge — is
+/// identical between the two heaps, which the algorithms test asserts
+/// exactly.
+const ShortestPathTree& dijkstra_binary_heap(const Graph& g, NodeId source,
+                                             std::span<const double> edge_cost,
+                                             DijkstraWorkspace& ws);
 
 /// Shortest distance *to* `sink` from every node (Dijkstra on the reverse
 /// graph); parent_edge[v] is the first edge of a cheapest v→sink path.
@@ -74,5 +85,16 @@ void extract_path_into(const Graph& g, const ShortestPathTree& tree,
 std::vector<char> shortest_path_edge_mask(const Graph& g, NodeId s, NodeId t,
                                           std::span<const double> edge_cost,
                                           double tol = 1e-9);
+
+/// Workspace variant: reuses the two Dijkstra workspaces and `out`'s
+/// storage (out is resized to num_edges). On return `fwd.tree` holds the
+/// forward tree from s and `rev.tree` the reverse tree to t, so callers
+/// needing dist(s, t) as well (MOP's tight-subgraph step) read it off
+/// fwd.tree instead of running a third Dijkstra.
+void shortest_path_edge_mask_into(const Graph& g, NodeId s, NodeId t,
+                                  std::span<const double> edge_cost,
+                                  double tol, DijkstraWorkspace& fwd,
+                                  DijkstraWorkspace& rev,
+                                  std::vector<char>& out);
 
 }  // namespace stackroute

@@ -61,10 +61,20 @@ FrankWolfeResult frank_wolfe(const NetworkInstance& inst,
                              std::span<const double> preload,
                              const FrankWolfeOptions& opts,
                              SolverWorkspace& ws) {
+  return frank_wolfe(inst, objective, preload, opts, ws, {}, 0.0);
+}
+
+FrankWolfeResult frank_wolfe(const NetworkInstance& inst,
+                             FlowObjective objective,
+                             std::span<const double> preload,
+                             const FrankWolfeOptions& opts,
+                             SolverWorkspace& ws,
+                             std::span<const double> warm_flow,
+                             double warm_total_demand) {
   inst.validate();
   const Graph& g = inst.graph;
   const std::vector<LatencyPtr> lat = effective_latencies(g, preload);
-  ws.table.compile(lat);
+  ws.table.ensure_compiled(lat);
   const LatencyTable& table = ws.table;
   const auto ne = static_cast<std::size_t>(g.num_edges());
   ws.costs.resize(ne);
@@ -72,11 +82,23 @@ FrankWolfeResult frank_wolfe(const NetworkInstance& inst,
   ws.direction.resize(ne);
 
   FrankWolfeResult result;
-  // Initialize with AON at empty-network costs.
-  result.edge_flow.assign(ne, 0.0);
-  edge_costs(table, result.edge_flow, objective, ws.costs);
-  all_or_nothing(inst, ws.costs, ws, ws.aon_flow);
-  std::copy(ws.aon_flow.begin(), ws.aon_flow.end(), result.edge_flow.begin());
+  const double factor = warm_total_demand > 0.0
+                            ? inst.total_demand() / warm_total_demand
+                            : 0.0;
+  if (warm_flow.size() == ne && factor > 0.0 && std::isfinite(factor)) {
+    // Demand-rescaling projection of the prior converged flow.
+    result.edge_flow.resize(ne);
+    for (std::size_t e = 0; e < ne; ++e) {
+      result.edge_flow[e] = std::fmax(0.0, warm_flow[e] * factor);
+    }
+  } else {
+    // Cold start: AON at empty-network costs.
+    result.edge_flow.assign(ne, 0.0);
+    edge_costs(table, result.edge_flow, objective, ws.costs);
+    all_or_nothing(inst, ws.costs, ws, ws.aon_flow);
+    std::copy(ws.aon_flow.begin(), ws.aon_flow.end(),
+              result.edge_flow.begin());
+  }
 
   for (int iter = 1; iter <= opts.max_iters; ++iter) {
     result.iterations = iter;

@@ -51,4 +51,32 @@ FrankWolfeResult frank_wolfe(const NetworkInstance& inst,
                              const FrankWolfeOptions& opts,
                              SolverWorkspace& ws);
 
+/// Warm-started variant for chained solves: `warm_flow` is a feasible edge
+/// flow of the same network computed at total demand `warm_total_demand`
+/// (e.g. the converged flow of the neighboring point of a demand sweep).
+/// The demand-rescaling projection scales it by
+/// inst.total_demand()/warm_total_demand — feasible whenever the commodity
+/// split is proportional between the two points, which is how the sweep
+/// layer varies demand — and iterates from there instead of from the
+/// all-or-nothing bootstrap. A size-mismatched or non-positive-demand warm
+/// flow falls back to the cold start; either way the iteration converges
+/// to the same minimizer, to opts tolerance.
+///
+/// Unchecked precondition (unlike assign_traffic's warm start, a bare
+/// edge flow cannot be validated against per-commodity demands): the
+/// commodity split MUST be proportional between the warm point and
+/// `inst`. Seeding from a non-proportionally rescaled flow starts the
+/// iteration infeasible, and the convex combinations only damp that
+/// infeasibility geometrically — the gap test can then report
+/// convergence on a flow that does not route the demands. Callers
+/// chaining anything but a uniform demand scale should use
+/// assign_traffic's path-based warm start instead.
+FrankWolfeResult frank_wolfe(const NetworkInstance& inst,
+                             FlowObjective objective,
+                             std::span<const double> preload,
+                             const FrankWolfeOptions& opts,
+                             SolverWorkspace& ws,
+                             std::span<const double> warm_flow,
+                             double warm_total_demand);
+
 }  // namespace stackroute

@@ -40,6 +40,10 @@ struct AssignmentResult {
   std::vector<std::vector<PathFlow>> commodity_paths;  // [commodity]
   double objective = 0.0;  // Beckmann or total cost, per FlowObjective
   int sweeps = 0;
+  /// Exact equalization steps taken (each = one Dijkstra + one bisected
+  /// pair move) — the solver's cost driver, reported so warm-start wins
+  /// are observable.
+  int steps = 0;
   bool converged = false;
 };
 
@@ -57,5 +61,32 @@ AssignmentResult assign_traffic(const NetworkInstance& inst,
                                 std::span<const double> preload,
                                 const AssignmentOptions& opts,
                                 SolverWorkspace& ws);
+
+/// Converged state of a prior assign_traffic run on the *same* graph and
+/// latencies at (possibly) different demands — the warm-start payload for
+/// chained solves along a sweep axis.
+struct AssignmentWarmStart {
+  std::vector<std::vector<PathFlow>> commodity_paths;  // [commodity]
+  /// The demands those paths carried (one entry per commodity).
+  std::vector<double> demands;
+
+  [[nodiscard]] bool empty() const { return commodity_paths.empty(); }
+};
+
+/// Warm-started variant: seeds each commodity's active path set with the
+/// prior paths, flows scaled per commodity by r_new/r_old (the
+/// demand-rescaling projection; an exact fix-up on the largest path keeps
+/// feasibility bitwise). A payload that does not fit the instance —
+/// commodity count mismatch, non-positive prior demand, or any path that
+/// is not a valid s_i-t_i path of this graph — falls back to the cold
+/// all-or-nothing start, so a stale payload can cost time but never
+/// correctness. Warm and cold runs converge to the same equilibrium to
+/// opts.tol (unique edge flows for strictly increasing latencies).
+AssignmentResult assign_traffic(const NetworkInstance& inst,
+                                FlowObjective objective,
+                                std::span<const double> preload,
+                                const AssignmentOptions& opts,
+                                SolverWorkspace& ws,
+                                const AssignmentWarmStart& warm);
 
 }  // namespace stackroute

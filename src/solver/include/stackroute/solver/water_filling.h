@@ -47,10 +47,24 @@ WaterFillingResult water_fill(std::span<const LatencyPtr> links, double demand,
                               LevelKind kind, double tol = 1e-13);
 
 /// Same, reusing the caller's workspace across calls (see workspace.h):
-/// the links compile into ws.table once per call, and every S(L)
+/// the links compile into ws.table once per call (skipped when the link
+/// set is pointer-identical to the previous call's), and every S(L)
 /// evaluation inside the bisection runs on the flat kernel.
 WaterFillingResult water_fill(std::span<const LatencyPtr> links, double demand,
                               LevelKind kind, double tol,
                               SolverWorkspace& ws);
+
+/// Warm-started variant: `level_hint` is a guess at the common level —
+/// typically the converged level of the same system at a nearby demand.
+/// The solver brackets the root by expanding geometrically from the hint
+/// and refines with safeguarded false position instead of bisecting the
+/// full cold bracket, cutting the S(L) evaluation count severalfold on
+/// dense demand sweeps. Any non-finite or out-of-range hint falls back to
+/// the cold path; the result agrees with the cold solve to `tol` either
+/// way (warm and cold brackets both isolate the same root of the same
+/// monotone function).
+WaterFillingResult water_fill(std::span<const LatencyPtr> links, double demand,
+                              LevelKind kind, double tol, SolverWorkspace& ws,
+                              double level_hint);
 
 }  // namespace stackroute

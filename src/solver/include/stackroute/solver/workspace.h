@@ -12,6 +12,13 @@
 // between calls beyond capacity (delta_mask is the one exception: it must
 // stay all-zero between equalization steps, which equalize_once maintains
 // by construction).
+//
+// The compiled latency table is additionally *reused across calls* when the
+// latency set is pointer-identical to the previous call's (see
+// LatencyTable::ensure_compiled): a chained sweep re-solving the same
+// network at a new demand skips recompilation entirely, and
+// instance_revision() exposes the tag that proves when a topology change
+// forced one.
 #pragma once
 
 #include <vector>
@@ -26,6 +33,8 @@ struct SolverWorkspace {
   LatencyTable table;             // compiled effective latencies
   DijkstraWorkspace dijkstra;     // shortest-path buffers (serial contexts;
                                   // parallel fan-outs use thread_local ones)
+  DijkstraWorkspace dijkstra_rev;  // reverse-tree buffers (MOP's
+                                   // tight-subgraph step)
   std::vector<double> costs;      // per-edge costs, maintained incrementally
   std::vector<double> direction;  // Frank–Wolfe: AON flow minus current flow
   std::vector<double> aon_flow;   // Frank–Wolfe: all-or-nothing edge flows
@@ -35,6 +44,13 @@ struct SolverWorkspace {
   Path path_scratch;              // single-path buffer (equalization)
   std::vector<int> delta_mask;    // equalization ±1 mask; all-zero at rest
   std::vector<double> weights;    // water-filling residual weights
+
+  /// Instance-revision tag: bumps whenever a solve actually recompiled the
+  /// latency table (topology or latency objects changed), stays put when
+  /// only scalar knobs (demand, preload-free re-solves) did.
+  [[nodiscard]] std::uint64_t instance_revision() const {
+    return table.revision();
+  }
 };
 
 }  // namespace stackroute

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "stackroute/util/error.h"
 #include "stackroute/util/numeric.h"
@@ -19,6 +20,13 @@ WaterFillingResult water_fill(std::span<const LatencyPtr> links, double demand,
 WaterFillingResult water_fill(std::span<const LatencyPtr> links, double demand,
                               LevelKind kind, double tol,
                               SolverWorkspace& ws) {
+  return water_fill(links, demand, kind, tol, ws,
+                    std::numeric_limits<double>::quiet_NaN());
+}
+
+WaterFillingResult water_fill(std::span<const LatencyPtr> links, double demand,
+                              LevelKind kind, double tol, SolverWorkspace& ws,
+                              double level_hint) {
   SR_REQUIRE(!links.empty(), "water_fill needs >= 1 link");
   SR_REQUIRE(demand >= 0.0 && std::isfinite(demand),
              "water_fill needs demand >= 0");
@@ -26,7 +34,7 @@ WaterFillingResult water_fill(std::span<const LatencyPtr> links, double demand,
   for (const auto& link : links) {
     SR_REQUIRE(link != nullptr, "water_fill got a null link");
   }
-  ws.table.compile(links);
+  ws.table.ensure_compiled(links);
   const LatencyTable& table = ws.table;
 
   const auto level_at_zero = [&](std::size_t i) {
@@ -107,12 +115,54 @@ WaterFillingResult water_fill(std::span<const LatencyPtr> links, double demand,
                "water_fill: all links constant but demand below plateau?");
     auto deficit = [&](double l) { return increasing_supply(l) - demand; };
     const double cap = std::isfinite(const_level) ? const_level : 1e30;
-    const double hi =
-        expand_upper(deficit, lo, std::fmax(1.0, std::fabs(lo)), cap);
-    SR_REQUIRE(deficit(hi) >= 0.0,
-               "water_fill: demand exceeds total link capacity");
-    const double scale = std::fmax(1.0, std::fabs(hi));
-    level = bisect_increasing(deficit, lo, hi, tol * scale);
+    if (std::isfinite(level_hint) && level_hint > lo && level_hint < cap) {
+      // Warm path: expand a bracket geometrically from the hint (typically
+      // 1-3 probes on dense sweeps), then false position on it. Correctness
+      // does not depend on the hint's quality — only on the validated
+      // bracket — so even a hint from a slightly different system is safe.
+      const double fh = deficit(level_hint);
+      const double step0 = 1e-3 * std::fmax(1.0, std::fabs(level_hint));
+      double wlo, whi, flo, fhi;
+      if (fh < 0.0) {
+        wlo = level_hint;
+        flo = fh;
+        double step = step0;
+        whi = std::fmin(level_hint + step, cap);
+        fhi = deficit(whi);
+        while (fhi < 0.0 && whi < cap) {
+          wlo = whi;
+          flo = fhi;
+          step *= 2.0;
+          whi = std::fmin(level_hint + step, cap);
+          fhi = deficit(whi);
+        }
+        SR_REQUIRE(fhi >= 0.0,
+                   "water_fill: demand exceeds total link capacity");
+      } else {
+        whi = level_hint;
+        fhi = fh;
+        double step = step0;
+        wlo = std::fmax(level_hint - step, lo);
+        flo = deficit(wlo);
+        while (flo > 0.0 && wlo > lo) {
+          whi = wlo;
+          fhi = flo;
+          step *= 2.0;
+          wlo = std::fmax(level_hint - step, lo);
+          flo = deficit(wlo);
+        }
+        // deficit(lo) = -demand < 0, so the clamped end always brackets.
+      }
+      const double scale = std::fmax(1.0, std::fabs(whi));
+      level = illinois_increasing(deficit, wlo, whi, flo, fhi, tol * scale);
+    } else {
+      const double hi =
+          expand_upper(deficit, lo, std::fmax(1.0, std::fabs(lo)), cap);
+      SR_REQUIRE(deficit(hi) >= 0.0,
+                 "water_fill: demand exceeds total link capacity");
+      const double scale = std::fmax(1.0, std::fabs(hi));
+      level = bisect_increasing(deficit, lo, hi, tol * scale);
+    }
   }
 
   // Fill flows at the computed level.

@@ -31,11 +31,50 @@ namespace stackroute::sweep {
 /// The two input shapes of the paper's algorithms, as one sweepable type.
 using Instance = std::variant<ParallelLinks, NetworkInstance>;
 
+/// True when `cur` is the same network as `prev` with at most scalar knobs
+/// (demands) changed: identical shape, edge endpoints, *pointer-identical*
+/// latency objects, and identical commodity endpoints. Pointer identity is
+/// sound because the comparison is only made while `prev` is still alive
+/// (shared ownership rules out address reuse), and it is exactly the test
+/// that decides whether a chain's warm-start state carries over — so it
+/// must stay a pure function of the two instances (thread-count and
+/// execution-order independent), which it is.
+bool chain_compatible(const Instance& prev, const Instance& cur);
+
+/// Cross-task warm-start state carried along one chain of a sweep (see
+/// runner.h): the workspace shared by the chain's tasks, the previous
+/// task's instance — kept alive so chain_compatible's pointer-identity
+/// test is sound — and the converged solver state that task produced.
+/// Confined to one chain, hence one thread.
+struct ChainContext {
+  SolverWorkspace ws;
+  bool has_prev = false;
+  Instance prev_instance;
+  AssignmentWarmStart nash;  // converged Nash decomposition
+  MopWarmStart mop;          // optimum + induced decompositions (the
+                             // .optimum half also feeds plain optimum
+                             // solves on non-MOP metric sets)
+  OpTopWarmStart optop;      // parallel-links water-filling levels
+
+  /// Drops the warm payloads (workspace capacity is kept): called when a
+  /// task fails or an incompatible instance breaks the chain, so stale
+  /// state can never leak across the break.
+  void reset_warm();
+};
+
 /// Per-task evaluation context with memoized solver results.
 class TaskEval {
  public:
   TaskEval(const ParamPoint& point, const Instance& instance)
-      : point_(point), instance_(instance) {}
+      : TaskEval(point, instance, nullptr) {}
+
+  /// Chained variant: solves run on `chain`'s workspace, warm-started from
+  /// the previous task's converged state whenever chain_compatible holds
+  /// (otherwise the payloads are reset and this task solves cold). The
+  /// runner calls finish_chain() after the metrics to publish this task's
+  /// instance as the next task's warm anchor.
+  TaskEval(const ParamPoint& point, const Instance& instance,
+           ChainContext* chain);
 
   [[nodiscard]] const ParamPoint& point() const { return point_; }
   [[nodiscard]] bool is_parallel() const;
@@ -60,6 +99,14 @@ class TaskEval {
   double stackelberg_cost();  // C(S+T) of the optimal Leader strategy
   double rounds();  // OpTop freeze rounds; NaN on networks (MOP is one-shot)
 
+  /// Publishes this task's instance as the chain's warm anchor (no-op
+  /// without a chain). The runner calls it once, after every metric
+  /// evaluated successfully — a failed task resets the chain instead. The
+  /// argument must be the very instance this TaskEval was constructed
+  /// over; it is moved into the chain (saving a per-task graph copy), so
+  /// no metric may run afterwards.
+  void finish_chain(Instance&& instance);
+
   /// Memoizes an arbitrary intermediate result under `key` for this task's
   /// lifetime, so several custom metrics can share one expensive solve
   /// (e.g. a Thm 2.4 strategy whose cost, ratio and split index each feed
@@ -74,11 +121,17 @@ class TaskEval {
   }
 
  private:
+  /// The workspace every solve of this task runs on: the chain's when
+  /// chained, this task's own otherwise.
+  SolverWorkspace& ws();
+
   const ParamPoint& point_;
   const Instance& instance_;
+  ChainContext* chain_ = nullptr;
   // One compiled-kernel workspace shared by every solve this task runs
-  // (TaskEval is confined to one task, hence one thread).
-  SolverWorkspace ws_;
+  // (TaskEval is confined to one task, hence one thread). Unused when the
+  // task is chained.
+  SolverWorkspace own_ws_;
   std::optional<OpTopResult> optop_;
   std::optional<MopResult> mop_;
   std::optional<NetworkAssignment> net_nash_;

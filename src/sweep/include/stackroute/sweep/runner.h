@@ -1,16 +1,35 @@
-// SweepRunner: expands a ScenarioSpec's grid into tasks, executes them
-// through util/parallel.h, and aggregates metric rows into io::Table.
+// SweepRunner: expands a ScenarioSpec's grid into tasks, partitions them
+// into warm-start chains, executes the chains through util/parallel.h, and
+// aggregates metric rows into io::Table.
+//
+// Chains: when the scenario declares a warm axis (ScenarioSpec::warm_axis,
+// typically "demand") and warm-starting is enabled, the grid decomposes
+// into chains — sequences of tasks varying only along that axis, all other
+// parameters fixed. Chains, not tasks, are the unit of parallel
+// scheduling; each chain carries one persistent SolverWorkspace (compiled
+// latency table, Dijkstra/path buffers) and threads the previous point's
+// converged solver state into the next point's solves (see
+// ChainContext/chain_compatible in metrics.h). Without a warm axis — or
+// with warm_start off — every task is its own chain, which is exactly the
+// pre-chain behavior.
 //
 // Determinism contract: the metric values in a SweepResult — and therefore
 // to_markdown()/to_csv()/to_json() — are bitwise identical at any thread
-// count (set_max_threads(1) vs default), because every task derives its
-// Rng from mix_seed(base_seed, index) and writes only its own record.
-// Wall-clock timings are the one nondeterministic output and live apart:
-// per-task in TaskRecord::millis, aggregated in timing_table()/summary().
+// count (set_max_threads(1) vs default). The chain decomposition is a pure
+// function of the grid, each chain runs its tasks in axis order on one
+// thread, warm-start hand-off happens only inside a chain, and every task
+// derives its Rng from mix_seed(base_seed, flat index) — so neither
+// scheduling nor thread count can perturb any record. Warm and cold runs
+// of the same spec agree to solver tolerance (equal at table precision),
+// not bitwise: a warm-started solve converges to the same equilibrium
+// along a different iterate sequence. Wall-clock timings are the one
+// nondeterministic output and live apart: per-task in TaskRecord::millis,
+// aggregated in timing_table()/summary().
 //
 // A task that throws stackroute::Error (infeasible instance, solver
 // failure) is recorded as a failed row with NaN metrics rather than
-// aborting the sweep; num_failed() and the status column report it.
+// aborting the sweep; num_failed() and the status column report it, and
+// the chain restarts cold at the next point.
 #pragma once
 
 #include <cstddef>
@@ -28,6 +47,10 @@ struct SweepOptions {
   /// When false, run() rethrows the first task failure after the sweep
   /// finishes instead of reporting failed rows.
   bool keep_going = true;
+  /// When false, every task is its own chain (cold solves, task-level
+  /// parallelism) even if the scenario declares a warm axis — the A/B
+  /// switch behind `stackroute-sweep --warm-start off`.
+  bool warm_start = true;
 };
 
 struct TaskRecord {
@@ -46,6 +69,10 @@ struct SweepResult {
   int digits = 6;
   double total_millis = 0.0;
   int threads = 1;
+  /// Number of chains the grid decomposed into (== num_tasks() when no
+  /// warm axis applied), and the axis used (empty when none did).
+  std::size_t chains = 0;
+  std::string warm_axis;
 
   [[nodiscard]] std::size_t num_tasks() const { return records.size(); }
   [[nodiscard]] std::size_t num_failed() const;

@@ -32,6 +32,14 @@ struct ScenarioSpec {
   std::vector<Metric> metrics;
   /// Root of the per-task seed derivation (see header comment).
   std::uint64_t base_seed = 1;
+  /// Grid axis along which adjacent tasks form warm-start chains (see
+  /// runner.h); typically "demand". Empty — or naming an axis the grid
+  /// lacks — means every task is its own cold chain. Declaring a warm axis
+  /// is always safe: tasks whose instances are not chain_compatible (e.g.
+  /// a fresh random topology per point) simply solve cold within their
+  /// chain, and the result table stays bitwise thread-count independent
+  /// either way.
+  std::string warm_axis;
 };
 
 /// Parses a serialized instance, auto-detecting the header keyword

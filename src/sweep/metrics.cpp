@@ -2,10 +2,74 @@
 
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "stackroute/util/error.h"
 
 namespace stackroute::sweep {
+
+bool chain_compatible(const Instance& prev, const Instance& cur) {
+  if (prev.index() != cur.index()) return false;
+  if (const auto* a = std::get_if<ParallelLinks>(&prev)) {
+    const auto& b = std::get<ParallelLinks>(cur);
+    // shared_ptr operator== is pointer identity — exactly the test wanted.
+    return a->links == b.links;
+  }
+  const auto& a = std::get<NetworkInstance>(prev);
+  const auto& b = std::get<NetworkInstance>(cur);
+  const Graph& ga = a.graph;
+  const Graph& gb = b.graph;
+  if (ga.num_nodes() != gb.num_nodes() || ga.num_edges() != gb.num_edges()) {
+    return false;
+  }
+  for (EdgeId e = 0; e < ga.num_edges(); ++e) {
+    const Edge& ea = ga.edge(e);
+    const Edge& eb = gb.edge(e);
+    if (ea.tail != eb.tail || ea.head != eb.head ||
+        ea.latency != eb.latency) {
+      return false;
+    }
+  }
+  if (a.commodities.size() != b.commodities.size()) return false;
+  for (std::size_t i = 0; i < a.commodities.size(); ++i) {
+    if (a.commodities[i].source != b.commodities[i].source ||
+        a.commodities[i].sink != b.commodities[i].sink) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void ChainContext::reset_warm() {
+  has_prev = false;
+  nash = {};
+  mop = {};
+  optop = {};
+}
+
+TaskEval::TaskEval(const ParamPoint& point, const Instance& instance,
+                   ChainContext* chain)
+    : point_(point), instance_(instance), chain_(chain) {
+  // A broken chain must not leak stale payloads into this task's solves:
+  // the solve accessors below consume whatever payloads survive this
+  // reset, so warm validity flows from the anchor test alone, not from
+  // payload provenance.
+  const bool warm = chain_ != nullptr && chain_->has_prev &&
+                    chain_compatible(chain_->prev_instance, instance_);
+  if (chain_ != nullptr && !warm) chain_->reset_warm();
+}
+
+SolverWorkspace& TaskEval::ws() {
+  return chain_ != nullptr ? chain_->ws : own_ws_;
+}
+
+void TaskEval::finish_chain(Instance&& instance) {
+  if (chain_ == nullptr) return;
+  SR_ASSERT(&instance == &instance_,
+            "finish_chain must be handed the evaluated instance");
+  chain_->prev_instance = std::move(instance);
+  chain_->has_prev = true;
+}
 
 bool TaskEval::is_parallel() const {
   return std::holds_alternative<ParallelLinks>(instance_);
@@ -21,23 +85,65 @@ const NetworkInstance& TaskEval::network() const {
   return std::get<NetworkInstance>(instance_);
 }
 
+namespace {
+
+/// Publishes a converged decomposition as the chain's warm payload for the
+/// next task (copies: the memoized result must stay intact for other
+/// metrics of this task).
+void publish(AssignmentWarmStart& warm, const NetworkAssignment& a,
+             const NetworkInstance& inst) {
+  warm.commodity_paths = a.commodity_paths;
+  warm.demands.clear();
+  for (const Commodity& c : inst.commodities) warm.demands.push_back(c.demand);
+}
+
+}  // namespace
+
 const OpTopResult& TaskEval::optop() {
-  if (!optop_) optop_ = op_top(links());
+  if (!optop_) {
+    if (chain_ != nullptr) {
+      // In/out aliasing is supported: the hints are read before the levels
+      // are overwritten with this task's.
+      optop_ = op_top(links(), {}, chain_->ws, &chain_->optop, &chain_->optop);
+    } else {
+      optop_ = op_top(links());
+    }
+  }
   return *optop_;
 }
 
 const MopResult& TaskEval::mop_result() {
-  if (!mop_) mop_ = mop(network());
+  if (!mop_) {
+    if (chain_ != nullptr) {
+      mop_ = mop(network(), {}, chain_->ws, &chain_->mop, &chain_->mop);
+    } else {
+      mop_ = mop(network());
+    }
+  }
   return *mop_;
 }
 
 const NetworkAssignment& TaskEval::network_nash() {
-  if (!net_nash_) net_nash_ = solve_nash(network(), {}, ws_);
+  if (!net_nash_) {
+    if (chain_ != nullptr) {
+      net_nash_ = solve_nash(network(), {}, chain_->ws, chain_->nash);
+      publish(chain_->nash, *net_nash_, network());
+    } else {
+      net_nash_ = solve_nash(network(), {}, ws());
+    }
+  }
   return *net_nash_;
 }
 
 const NetworkAssignment& TaskEval::network_optimum() {
-  if (!net_opt_) net_opt_ = solve_optimum(network(), {}, ws_);
+  if (!net_opt_) {
+    if (chain_ != nullptr) {
+      net_opt_ = solve_optimum(network(), {}, chain_->ws, chain_->mop.optimum);
+      publish(chain_->mop.optimum, *net_opt_, network());
+    } else {
+      net_opt_ = solve_optimum(network(), {}, ws());
+    }
+  }
   return *net_opt_;
 }
 

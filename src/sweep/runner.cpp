@@ -3,6 +3,7 @@
 #include <limits>
 #include <set>
 #include <sstream>
+#include <utility>
 
 #ifdef _OPENMP
 #include <omp.h>
@@ -55,9 +56,60 @@ std::string SweepResult::summary() const {
   std::ostringstream os;
   os << scenario << ": " << num_tasks() << " tasks, " << num_failed()
      << " failed, " << format_double(total_millis, 1) << " ms total, "
-     << threads << " thread(s)";
+     << threads << " thread(s), ";
+  if (!warm_axis.empty()) {
+    os << chains << " warm chain(s) along '" << warm_axis << "'";
+  } else {
+    os << "cold solves";
+  }
   return os.str();
 }
+
+namespace {
+
+/// Deterministic chain decomposition of a row-major grid along one axis: a
+/// pure function of (grid, axis), independent of thread count. Chain c's
+/// j-th task has flat index (c / stride) * block + (c % stride) +
+/// j * stride, where stride is the warm axis's row-major stride — i.e. the
+/// warm axis varies while every other coordinate stays fixed.
+struct ChainLayout {
+  std::size_t chains = 0;
+  std::size_t length = 1;
+  std::size_t stride = 1;
+  std::size_t block = 1;
+  bool active = false;  // a warm axis with >= 2 values was found
+
+  [[nodiscard]] std::size_t flat(std::size_t chain, std::size_t j) const {
+    return (chain / stride) * block + (chain % stride) + j * stride;
+  }
+};
+
+ChainLayout chain_layout(const ParamGrid& grid, const std::string& warm_axis,
+                         bool warm_enabled) {
+  ChainLayout out;
+  out.chains = grid.size();
+  if (!warm_enabled || warm_axis.empty()) return out;
+  const auto& axes = grid.axes();
+  std::size_t a = axes.size();
+  for (std::size_t i = 0; i < axes.size(); ++i) {
+    if (axes[i].name == warm_axis) a = i;
+  }
+  if (a == axes.size()) return out;  // axis not in this grid: all-cold
+  const std::size_t w = axes[a].values.size();
+  if (w < 2) return out;  // nothing to chain along
+  std::size_t stride = 1;
+  for (std::size_t i = a + 1; i < axes.size(); ++i) {
+    stride *= axes[i].values.size();
+  }
+  out.length = w;
+  out.stride = stride;
+  out.block = w * stride;
+  out.chains = grid.size() / w;
+  out.active = true;
+  return out;
+}
+
+}  // namespace
 
 SweepResult SweepRunner::run(const ScenarioSpec& spec) const {
   SR_REQUIRE(spec.factory, "scenario " + spec.name + " has no factory");
@@ -87,9 +139,14 @@ SweepResult SweepRunner::run(const ScenarioSpec& spec) const {
   const std::size_t n = spec.grid.size();
   result.records.resize(n);
 
+  const ChainLayout layout =
+      chain_layout(spec.grid, spec.warm_axis, opts_.warm_start);
+  result.chains = layout.chains;
+  if (layout.active) result.warm_axis = spec.warm_axis;
+
   // The determinism contract needs the solvers' own parallel reductions
   // serialized: inside the fan-out below they are nested OpenMP regions and
-  // collapse to one thread, but a single-task sweep never opens the outer
+  // collapse to one thread, but a single-chain sweep never opens the outer
   // region, so pin it to one thread explicitly. Capping active levels
   // guards the nested case even under OMP_MAX_ACTIVE_LEVELS overrides.
 #ifdef _OPENMP
@@ -97,44 +154,60 @@ SweepResult SweepRunner::run(const ScenarioSpec& spec) const {
   omp_set_max_active_levels(1);
 #endif
   const int saved_threads = max_threads_setting();
-  if (n < 2) set_max_threads(1);
+  if (layout.chains < 2) set_max_threads(1);
   result.threads = max_threads();  // after the pin, so summary() is honest
 
   Stopwatch total;
-  // grain = 1: tasks are whole equilibrium computations, orders of
-  // magnitude heavier than the OpenMP dispatch overhead the default grain
-  // guards against — and 100-task grids should still fan out.
+  // grain = 1: chains are sequences of whole equilibrium computations,
+  // orders of magnitude heavier than the OpenMP dispatch overhead the
+  // default grain guards against — and 100-chain grids should still fan
+  // out.
   parallel_for(
-      n,
-      [&](std::size_t i) {
-        TaskRecord& rec = result.records[i];
-        Stopwatch sw;
-        // Exceptions must not escape an OpenMP region: record and move on,
-        // decide about rethrowing once the loop has joined. grid.at() is
-        // inside too — even a bad_alloc there must become a failed row.
-        try {
-          rec.point = spec.grid.at(i);
-          Rng rng(mix_seed(spec.base_seed, i));
-          const Instance instance = spec.factory(rec.point, rng);
-          TaskEval eval(rec.point, instance);
-          rec.metrics.reserve(spec.metrics.size());
-          for (const auto& m : spec.metrics) rec.metrics.push_back(m.fn(eval));
-        } catch (const std::exception& e) {
-          rec.ok = false;
-          rec.error = e.what();
-          rec.metrics.assign(spec.metrics.size(),
-                             std::numeric_limits<double>::quiet_NaN());
-        } catch (...) {  // foreign exception types must not escape either
-          rec.ok = false;
-          rec.error = "unknown error (non-std exception)";
-          rec.metrics.assign(spec.metrics.size(),
-                             std::numeric_limits<double>::quiet_NaN());
+      layout.chains,
+      [&](std::size_t c) {
+        // The chain's persistent state: workspace + warm-start payloads,
+        // handed from each task to the next in axis order. With inactive
+        // layouts (length 1) the context is never consulted across tasks,
+        // so solves run exactly as the pre-chain cold path did.
+        ChainContext ctx;
+        for (std::size_t j = 0; j < layout.length; ++j) {
+          const std::size_t i = layout.flat(c, j);
+          TaskRecord& rec = result.records[i];
+          Stopwatch sw;
+          // Exceptions must not escape an OpenMP region: record and move
+          // on, decide about rethrowing once the loop has joined.
+          // grid.at() is inside too — even a bad_alloc there must become a
+          // failed row.
+          try {
+            rec.point = spec.grid.at(i);
+            Rng rng(mix_seed(spec.base_seed, i));
+            Instance instance = spec.factory(rec.point, rng);
+            TaskEval eval(rec.point, instance,
+                          layout.active ? &ctx : nullptr);
+            rec.metrics.reserve(spec.metrics.size());
+            for (const auto& m : spec.metrics) {
+              rec.metrics.push_back(m.fn(eval));
+            }
+            eval.finish_chain(std::move(instance));
+          } catch (const std::exception& e) {
+            rec.ok = false;
+            rec.error = e.what();
+            rec.metrics.assign(spec.metrics.size(),
+                               std::numeric_limits<double>::quiet_NaN());
+            ctx.reset_warm();  // the next point restarts the chain cold
+          } catch (...) {  // foreign exception types must not escape either
+            rec.ok = false;
+            rec.error = "unknown error (non-std exception)";
+            rec.metrics.assign(spec.metrics.size(),
+                               std::numeric_limits<double>::quiet_NaN());
+            ctx.reset_warm();
+          }
+          rec.millis = sw.milliseconds();
         }
-        rec.millis = sw.milliseconds();
       },
       /*grain=*/1);
   result.total_millis = total.milliseconds();
-  if (n < 2) set_max_threads(saved_threads);
+  if (layout.chains < 2) set_max_threads(saved_threads);
 #ifdef _OPENMP
   omp_set_max_active_levels(saved_levels);
 #endif

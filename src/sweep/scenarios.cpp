@@ -1,7 +1,9 @@
 #include "stackroute/sweep/scenarios.h"
 
 #include <cmath>
+#include <memory>
 #include <sstream>
+#include <vector>
 
 #include "stackroute/core/hard_instances.h"
 #include "stackroute/core/strategy.h"
@@ -20,12 +22,34 @@ namespace {
 ScenarioSpec pigou_grid() {
   ScenarioSpec spec;
   spec.name = "pigou-grid";
+  // Warm-axis declarations (scenario.h) follow one rule: demand axes
+  // only. Scenarios whose factories serve the *same* latency objects at
+  // every demand — built from shared prototypes like the monomial table
+  // below — actually warm-start along their chains (chain_compatible is a
+  // pointer-identity test); scenarios that redraw a random instance per
+  // point still chain safely (their tasks solve cold while sharing the
+  // chain's workspace), at the cost of a narrower fan-out. Axes that
+  // parameterize the latency family itself (braess-eps' eps, thm24-hard's
+  // slope) declare nothing: chaining could never engage there.
+  spec.warm_axis = "demand";
   spec.description =
       "nonlinear Pigou {x^d, 1}: latency degree x demand, beta/PoA/costs";
   spec.grid.add_range("degree", 1, 12).add_linspace("demand", 0.25, 3.0, 12);
-  spec.factory = [](const ParamPoint& p, Rng&) -> Instance {
+  // Latency objects are immutable, so one x^d per degree is shared by all
+  // tasks (and threads); demand is the only thing the factory varies.
+  auto monomials = std::make_shared<std::vector<LatencyPtr>>();
+  for (int d = 1; d <= 12; ++d) monomials->push_back(make_monomial(1.0, d));
+  const LatencyPtr constant = make_constant(1.0);
+  spec.factory = [monomials, constant](const ParamPoint& p,
+                                       Rng&) -> Instance {
+    const int d = p.get_int("degree");
     ParallelLinks m;
-    m.links = {make_monomial(1.0, p.get_int("degree")), make_constant(1.0)};
+    // Out-of-table degrees (custom re-grids) fall back to fresh objects —
+    // correct, just chain-cold.
+    m.links = {d >= 1 && d <= static_cast<int>(monomials->size())
+                   ? (*monomials)[static_cast<std::size_t>(d - 1)]
+                   : make_monomial(1.0, d),
+               constant};
     m.demand = p.get("demand");
     return m;
   };
@@ -37,6 +61,7 @@ ScenarioSpec pigou_grid() {
 ScenarioSpec affine_random() {
   ScenarioSpec spec;
   spec.name = "affine-random";
+  spec.warm_axis = "demand";
   spec.description =
       "random affine links: size x demand x replicate, PoA <= 4/3 check";
   spec.grid.add("links", {2, 4, 6, 8})
@@ -53,17 +78,28 @@ ScenarioSpec affine_random() {
 ScenarioSpec mm1_two_groups_scenario() {
   ScenarioSpec spec;
   spec.name = "mm1-two-groups";
+  spec.warm_axis = "demand";
   spec.description =
       "M/M/1 fast/slow groups at fixed total capacity 20 (Cor. 2.2 remark)";
   spec.grid.add_range("fast_links", 1, 5).add("demand", {11, 13, 15, 17});
-  spec.factory = [](const ParamPoint& p, Rng&) -> Instance {
+  // One shared prototype per fast-link count (see pigou_grid on why shared
+  // prototypes are what lets demand chains warm-start).
+  auto protos = std::make_shared<std::vector<ParallelLinks>>();
+  for (int fast = 1; fast <= 5; ++fast) {
     const int servers = 10;
     const double total_capacity = 20.0;
-    const int fast = p.get_int("fast_links");
     const double fast_mu = 0.6 * total_capacity / fast;
     const double slow_mu = 0.4 * total_capacity / (servers - fast);
-    return mm1_two_groups(fast, fast_mu, servers - fast, slow_mu,
-                          p.get("demand"));
+    protos->push_back(
+        mm1_two_groups(fast, fast_mu, servers - fast, slow_mu, 11.0));
+  }
+  spec.factory = [protos](const ParamPoint& p, Rng&) -> Instance {
+    const int fast = p.get_int("fast_links");
+    SR_REQUIRE(fast >= 1 && fast <= static_cast<int>(protos->size()),
+               "mm1-two-groups: fast_links must be in [1, 5]");
+    ParallelLinks m = (*protos)[static_cast<std::size_t>(fast - 1)];
+    m.demand = p.get("demand");
+    return m;
   };
   // The mu columns read the built instance (fast links come first in
   // mm1_two_groups), so they cannot drift from the factory's formulas.
@@ -80,6 +116,9 @@ ScenarioSpec mm1_two_groups_scenario() {
 ScenarioSpec thm24_hard() {
   ScenarioSpec spec;
   spec.name = "thm24-hard";
+  // No warm axis, same rule as braess-eps: the slope axis parameterizes
+  // the latency family (and the factory redraws per point anyway), so
+  // chaining could never engage and would only shrink the fan-out.
   spec.description =
       "common-slope hard instances: exact vs LLF strategies at alpha = beta/2";
   spec.grid.add("links", {3, 5, 8})
@@ -107,6 +146,9 @@ ScenarioSpec thm24_hard() {
 ScenarioSpec braess_eps() {
   ScenarioSpec spec;
   spec.name = "braess-eps";
+  // Deliberately no warm axis: the eps axis *is* the latency family, so
+  // no two points could ever be chain-compatible — chaining would only
+  // collapse the 30-task fan-out to one serial chain for nothing.
   spec.description =
       "Fig. 7 Braess-topology family: beta_G = 1/2 + 2eps via MOP";
   spec.grid.add_linspace("eps", 0.001, 0.12, 30);
@@ -125,6 +167,7 @@ ScenarioSpec braess_eps() {
 ScenarioSpec layered_dag() {
   ScenarioSpec spec;
   spec.name = "layered-dag";
+  spec.warm_axis = "demand";
   spec.description =
       "random layered DAGs: beta_G via MOP on arbitrary single-commodity nets";
   spec.grid.add("layers", {2, 3})
@@ -147,6 +190,7 @@ ScenarioSpec layered_dag() {
 ScenarioSpec grid_bpr() {
   ScenarioSpec spec;
   spec.name = "grid-bpr";
+  spec.warm_axis = "demand";
   spec.description =
       "random BPR street grids: size x demand x replicate through MOP";
   spec.grid.add("size", {3, 4, 5})
@@ -165,6 +209,7 @@ ScenarioSpec grid_bpr() {
 ScenarioSpec series_parallel() {
   ScenarioSpec spec;
   spec.name = "series-parallel";
+  spec.warm_axis = "demand";
   spec.description =
       "random series-parallel nets: depth x branching x demand via MOP";
   spec.grid.add("depth", {2, 3, 4})
@@ -185,6 +230,7 @@ ScenarioSpec series_parallel() {
 ScenarioSpec braess_ladder() {
   ScenarioSpec spec;
   spec.name = "braess-ladder";
+  spec.warm_axis = "demand";
   spec.description =
       "chained Braess diamonds: rungs x demand, beta_G via MOP";
   spec.grid.add("rungs", {1, 2, 4, 8}).add("demand", {0.5, 1.0, 2.0});

@@ -1,0 +1,17 @@
+#include "stackroute/util/build_info.h"
+
+#include <cstring>
+
+namespace stackroute {
+
+const char* build_type() {
+#ifdef STACKROUTE_BUILD_TYPE
+  return STACKROUTE_BUILD_TYPE;
+#else
+  return "unknown";
+#endif
+}
+
+bool release_build() { return std::strcmp(build_type(), "Release") == 0; }
+
+}  // namespace stackroute

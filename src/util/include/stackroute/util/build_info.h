@@ -1,0 +1,21 @@
+// Build metadata baked into the library at compile time.
+//
+// Every bench_* binary reports build_type() — in the markdown header for
+// the figure reproductions, as the "stackroute_build_type" custom context
+// for the Google Benchmark JSON — so a perf baseline recorded from a Debug
+// build is visibly polluted and CI can refuse to publish it (the committed
+// BENCH_*.json baselines are Release-only by contract).
+#pragma once
+
+namespace stackroute {
+
+/// The CMake configuration the library was compiled as ("Release",
+/// "Debug", "RelWithDebInfo", ...), or "unknown" if the build system did
+/// not inject it.
+const char* build_type();
+
+/// True when build_type() is "Release" — the only configuration perf
+/// baselines may be recorded from.
+bool release_build();
+
+}  // namespace stackroute

@@ -66,6 +66,48 @@ double newton_bisect(F&& f, DF&& df, double lo, double hi, double tol = 1e-13,
   return 0.5 * (lo + hi);
 }
 
+/// Root of a continuous non-decreasing f on a validated bracket:
+/// f(lo) <= 0 <= f(hi), with both endpoint values already computed (the
+/// warm-started solvers have just paid for them while bracketing). The
+/// Illinois variant of false position: superlinear on smooth functions,
+/// with a plain midpoint step every fourth iteration so the bracket
+/// provably shrinks even on degenerate shapes. Same result contract as
+/// bisect_increasing — a point within tol of the root.
+template <typename F>
+double illinois_increasing(F&& f, double lo, double hi, double flo, double fhi,
+                           double tol = 1e-13, int max_iter = 200) {
+  SR_REQUIRE(lo <= hi, "illinois_increasing: empty bracket");
+  if (flo >= 0.0) return lo;
+  if (fhi <= 0.0) return hi;
+  int last = 0;  // which endpoint the previous step replaced: -1 lo, +1 hi
+  for (int it = 0; it < max_iter && hi - lo > tol; ++it) {
+    double x;
+    if (it % 4 == 3 || !(fhi > flo)) {
+      x = 0.5 * (lo + hi);
+    } else {
+      x = (lo * fhi - hi * flo) / (fhi - flo);
+      if (!(x > lo && x < hi)) x = 0.5 * (lo + hi);
+    }
+    const double fx = f(x);
+    if (fx == 0.0) return x;
+    if (fx < 0.0) {
+      lo = x;
+      flo = fx;
+      // Illinois damping: the retained endpoint's value is halved when the
+      // same side moves twice, so interpolation cannot pin one end. The
+      // damped values only steer interpolation; bracketing uses true signs.
+      if (last < 0) fhi *= 0.5;
+      last = -1;
+    } else {
+      hi = x;
+      fhi = fx;
+      if (last > 0) flo *= 0.5;
+      last = +1;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
 /// Expand an upper bound: smallest hi = lo + step * 2^k (k = 0, 1, ...) with
 /// f(hi) >= 0, capped at `limit`. Returns `limit` if f stays negative.
 /// Used to bracket latency inversions whose scale is not known a priori.

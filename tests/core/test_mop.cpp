@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "stackroute/core/optop.h"
 #include "stackroute/latency/families.h"
 #include "stackroute/network/generators.h"
@@ -166,6 +168,31 @@ TEST(Mop, InvalidInstanceThrows) {
   inst.graph = Graph(2);
   inst.graph.add_edge(0, 1, make_linear(1.0));
   EXPECT_THROW(mop(inst), Error);
+}
+
+
+TEST(Mop, WarmStartAgreesWithColdAndHarvestsState) {
+  Rng rng(4);
+  NetworkInstance inst = random_layered_dag(rng, 3, 4, 0.6, 1.0);
+  SolverWorkspace ws;
+  MopWarmStart warm;
+  const MopResult first = mop(inst, {}, ws, nullptr, &warm);
+  EXPECT_FALSE(warm.optimum.empty());
+  ASSERT_EQ(warm.optimum.demands.size(), inst.commodities.size());
+
+  for (auto& c : inst.commodities) c.demand *= 1.4;
+  const MopResult cold = mop(inst);
+  const MopResult w = mop(inst, {}, ws, &warm, &warm);
+  EXPECT_NEAR(w.beta, cold.beta, 1e-7);
+  EXPECT_NEAR(w.optimum_cost, cold.optimum_cost,
+              1e-7 * std::fmax(1.0, cold.optimum_cost));
+  EXPECT_NEAR(w.induced_cost, cold.induced_cost,
+              1e-7 * std::fmax(1.0, cold.induced_cost));
+  EXPECT_NEAR(w.induced_residual, cold.induced_residual, 1e-6);
+  // The harvest now reflects the new point.
+  ASSERT_EQ(warm.optimum.demands.size(), inst.commodities.size());
+  EXPECT_DOUBLE_EQ(warm.optimum.demands[0], inst.commodities[0].demand);
+  (void)first;
 }
 
 }  // namespace

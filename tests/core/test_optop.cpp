@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "stackroute/core/strategy.h"
 #include "stackroute/equilibrium/parallel.h"
 #include "stackroute/latency/families.h"
@@ -159,6 +161,34 @@ TEST(OpTop, MalformedInstanceThrows) {
   ParallelLinks empty;
   empty.demand = 1.0;
   EXPECT_THROW(op_top(empty), Error);
+}
+
+
+TEST(OpTop, WarmLevelsReproduceTheColdRun) {
+  // A demand chain through the workspace overload: every warm point must
+  // match the cold solve to solver tolerance, and the harvested levels
+  // must be finite where solves ran.
+  ParallelLinks m = mm1_two_groups(3, 4.0, 7, 8.0 / 7.0, 11.0);
+  SolverWorkspace ws;
+  OpTopWarmStart warm;
+  bool first = true;
+  for (double demand : {11.0, 12.5, 14.0, 15.5, 17.0}) {
+    m.demand = demand;
+    const OpTopResult cold = op_top(m);
+    const OpTopResult w =
+        op_top(m, {}, ws, first ? nullptr : &warm, &warm);
+    first = false;
+    EXPECT_NEAR(w.beta, cold.beta, 1e-9) << "demand " << demand;
+    EXPECT_NEAR(w.nash_cost, cold.nash_cost,
+                1e-7 * std::fmax(1.0, cold.nash_cost));
+    EXPECT_NEAR(w.optimum_cost, cold.optimum_cost,
+                1e-7 * std::fmax(1.0, cold.optimum_cost));
+    EXPECT_NEAR(w.induced_cost, cold.induced_cost,
+                1e-7 * std::fmax(1.0, cold.induced_cost));
+    EXPECT_EQ(w.rounds.size(), cold.rounds.size());
+    EXPECT_TRUE(std::isfinite(warm.optimum_level));
+    EXPECT_TRUE(std::isfinite(warm.nash_level));
+  }
 }
 
 }  // namespace

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "stackroute/network/generators.h"
 #include "stackroute/solver/traffic_assignment.h"
 #include "stackroute/util/numeric.h"
@@ -91,6 +93,38 @@ TEST(FrankWolfe, MultiCommodityConverges) {
   const auto r = frank_wolfe(inst, FlowObjective::kBeckmann, {}, opts);
   EXPECT_TRUE(r.converged);
   EXPECT_LE(r.rel_gap, 1e-5);
+}
+
+
+TEST(FrankWolfe, WarmStartConvergesToTheSameObjective) {
+  Rng rng(11);
+  const NetworkInstance base = grid_city(rng, 5, 5, 2.0);
+  SolverWorkspace ws;
+  FrankWolfeOptions opts;
+  opts.rel_gap_tol = 1e-5;
+  const FrankWolfeResult prior =
+      frank_wolfe(base, FlowObjective::kBeckmann, {}, opts, ws);
+
+  NetworkInstance scaled = base;
+  for (auto& c : scaled.commodities) c.demand *= 1.25;
+  const FrankWolfeResult warm =
+      frank_wolfe(scaled, FlowObjective::kBeckmann, {}, opts, ws,
+                  prior.edge_flow, base.total_demand());
+  const FrankWolfeResult cold =
+      frank_wolfe(scaled, FlowObjective::kBeckmann, {}, opts, ws);
+  EXPECT_TRUE(warm.converged);
+  EXPECT_NEAR(warm.objective, cold.objective,
+              1e-4 * std::fmax(1.0, cold.objective));
+  // Warm iterates start next to the solution; it must not cost more
+  // iterations than the all-or-nothing bootstrap.
+  EXPECT_LE(warm.iterations, cold.iterations);
+
+  // A size-mismatched warm flow quietly falls back to the cold start.
+  const FrankWolfeResult fallback = frank_wolfe(
+      scaled, FlowObjective::kBeckmann, {}, opts, ws,
+      std::vector<double>(3, 1.0), base.total_demand());
+  EXPECT_EQ(fallback.iterations, cold.iterations);
+  EXPECT_EQ(fallback.objective, cold.objective);
 }
 
 }  // namespace

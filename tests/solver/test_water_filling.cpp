@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "stackroute/latency/families.h"
 #include "stackroute/network/generators.h"
@@ -172,6 +173,51 @@ TEST(WaterFill, RejectsBadInput) {
   EXPECT_THROW(water_fill(links, -1.0, LevelKind::kLatency), Error);
   const std::vector<LatencyPtr> with_null = {make_linear(1.0), nullptr};
   EXPECT_THROW(water_fill(with_null, 1.0, LevelKind::kLatency), Error);
+}
+
+
+TEST(WaterFill, LevelHintAgreesWithColdSolve) {
+  Rng rng(9);
+  std::vector<LatencyPtr> links;
+  for (int i = 0; i < 12; ++i) {
+    links.push_back(make_affine(rng.uniform(0.3, 3.0), rng.uniform(0.0, 1.5)));
+  }
+  SolverWorkspace ws;
+  const auto cold = water_fill(links, 4.0, LevelKind::kLatency, 1e-13, ws);
+  for (double hint :
+       {cold.level, 0.5 * cold.level, 2.0 * cold.level,
+        std::numeric_limits<double>::quiet_NaN()}) {
+    const auto warm = water_fill(links, 4.0, LevelKind::kLatency, 1e-13, ws,
+                                 hint);
+    EXPECT_NEAR(warm.level, cold.level, 1e-10) << "hint " << hint;
+    for (std::size_t i = 0; i < links.size(); ++i) {
+      EXPECT_NEAR(warm.flows[i], cold.flows[i], 1e-8) << "hint " << hint;
+    }
+  }
+}
+
+TEST(WaterFill, LevelHintRespectsConstantPlateau) {
+  // Plateau instance: the constant link absorbs the residual regardless of
+  // any (even absurd) hint.
+  const std::vector<LatencyPtr> links = {make_linear(1.0), make_constant(0.5)};
+  SolverWorkspace ws;
+  const auto cold = water_fill(links, 3.0, LevelKind::kLatency, 1e-13, ws);
+  ASSERT_TRUE(cold.constant_plateau);
+  for (double hint : {0.01, 0.5, 100.0}) {
+    const auto warm =
+        water_fill(links, 3.0, LevelKind::kLatency, 1e-13, ws, hint);
+    EXPECT_TRUE(warm.constant_plateau);
+    EXPECT_DOUBLE_EQ(warm.level, cold.level);
+    EXPECT_DOUBLE_EQ(warm.flows[0], cold.flows[0]);
+    EXPECT_DOUBLE_EQ(warm.flows[1], cold.flows[1]);
+  }
+}
+
+TEST(WaterFill, LevelHintStillDetectsInfeasibleDemand) {
+  const std::vector<LatencyPtr> links = {make_mm1(1.0), make_mm1(1.5)};
+  SolverWorkspace ws;
+  EXPECT_THROW(water_fill(links, 4.0, LevelKind::kLatency, 1e-13, ws, 3.0),
+               Error);
 }
 
 }  // namespace

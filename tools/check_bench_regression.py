@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Diff fresh Google Benchmark JSON against a committed baseline.
+
+Usage:
+    check_bench_regression.py BASELINE.json FRESH.json COUNTER [COUNTER...]
+        [--threshold 0.25]
+
+Fails (exit 1) when any named counter's cpu_time is more than
+``threshold`` slower than the baseline, when a counter is missing from
+either file, or when the fresh run was not produced by a Release build of
+the library (the ``stackroute_build_type`` custom context stamped by
+bench/bench_main.h). Speedups and small noise pass; shared-runner timings
+are indicative, so the threshold is generous by design — this is a
+tripwire for order-of-magnitude mistakes (debug baselines, accidentally
+devectorized hot loops), not a microbenchmark judge.
+
+``--calibrate NAME`` makes the comparison machine-independent: the
+baseline is rescaled by fresh[NAME]/baseline[NAME] before the threshold
+applies, so what is actually gated is each counter's ratio to the
+calibration counter — CI runners and the host the baseline was recorded
+on need not share a clock. Pick a calibration counter from a different
+code path than the gated ones (a regression that hits both cancels out);
+for the warm-chain counters the natural choice is their own cold
+counterpart, which turns the gate into "the warm speedup must not shrink
+by more than threshold".
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as fh:
+        doc = json.load(fh)
+    return doc.get("context", {}), {b["name"]: b for b in doc["benchmarks"]}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("counters", nargs="+")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed fractional slowdown (default 0.25)")
+    parser.add_argument("--calibrate", metavar="NAME", default=None,
+                        help="rescale the baseline by fresh/baseline of "
+                             "this counter (machine-speed normalization)")
+    args = parser.parse_args()
+
+    base_ctx, base = load(args.baseline)
+    fresh_ctx, fresh = load(args.fresh)
+
+    failed = False
+    scale = 1.0
+    if args.calibrate is not None:
+        if args.calibrate not in base or args.calibrate not in fresh:
+            print(f"FAIL: calibration counter {args.calibrate!r} missing")
+            return 1
+        scale = (fresh[args.calibrate]["cpu_time"] /
+                 base[args.calibrate]["cpu_time"])
+        print(f"calibration {args.calibrate}: fresh/baseline = {scale:.2f}x")
+    build = fresh_ctx.get("stackroute_build_type")
+    if build != "Release":
+        print(f"FAIL: fresh run built as {build!r}, need 'Release' "
+              "(perf JSON from non-Release builds is not comparable)")
+        failed = True
+
+    for name in args.counters:
+        missing = [label for label, table in (("baseline", base),
+                                              ("fresh", fresh))
+                   if name not in table]
+        if missing:
+            print(f"FAIL: counter {name!r} missing from {', '.join(missing)}")
+            failed = True
+            continue
+        b, f = base[name], fresh[name]
+        if b["time_unit"] != f["time_unit"]:
+            print(f"FAIL: {name}: time_unit mismatch "
+                  f"({b['time_unit']} vs {f['time_unit']})")
+            failed = True
+            continue
+        ratio = f["cpu_time"] / (b["cpu_time"] * scale)
+        verdict = "ok" if ratio <= 1.0 + args.threshold else "REGRESSION"
+        print(f"{verdict}: {name}: {b['cpu_time']:.3f} -> "
+              f"{f['cpu_time']:.3f} {b['time_unit']} "
+              f"({ratio:.2f}x of calibrated baseline)")
+        if verdict != "ok":
+            failed = True
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

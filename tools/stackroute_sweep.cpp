@@ -39,7 +39,12 @@ int usage(std::ostream& os, int code) {
         "                        (default 0.5 3.0 11; needs 0 < LO < HI,\n"
         "                        COUNT >= 2)\n"
         "  --seed N              base seed for per-task RNG derivation\n"
-        "  --threads N           worker threads (0 = all cores, 1 = serial)\n"
+        "  --warm-start on|off   chain solves along the scenario's warm axis,\n"
+        "                        reusing the neighboring point's converged\n"
+        "                        state (default on; off = independent cold\n"
+        "                        tasks, for A/B timing)\n"
+        "  --threads N           worker threads (0 = all cores, 1 = serial;\n"
+        "                        chains are the unit of parallelism)\n"
         "  --format FMT          md | csv | json (default md)\n"
         "  --out PATH            write the table to a file instead of stdout\n"
         "  --timing              include the per-task wall-clock column\n"
@@ -61,6 +66,7 @@ struct Args {
   int demand_count = 11;
   bool demand_given = false;
   std::uint64_t seed = 1;
+  bool warm_start = true;
   int threads = 0;
   std::string format = "md";
   std::string out;
@@ -108,6 +114,17 @@ bool parse_args(int argc, char** argv, Args& args) {
         args.demand_given = true;
       } else if (a == "--seed" && need(i, 1)) {
         args.seed = parse_u64(argv[++i]);
+      } else if (a == "--warm-start" && need(i, 1)) {
+        const std::string v = argv[++i];
+        if (v == "on") {
+          args.warm_start = true;
+        } else if (v == "off") {
+          args.warm_start = false;
+        } else {
+          std::cerr << "bad value for --warm-start: " << v
+                    << " (expected on or off)\n";
+          return false;
+        }
       } else if (a == "--threads" && need(i, 1)) {
         args.threads = std::stoi(argv[++i]);
       } else if (a == "--format" && need(i, 1)) {
@@ -213,6 +230,7 @@ int main(int argc, char** argv) {
       spec.factory = sweep::generated_instance_source(
           gen::sized_spec(args.generate, args.gen_size), args.gen_seed);
       spec.metrics = sweep::default_metrics();
+      spec.warm_axis = "demand";
     } else if (!args.file.empty()) {
       spec.name = "file:" + args.file;
       spec.description = "demand sweep over " + args.file;
@@ -220,13 +238,16 @@ int main(int argc, char** argv) {
                              args.demand_count);
       spec.factory = sweep::file_instance_source(args.file);
       spec.metrics = sweep::default_metrics();
+      spec.warm_axis = "demand";
     } else {
       spec = sweep::make_scenario(args.scenario);
     }
     spec.base_seed = args.seed;
 
     set_max_threads(args.threads);
-    const sweep::SweepResult result = sweep::SweepRunner().run(spec);
+    sweep::SweepOptions sweep_opts;
+    sweep_opts.warm_start = args.warm_start;
+    const sweep::SweepResult result = sweep::SweepRunner(sweep_opts).run(spec);
 
     const Table table = args.timing ? result.timing_table() : result.table();
     std::string rendered;
