@@ -1,33 +1,66 @@
-// Stackelberg strategies on parallel links: evaluation and the classical
-// baselines the paper positions itself against.
+// Stackelberg strategies — evaluation and the classical baselines the
+// paper positions itself against, on both input shapes (§4): s–t parallel
+// links and arbitrary single-commodity (or k-commodity) networks.
 //
 //  * Aloof  — the Leader does nothing; followers reach the plain Nash N.
 //  * SCALE  — s = α·O (Roughgarden; analyzed for general nets in [18]).
-//  * LLF    — Largest Latency First (Roughgarden [37]): optimally load
-//             links in decreasing optimum latency ℓ_i(o_i) until the αr
-//             budget runs out; guarantees C(S+T) <= (1/α)·C(O) on
-//             parallel links.
+//  * LLF    — Largest Latency First (Roughgarden [37]): on parallel links,
+//             optimally load links in decreasing optimum latency ℓ_i(o_i)
+//             until the αr budget runs out; guarantees
+//             C(S+T) <= (1/α)·C(O) there. On networks, the same greedy
+//             over a path decomposition of the optimum ordered by
+//             decreasing path latency ℓ(O), with a fractional last path —
+//             no such guarantee survives on general graphs, which is
+//             exactly the gap the paper's MOP closes (C(S+T) = C(O) at
+//             α = β_G).
+//
+// Both shapes share the greedy budget fill, which maintains the exact
+// invariant Σ s = min(α·r, r) to 1 ulp (a naive running `budget -= take`
+// leaks ulps across many links and can truncate the final fractional
+// item on a tiny negative remainder).
 #pragma once
 
 #include <span>
 #include <vector>
 
+#include "stackroute/equilibrium/network.h"
 #include "stackroute/equilibrium/parallel.h"
 #include "stackroute/network/instance.h"
 
 namespace stackroute {
+
+// ---- Parallel links ------------------------------------------------------
 
 struct StackelbergOutcome {
   std::vector<double> strategy;  // s_i (the Leader's flow per link)
   std::vector<double> induced;   // t_i (followers' induced Nash)
   double cost = 0.0;             // C(S+T)
   double ratio = 0.0;            // C(S+T)/C(O) — the a-posteriori anarchy cost
+  /// Water-filling level of the induced Nash — the warm-start hint for the
+  /// next point of a chained α-sweep (see solve_induced in parallel.h).
+  double induced_level = 0.0;
 };
 
 /// Routes the followers' best response to `strategy` and reports the
-/// Stackelberg equilibrium cost and its ratio to the optimum.
+/// Stackelberg equilibrium cost and its ratio to the optimum. Solves the
+/// optimum itself; throws stackroute::Error on degenerate instances whose
+/// optimum cost is zero (the ratio is undefined there).
 StackelbergOutcome evaluate_strategy(const ParallelLinks& m,
                                      std::span<const double> strategy);
+
+/// Precomputed-optimum overload for α-sweeps: one solve_optimum feeds every
+/// α point instead of one per call. `optimum_cost` must be C(O) > 0.
+StackelbergOutcome evaluate_strategy(const ParallelLinks& m,
+                                     std::span<const double> strategy,
+                                     double optimum_cost);
+
+/// Workspace/warm variant: the induced water-fill reuses `ws` and brackets
+/// from `level_hint` (NaN = cold; see water_filling.h — hints steer the
+/// root search only, never the answer).
+StackelbergOutcome evaluate_strategy(const ParallelLinks& m,
+                                     std::span<const double> strategy,
+                                     double optimum_cost, double tol,
+                                     SolverWorkspace& ws, double level_hint);
 
 /// s = 0: the do-nothing baseline (induces the plain Nash).
 std::vector<double> aloof_strategy(const ParallelLinks& m);
@@ -35,7 +68,82 @@ std::vector<double> aloof_strategy(const ParallelLinks& m);
 /// s = α·O.
 std::vector<double> scale_strategy(const ParallelLinks& m, double alpha);
 
-/// Largest Latency First with budget αr.
+/// Precomputed-optimum overload: `optimum_flows` must be O of (M, r).
+std::vector<double> scale_strategy(const ParallelLinks& m, double alpha,
+                                   std::span<const double> optimum_flows);
+
+/// Largest Latency First with budget min(α·r, r), maintained exactly
+/// (Σ s_i = min(α·r, r) to 1 ulp; at α = 1 the last-filled link absorbs
+/// the rounding gap between Σ o_i and r).
 std::vector<double> llf_strategy(const ParallelLinks& m, double alpha);
+
+/// Precomputed-optimum overload: `optimum_flows` must be O of (M, r).
+std::vector<double> llf_strategy(const ParallelLinks& m, double alpha,
+                                 std::span<const double> optimum_flows);
+
+// ---- General networks ----------------------------------------------------
+
+/// A Leader strategy on a network: an edge preload s (the flow the Leader
+/// routes) plus the demand it serves per commodity — solve_induced needs
+/// the followers' demands, which are r_i − controlled[i].
+struct NetworkStrategy {
+  std::vector<double> preload;     // s_e, by EdgeId
+  std::vector<double> controlled;  // Leader-served demand, per commodity
+};
+
+struct NetworkStackelbergOutcome {
+  NetworkStrategy strategy;
+  std::vector<double> induced;  // followers' edge flows t_e
+  double cost = 0.0;            // C(S+T) on the instance's own latencies
+  double ratio = 0.0;           // C(S+T)/C(O)
+  /// False only when the induced equilibrium solve hit its iteration caps.
+  bool converged = true;
+};
+
+/// Routes the followers' Wardrop response to the strategy's preload (each
+/// commodity keeps r_i − controlled[i] of selfish flow; fully-controlled
+/// commodities drop out of the solve) and reports C(S+T) and its ratio to
+/// C(O). Solves the optimum itself; throws stackroute::Error on degenerate
+/// instances whose optimum cost is zero.
+NetworkStackelbergOutcome evaluate_strategy(const NetworkInstance& inst,
+                                            const NetworkStrategy& strategy,
+                                            const AssignmentOptions& opts = {});
+
+/// Precomputed-optimum / workspace / warm-start variant for chained
+/// α-sweeps: `optimum_cost` must be C(O) > 0; the induced solve runs on
+/// `ws`, warm-started from `warm_in` (null = cold) and, when `warm_out` is
+/// non-null, publishes its converged follower decomposition there for the
+/// next chained point (warm_in and warm_out may alias; an ill-fitting
+/// payload falls back to the cold start, never to a wrong answer).
+NetworkStackelbergOutcome evaluate_strategy(const NetworkInstance& inst,
+                                            const NetworkStrategy& strategy,
+                                            double optimum_cost,
+                                            const AssignmentOptions& opts,
+                                            SolverWorkspace& ws,
+                                            const AssignmentWarmStart* warm_in,
+                                            AssignmentWarmStart* warm_out);
+
+/// s = 0 on every edge: the do-nothing baseline.
+NetworkStrategy aloof_strategy(const NetworkInstance& inst);
+
+/// s = α·O on edges, serving α·r_i of every commodity.
+NetworkStrategy scale_strategy(const NetworkInstance& inst, double alpha);
+
+/// Precomputed-optimum overload: `optimum` must be solve_optimum's
+/// assignment for `inst` (its edge flows are scaled; its path
+/// decomposition is not needed).
+NetworkStrategy scale_strategy(const NetworkInstance& inst, double alpha,
+                               const NetworkAssignment& optimum);
+
+/// LLF on a network: per commodity, order the optimum's path decomposition
+/// by decreasing path latency ℓ(O) and fill greedily up to the budget
+/// min(α·r_i, r_i), the last path fractionally (same 1-ulp budget
+/// invariant as the parallel-links fill).
+NetworkStrategy llf_strategy(const NetworkInstance& inst, double alpha);
+
+/// Precomputed-optimum overload: `optimum` must be solve_optimum's
+/// assignment for `inst`, including its per-commodity path decomposition.
+NetworkStrategy llf_strategy(const NetworkInstance& inst, double alpha,
+                             const NetworkAssignment& optimum);
 
 }  // namespace stackroute

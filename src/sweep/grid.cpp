@@ -1,6 +1,7 @@
 #include "stackroute/sweep/grid.h"
 
 #include <cmath>
+#include <limits>
 
 #include "stackroute/util/error.h"
 
@@ -43,8 +44,19 @@ double ParamPoint::get_or(std::string_view name, double fallback) const {
 int ParamPoint::get_int(std::string_view name) const {
   const double v = get(name);
   const double r = std::round(v);
-  SR_REQUIRE(std::fabs(v - r) < 1e-9,
+  // Mixed integrality tolerance: linspace-generated axes accumulate
+  // rounding proportional to the value's magnitude (a few ulps, i.e.
+  // ~1e-16 relative), so an absolute 1e-9 alone would spuriously reject
+  // large integral values (a size axis near 1e6+). 1e-12 relative covers
+  // that with orders of magnitude to spare, and the 1e-6 cap keeps the
+  // window too tight to ever bless a genuinely fractional value anywhere
+  // in int range (at INT_MAX an uncapped relative term would reach ~2e-3).
+  const double tol = std::fmax(1e-9, std::fmin(1e-6, 1e-12 * std::fabs(v)));
+  SR_REQUIRE(std::fabs(v - r) <= tol,
              "parameter " + std::string(name) + " is not integral");
+  SR_REQUIRE(r >= static_cast<double>(std::numeric_limits<int>::min()) &&
+                 r <= static_cast<double>(std::numeric_limits<int>::max()),
+             "parameter " + std::string(name) + " does not fit in int");
   return static_cast<int>(r);
 }
 

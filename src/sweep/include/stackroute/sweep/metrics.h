@@ -12,6 +12,7 @@
 
 #include <any>
 #include <functional>
+#include <limits>
 #include <map>
 #include <optional>
 #include <string>
@@ -20,6 +21,7 @@
 
 #include "stackroute/core/mop.h"
 #include "stackroute/core/optop.h"
+#include "stackroute/core/strategy.h"
 #include "stackroute/equilibrium/network.h"
 #include "stackroute/equilibrium/parallel.h"
 #include "stackroute/network/instance.h"
@@ -41,6 +43,21 @@ using Instance = std::variant<ParallelLinks, NetworkInstance>;
 /// execution-order independent), which it is.
 bool chain_compatible(const Instance& prev, const Instance& cur);
 
+/// The classical Stackelberg baselines exposed as sweep metrics (see
+/// core/strategy.h). Aloof ignores the grid's "alpha" parameter; SCALE and
+/// LLF read it per point.
+enum class StrategyKind { kAloof, kScale, kLlf };
+
+/// Converged baseline-strategy solver state carried along an α-sweep
+/// chain: the induced-equilibrium decompositions on networks, the induced
+/// water-filling levels on parallel links.
+struct StrategyChainState {
+  AssignmentWarmStart scale_induced;  // network follower decompositions
+  AssignmentWarmStart llf_induced;
+  double scale_level = std::numeric_limits<double>::quiet_NaN();
+  double llf_level = std::numeric_limits<double>::quiet_NaN();
+};
+
 /// Cross-task warm-start state carried along one chain of a sweep (see
 /// runner.h): the workspace shared by the chain's tasks, the previous
 /// task's instance — kept alive so chain_compatible's pointer-identity
@@ -55,6 +72,7 @@ struct ChainContext {
                              // .optimum half also feeds plain optimum
                              // solves on non-MOP metric sets)
   OpTopWarmStart optop;      // parallel-links water-filling levels
+  StrategyChainState strategy;  // per-baseline induced payloads (α chains)
 
   /// Drops the warm payloads (workspace capacity is kept): called when a
   /// task fails or an incompatible instance breaks the chain, so stale
@@ -99,6 +117,22 @@ class TaskEval {
   double stackelberg_cost();  // C(S+T) of the optimal Leader strategy
   double rounds();  // OpTop freeze rounds; NaN on networks (MOP is one-shot)
 
+  /// Cached baseline-strategy evaluation at the point's "alpha" parameter
+  /// (Aloof ignores alpha and reuses the Nash/optimum caches). Parallel
+  /// links evaluate against the OpTop optimum, networks against
+  /// network_optimum() — one optimum solve feeds every baseline of a task,
+  /// and chained α-sweeps warm-start each baseline's induced solve from
+  /// the previous point's converged follower state.
+  double strategy_ratio(StrategyKind kind);  // C(S+T)/C(O)
+  double strategy_cost(StrategyKind kind);   // C(S+T)
+
+  /// Smallest α at which `kind` reaches C(S+T) <= (1+eps)·C(O), located by
+  /// bisection over [0, 1] (assuming a single ratio crossing — on
+  /// Braess-style anomalies with several crossings this converges to the
+  /// topmost one). 0 when the plain Nash is already within eps; NaN when
+  /// even α = 1 misses (eps below solver tolerance).
+  double strategy_alpha_to_optimum(StrategyKind kind, double eps);
+
   /// Publishes this task's instance as the chain's warm anchor (no-op
   /// without a chain). The runner calls it once, after every metric
   /// evaluated successfully — a failed task resets the chain instead. The
@@ -124,6 +158,13 @@ class TaskEval {
   /// The workspace every solve of this task runs on: the chain's when
   /// chained, this task's own otherwise.
   SolverWorkspace& ws();
+
+  /// One SCALE/LLF evaluation against this task's cached optimum — the
+  /// single construction+evaluation path behind both the cached ratio
+  /// columns (chained = true: thread the chain's warm payloads) and the
+  /// alpha_star bisection probes (chained = false: α jumps around, the
+  /// chain's payloads stay untouched). Returns C(S+T).
+  double evaluate_baseline(StrategyKind kind, double alpha, bool chained);
 
   const ParamPoint& point_;
   const Instance& instance_;
@@ -152,7 +193,22 @@ Metric metric_optimum_cost();
 Metric metric_stackelberg_cost();
 Metric metric_optop_rounds();
 
+/// Baseline-strategy columns: "aloof_ratio" / "scale_ratio" / "llf_ratio"
+/// (SCALE and LLF require an "alpha" grid axis) and the matching "_cost"
+/// columns.
+Metric metric_strategy_ratio(StrategyKind kind);
+Metric metric_strategy_cost(StrategyKind kind);
+
+/// "scale_alpha_star" / "llf_alpha_star": the α needed to get within eps
+/// of C(O) (see TaskEval::strategy_alpha_to_optimum). Expensive — each
+/// task runs ~30 induced solves — so reserve it for small grids.
+Metric metric_alpha_to_optimum(StrategyKind kind, double eps = 1e-3);
+
 /// {beta, poa, C(N), C(O), C(S+T)} — the paper's headline quantities.
 std::vector<Metric> default_metrics();
+
+/// {beta, opt_cost, aloof_ratio, scale_ratio, llf_ratio} — the ratio-vs-α
+/// comparison the paper frames MOP against (needs an "alpha" axis).
+std::vector<Metric> strategy_metrics();
 
 }  // namespace stackroute::sweep

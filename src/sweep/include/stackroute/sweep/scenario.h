@@ -49,6 +49,13 @@ Instance load_instance_text(const std::string& text);
 /// load_instance_text over a file's contents; throws on unreadable paths.
 Instance load_instance_file(const std::string& path);
 
+/// Resolves a repo-relative data file (e.g. the shipped SiouxFalls TNTP)
+/// for builtin scenarios: the relative path itself when readable from the
+/// working directory, else the same path under the source tree the library
+/// was configured from. Throws stackroute::Error naming both candidates
+/// when neither resolves.
+std::string locate_data_file(const std::string& relative_path);
+
 /// Factory serving the given instance file at every grid point. If the
 /// grid has a "demand" axis, the point's demand replaces the file's: set
 /// directly on parallel links, and scaled proportionally across

@@ -45,6 +45,7 @@ void ChainContext::reset_warm() {
   nash = {};
   mop = {};
   optop = {};
+  strategy = {};
 }
 
 TaskEval::TaskEval(const ParamPoint& point, const Instance& instance,
@@ -137,7 +138,23 @@ const NetworkAssignment& TaskEval::network_nash() {
 
 const NetworkAssignment& TaskEval::network_optimum() {
   if (!net_opt_) {
-    if (chain_ != nullptr) {
+    if (mop_) {
+      // Reuse MOP's optimum instead of solving again: its per-commodity
+      // leader/free path splits jointly decompose O, which is all the
+      // strategy metrics need (mop() already published the chain payload).
+      NetworkAssignment a;
+      a.edge_flow = mop_->optimum_edge_flow;
+      a.cost = mop_->optimum_cost;
+      a.converged = true;
+      a.commodity_paths.reserve(mop_->commodities.size());
+      for (const MopCommodity& c : mop_->commodities) {
+        std::vector<PathFlow> paths = c.free_paths;
+        paths.insert(paths.end(), c.leader_paths.begin(),
+                     c.leader_paths.end());
+        a.commodity_paths.push_back(std::move(paths));
+      }
+      net_opt_ = std::move(a);
+    } else if (chain_ != nullptr) {
       net_opt_ = solve_optimum(network(), {}, chain_->ws, chain_->mop.optimum);
       publish(chain_->mop.optimum, *net_opt_, network());
     } else {
@@ -173,6 +190,92 @@ double TaskEval::rounds() {
   return static_cast<double>(optop().rounds.size());
 }
 
+namespace {
+
+const char* strategy_name(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kAloof:
+      return "aloof";
+    case StrategyKind::kScale:
+      return "scale";
+    case StrategyKind::kLlf:
+      return "llf";
+  }
+  return "?";
+}
+
+}  // namespace
+
+double TaskEval::strategy_ratio(StrategyKind kind) {
+  // Same denominator the evaluations use, so ratio == cost/C(O) exactly.
+  return strategy_cost(kind) /
+         (is_parallel() ? optop().optimum_cost : network_optimum().cost);
+}
+
+double TaskEval::evaluate_baseline(StrategyKind kind, double alpha,
+                                   bool chained) {
+  if (is_parallel()) {
+    const OpTopResult& ot = optop();
+    const std::vector<double> s =
+        kind == StrategyKind::kScale
+            ? scale_strategy(links(), alpha, ot.optimum)
+            : llf_strategy(links(), alpha, ot.optimum);
+    double* level = nullptr;
+    if (chained && chain_ != nullptr) {
+      level = kind == StrategyKind::kScale ? &chain_->strategy.scale_level
+                                           : &chain_->strategy.llf_level;
+    }
+    const StackelbergOutcome out = evaluate_strategy(
+        links(), s, ot.optimum_cost, 1e-13, ws(),
+        level != nullptr ? *level
+                         : std::numeric_limits<double>::quiet_NaN());
+    if (level != nullptr) *level = out.induced_level;
+    return out.cost;
+  }
+  const NetworkAssignment& opt = network_optimum();
+  const NetworkStrategy s = kind == StrategyKind::kScale
+                                ? scale_strategy(network(), alpha, opt)
+                                : llf_strategy(network(), alpha, opt);
+  AssignmentWarmStart* warm = nullptr;
+  if (chained && chain_ != nullptr) {
+    warm = kind == StrategyKind::kScale ? &chain_->strategy.scale_induced
+                                        : &chain_->strategy.llf_induced;
+  }
+  return evaluate_strategy(network(), s, opt.cost, {}, ws(), warm, warm).cost;
+}
+
+double TaskEval::strategy_cost(StrategyKind kind) {
+  if (kind == StrategyKind::kAloof) return nash_cost();
+  const std::string key = std::string("strategy:") + strategy_name(kind);
+  return cached<double>(key, [&] {
+    return evaluate_baseline(kind, point_.get("alpha"), /*chained=*/true);
+  });
+}
+
+double TaskEval::strategy_alpha_to_optimum(StrategyKind kind, double eps) {
+  SR_REQUIRE(kind != StrategyKind::kAloof,
+             "alpha_to_optimum is defined for SCALE and LLF only");
+  SR_REQUIRE(eps > 0.0, "alpha_to_optimum needs eps > 0");
+  // One optimum solve feeds every probe; the probes deliberately skip the
+  // chain's warm payloads (their α jumps around, the chain's is ordered).
+  const double opt_cost =
+      is_parallel() ? optop().optimum_cost : network_optimum().cost;
+  auto ratio_at = [&](double alpha) -> double {
+    return evaluate_baseline(kind, alpha, /*chained=*/false) / opt_cost;
+  };
+  const double threshold = 1.0 + eps;
+  if (ratio_at(0.0) <= threshold) return 0.0;
+  if (ratio_at(1.0) > threshold) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  double lo = 0.0, hi = 1.0;  // ratio(lo) > threshold >= ratio(hi)
+  for (int it = 0; it < 30; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    (ratio_at(mid) <= threshold ? hi : lo) = mid;
+  }
+  return hi;
+}
+
 Metric metric_beta() {
   return {"beta", [](TaskEval& e) { return e.beta(); }};
 }
@@ -197,9 +300,33 @@ Metric metric_optop_rounds() {
   return {"optop_rounds", [](TaskEval& e) { return e.rounds(); }};
 }
 
+Metric metric_strategy_ratio(StrategyKind kind) {
+  return {std::string(strategy_name(kind)) + "_ratio",
+          [kind](TaskEval& e) { return e.strategy_ratio(kind); }};
+}
+
+Metric metric_strategy_cost(StrategyKind kind) {
+  return {std::string(strategy_name(kind)) + "_cost",
+          [kind](TaskEval& e) { return e.strategy_cost(kind); }};
+}
+
+Metric metric_alpha_to_optimum(StrategyKind kind, double eps) {
+  return {std::string(strategy_name(kind)) + "_alpha_star",
+          [kind, eps](TaskEval& e) {
+            return e.strategy_alpha_to_optimum(kind, eps);
+          }};
+}
+
 std::vector<Metric> default_metrics() {
   return {metric_beta(), metric_poa(), metric_nash_cost(),
           metric_optimum_cost(), metric_stackelberg_cost()};
+}
+
+std::vector<Metric> strategy_metrics() {
+  return {metric_beta(), metric_optimum_cost(),
+          metric_strategy_ratio(StrategyKind::kAloof),
+          metric_strategy_ratio(StrategyKind::kScale),
+          metric_strategy_ratio(StrategyKind::kLlf)};
 }
 
 }  // namespace stackroute::sweep

@@ -38,6 +38,20 @@ Instance load_instance_text(const std::string& text) {
   return network_from_string(text);
 }
 
+std::string locate_data_file(const std::string& relative_path) {
+  if (std::ifstream(relative_path).good()) return relative_path;
+#ifdef STACKROUTE_SOURCE_DIR
+  const std::string in_source =
+      std::string(STACKROUTE_SOURCE_DIR) + "/" + relative_path;
+  if (std::ifstream(in_source).good()) return in_source;
+  throw Error("cannot locate data file " + relative_path + " (tried ./" +
+              relative_path + " and " + in_source + ")");
+#else
+  throw Error("cannot locate data file " + relative_path +
+              " relative to the working directory");
+#endif
+}
+
 Instance load_instance_file(const std::string& path) {
   if (has_suffix(path, ".tntp")) {
     // `_net.tntp` carries no demands: attach a unit single commodity

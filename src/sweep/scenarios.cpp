@@ -244,6 +244,102 @@ ScenarioSpec braess_ladder() {
   return spec;
 }
 
+// The strategy-compare family: ratio-vs-α curves for the classical
+// baselines (Aloof / SCALE / LLF) against MOP's β, on every instance shape
+// the paper discusses. All declare "alpha" as the warm axis: the instance
+// is identical at every α of a chain (shared prototypes, so
+// chain_compatible's pointer-identity test holds), the one optimum solve
+// per chain is warm-reused, and each baseline's induced solve seeds from
+// the previous α's converged follower flow.
+
+/// Shared scaffolding: every strategy-compare scenario sweeps the same
+/// metric set along an "alpha" warm axis; the caller supplies the full
+/// grid ("alpha" last, so it is the fast axis and each chain fixes the
+/// other coordinates).
+ScenarioSpec strategy_compare(std::string name, std::string description,
+                              InstanceFactory factory, ParamGrid grid) {
+  ScenarioSpec spec;
+  spec.name = std::move(name);
+  spec.description = std::move(description);
+  spec.warm_axis = "alpha";
+  spec.grid = std::move(grid);
+  spec.factory = std::move(factory);
+  spec.metrics = strategy_metrics();
+  return spec;
+}
+
+ScenarioSpec strategy_compare_parallel() {
+  // Fig. 4: the paper's worked five-link system. The prototype is shared
+  // by all tasks, so α chains warm-start.
+  auto prototype = std::make_shared<Instance>(fig4_instance());
+  return strategy_compare(
+      "strategy-compare-parallel",
+      "Fig. 4 parallel links: Aloof/SCALE/LLF ratio vs alpha, beta = 29/120",
+      [prototype](const ParamPoint&, Rng&) -> Instance { return *prototype; },
+      ParamGrid().add_linspace("alpha", 0.0, 1.0, 21));
+}
+
+ScenarioSpec strategy_compare_grid() {
+  auto prototype = std::make_shared<Instance>(
+      gen::generate(gen::sized_spec("grid-bpr", 4), 7));
+  return strategy_compare(
+      "strategy-compare-grid",
+      "BPR street grid: baseline ratio vs alpha on a general network",
+      [prototype](const ParamPoint& p, Rng&) -> Instance {
+        Instance inst = *prototype;
+        override_demand(inst, p.get("demand"));
+        return inst;
+      },
+      ParamGrid().add("demand", {1.0, 2.0}).add_linspace("alpha", 0.0, 1.0,
+                                                         21));
+}
+
+ScenarioSpec strategy_compare_braess() {
+  // One shared ladder per rung count (see mm1-two-groups for the shared-
+  // prototype pattern); the Braess topology is where SCALE/LLF visibly
+  // fail to reach C(O) for any alpha < 1 while MOP's beta does.
+  auto protos = std::make_shared<std::vector<Instance>>();
+  const std::vector<int> rungs = {1, 2, 4};
+  std::vector<double> rung_values;
+  for (int k : rungs) {
+    gen::BraessLadderSpec g;
+    g.rungs = k;
+    protos->push_back(gen::make_braess_ladder(g, 5));
+    rung_values.push_back(k);
+  }
+  return strategy_compare(
+      "strategy-compare-braess",
+      "chained Braess diamonds: baseline ratio vs alpha, rungs x alpha",
+      [protos, rungs](const ParamPoint& p, Rng&) -> Instance {
+        const int k = p.get_int("rungs");
+        for (std::size_t i = 0; i < rungs.size(); ++i) {
+          if (rungs[i] == k) return (*protos)[i];
+        }
+        throw Error("strategy-compare-braess: rungs must be one of 1, 2, 4");
+      },
+      ParamGrid().add("rungs", rung_values).add_linspace("alpha", 0.0, 1.0,
+                                                         21));
+}
+
+ScenarioSpec strategy_compare_siouxfalls() {
+  // The shipped TNTP instance at demand 10000 — the regime where beta is
+  // ~0.31 and PoA ~1.24 (see EXPERIMENTS.md), so the baselines have real
+  // work to do. Resolved relative to the working directory first, then to
+  // the source tree the library was configured from.
+  auto prototype =
+      std::make_shared<Instance>(load_instance_file(locate_data_file(
+          "examples/instances/SiouxFalls_net.tntp")));
+  return strategy_compare(
+      "strategy-compare-siouxfalls",
+      "SiouxFalls (TNTP) at demand 10000: baseline ratio vs alpha",
+      [prototype](const ParamPoint&, Rng&) -> Instance {
+        Instance inst = *prototype;
+        override_demand(inst, 10000.0);
+        return inst;
+      },
+      ParamGrid().add_linspace("alpha", 0.0, 1.0, 11));
+}
+
 }  // namespace
 
 const std::vector<NamedScenario>& builtin_scenarios() {
@@ -263,6 +359,15 @@ const std::vector<NamedScenario>& builtin_scenarios() {
       {"series-parallel", "random series-parallel networks (gen/)",
        series_parallel},
       {"braess-ladder", "chained Braess diamonds (gen/)", braess_ladder},
+      {"strategy-compare-parallel", "Aloof/SCALE/LLF vs alpha on Fig. 4",
+       strategy_compare_parallel},
+      {"strategy-compare-grid", "Aloof/SCALE/LLF vs alpha on a BPR grid",
+       strategy_compare_grid},
+      {"strategy-compare-braess", "Aloof/SCALE/LLF vs alpha on Braess ladders",
+       strategy_compare_braess},
+      {"strategy-compare-siouxfalls",
+       "Aloof/SCALE/LLF vs alpha on SiouxFalls (TNTP)",
+       strategy_compare_siouxfalls},
   };
   return registry;
 }

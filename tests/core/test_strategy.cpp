@@ -6,7 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
 
+#include "stackroute/core/mop.h"
 #include "stackroute/core/optop.h"
 #include "stackroute/latency/families.h"
 #include "stackroute/network/generators.h"
@@ -142,6 +144,267 @@ TEST(Strategy, BadArgumentsThrow) {
   EXPECT_THROW(scale_strategy(m, 2.0), Error);
   const std::vector<double> wrong_size = {0.1};
   EXPECT_THROW(evaluate_strategy(m, wrong_size), Error);
+}
+
+// ---- LLF budget invariant (Σ s = min(α·r, r) to 1 ulp) -------------------
+
+TEST(Strategy, LlfBudgetExactAtFullControl) {
+  // α = 1: the budget is r itself. Σ o_i can differ from r by accumulated
+  // solver rounding; the last-filled link absorbs the gap, so Σ s_i == r
+  // to 1 ulp — not Σ o_i, and not r minus a leaked remainder.
+  Rng rng(155);
+  for (int trial = 0; trial < 10; ++trial) {
+    const ParallelLinks m = random_polynomial_links(rng, 7, 2.0);
+    const std::vector<double> s = llf_strategy(m, 1.0);
+    EXPECT_LE(std::fabs(sum(s) - m.demand), 4e-16 * m.demand) << trial;
+  }
+}
+
+TEST(Strategy, LlfBudgetExactUnderLatencyTies) {
+  // Identical links tie in optimum latency; the stable order must still
+  // spend exactly min(α·r, r).
+  ParallelLinks m;
+  for (int i = 0; i < 8; ++i) m.links.push_back(make_affine(1.0, 0.5));
+  m.demand = 3.0;
+  for (double alpha : {0.3, 0.5, 1.0}) {
+    const std::vector<double> s = llf_strategy(m, alpha);
+    const double target = std::fmin(alpha * m.demand, m.demand);
+    EXPECT_LE(std::fabs(sum(s) - target), 4e-16 * m.demand) << alpha;
+  }
+}
+
+TEST(Strategy, LlfBudgetExactOverManyLinks) {
+  // Regression: a running `budget -= take` leaks one rounding error per
+  // link; across hundreds of links the final fractional link was off by
+  // far more than an ulp (and a tiny negative remainder truncated it).
+  Rng rng(156);
+  const ParallelLinks m = random_affine_links(rng, 400, 50.0);
+  for (double alpha : {0.37, 0.73, 0.999, 1.0}) {
+    const std::vector<double> s = llf_strategy(m, alpha);
+    const double target = std::fmin(alpha * m.demand, m.demand);
+    EXPECT_LE(std::fabs(sum(s) - target), 4e-16 * m.demand) << alpha;
+  }
+}
+
+// ---- General networks ----------------------------------------------------
+
+TEST(NetworkStrategy, AloofInducesPlainNash) {
+  const NetworkInstance net = braess_classic();  // C(N) = 2, C(O) = 3/2
+  const NetworkStackelbergOutcome out =
+      evaluate_strategy(net, aloof_strategy(net));
+  EXPECT_NEAR(out.cost, 2.0, 1e-7);
+  EXPECT_NEAR(out.ratio, 4.0 / 3.0, 1e-6);
+}
+
+TEST(NetworkStrategy, ScaleUsesExactlyAlphaOfTheOptimum) {
+  const NetworkInstance net = braess_classic();
+  const NetworkAssignment opt = solve_optimum(net);
+  const NetworkStrategy s = scale_strategy(net, 0.4, opt);
+  ASSERT_EQ(s.preload.size(), opt.edge_flow.size());
+  for (std::size_t e = 0; e < s.preload.size(); ++e) {
+    EXPECT_NEAR(s.preload[e], 0.4 * opt.edge_flow[e], 1e-12);
+  }
+  ASSERT_EQ(s.controlled.size(), 1u);
+  EXPECT_NEAR(s.controlled[0], 0.4, 1e-12);
+}
+
+TEST(NetworkStrategy, LlfBudgetInvariantOnNetworks) {
+  // Per commodity: Σ path takes == min(α·r_i, r_i) to 1 ulp, visible as
+  // preload whose source divergence equals the controlled demand.
+  Rng rng(41);
+  const NetworkInstance net = grid_city(rng, 3, 3, 2.0);
+  const NetworkAssignment opt = solve_optimum(net);
+  for (double alpha : {0.25, 0.5, 0.999, 1.0}) {
+    const NetworkStrategy s = llf_strategy(net, alpha, opt);
+    ASSERT_EQ(s.controlled.size(), 1u);
+    EXPECT_DOUBLE_EQ(s.controlled[0],
+                     std::fmin(alpha * net.commodities[0].demand,
+                               net.commodities[0].demand));
+    // Net outflow at the source == the demand the Leader serves.
+    double out_flow = 0.0;
+    for (EdgeId e = 0; e < net.graph.num_edges(); ++e) {
+      if (net.graph.edge(e).tail == net.commodities[0].source) {
+        out_flow += s.preload[static_cast<std::size_t>(e)];
+      }
+      if (net.graph.edge(e).head == net.commodities[0].source) {
+        out_flow -= s.preload[static_cast<std::size_t>(e)];
+      }
+    }
+    EXPECT_NEAR(out_flow, s.controlled[0], 1e-9) << alpha;
+  }
+}
+
+TEST(NetworkStrategy, FullControlReproducesTheOptimum) {
+  // α = 1 for both baselines: the Leader routes everything, followers
+  // route nothing, C(S+T) = C(O).
+  Rng rng(42);
+  const NetworkInstance net = grid_city(rng, 3, 3, 1.5);
+  const NetworkAssignment opt = solve_optimum(net);
+  for (const bool use_llf : {false, true}) {
+    const NetworkStrategy s = use_llf ? llf_strategy(net, 1.0, opt)
+                                      : scale_strategy(net, 1.0, opt);
+    const NetworkStackelbergOutcome out = evaluate_strategy(net, s);
+    EXPECT_NEAR(out.ratio, 1.0, 1e-6) << use_llf;
+    for (double t : out.induced) EXPECT_DOUBLE_EQ(t, 0.0);
+  }
+}
+
+TEST(NetworkStrategy, PrecomputedOptimumOverloadAgrees) {
+  Rng rng(43);
+  const NetworkInstance net = random_layered_dag(rng, 2, 3, 0.6, 1.0);
+  const NetworkAssignment opt = solve_optimum(net);
+  SolverWorkspace ws;
+  for (double alpha : {0.3, 0.7}) {
+    const NetworkStrategy s = scale_strategy(net, alpha, opt);
+    const NetworkStackelbergOutcome convenient = evaluate_strategy(net, s);
+    const NetworkStackelbergOutcome precomputed =
+        evaluate_strategy(net, s, opt.cost, {}, ws, nullptr, nullptr);
+    EXPECT_NEAR(convenient.cost, precomputed.cost,
+                1e-9 * std::fmax(1.0, convenient.cost));
+    EXPECT_NEAR(convenient.ratio, precomputed.ratio, 1e-9);
+  }
+}
+
+TEST(NetworkStrategy, WarmStartedChainAgreesWithCold) {
+  // The α-sweep pattern: each evaluation seeds from the previous α's
+  // converged follower decomposition; answers must match the cold ones at
+  // solver tolerance.
+  Rng rng(44);
+  const NetworkInstance net = grid_city(rng, 3, 3, 2.0);
+  const NetworkAssignment opt = solve_optimum(net);
+  SolverWorkspace ws;
+  AssignmentWarmStart warm;
+  for (int k = 1; k <= 9; ++k) {
+    const double alpha = 0.1 * k;
+    const NetworkStrategy s = llf_strategy(net, alpha, opt);
+    const NetworkStackelbergOutcome chained =
+        evaluate_strategy(net, s, opt.cost, {}, ws, &warm, &warm);
+    const NetworkStackelbergOutcome cold = evaluate_strategy(net, s);
+    EXPECT_NEAR(chained.cost, cold.cost, 1e-6 * std::fmax(1.0, cold.cost))
+        << alpha;
+  }
+}
+
+TEST(NetworkStrategy, DegenerateOptimumIsAPreconditionError) {
+  // A zero-latency network has C(O) = 0: the ratio is undefined, and the
+  // caller must get a readable precondition error, not an internal
+  // invariant failure.
+  NetworkInstance net;
+  net.graph = Graph(2);
+  net.graph.add_edge(0, 1, make_constant(0.0));
+  net.commodities.push_back({0, 1, 1.0});
+  try {
+    (void)evaluate_strategy(net, aloof_strategy(net));
+    FAIL() << "expected stackroute::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("optimum cost C(O) is zero"),
+              std::string::npos)
+        << e.what();
+  }
+
+  ParallelLinks m;
+  m.links = {make_constant(0.0)};
+  m.demand = 1.0;
+  try {
+    (void)evaluate_strategy(m, aloof_strategy(m));
+    FAIL() << "expected stackroute::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("optimum cost C(O) is zero"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(NetworkStrategy, ScaleAndLlfNeverBeatMop) {
+  // MOP's C(S+T) = C(O) is a floor for any strategy: on general nets the
+  // baselines can only match it, never beat it.
+  const NetworkInstance net = fig7_instance(0.05);
+  const MopResult mr = mop(net);
+  EXPECT_NEAR(mr.induced_cost, mr.optimum_cost, 1e-7 * mr.optimum_cost);
+  const NetworkAssignment opt = solve_optimum(net);
+  SolverWorkspace ws;
+  for (double alpha : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    for (const bool use_llf : {false, true}) {
+      const NetworkStrategy s = use_llf ? llf_strategy(net, alpha, opt)
+                                        : scale_strategy(net, alpha, opt);
+      const NetworkStackelbergOutcome out =
+          evaluate_strategy(net, s, opt.cost, {}, ws, nullptr, nullptr);
+      EXPECT_GE(out.cost, mr.induced_cost * (1.0 - 1e-7))
+          << "alpha " << alpha << " llf " << use_llf;
+    }
+  }
+}
+
+TEST(NetworkStrategy, ScaleAtModerateAlphaCanBeWorseThanAloof) {
+  // The Braess-type anomaly on general networks: preloading α·O can push
+  // the followers into a strictly worse equilibrium than leaving them
+  // alone. (Found by sweeping the BPR street-grid family; this seed shows
+  // SCALE at α = 0.65 ~0.6% above the plain Nash.)
+  Rng rng(6);
+  const NetworkInstance net = grid_city(rng, 3, 3, 2.0);
+  const NetworkAssignment nash = solve_nash(net);
+  const NetworkAssignment opt = solve_optimum(net);
+  ASSERT_GT(nash.cost, opt.cost * 1.001);  // the anomaly needs PoA > 1
+  SolverWorkspace ws;
+  const NetworkStrategy s = scale_strategy(net, 0.65, opt);
+  const NetworkStackelbergOutcome out =
+      evaluate_strategy(net, s, opt.cost, {}, ws, nullptr, nullptr);
+  EXPECT_GT(out.cost, nash.cost * 1.001);
+}
+
+TEST(NetworkStrategy, NoTestedAlphaBelowOneMatchesMopOnThisInstance) {
+  // The paper's headline gap: an instance where MOP induces the exact
+  // optimum at β < 1 while neither SCALE nor LLF reaches C(O) at any
+  // tested α < 1. (Found by sweeping the BPR street-grid family.)
+  Rng rng(37);
+  const NetworkInstance net = grid_city(rng, 3, 3, 2.0);
+  const MopResult mr = mop(net);
+  EXPECT_LT(mr.beta, 0.95);
+  EXPECT_NEAR(mr.induced_cost, mr.optimum_cost, 1e-6 * mr.optimum_cost);
+  const NetworkAssignment opt = solve_optimum(net);
+  SolverWorkspace ws;
+  for (int k = 1; k <= 18; ++k) {
+    const double alpha = 0.05 * k;  // 0.05 .. 0.90
+    for (const bool use_llf : {false, true}) {
+      const NetworkStrategy s = use_llf ? llf_strategy(net, alpha, opt)
+                                        : scale_strategy(net, alpha, opt);
+      const NetworkStackelbergOutcome out =
+          evaluate_strategy(net, s, opt.cost, {}, ws, nullptr, nullptr);
+      EXPECT_GT(out.ratio, 1.0 + 1e-3)
+          << "alpha " << alpha << " llf " << use_llf;
+    }
+  }
+}
+
+TEST(NetworkStrategy, ParallelLinksViewedAsNetworkMatchesLinkLlf) {
+  // The two LLF implementations must agree where both apply: on a
+  // parallel-links system viewed as a two-node network, the optimum's
+  // path decomposition is one path per link, so the fills coincide.
+  Rng rng(45);
+  const ParallelLinks m = random_affine_links(rng, 5, 2.0);
+  const NetworkInstance net = to_network(m);
+  const NetworkAssignment net_opt = solve_optimum(net);
+  for (double alpha : {0.3, 0.7, 1.0}) {
+    const std::vector<double> s_links =
+        llf_strategy(m, alpha, net_opt.edge_flow);
+    const NetworkStrategy s_net = llf_strategy(net, alpha, net_opt);
+    ASSERT_EQ(s_net.preload.size(), s_links.size());
+    for (std::size_t i = 0; i < s_links.size(); ++i) {
+      EXPECT_NEAR(s_net.preload[i], s_links[i], 1e-9) << alpha << " " << i;
+    }
+  }
+}
+
+TEST(NetworkStrategy, BadArgumentsThrow) {
+  const NetworkInstance net = braess_classic();
+  EXPECT_THROW(scale_strategy(net, -0.1), Error);
+  EXPECT_THROW(llf_strategy(net, 1.5), Error);
+  NetworkStrategy wrong = aloof_strategy(net);
+  wrong.preload.pop_back();
+  EXPECT_THROW(evaluate_strategy(net, wrong), Error);
+  NetworkStrategy too_much = aloof_strategy(net);
+  too_much.controlled[0] = net.commodities[0].demand * 2.0;
+  EXPECT_THROW(evaluate_strategy(net, too_much), Error);
 }
 
 }  // namespace

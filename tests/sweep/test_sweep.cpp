@@ -72,6 +72,48 @@ TEST(ParamPoint, Lookup) {
   EXPECT_THROW((void)p.get_int("demand"), Error);  // 1.5 is not integral
 }
 
+TEST(ParamPoint, GetIntToleratesLargeLinspaceValues) {
+  // Regression: the integrality check used an absolute 1e-9 tolerance, so
+  // large integral axis values carrying magnitude-proportional linspace
+  // rounding (a size axis near 1e6+) were spuriously rejected. The dirt
+  // below (5e-8 absolute, 5e-14 relative) fails the old check and passes
+  // the mixed one.
+  ParamPoint dirty({"size"}, {1000000.00000005});
+  EXPECT_EQ(dirty.get_int("size"), 1000000);
+
+  // A genuinely fractional value still throws at any magnitude — the
+  // relative term must never grow loose enough to bless real fractions.
+  ParamPoint frac({"size"}, {1000000.25});
+  EXPECT_THROW((void)frac.get_int("size"), Error);
+  ParamPoint frac_large({"size"}, {600000000.3});
+  EXPECT_THROW((void)frac_large.get_int("size"), Error);
+  // Near INT_MAX an uncapped relative tolerance would reach ~2e-3 and
+  // bless this milli-fraction; the 1e-6 cap must reject it.
+  ParamPoint frac_huge({"size"}, {2000000000.001});
+  EXPECT_THROW((void)frac_huge.get_int("size"), Error);
+
+  // Whole grids: a large linspace-generated integer axis round-trips.
+  ParamGrid g;
+  g.add_linspace("size", 1000000.0, 5000000.0, 5);
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    EXPECT_EQ(g.at(i).get_int("size"),
+              1000000 + 1000000 * static_cast<int>(i));
+  }
+}
+
+TEST(ParamPoint, GetIntRejectsIntOverflowInsteadOfUB) {
+  // The old static_cast<int> of an out-of-range double was UB; now it is a
+  // precondition error. 3e15 is integral to relative tolerance (its
+  // linspace dirt sits below 1 ulp of the value) but cannot fit in int.
+  ParamPoint huge({"size"}, {3.0e15});
+  EXPECT_THROW((void)huge.get_int("size"), Error);
+  ParamPoint negative({"size"}, {-3.0e15});
+  EXPECT_THROW((void)negative.get_int("size"), Error);
+  // INT_MAX itself still converts.
+  ParamPoint edge({"size"}, {2147483647.0});
+  EXPECT_EQ(edge.get_int("size"), 2147483647);
+}
+
 ScenarioSpec randomized_spec() {
   ScenarioSpec spec;
   spec.name = "test-affine";

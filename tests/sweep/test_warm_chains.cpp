@@ -82,13 +82,17 @@ TEST(WarmChains, ChainCountsFollowTheGrid) {
 }
 
 TEST(WarmChains, BuiltinScenariosDeclareWarmAxes) {
-  // The rule (scenarios.cpp): demand axes chain; axes that parameterize
-  // the latency family itself (braess-eps' eps, thm24-hard's slope) never
-  // could, so those scenarios declare nothing.
+  // The rule (scenarios.cpp): demand axes chain, and the strategy-compare
+  // family chains along alpha (same instance at every point, only the
+  // Leader's budget moves); axes that parameterize the latency family
+  // itself (braess-eps' eps, thm24-hard's slope) never could, so those
+  // scenarios declare nothing.
   for (const auto& named : builtin_scenarios()) {
     const ScenarioSpec spec = named.make();
     if (spec.name == "braess-eps" || spec.name == "thm24-hard") {
       EXPECT_TRUE(spec.warm_axis.empty()) << spec.name;
+    } else if (spec.name.rfind("strategy-compare-", 0) == 0) {
+      EXPECT_EQ(spec.warm_axis, "alpha") << spec.name;
     } else {
       EXPECT_EQ(spec.warm_axis, "demand") << spec.name;
     }

@@ -33,7 +33,9 @@ import sys
 def load(path):
     with open(path) as fh:
         doc = json.load(fh)
-    return doc.get("context", {}), {b["name"]: b for b in doc["benchmarks"]}
+    benchmarks = {b["name"]: b for b in doc.get("benchmarks", [])
+                  if "name" in b}
+    return doc.get("context", {}), benchmarks
 
 
 def main():
@@ -57,8 +59,16 @@ def main():
         if args.calibrate not in base or args.calibrate not in fresh:
             print(f"FAIL: calibration counter {args.calibrate!r} missing")
             return 1
-        scale = (fresh[args.calibrate]["cpu_time"] /
-                 base[args.calibrate]["cpu_time"])
+        base_cal = base[args.calibrate].get("cpu_time")
+        fresh_cal = fresh[args.calibrate].get("cpu_time")
+        # A zero or absent cpu_time means the baseline is unusable (e.g. a
+        # truncated or hand-edited JSON): fail cleanly, don't divide by it.
+        if not base_cal or not fresh_cal:
+            print(f"FAIL: calibration counter {args.calibrate!r} has "
+                  f"unusable cpu_time (baseline {base_cal!r}, "
+                  f"fresh {fresh_cal!r})")
+            return 1
+        scale = fresh_cal / base_cal
         print(f"calibration {args.calibrate}: fresh/baseline = {scale:.2f}x")
     build = fresh_ctx.get("stackroute_build_type")
     if build != "Release":
@@ -75,9 +85,17 @@ def main():
             failed = True
             continue
         b, f = base[name], fresh[name]
-        if b["time_unit"] != f["time_unit"]:
+        if b.get("time_unit") != f.get("time_unit"):
             print(f"FAIL: {name}: time_unit mismatch "
-                  f"({b['time_unit']} vs {f['time_unit']})")
+                  f"({b.get('time_unit')} vs {f.get('time_unit')})")
+            failed = True
+            continue
+        if not b.get("cpu_time") or not f.get("cpu_time"):
+            # Guard the division below: a zero or missing cpu_time must be
+            # a readable FAIL line, not a ZeroDivisionError traceback.
+            print(f"FAIL: {name}: unusable cpu_time "
+                  f"(baseline {b.get('cpu_time')!r}, "
+                  f"fresh {f.get('cpu_time')!r})")
             failed = True
             continue
         ratio = f["cpu_time"] / (b["cpu_time"] * scale)

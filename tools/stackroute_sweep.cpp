@@ -11,6 +11,7 @@
 //   stackroute-sweep --file examples/instances/SiouxFalls_net.tntp
 //       --demand 500 4000 8
 //   stackroute-sweep --generate grid-bpr --size 6 --gen-seed 7
+//   stackroute-sweep --generate grid --strategy llf --alpha 0 1 21
 //
 // The metric table is bitwise identical at any --threads value; timing
 // lives in the summary line (written to stderr so --out files stay clean).
@@ -33,6 +34,17 @@ int usage(std::ostream& os, int code) {
         "  --file PATH           sweep an instance file over demand instead\n"
         "                        (.links/.net text, or a TNTP *_net.tntp)\n"
         "  --generate NAME       sweep a generated instance over demand\n"
+        "                        (NAME may be any unambiguous prefix of a\n"
+        "                        generator family, e.g. 'grid')\n"
+        "  --strategy NAME       aloof | scale | llf | optop: report the\n"
+        "                        named Leader baseline's C(S+T)/C(O) column\n"
+        "                        instead of the default metrics (needs\n"
+        "                        --file/--generate)\n"
+        "  --alpha LO HI COUNT   alpha axis for --strategy scale|llf\n"
+        "                        (default 0 1 11; needs 0 <= LO < HI <= 1,\n"
+        "                        COUNT >= 2); alpha is the warm axis, so\n"
+        "                        chained points reuse the previous alpha's\n"
+        "                        converged follower flow\n"
         "  --size N              generator size knob (0 = family default)\n"
         "  --gen-seed N          generator seed (default 1)\n"
         "  --demand LO HI COUNT  demand axis for --file/--generate\n"
@@ -65,6 +77,10 @@ struct Args {
   double demand_lo = 0.5, demand_hi = 3.0;
   int demand_count = 11;
   bool demand_given = false;
+  std::string strategy;
+  double alpha_lo = 0.0, alpha_hi = 1.0;
+  int alpha_count = 11;
+  bool alpha_given = false;
   std::uint64_t seed = 1;
   bool warm_start = true;
   int threads = 0;
@@ -112,6 +128,13 @@ bool parse_args(int argc, char** argv, Args& args) {
         args.demand_hi = std::stod(argv[++i]);
         args.demand_count = std::stoi(argv[++i]);
         args.demand_given = true;
+      } else if (a == "--strategy" && need(i, 1)) {
+        args.strategy = argv[++i];
+      } else if (a == "--alpha" && need(i, 3)) {
+        args.alpha_lo = std::stod(argv[++i]);
+        args.alpha_hi = std::stod(argv[++i]);
+        args.alpha_count = std::stoi(argv[++i]);
+        args.alpha_given = true;
       } else if (a == "--seed" && need(i, 1)) {
         args.seed = parse_u64(argv[++i]);
       } else if (a == "--warm-start" && need(i, 1)) {
@@ -162,6 +185,37 @@ bool parse_args(int argc, char** argv, Args& args) {
     std::cerr << "--demand only applies to --file/--generate sweeps\n";
     return false;
   }
+  if (!args.strategy.empty()) {
+    if (args.file.empty() && !generating) {
+      std::cerr << "--strategy only applies to --file/--generate sweeps\n";
+      return false;
+    }
+    if (args.strategy != "aloof" && args.strategy != "scale" &&
+        args.strategy != "llf" && args.strategy != "optop") {
+      std::cerr << "bad value for --strategy: " << args.strategy
+                << " (expected aloof, scale, llf or optop)\n";
+      return false;
+    }
+  }
+  const bool alpha_swept =
+      args.strategy == "scale" || args.strategy == "llf";
+  if (args.alpha_given && !alpha_swept) {
+    std::cerr << "--alpha only applies to --strategy scale|llf\n";
+    return false;
+  }
+  if (args.alpha_given) {
+    if (!(args.alpha_lo >= 0.0 && args.alpha_lo < args.alpha_hi &&
+          args.alpha_hi <= 1.0)) {
+      std::cerr << "bad --alpha range: need 0 <= LO < HI <= 1 (got LO="
+                << args.alpha_lo << ", HI=" << args.alpha_hi << ")\n";
+      return false;
+    }
+    if (args.alpha_count < 2) {
+      std::cerr << "bad --alpha range: COUNT must be >= 2 (got "
+                << args.alpha_count << ")\n";
+      return false;
+    }
+  }
   if (args.demand_given) {
     // A hi < lo or single-point axis would silently sweep a degenerate
     // (or backwards) demand range; reject it up front.
@@ -194,6 +248,50 @@ bool parse_args(int argc, char** argv, Args& args) {
   return true;
 }
 
+/// Exact generator-family name, or the unique family the given prefix
+/// expands to. Unknown names pass through (gen::sized_spec raises the
+/// canonical error listing every family); ambiguous prefixes are an error
+/// naming the candidates.
+std::string resolve_generator(const std::string& name) {
+  std::vector<std::string> matches;
+  for (const auto& info : stackroute::gen::generator_registry()) {
+    if (info.name == name) return name;
+    if (info.name.compare(0, name.size(), name) == 0) {
+      matches.push_back(info.name);
+    }
+  }
+  if (matches.size() == 1) return matches.front();
+  if (matches.size() > 1) {
+    std::string what = "ambiguous generator name '" + name + "' (matches:";
+    for (const auto& m : matches) what += ' ' + m;
+    throw stackroute::Error(what + ')');
+  }
+  return name;
+}
+
+/// The metric columns a --strategy run reports instead of the defaults.
+std::vector<stackroute::sweep::Metric> strategy_cli_metrics(
+    const std::string& strategy) {
+  using namespace stackroute::sweep;
+  if (strategy == "optop") {
+    // The exact strategy: its ratio is 1 by Theorem 2.1; beta is the α it
+    // needs — the row the baselines are measured against.
+    return {metric_beta(), metric_optimum_cost(), metric_stackelberg_cost(),
+            {"optop_ratio", [](TaskEval& e) {
+               return e.stackelberg_cost() / e.optimum_cost();
+             }}};
+  }
+  const StrategyKind kind = strategy == "aloof" ? StrategyKind::kAloof
+                            : strategy == "scale" ? StrategyKind::kScale
+                                                  : StrategyKind::kLlf;
+  std::vector<Metric> metrics = {metric_beta(), metric_optimum_cost(),
+                                 metric_strategy_ratio(kind)};
+  if (kind != StrategyKind::kAloof) {
+    metrics.push_back(metric_strategy_cost(kind));
+  }
+  return metrics;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -220,25 +318,37 @@ int main(int argc, char** argv) {
 
   try {
     sweep::ScenarioSpec spec;
-    if (!args.generate.empty()) {
-      spec.name = "gen:" + args.generate;
-      spec.description = "demand sweep over a generated " + args.generate +
-                         " instance (seed " + std::to_string(args.gen_seed) +
-                         ")";
-      spec.grid.add_linspace("demand", args.demand_lo, args.demand_hi,
-                             args.demand_count);
-      spec.factory = sweep::generated_instance_source(
-          gen::sized_spec(args.generate, args.gen_size), args.gen_seed);
-      spec.metrics = sweep::default_metrics();
-      spec.warm_axis = "demand";
-    } else if (!args.file.empty()) {
-      spec.name = "file:" + args.file;
-      spec.description = "demand sweep over " + args.file;
-      spec.grid.add_linspace("demand", args.demand_lo, args.demand_hi,
-                             args.demand_count);
-      spec.factory = sweep::file_instance_source(args.file);
-      spec.metrics = sweep::default_metrics();
-      spec.warm_axis = "demand";
+    if (!args.generate.empty() || !args.file.empty()) {
+      const bool alpha_swept =
+          args.strategy == "scale" || args.strategy == "llf";
+      // A plain run sweeps demand by default; a --strategy run sweeps
+      // alpha, adding the demand axis only when asked for explicitly.
+      const bool demand_swept = args.strategy.empty() || args.demand_given;
+      if (!args.generate.empty()) {
+        const std::string family = resolve_generator(args.generate);
+        spec.name = "gen:" + family;
+        spec.description = "sweep over a generated " + family +
+                           " instance (seed " + std::to_string(args.gen_seed) +
+                           ")";
+        spec.factory = sweep::generated_instance_source(
+            gen::sized_spec(family, args.gen_size), args.gen_seed);
+      } else {
+        spec.name = "file:" + args.file;
+        spec.description = "sweep over " + args.file;
+        spec.factory = sweep::file_instance_source(args.file);
+      }
+      if (demand_swept) {
+        spec.grid.add_linspace("demand", args.demand_lo, args.demand_hi,
+                               args.demand_count);
+      }
+      if (alpha_swept) {
+        spec.grid.add_linspace("alpha", args.alpha_lo, args.alpha_hi,
+                               args.alpha_count);
+      }
+      spec.metrics = args.strategy.empty()
+                         ? sweep::default_metrics()
+                         : strategy_cli_metrics(args.strategy);
+      spec.warm_axis = alpha_swept ? "alpha" : "demand";
     } else {
       spec = sweep::make_scenario(args.scenario);
     }
