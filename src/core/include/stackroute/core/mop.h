@@ -28,6 +28,7 @@
 #include "stackroute/network/instance.h"
 #include "stackroute/network/maxflow.h"
 #include "stackroute/network/paths.h"
+#include "stackroute/obs/counters.h"
 
 namespace stackroute {
 
@@ -59,6 +60,10 @@ struct MopResult {
   std::vector<MopCommodity> commodities;
   /// max_e |s_e + τ_e − o_e| — the verification residual.
   double induced_residual = 0.0;
+  /// Work counters of the whole pipeline (optimum solve, tight-subgraph
+  /// Dijkstras, verification solve) — all zero unless the calling thread
+  /// had a counter sink installed (obs::CountersScope).
+  obs::SolveCounters counters;
 };
 
 /// How step 3 computes the free flow inside the tight subgraph.

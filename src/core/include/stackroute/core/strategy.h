@@ -26,6 +26,7 @@
 #include "stackroute/equilibrium/network.h"
 #include "stackroute/equilibrium/parallel.h"
 #include "stackroute/network/instance.h"
+#include "stackroute/obs/counters.h"
 
 namespace stackroute {
 
@@ -39,6 +40,9 @@ struct StackelbergOutcome {
   /// Water-filling level of the induced Nash — the warm-start hint for the
   /// next point of a chained α-sweep (see solve_induced in parallel.h).
   double induced_level = 0.0;
+  /// Work counters of the induced solve — all zero unless the calling
+  /// thread had a counter sink installed (obs::CountersScope).
+  obs::SolveCounters counters;
 };
 
 /// Routes the followers' best response to `strategy` and reports the
@@ -98,6 +102,9 @@ struct NetworkStackelbergOutcome {
   double ratio = 0.0;           // C(S+T)/C(O)
   /// False only when the induced equilibrium solve hit its iteration caps.
   bool converged = true;
+  /// Work counters of the induced solve — all zero unless the calling
+  /// thread had a counter sink installed (obs::CountersScope).
+  obs::SolveCounters counters;
 };
 
 /// Routes the followers' Wardrop response to the strategy's preload (each

@@ -6,6 +6,8 @@
 
 #include "stackroute/network/dijkstra.h"
 #include "stackroute/network/maxflow.h"
+#include "stackroute/obs/counters.h"
+#include "stackroute/obs/trace.h"
 #include "stackroute/solver/objective.h"
 #include "stackroute/util/error.h"
 #include "stackroute/util/numeric.h"
@@ -67,6 +69,8 @@ MopResult mop(const NetworkInstance& inst, const MopOptions& opts) {
 MopResult mop(const NetworkInstance& inst, const MopOptions& opts,
               SolverWorkspace& ws, const MopWarmStart* warm_in,
               MopWarmStart* warm_out) {
+  obs::ScopedCounterDelta tally;
+  obs::ScopedSpan span("mop");
   inst.validate();
   const Graph& g = inst.graph;
   const auto ne = static_cast<std::size_t>(g.num_edges());
@@ -75,10 +79,12 @@ MopResult mop(const NetworkInstance& inst, const MopOptions& opts,
 
   MopResult result;
   // (1) Optimum flow and the induced edge costs ℓ_e(o_e).
-  NetworkAssignment opt =
-      warm_in != nullptr
-          ? solve_optimum(inst, opts.assignment, ws, warm_in->optimum)
-          : solve_optimum(inst, opts.assignment, ws);
+  NetworkAssignment opt = [&] {
+    obs::ScopedSpan phase("mop_optimum");
+    return warm_in != nullptr
+               ? solve_optimum(inst, opts.assignment, ws, warm_in->optimum)
+               : solve_optimum(inst, opts.assignment, ws);
+  }();
   result.optimum_edge_flow = opt.edge_flow;
   result.optimum_cost = opt.cost;
   const std::vector<LatencyPtr> lat = g.latencies();
@@ -98,48 +104,51 @@ MopResult mop(const NetworkInstance& inst, const MopOptions& opts,
   std::vector<double> commodity_opt(ne);
   std::vector<double> caps(ne);
   std::vector<double> leader_i(ne);
-  for (std::size_t i = 0; i < k; ++i) {
-    const Commodity& com = inst.commodities[i];
-    MopCommodity& trace = result.commodities[i];
+  {
+    obs::ScopedSpan tight_span("mop_tight_subgraphs");
+    for (std::size_t i = 0; i < k; ++i) {
+      const Commodity& com = inst.commodities[i];
+      MopCommodity& trace = result.commodities[i];
 
-    // (2) Tight subgraph of commodity i under optimum costs; the forward
-    // tree the mask computation leaves behind carries dist(s_i, t_i).
-    shortest_path_edge_mask_into(g, com.source, com.sink, opt_costs,
-                                 opts.tight_tol, ws.dijkstra, ws.dijkstra_rev,
-                                 trace.tight_edges);
-    trace.shortest_cost =
-        ws.dijkstra.tree.dist[static_cast<std::size_t>(com.sink)];
+      // (2) Tight subgraph of commodity i under optimum costs; the forward
+      // tree the mask computation leaves behind carries dist(s_i, t_i).
+      shortest_path_edge_mask_into(g, com.source, com.sink, opt_costs,
+                                   opts.tight_tol, ws.dijkstra, ws.dijkstra_rev,
+                                   trace.tight_edges);
+      trace.shortest_cost =
+          ws.dijkstra.tree.dist[static_cast<std::size_t>(com.sink)];
 
-    // Commodity i's own optimum edge flows, used as max-flow capacities.
-    std::fill(commodity_opt.begin(), commodity_opt.end(), 0.0);
-    for (const PathFlow& pf : opt.commodity_paths[i]) {
-      for (EdgeId e : pf.path) {
-        commodity_opt[static_cast<std::size_t>(e)] += pf.flow;
+      // Commodity i's own optimum edge flows, used as max-flow capacities.
+      std::fill(commodity_opt.begin(), commodity_opt.end(), 0.0);
+      for (const PathFlow& pf : opt.commodity_paths[i]) {
+        for (EdgeId e : pf.path) {
+          commodity_opt[static_cast<std::size_t>(e)] += pf.flow;
+        }
       }
-    }
-    // (3) Free flow: max flow inside the tight subgraph.
-    for (std::size_t e = 0; e < ne; ++e) {
-      caps[e] = trace.tight_edges[e] ? commodity_opt[e] : 0.0;
-    }
-    const MaxFlowResult mf =
-        opts.free_flow_method == FreeFlowMethod::kMaxFlow
-            ? max_flow(g, com.source, com.sink, caps, com.demand,
-                       opts.flow_tol)
-            : greedy_peel_flow(g, com.source, com.sink, caps, com.demand,
-                               opts.flow_tol);
-    trace.free_flow = mf.value;
-    trace.controlled_flow = com.demand - mf.value;
-    trace.free_paths =
-        decompose_flow(g, com.source, com.sink, mf.edge_flow, opts.flow_tol);
+      // (3) Free flow: max flow inside the tight subgraph.
+      for (std::size_t e = 0; e < ne; ++e) {
+        caps[e] = trace.tight_edges[e] ? commodity_opt[e] : 0.0;
+      }
+      const MaxFlowResult mf =
+          opts.free_flow_method == FreeFlowMethod::kMaxFlow
+              ? max_flow(g, com.source, com.sink, caps, com.demand,
+                         opts.flow_tol)
+              : greedy_peel_flow(g, com.source, com.sink, caps, com.demand,
+                                 opts.flow_tol);
+      trace.free_flow = mf.value;
+      trace.controlled_flow = com.demand - mf.value;
+      trace.free_paths =
+          decompose_flow(g, com.source, com.sink, mf.edge_flow, opts.flow_tol);
 
-    // (4) Leader controls the remainder of commodity i's optimum.
-    for (std::size_t e = 0; e < ne; ++e) {
-      leader_i[e] = std::fmax(0.0, commodity_opt[e] - mf.edge_flow[e]);
-      result.leader_edge_flow[e] += leader_i[e];
+      // (4) Leader controls the remainder of commodity i's optimum.
+      for (std::size_t e = 0; e < ne; ++e) {
+        leader_i[e] = std::fmax(0.0, commodity_opt[e] - mf.edge_flow[e]);
+        result.leader_edge_flow[e] += leader_i[e];
+      }
+      trace.leader_paths =
+          decompose_flow(g, com.source, com.sink, leader_i, opts.flow_tol);
+      result.free_flow_total += trace.free_flow;
     }
-    trace.leader_paths =
-        decompose_flow(g, com.source, com.sink, leader_i, opts.flow_tol);
-    result.free_flow_total += trace.free_flow;
   }
 
   result.beta = 1.0 - result.free_flow_total / r;
@@ -159,6 +168,7 @@ MopResult mop(const NetworkInstance& inst, const MopOptions& opts,
   MopWarmStart harvest;
   result.follower_edge_flow.assign(ne, 0.0);
   if (opts.verify_induced) {
+    obs::ScopedSpan verify_span("mop_induced");
     NetworkInstance followers;
     followers.graph = g;
     for (std::size_t i = 0; i < k; ++i) {
@@ -200,6 +210,7 @@ MopResult mop(const NetworkInstance& inst, const MopOptions& opts,
     }
     *warm_out = std::move(harvest);
   }
+  if (tally.active()) result.counters = tally.current();
   return result;
 }
 

@@ -5,6 +5,8 @@
 #include <limits>
 #include <numeric>
 
+#include "stackroute/obs/counters.h"
+#include "stackroute/obs/trace.h"
 #include "stackroute/util/error.h"
 #include "stackroute/util/numeric.h"
 
@@ -93,6 +95,8 @@ StackelbergOutcome evaluate_strategy(const ParallelLinks& m,
                                      std::span<const double> strategy,
                                      double optimum_cost, double tol,
                                      SolverWorkspace& ws, double level_hint) {
+  obs::ScopedCounterDelta tally;
+  obs::ScopedSpan span("evaluate_strategy");
   SR_REQUIRE(strategy.size() == m.size(), "strategy size mismatch");
   require_positive_optimum(optimum_cost);
   StackelbergOutcome out;
@@ -102,6 +106,7 @@ StackelbergOutcome evaluate_strategy(const ParallelLinks& m,
   out.induced_level = induced.level;
   out.cost = stackelberg_cost(m, strategy, out.induced);
   out.ratio = out.cost / optimum_cost;
+  if (tally.active()) out.counters = tally.current();
   return out;
 }
 
@@ -176,6 +181,8 @@ NetworkStackelbergOutcome evaluate_strategy(const NetworkInstance& inst,
                                             SolverWorkspace& ws,
                                             const AssignmentWarmStart* warm_in,
                                             AssignmentWarmStart* warm_out) {
+  obs::ScopedCounterDelta tally;
+  obs::ScopedSpan span("evaluate_strategy");
   const auto ne = static_cast<std::size_t>(inst.graph.num_edges());
   SR_REQUIRE(strategy.preload.size() == ne,
              "strategy preload needs one entry per edge");
@@ -224,6 +231,7 @@ NetworkStackelbergOutcome evaluate_strategy(const NetworkInstance& inst,
     out.induced = std::move(induced.edge_flow);
   }
   out.ratio = out.cost / optimum_cost;
+  if (tally.active()) out.counters = tally.current();
   return out;
 }
 

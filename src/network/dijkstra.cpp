@@ -83,6 +83,7 @@ void run_dijkstra(const CsrAdjacency& adj, std::size_t num_nodes, NodeId root,
   auto& heap = ws.heap;
   heap.clear();
   heap.emplace_back(0.0, root);
+  std::uint64_t settled = 0;
   while (!heap.empty()) {
     HeapItem item;
     if constexpr (kHeap == HeapKind::kQuaternary) {
@@ -94,6 +95,7 @@ void run_dijkstra(const CsrAdjacency& adj, std::size_t num_nodes, NodeId root,
     }
     const auto [d, v] = item;
     if (d > tree.dist[static_cast<std::size_t>(v)]) continue;  // stale
+    ++settled;
     for (const CsrAdjacency::Arc& arc : adj.arcs_of(v)) {
       const auto w = static_cast<std::size_t>(arc.target);
       const double nd = d + edge_cost[static_cast<std::size_t>(arc.edge)];
@@ -109,6 +111,7 @@ void run_dijkstra(const CsrAdjacency& adj, std::size_t num_nodes, NodeId root,
       }
     }
   }
+  ws.settled = settled;
 }
 
 void check_sizes(const Graph& g, std::span<const double> edge_cost) {
@@ -200,7 +203,9 @@ void shortest_path_edge_mask_into(const Graph& g, NodeId s, NodeId t,
                                   DijkstraWorkspace& rev,
                                   std::vector<char>& out) {
   const ShortestPathTree& from_s = dijkstra(g, s, edge_cost, fwd);
+  count_dijkstra(fwd);
   const ShortestPathTree& to_t = dijkstra_to(g, t, edge_cost, rev);
+  count_dijkstra(rev);
   const double best = from_s.dist[static_cast<std::size_t>(t)];
   SR_REQUIRE(std::isfinite(best), "sink unreachable from source");
   out.assign(static_cast<std::size_t>(g.num_edges()), 0);

@@ -16,11 +16,13 @@
 // every in-tree caller derives costs from non-negative latencies.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <utility>
 #include <vector>
 
 #include "stackroute/network/graph.h"
+#include "stackroute/obs/counters.h"
 
 namespace stackroute {
 
@@ -37,7 +39,20 @@ struct ShortestPathTree {
 struct DijkstraWorkspace {
   ShortestPathTree tree;
   std::vector<std::pair<double, NodeId>> heap;
+  /// Nodes settled (non-stale pops) by the most recent run on this
+  /// workspace — always recorded (one register increment per pop), so
+  /// telemetry can be tallied outside parallel regions (obs/counters.h).
+  std::uint64_t settled = 0;
 };
+
+/// Tallies one Dijkstra run into the calling thread's counter sink (no-op
+/// when collection is off). Counting lives at the call sites — never
+/// inside dijkstra() itself — so runs made by a worker team can be summed
+/// deterministically on the calling thread after the join.
+inline void count_dijkstra(const DijkstraWorkspace& ws) {
+  obs::count(&obs::SolveCounters::dijkstra_calls);
+  obs::count(&obs::SolveCounters::dijkstra_settled, ws.settled);
+}
 
 /// Single-source shortest paths from `source` following edge direction.
 ShortestPathTree dijkstra(const Graph& g, NodeId source,

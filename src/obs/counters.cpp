@@ -1,0 +1,72 @@
+#include "stackroute/obs/counters.h"
+
+#include <array>
+#include <sstream>
+
+namespace stackroute::obs {
+
+namespace detail {
+thread_local SolveCounters* tl_counters = nullptr;
+}  // namespace detail
+
+void SolveCounters::merge(const SolveCounters& other) {
+#define STACKROUTE_OBS_MERGE_FIELD(field, doc) field += other.field;
+  STACKROUTE_OBS_COUNTER_FIELDS(STACKROUTE_OBS_MERGE_FIELD)
+#undef STACKROUTE_OBS_MERGE_FIELD
+}
+
+void SolveCounters::clear() { *this = SolveCounters{}; }
+
+bool SolveCounters::any() const {
+#define STACKROUTE_OBS_ANY_FIELD(field, doc) if (field != 0) return true;
+  STACKROUTE_OBS_COUNTER_FIELDS(STACKROUTE_OBS_ANY_FIELD)
+#undef STACKROUTE_OBS_ANY_FIELD
+  return false;
+}
+
+std::span<const SolveCounters::FieldInfo> SolveCounters::fields() {
+  static constexpr std::array kFields = {
+#define STACKROUTE_OBS_FIELD_INFO(field, doc) \
+  FieldInfo{#field, doc, &SolveCounters::field},
+      STACKROUTE_OBS_COUNTER_FIELDS(STACKROUTE_OBS_FIELD_INFO)
+#undef STACKROUTE_OBS_FIELD_INFO
+  };
+  return kFields;
+}
+
+std::string SolveCounters::to_string() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const FieldInfo& f : fields()) {
+    const std::uint64_t v = get(f);
+    if (v == 0) continue;
+    if (!first) os << ' ';
+    os << f.name << '=' << v;
+    first = false;
+  }
+  return os.str();
+}
+
+CountersScope::CountersScope(SolveCounters& sink)
+    : prev_(detail::tl_counters) {
+  detail::tl_counters = &sink;
+}
+
+CountersScope::~CountersScope() { detail::tl_counters = prev_; }
+
+ScopedCounterDelta::ScopedCounterDelta() {
+  if (detail::tl_counters != nullptr) {
+    prev_ = detail::tl_counters;
+    detail::tl_counters = &local_;
+    active_ = true;
+  }
+}
+
+ScopedCounterDelta::~ScopedCounterDelta() {
+  if (active_) {
+    prev_->merge(local_);
+    detail::tl_counters = prev_;
+  }
+}
+
+}  // namespace stackroute::obs

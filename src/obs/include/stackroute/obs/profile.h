@@ -1,0 +1,33 @@
+// Quantile summaries for latency profiles: nearest-rank percentiles over
+// a sample set, the aggregation behind `stackroute-sweep --profile` and
+// SweepResult::profile().
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace stackroute::obs {
+
+/// Summary statistics of a sample set. Percentiles use the nearest-rank
+/// definition: p_q = sorted[ceil(q * n) - 1], so p50 of {1,2,3,4} is 2 and
+/// every reported percentile is an actual sample.
+struct QuantileSummary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+
+  /// Summarizes `samples` (taken by value: sorted in place). An empty
+  /// input yields the all-zero summary with count == 0.
+  static QuantileSummary of(std::vector<double> samples);
+
+  /// "p50 1.23  p90 4.56  p99 7.89  (n=12, min 0.5, mean 2.1, max 9.9)"
+  /// with `digits` fractional digits; "n=0" when empty.
+  [[nodiscard]] std::string to_string(int digits = 3) const;
+};
+
+}  // namespace stackroute::obs

@@ -1,0 +1,51 @@
+#include "stackroute/obs/profile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace stackroute::obs {
+
+namespace {
+
+double nearest_rank(const std::vector<double>& sorted, double q) {
+  const auto n = static_cast<double>(sorted.size());
+  auto rank = static_cast<std::size_t>(std::ceil(q * n));
+  if (rank < 1) rank = 1;
+  if (rank > sorted.size()) rank = sorted.size();
+  return sorted[rank - 1];
+}
+
+}  // namespace
+
+QuantileSummary QuantileSummary::of(std::vector<double> samples) {
+  QuantileSummary s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.count = samples.size();
+  s.min = samples.front();
+  s.max = samples.back();
+  s.mean = std::accumulate(samples.begin(), samples.end(), 0.0) /
+           static_cast<double>(samples.size());
+  s.p50 = nearest_rank(samples, 0.50);
+  s.p90 = nearest_rank(samples, 0.90);
+  s.p99 = nearest_rank(samples, 0.99);
+  return s;
+}
+
+std::string QuantileSummary::to_string(int digits) const {
+  std::ostringstream os;
+  if (count == 0) {
+    os << "n=0";
+    return os.str();
+  }
+  os.setf(std::ios::fixed);
+  os.precision(digits);
+  os << "p50 " << p50 << "  p90 " << p90 << "  p99 " << p99 << "  (n="
+     << count << ", min " << min << ", mean " << mean << ", max " << max
+     << ")";
+  return os.str();
+}
+
+}  // namespace stackroute::obs

@@ -1,0 +1,197 @@
+#include "stackroute/obs/trace.h"
+
+#include <charconv>
+#include <cmath>
+#include <ostream>
+
+namespace stackroute::obs {
+
+namespace {
+
+// Shortest round-trip decimal for a finite double; "null" otherwise
+// (JSON has no NaN/Infinity).
+void write_json_number(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  os.write(buf, res.ptr - buf);
+}
+
+void write_json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// ConvergenceTrace
+
+ConvergenceTrace::ConvergenceTrace(std::size_t capacity)
+    : capacity_(capacity < 1 ? 1 : capacity) {
+  contexts_.emplace_back("");  // default context for unlabeled samples
+}
+
+std::int32_t ConvergenceTrace::push_context(std::string label) {
+  contexts_.push_back(std::move(label));
+  return static_cast<std::int32_t>(contexts_.size() - 1);
+}
+
+void ConvergenceTrace::record(std::int32_t iteration, double rel_gap,
+                              double step, double objective) {
+  ConvergenceSample s;
+  s.context = static_cast<std::int32_t>(contexts_.size() - 1);
+  s.iteration = iteration;
+  s.rel_gap = rel_gap;
+  s.step = step;
+  s.objective = objective;
+  if (samples_.size() < capacity_) {
+    samples_.push_back(s);
+  } else {
+    samples_[next_] = s;
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++total_;
+}
+
+std::size_t ConvergenceTrace::size() const { return samples_.size(); }
+
+const ConvergenceSample& ConvergenceTrace::at(std::size_t i) const {
+  if (total_ <= capacity_) return samples_[i];
+  return samples_[(next_ + i) % capacity_];
+}
+
+const std::string& ConvergenceTrace::context_label(std::int32_t context) const {
+  return contexts_[static_cast<std::size_t>(context)];
+}
+
+void ConvergenceTrace::write_jsonl(std::ostream& os) const {
+  for (std::size_t i = 0; i < size(); ++i) {
+    const ConvergenceSample& s = at(i);
+    os << "{\"ctx\":";
+    write_json_string(os, context_label(s.context));
+    os << ",\"iter\":" << s.iteration << ",\"rel_gap\":";
+    write_json_number(os, s.rel_gap);
+    os << ",\"step\":";
+    write_json_number(os, s.step);
+    os << ",\"objective\":";
+    write_json_number(os, s.objective);
+    os << "}\n";
+  }
+}
+
+// --------------------------------------------------------------------------
+// TraceSession
+
+TraceSession::TraceSession(std::int64_t epoch_ns, std::size_t max_events)
+    : epoch_ns_(epoch_ns), max_events_(max_events < 2 ? 2 : max_events) {}
+
+std::int32_t TraceSession::intern(std::string_view name) {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<std::int32_t>(i);
+  }
+  names_.emplace_back(name);
+  return static_cast<std::int32_t>(names_.size() - 1);
+}
+
+void TraceSession::begin(std::string_view name) {
+  if (events_.size() >= max_events_) {
+    // Full: drop the span but keep B/E balanced by remembering that the
+    // matching end() must be swallowed too.
+    ++dropped_;
+    open_.push_back(-1);
+    return;
+  }
+  const std::int32_t id = intern(name);
+  open_.push_back(id);
+  events_.push_back(Event{'B', id, now_ns() - epoch_ns_});
+}
+
+void TraceSession::end() {
+  if (open_.empty()) return;  // unmatched end: ignore
+  const std::int32_t id = open_.back();
+  open_.pop_back();
+  if (id < 0) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(Event{'E', id, now_ns() - epoch_ns_});
+}
+
+void TraceSession::instant(std::string_view name) {
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(Event{'i', intern(name), now_ns() - epoch_ns_});
+}
+
+void TraceSession::write_events(std::ostream& os, bool& first) const {
+  for (const Event& e : events_) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "{\"name\":";
+    write_json_string(os, names_[static_cast<std::size_t>(e.name)]);
+    os << ",\"cat\":\"stackroute\",\"ph\":\"" << e.phase << "\",\"ts\":";
+    write_json_number(os, static_cast<double>(e.t_ns) * 1e-3);  // micros
+    os << ",\"pid\":1,\"tid\":" << tid_;
+    if (e.phase == 'i') os << ",\"s\":\"t\"";
+    os << "}";
+  }
+}
+
+void TraceSession::write_chrome_trace(std::ostream& os) const {
+  const TraceSession* self = this;
+  write_chrome_trace(std::span<const TraceSession* const>(&self, 1), os);
+}
+
+void TraceSession::write_chrome_trace(
+    std::span<const TraceSession* const> sessions, std::ostream& os) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  for (const TraceSession* s : sessions) {
+    if (s != nullptr) s->write_events(os, first);
+  }
+  os << "\n]}\n";
+}
+
+// --------------------------------------------------------------------------
+// Thread-local installation
+
+namespace detail {
+thread_local ConvergenceTrace* tl_convergence = nullptr;
+thread_local TraceSession* tl_trace = nullptr;
+}  // namespace detail
+
+ConvergenceScope::ConvergenceScope(ConvergenceTrace& sink)
+    : prev_(detail::tl_convergence) {
+  detail::tl_convergence = &sink;
+}
+
+ConvergenceScope::~ConvergenceScope() { detail::tl_convergence = prev_; }
+
+TraceScope::TraceScope(TraceSession& sink) : prev_(detail::tl_trace) {
+  detail::tl_trace = &sink;
+}
+
+TraceScope::~TraceScope() { detail::tl_trace = prev_; }
+
+}  // namespace stackroute::obs

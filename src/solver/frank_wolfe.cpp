@@ -5,6 +5,8 @@
 
 #include "stackroute/network/dijkstra.h"
 #include "stackroute/network/paths.h"
+#include "stackroute/obs/counters.h"
+#include "stackroute/obs/trace.h"
 #include "stackroute/util/error.h"
 #include "stackroute/util/numeric.h"
 #include "stackroute/util/parallel.h"
@@ -24,6 +26,13 @@ double all_or_nothing(const NetworkInstance& inst,
   const std::size_t k = inst.commodities.size();
   if (ws.paths.size() < k) ws.paths.resize(k);
   ws.dists.assign(k, 0.0);
+  obs::ScopedSpan span("all_or_nothing");
+  // Counter tallies must be thread-count invariant: the workers write
+  // per-commodity settled counts into scratch, and the calling thread sums
+  // them in index order after the join (obs sinks are thread-local, so
+  // counting from inside the lambda would lose the workers' shares).
+  const bool counting = obs::counting();
+  if (counting) ws.settled_scratch.assign(k, 0);
   parallel_for(
       k,
       [&](std::size_t i) {
@@ -33,8 +42,15 @@ double all_or_nothing(const NetworkInstance& inst,
             dijkstra(g, com.source, costs, dijkstra_ws);
         extract_path_into(g, tree, com.sink, ws.paths[i]);
         ws.dists[i] = tree.dist[static_cast<std::size_t>(com.sink)];
+        if (counting) ws.settled_scratch[i] = dijkstra_ws.settled;
       },
       /*grain=*/1);
+  if (counting) {
+    std::uint64_t settled = 0;
+    for (std::uint64_t s : ws.settled_scratch) settled += s;
+    obs::count(&obs::SolveCounters::dijkstra_calls, k);
+    obs::count(&obs::SolveCounters::dijkstra_settled, settled);
+  }
 
   std::fill(flow_out.begin(), flow_out.end(), 0.0);
   double cost = 0.0;  // c·y
@@ -71,6 +87,8 @@ FrankWolfeResult frank_wolfe(const NetworkInstance& inst,
                              SolverWorkspace& ws,
                              std::span<const double> warm_flow,
                              double warm_total_demand) {
+  obs::ScopedCounterDelta tally;
+  obs::ScopedSpan span("frank_wolfe");
   inst.validate();
   const Graph& g = inst.graph;
   const std::vector<LatencyPtr> lat = effective_latencies(g, preload);
@@ -85,7 +103,9 @@ FrankWolfeResult frank_wolfe(const NetworkInstance& inst,
   const double factor = warm_total_demand > 0.0
                             ? inst.total_demand() / warm_total_demand
                             : 0.0;
+  if (!warm_flow.empty()) obs::count(&obs::SolveCounters::warm_attempts);
   if (warm_flow.size() == ne && factor > 0.0 && std::isfinite(factor)) {
+    obs::count(&obs::SolveCounters::warm_hits);
     // Demand-rescaling projection of the prior converged flow.
     result.edge_flow.resize(ne);
     for (std::size_t e = 0; e < ne; ++e) {
@@ -100,6 +120,11 @@ FrankWolfeResult frank_wolfe(const NetworkInstance& inst,
               result.edge_flow.begin());
   }
 
+  // Line-search probe tally: unconditional local increments (cheaper than
+  // a thread-local test per probe), published once after the loop.
+  std::uint64_t ls_evals = 0;
+  const bool tracing = obs::convergence() != nullptr;
+
   for (int iter = 1; iter <= opts.max_iters; ++iter) {
     result.iterations = iter;
     edge_costs(table, result.edge_flow, objective, ws.costs);
@@ -112,6 +137,11 @@ FrankWolfeResult frank_wolfe(const NetworkInstance& inst,
     result.rel_gap = (cf - aon_cost) / std::fmax(std::fabs(cf), 1e-300);
     if (result.rel_gap <= opts.rel_gap_tol) {
       result.converged = true;
+      if (tracing) {
+        obs::record_convergence(
+            iter, result.rel_gap, 0.0,
+            objective_value(table, result.edge_flow, objective));
+      }
       break;
     }
 
@@ -129,6 +159,7 @@ FrankWolfeResult frank_wolfe(const NetworkInstance& inst,
       // accumulator chain is the latency bottleneck); the partials combine
       // in a fixed order, so the search stays fully deterministic.
       auto dg = [&](double th) {
+        ++ls_evals;
         double acc = 0.0;
         for (EdgeId id : ws.nonzero) {
           const auto e = static_cast<std::size_t>(id);
@@ -138,6 +169,7 @@ FrankWolfeResult frank_wolfe(const NetworkInstance& inst,
         return acc;
       };
       auto dg_affine = [&](double th) {
+        ++ls_evals;
         const std::span<const double> a = table.affine_slopes();
         const std::span<const double> b = table.affine_intercepts();
         const bool marginal = objective == FlowObjective::kTotalCost;
@@ -162,6 +194,7 @@ FrankWolfeResult frank_wolfe(const NetworkInstance& inst,
         }
         return (acc0 + acc1) + (acc2 + acc3);
       };
+      obs::ScopedSpan ls_span("line_search");
       if (table.homogeneous_affine()) {
         theta = dg_affine(1.0) <= 0.0
                     ? 1.0
@@ -173,14 +206,32 @@ FrankWolfeResult frank_wolfe(const NetworkInstance& inst,
     }
     if (theta <= 0.0) {
       result.converged = true;  // stationary
+      if (tracing) {
+        obs::record_convergence(
+            iter, result.rel_gap, 0.0,
+            objective_value(table, result.edge_flow, objective));
+      }
       break;
     }
     for (std::size_t e = 0; e < ne; ++e) {
       result.edge_flow[e] =
           std::fmax(0.0, result.edge_flow[e] + theta * ws.direction[e]);
     }
+    if (tracing) {
+      obs::record_convergence(
+          iter, result.rel_gap, theta,
+          objective_value(table, result.edge_flow, objective));
+    }
   }
   result.objective = objective_value(table, result.edge_flow, objective);
+  if (tally.active()) {
+    obs::count(&obs::SolveCounters::fw_iterations,
+               static_cast<std::uint64_t>(result.iterations));
+    obs::count(&obs::SolveCounters::gap_checks,
+               static_cast<std::uint64_t>(result.iterations));
+    obs::count(&obs::SolveCounters::fw_line_search_evals, ls_evals);
+    result.counters = tally.current();
+  }
   return result;
 }
 

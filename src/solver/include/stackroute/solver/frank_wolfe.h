@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "stackroute/network/instance.h"
+#include "stackroute/obs/counters.h"
 #include "stackroute/solver/objective.h"
 #include "stackroute/solver/workspace.h"
 
@@ -35,6 +36,9 @@ struct FrankWolfeResult {
   double rel_gap = 0.0;
   int iterations = 0;
   bool converged = false;
+  /// This solve's work counters — all zero unless the calling thread had a
+  /// counter sink installed (obs::CountersScope).
+  obs::SolveCounters counters;
 };
 
 /// Minimizes `objective` over feasible flows of `inst` under the Leader's

@@ -21,6 +21,7 @@
 
 #include "stackroute/network/instance.h"
 #include "stackroute/network/paths.h"
+#include "stackroute/obs/counters.h"
 #include "stackroute/solver/objective.h"
 #include "stackroute/solver/workspace.h"
 
@@ -45,6 +46,9 @@ struct AssignmentResult {
   /// are observable.
   int steps = 0;
   bool converged = false;
+  /// This solve's work counters — all zero unless the calling thread had a
+  /// counter sink installed (obs::CountersScope).
+  obs::SolveCounters counters;
 };
 
 /// Solves min objective over feasible flows of `inst`, with the Leader's

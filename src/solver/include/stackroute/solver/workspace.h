@@ -21,11 +21,13 @@
 // forced one.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "stackroute/latency/table.h"
 #include "stackroute/network/dijkstra.h"
 #include "stackroute/network/paths.h"
+#include "stackroute/obs/counters.h"
 
 namespace stackroute {
 
@@ -44,6 +46,18 @@ struct SolverWorkspace {
   Path path_scratch;              // single-path buffer (equalization)
   std::vector<int> delta_mask;    // equalization ±1 mask; all-zero at rest
   std::vector<double> weights;    // water-filling residual weights
+  std::vector<std::uint64_t> settled_scratch;  // per-commodity Dijkstra
+                                               // settled counts, summed on
+                                               // the calling thread after
+                                               // parallel fan-outs
+
+  /// Cumulative solver-work counters of every counted solve run on this
+  /// workspace (see obs/counters.h). Collection is opt-in: install the
+  /// workspace's counters as the thread's sink —
+  ///   obs::CountersScope scope(ws.counters);
+  /// — and each solve's ScopedCounterDelta merges its delta in here.
+  /// Untouched (all zero) when no scope is installed.
+  obs::SolveCounters counters;
 
   /// Instance-revision tag: bumps whenever a solve actually recompiled the
   /// latency table (topology or latency objects changed), stays put when

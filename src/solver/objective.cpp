@@ -1,6 +1,7 @@
 #include "stackroute/solver/objective.h"
 
 #include "stackroute/latency/families.h"
+#include "stackroute/obs/counters.h"
 #include "stackroute/util/error.h"
 #include "stackroute/util/numeric.h"
 #include "stackroute/util/parallel.h"
@@ -45,6 +46,7 @@ void edge_costs(const LatencyTable& lat, std::span<const double> flow,
                 FlowObjective objective, std::span<double> out) {
   SR_REQUIRE(lat.size() == flow.size() && out.size() == lat.size(),
              "edge cost size mismatch");
+  obs::count(&obs::SolveCounters::table_batch_evals);
   parallel_for(lat.size(), [&](std::size_t e) {
     out[e] = edge_cost_at(lat, e, flow[e], objective);
   });
@@ -63,6 +65,7 @@ double objective_value(std::span<const LatencyPtr> lat,
 double objective_value(const LatencyTable& lat, std::span<const double> flow,
                        FlowObjective objective) {
   SR_REQUIRE(lat.size() == flow.size(), "objective size mismatch");
+  obs::count(&obs::SolveCounters::table_batch_evals);
   return parallel_sum(lat.size(), [&](std::size_t e) {
     return objective == FlowObjective::kBeckmann
                ? lat.integral(e, flow[e])

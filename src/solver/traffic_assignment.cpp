@@ -5,6 +5,8 @@
 #include <cstdint>
 
 #include "stackroute/network/dijkstra.h"
+#include "stackroute/obs/counters.h"
+#include "stackroute/obs/trace.h"
 #include "stackroute/util/error.h"
 #include "stackroute/util/numeric.h"
 #include "stackroute/util/scalar.h"
@@ -113,6 +115,7 @@ double equalize_once(const Graph& g, const Commodity& com,
                      FlowObjective objective, double tol,
                      SolverWorkspace& ws) {
   const ShortestPathTree& tree = dijkstra(g, com.source, costs, ws.dijkstra);
+  count_dijkstra(ws.dijkstra);
   Path& shortest = ws.path_scratch;
   extract_path_into(g, tree, com.sink, shortest);
   const double best_cost = path_cost(costs, shortest);
@@ -173,7 +176,9 @@ double equalize_once(const Graph& g, const Commodity& com,
 
   // g(delta) = cost(to) − cost(from) after shifting delta; increasing in
   // delta. Move either to the equalization point or everything.
+  std::uint64_t evals = 0;
   auto gap = [&](double delta) {
+    ++evals;
     const PathCostPair c = perturbed_path_cost_pair(table, flow, mask,
                                                     to.path, from.path, delta,
                                                     objective);
@@ -185,6 +190,7 @@ double equalize_once(const Graph& g, const Commodity& com,
     delta = bisect_increasing(gap, 0.0, full, 1e-15 * std::fmax(1.0, full),
                               100);
   }
+  obs::count(&obs::SolveCounters::equalization_evals, evals);
   // Apply the shift.
   for (EdgeId e : from.path) flow[static_cast<std::size_t>(e)] -= delta;
   for (EdgeId e : to.path) flow[static_cast<std::size_t>(e)] += delta;
@@ -228,12 +234,15 @@ void warm_polish(const NetworkInstance& inst, const LatencyTable& table,
                  FlowObjective objective, double tol,
                  std::vector<CommodityState>& states,
                  std::vector<double>& flow, SolverWorkspace& ws) {
+  obs::ScopedSpan span("warm_polish");
   const Graph& g = inst.graph;
   const std::size_t k = inst.commodities.size();
   if (ws.delta_mask.size() < static_cast<std::size_t>(g.num_edges())) {
     ws.delta_mask.assign(static_cast<std::size_t>(g.num_edges()), 0);
   }
   std::vector<int>& mask = ws.delta_mask;
+  std::uint64_t passes = 0;
+  std::uint64_t evals = 0;
   // Passes are ~two orders of magnitude cheaper than exact equalization
   // steps (no bisection, one Dijkstra per commodity per pass), so a
   // generous cap and a break only on outright non-progress beat handing a
@@ -246,12 +255,14 @@ void warm_polish(const NetworkInstance& inst, const LatencyTable& table,
   double best_spread = kInf;
   int best_pass = 0;
   for (int pass = 0; pass < kMaxPasses; ++pass) {
+    ++passes;
     double spread = 0.0;
     for (std::size_t i = 0; i < k; ++i) {
       CommodityState& st = states[i];
       const Commodity& com = inst.commodities[i];
       const ShortestPathTree& tree =
           dijkstra(g, com.source, ws.costs, ws.dijkstra);
+      count_dijkstra(ws.dijkstra);
       Path& shortest = ws.path_scratch;
       extract_path_into(g, tree, com.sink, shortest);
       const std::uint64_t fp = path_fingerprint(shortest);
@@ -288,6 +299,7 @@ void warm_polish(const NetworkInstance& inst, const LatencyTable& table,
         const PathCostPair at_full = perturbed_path_cost_pair(
             table, flow, mask, st.active[best].path, st.active[p].path, full,
             objective);
+        ++evals;
         const double gfull = at_full.a - at_full.b;
         double delta = full;
         if (gfull > 0.0) {
@@ -297,6 +309,7 @@ void warm_polish(const NetworkInstance& inst, const LatencyTable& table,
           const PathCostPair at_d = perturbed_path_cost_pair(
               table, flow, mask, st.active[best].path, st.active[p].path,
               delta, objective);
+          ++evals;
           const double gd = at_d.a - at_d.b;
           if (gd > 0.0) {
             delta *= gap0 / (gap0 + gd);
@@ -330,6 +343,8 @@ void warm_polish(const NetworkInstance& inst, const LatencyTable& table,
       break;
     }
   }
+  obs::count(&obs::SolveCounters::warm_polish_passes, passes);
+  obs::count(&obs::SolveCounters::equalization_evals, evals);
 }
 
 // Seed the active sets from a prior converged decomposition, flows scaled
@@ -431,6 +446,8 @@ AssignmentResult assign_traffic(const NetworkInstance& inst,
                                 const AssignmentOptions& opts,
                                 SolverWorkspace& ws,
                                 const AssignmentWarmStart& warm) {
+  obs::ScopedCounterDelta tally;
+  obs::ScopedSpan span("assign_traffic");
   inst.validate();
   const Graph& g = inst.graph;
   const std::vector<LatencyPtr> lat = effective_latencies(g, preload);
@@ -444,8 +461,10 @@ AssignmentResult assign_traffic(const NetworkInstance& inst,
   std::vector<CommodityState> states(k);
   ws.costs.resize(ne);
 
+  if (!warm.empty()) obs::count(&obs::SolveCounters::warm_attempts);
   if (!warm.empty() && seed_from_warm(inst, table, objective, warm, states,
                                       result.edge_flow, ws)) {
+    obs::count(&obs::SolveCounters::warm_hits);
     warm_polish(inst, table, objective, opts.tol, states, result.edge_flow,
                 ws);
   } else {
@@ -456,6 +475,7 @@ AssignmentResult assign_traffic(const NetworkInstance& inst,
       const Commodity& com = inst.commodities[i];
       const ShortestPathTree& tree =
           dijkstra(g, com.source, ws.costs, ws.dijkstra);
+      count_dijkstra(ws.dijkstra);
       Path& p = ws.path_scratch;
       extract_path_into(g, tree, com.sink, p);
       for (EdgeId e : p) {
@@ -467,7 +487,9 @@ AssignmentResult assign_traffic(const NetworkInstance& inst,
     }
   }
 
+  const bool tracing = obs::convergence() != nullptr;
   for (int sweep = 1; sweep <= opts.max_sweeps; ++sweep) {
+    obs::ScopedSpan sweep_span("equalize_sweep");
     double spread = 0.0;
     for (std::size_t i = 0; i < k; ++i) {
       for (int inner = 0; inner < opts.max_inner; ++inner) {
@@ -480,6 +502,14 @@ AssignmentResult assign_traffic(const NetworkInstance& inst,
       }
     }
     result.sweeps = sweep;
+    if (tracing) {
+      // One sample per outer sweep: the spread plays the role of the
+      // relative gap, the step count so far is the "step", and the
+      // objective is recomputed (read-only; only when tracing).
+      obs::record_convergence(
+          sweep, spread, static_cast<double>(result.steps),
+          objective_value(table, result.edge_flow, objective));
+    }
     if (spread <= opts.tol) {
       result.converged = true;
       break;
@@ -504,6 +534,13 @@ AssignmentResult assign_traffic(const NetworkInstance& inst,
     }
   }
   result.objective = objective_value(table, result.edge_flow, objective);
+  if (tally.active()) {
+    obs::count(&obs::SolveCounters::equalization_steps,
+               static_cast<std::uint64_t>(result.steps));
+    obs::count(&obs::SolveCounters::gap_checks,
+               static_cast<std::uint64_t>(result.sweeps));
+    result.counters = tally.current();
+  }
   return result;
 }
 

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 
+#include "stackroute/obs/counters.h"
+#include "stackroute/obs/trace.h"
 #include "stackroute/util/error.h"
 #include "stackroute/util/numeric.h"
 #include "stackroute/util/parallel.h"
@@ -27,6 +30,7 @@ WaterFillingResult water_fill(std::span<const LatencyPtr> links, double demand,
 WaterFillingResult water_fill(std::span<const LatencyPtr> links, double demand,
                               LevelKind kind, double tol, SolverWorkspace& ws,
                               double level_hint) {
+  obs::ScopedSpan span("water_fill");
   SR_REQUIRE(!links.empty(), "water_fill needs >= 1 link");
   SR_REQUIRE(demand >= 0.0 && std::isfinite(demand),
              "water_fill needs demand >= 0");
@@ -78,7 +82,9 @@ WaterFillingResult water_fill(std::span<const LatencyPtr> links, double demand,
 
   // S(L) over the increasing links only (constants contribute 0 below
   // their level and "anything" at it).
+  std::uint64_t supply_evals = 0;
   auto increasing_supply = [&](double level) {
+    ++supply_evals;
     return parallel_sum(m, [&](std::size_t i) {
       return table.is_constant(i) ? 0.0 : response(i, level);
     });
@@ -115,7 +121,11 @@ WaterFillingResult water_fill(std::span<const LatencyPtr> links, double demand,
                "water_fill: all links constant but demand below plateau?");
     auto deficit = [&](double l) { return increasing_supply(l) - demand; };
     const double cap = std::isfinite(const_level) ? const_level : 1e30;
+    if (std::isfinite(level_hint)) {
+      obs::count(&obs::SolveCounters::warm_attempts);
+    }
     if (std::isfinite(level_hint) && level_hint > lo && level_hint < cap) {
+      obs::count(&obs::SolveCounters::warm_hits);
       // Warm path: expand a bracket geometrically from the hint (typically
       // 1-3 probes on dense sweeps), then false position on it. Correctness
       // does not depend on the hint's quality — only on the validated
@@ -211,6 +221,7 @@ WaterFillingResult water_fill(std::span<const LatencyPtr> links, double demand,
 
   result.level = level;
   result.constant_plateau = plateau;
+  obs::count(&obs::SolveCounters::water_fill_evals, supply_evals);
   return result;
 }
 

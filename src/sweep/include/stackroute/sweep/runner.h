@@ -33,10 +33,14 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
 #include "stackroute/io/table.h"
+#include "stackroute/obs/counters.h"
+#include "stackroute/obs/trace.h"
 #include "stackroute/sweep/scenario.h"
 
 namespace stackroute::sweep {
@@ -51,6 +55,12 @@ struct SweepOptions {
   /// parallelism) even if the scenario declares a warm axis — the A/B
   /// switch behind `stackroute-sweep --warm-start off`.
   bool warm_start = true;
+  /// When true, every task runs under a counter sink and its work counters
+  /// land in TaskRecord::counters (the switch behind `stackroute-sweep
+  /// --counters` / `--profile`). Off by default: counting changes no metric
+  /// either way, but off keeps the instrumented call sites at their
+  /// zero-overhead load-and-branch path.
+  bool collect_counters = false;
 };
 
 struct TaskRecord {
@@ -59,6 +69,33 @@ struct TaskRecord {
   bool ok = true;
   std::string error;
   double millis = 0.0;  // wall clock; excluded from deterministic exports
+  /// Which warm chain this task belonged to (== its own index when the
+  /// sweep ran cold). Deterministic, but diagnostic: reported only in
+  /// timing_table().
+  std::size_t chain = 0;
+  /// This task's solver work counters — all zero unless
+  /// SweepOptions::collect_counters was on.
+  obs::SolveCounters counters;
+};
+
+/// Per-chain tracing sinks for one sweep run: pass to SweepRunner::run to
+/// capture span traces (chrome://tracing) and convergence samples (JSONL).
+/// run() sizes the vectors to the chain count — one single-threaded
+/// session per chain, tagged with the chain index as the trace "tid" —
+/// and every session shares `epoch_ns` so the merged timeline lines up.
+/// Tracing perturbs no metric: table() output is bitwise identical with
+/// and without a SweepTrace attached.
+struct SweepTrace {
+  std::int64_t epoch_ns = 0;
+  std::vector<obs::TraceSession> sessions;        // [chain]
+  std::vector<obs::ConvergenceTrace> convergence; // [chain]
+
+  /// All sessions merged into one chrome://tracing JSON document, in
+  /// chain order.
+  void write_chrome_trace(std::ostream& os) const;
+  /// All chains' convergence samples as JSONL, in chain order (each
+  /// sample's "ctx" names its task).
+  void write_convergence_jsonl(std::ostream& os) const;
 };
 
 struct SweepResult {
@@ -73,21 +110,37 @@ struct SweepResult {
   /// warm axis applied), and the axis used (empty when none did).
   std::size_t chains = 0;
   std::string warm_axis;
+  /// True when the run collected counters (SweepOptions::collect_counters):
+  /// gates the counter columns of timing_table() and the counter sections
+  /// of summary()/profile().
+  bool counted = false;
 
   [[nodiscard]] std::size_t num_tasks() const { return records.size(); }
   [[nodiscard]] std::size_t num_failed() const;
 
   /// Deterministic result table: parameter columns, metric columns, status.
   [[nodiscard]] Table table() const;
-  /// table() plus the per-task wall-clock column (nondeterministic).
+  /// table() plus the diagnostic columns: chain index, per-task wall clock
+  /// (nondeterministic) and — when counters were collected — one column
+  /// per counter field.
   [[nodiscard]] Table timing_table() const;
 
   [[nodiscard]] std::string to_markdown() const { return table().to_markdown(); }
   [[nodiscard]] std::string to_csv() const { return table().to_csv(); }
   [[nodiscard]] std::string to_json() const { return table().to_json(); }
 
-  /// One-line run report: task/failure counts, total time, thread count.
+  /// Every task's counters merged (all zero unless counted).
+  [[nodiscard]] obs::SolveCounters total_counters() const;
+
+  /// One-line run report: task/failure counts, total time, thread count —
+  /// plus a counters line when counters were collected.
   [[nodiscard]] std::string summary() const;
+
+  /// Multi-line profile: p50/p90/p99 of per-task and per-chain wall times,
+  /// per-task quantiles of every active counter, and the warm-start
+  /// attempt/hit/reset tallies. Everything here is diagnostic output —
+  /// none of it feeds the deterministic tables.
+  [[nodiscard]] std::string profile() const;
 };
 
 class SweepRunner {
@@ -98,6 +151,12 @@ class SweepRunner {
   /// set_max_threads(1)); requires a factory, >= 1 metric, and column
   /// names (axes + metrics) to be pairwise distinct.
   [[nodiscard]] SweepResult run(const ScenarioSpec& spec) const;
+
+  /// Same, recording span traces and convergence samples into `trace`
+  /// (ignored when null). The metric values are bitwise identical to the
+  /// untraced run at any thread count.
+  [[nodiscard]] SweepResult run(const ScenarioSpec& spec,
+                                SweepTrace* trace) const;
 
  private:
   SweepOptions opts_;

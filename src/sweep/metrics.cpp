@@ -4,6 +4,7 @@
 #include <limits>
 #include <utility>
 
+#include "stackroute/obs/counters.h"
 #include "stackroute/util/error.h"
 
 namespace stackroute::sweep {
@@ -57,7 +58,12 @@ TaskEval::TaskEval(const ParamPoint& point, const Instance& instance,
   // payload provenance.
   const bool warm = chain_ != nullptr && chain_->has_prev &&
                     chain_compatible(chain_->prev_instance, instance_);
-  if (chain_ != nullptr && !warm) chain_->reset_warm();
+  if (chain_ != nullptr && !warm) {
+    // Count only genuine breaks (an anchor existed and failed the test) —
+    // a chain's cold first task is not a reset.
+    if (chain_->has_prev) obs::count(&obs::SolveCounters::chain_resets);
+    chain_->reset_warm();
+  }
 }
 
 SolverWorkspace& TaskEval::ws() {

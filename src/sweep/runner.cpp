@@ -1,6 +1,7 @@
 #include "stackroute/sweep/runner.h"
 
 #include <limits>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <utility>
@@ -9,11 +10,23 @@
 #include <omp.h>
 #endif
 
+#include "stackroute/obs/profile.h"
+#include "stackroute/obs/timing.h"
 #include "stackroute/util/error.h"
 #include "stackroute/util/parallel.h"
-#include "stackroute/util/stopwatch.h"
 
 namespace stackroute::sweep {
+
+void SweepTrace::write_chrome_trace(std::ostream& os) const {
+  std::vector<const obs::TraceSession*> ptrs;
+  ptrs.reserve(sessions.size());
+  for (const auto& s : sessions) ptrs.push_back(&s);
+  obs::TraceSession::write_chrome_trace(ptrs, os);
+}
+
+void SweepTrace::write_convergence_jsonl(std::ostream& os) const {
+  for (const auto& trace : convergence) trace.write_jsonl(os);
+}
 
 std::size_t SweepResult::num_failed() const {
   std::size_t n = 0;
@@ -21,14 +34,31 @@ std::size_t SweepResult::num_failed() const {
   return n;
 }
 
+obs::SolveCounters SweepResult::total_counters() const {
+  obs::SolveCounters total;
+  for (const auto& rec : records) total.merge(rec.counters);
+  return total;
+}
+
 namespace {
 
 Table build_table(const SweepResult& r, bool with_timing) {
+  // Counter columns ride only on the diagnostic (timing) table of a
+  // counted run — the deterministic table() never widens.
+  const bool with_counters = with_timing && r.counted;
   std::vector<std::string> headers = r.param_columns;
   headers.insert(headers.end(), r.metric_columns.begin(),
                  r.metric_columns.end());
   headers.emplace_back("status");
-  if (with_timing) headers.emplace_back("millis");
+  if (with_timing) {
+    headers.emplace_back("chain");
+    headers.emplace_back("millis");
+  }
+  if (with_counters) {
+    for (const auto& f : obs::SolveCounters::fields()) {
+      headers.emplace_back(f.name);
+    }
+  }
   Table t(std::move(headers));
   for (const auto& rec : r.records) {
     std::vector<std::string> row;
@@ -40,7 +70,15 @@ Table build_table(const SweepResult& r, bool with_timing) {
     }
     for (double v : rec.metrics) row.push_back(format_double(v, r.digits));
     row.emplace_back(rec.ok ? "ok" : "error");
-    if (with_timing) row.push_back(format_double(rec.millis, 3));
+    if (with_timing) {
+      row.push_back(std::to_string(rec.chain));
+      row.push_back(format_double(rec.millis, 3));
+    }
+    if (with_counters) {
+      for (const auto& f : obs::SolveCounters::fields()) {
+        row.push_back(std::to_string(rec.counters.get(f)));
+      }
+    }
     t.add_row(std::move(row));
   }
   return t;
@@ -62,6 +100,72 @@ std::string SweepResult::summary() const {
   } else {
     os << "cold solves";
   }
+  if (counted) {
+    const obs::SolveCounters total = total_counters();
+    os << "\ncounters: "
+       << (total.any() ? total.to_string() : std::string("all zero"));
+  }
+  return os.str();
+}
+
+std::string SweepResult::profile() const {
+  std::ostringstream os;
+  os << scenario << " profile: " << num_tasks() << " task(s), " << chains
+     << " chain(s), " << threads << " thread(s), "
+     << format_double(total_millis, 1) << " ms total\n";
+
+  std::vector<double> task_ms;
+  task_ms.reserve(records.size());
+  std::vector<double> chain_ms(chains, 0.0);
+  for (const auto& rec : records) {
+    task_ms.push_back(rec.millis);
+    if (rec.chain < chain_ms.size()) chain_ms[rec.chain] += rec.millis;
+  }
+  os << "  task millis:   " << obs::QuantileSummary::of(task_ms).to_string()
+     << "\n";
+  os << "  chain millis:  "
+     << obs::QuantileSummary::of(std::move(chain_ms)).to_string() << "\n";
+
+  if (!counted) {
+    os << "  counters: not collected (enable SweepOptions::collect_counters "
+          "/ --counters)";
+    return os.str();
+  }
+
+  const obs::SolveCounters total = total_counters();
+  // Per-task quantiles of every counter that fired at least once; silent
+  // fields are summarized in one line so nothing is dropped invisibly.
+  std::vector<const char*> silent;
+  for (const auto& f : obs::SolveCounters::fields()) {
+    if (total.get(f) == 0) {
+      silent.push_back(f.name);
+      continue;
+    }
+    std::vector<double> samples;
+    samples.reserve(records.size());
+    for (const auto& rec : records) {
+      samples.push_back(static_cast<double>(rec.counters.get(f)));
+    }
+    os << "  " << f.name << "/task: "
+       << obs::QuantileSummary::of(std::move(samples)).to_string(1)
+       << "  [total " << total.get(f) << "]\n";
+  }
+  if (!silent.empty()) {
+    os << "  zero everywhere:";
+    for (const char* name : silent) os << ' ' << name;
+    os << '\n';
+  }
+
+  os << "  warm-start: " << total.warm_attempts << " attempt(s), "
+     << total.warm_hits << " hit(s)";
+  if (total.warm_attempts > 0) {
+    os << " ("
+       << format_double(100.0 * static_cast<double>(total.warm_hits) /
+                            static_cast<double>(total.warm_attempts),
+                        1)
+       << "% hit rate)";
+  }
+  os << ", " << total.chain_resets << " chain reset(s)";
   return os.str();
 }
 
@@ -112,6 +216,11 @@ ChainLayout chain_layout(const ParamGrid& grid, const std::string& warm_axis,
 }  // namespace
 
 SweepResult SweepRunner::run(const ScenarioSpec& spec) const {
+  return run(spec, nullptr);
+}
+
+SweepResult SweepRunner::run(const ScenarioSpec& spec,
+                             SweepTrace* sweep_trace) const {
   SR_REQUIRE(spec.factory, "scenario " + spec.name + " has no factory");
   SR_REQUIRE(!spec.metrics.empty(),
              "scenario " + spec.name + " has no metrics");
@@ -126,7 +235,8 @@ SweepResult SweepRunner::run(const ScenarioSpec& spec) const {
   // silently dropping a column; reject them like ParamGrid::add does —
   // including the columns table()/timing_table() append — before any
   // compute is spent.
-  std::set<std::string> columns = {"status", "millis"};
+  std::set<std::string> columns = {"status", "millis", "chain"};
+  for (const auto& f : obs::SolveCounters::fields()) columns.insert(f.name);
   for (const auto& name : result.param_columns) {
     SR_REQUIRE(columns.insert(name).second,
                "reserved or duplicate sweep column name: " + name);
@@ -143,6 +253,22 @@ SweepResult SweepRunner::run(const ScenarioSpec& spec) const {
       chain_layout(spec.grid, spec.warm_axis, opts_.warm_start);
   result.chains = layout.chains;
   if (layout.active) result.warm_axis = spec.warm_axis;
+  result.counted = opts_.collect_counters;
+
+  if (sweep_trace != nullptr) {
+    // One single-threaded session per chain, all sharing one epoch so the
+    // merged chrome timeline lines up; the chain index is the trace tid.
+    sweep_trace->epoch_ns = obs::now_ns();
+    sweep_trace->sessions.clear();
+    sweep_trace->convergence.clear();
+    sweep_trace->sessions.reserve(layout.chains);
+    sweep_trace->convergence.reserve(layout.chains);
+    for (std::size_t c = 0; c < layout.chains; ++c) {
+      sweep_trace->sessions.emplace_back(sweep_trace->epoch_ns);
+      sweep_trace->sessions.back().set_tid(static_cast<int>(c));
+      sweep_trace->convergence.emplace_back();
+    }
+  }
 
   // The determinism contract needs the solvers' own parallel reductions
   // serialized: inside the fan-out below they are nested OpenMP regions and
@@ -157,7 +283,7 @@ SweepResult SweepRunner::run(const ScenarioSpec& spec) const {
   if (layout.chains < 2) set_max_threads(1);
   result.threads = max_threads();  // after the pin, so summary() is honest
 
-  Stopwatch total;
+  obs::Timer total;
   // grain = 1: chains are sequences of whole equilibrium computations,
   // orders of magnitude heavier than the OpenMP dispatch overhead the
   // default grain guards against — and 100-chain grids should still fan
@@ -170,10 +296,27 @@ SweepResult SweepRunner::run(const ScenarioSpec& spec) const {
         // layouts (length 1) the context is never consulted across tasks,
         // so solves run exactly as the pre-chain cold path did.
         ChainContext ctx;
+        // Tracing sinks live per chain (one thread each); counters per
+        // task, installed below so each record tallies its own work.
+        std::optional<obs::TraceScope> trace_scope;
+        std::optional<obs::ConvergenceScope> conv_scope;
+        if (sweep_trace != nullptr) {
+          trace_scope.emplace(sweep_trace->sessions[c]);
+          conv_scope.emplace(sweep_trace->convergence[c]);
+        }
         for (std::size_t j = 0; j < layout.length; ++j) {
           const std::size_t i = layout.flat(c, j);
           TaskRecord& rec = result.records[i];
-          Stopwatch sw;
+          rec.chain = c;
+          std::optional<obs::CountersScope> counter_scope;
+          if (opts_.collect_counters) counter_scope.emplace(rec.counters);
+          std::optional<obs::ScopedSpan> task_span;
+          if (sweep_trace != nullptr) {
+            const std::string label = "task " + std::to_string(i);
+            sweep_trace->convergence[c].push_context(label);
+            task_span.emplace(label);
+          }
+          obs::Timer sw;
           // Exceptions must not escape an OpenMP region: record and move
           // on, decide about rethrowing once the loop has joined.
           // grid.at() is inside too — even a bad_alloc there must become a
@@ -194,12 +337,16 @@ SweepResult SweepRunner::run(const ScenarioSpec& spec) const {
             rec.error = e.what();
             rec.metrics.assign(spec.metrics.size(),
                                std::numeric_limits<double>::quiet_NaN());
-            ctx.reset_warm();  // the next point restarts the chain cold
+            // The next point restarts the chain cold; only count a reset
+            // when there was warm state to drop.
+            if (ctx.has_prev) obs::count(&obs::SolveCounters::chain_resets);
+            ctx.reset_warm();
           } catch (...) {  // foreign exception types must not escape either
             rec.ok = false;
             rec.error = "unknown error (non-std exception)";
             rec.metrics.assign(spec.metrics.size(),
                                std::numeric_limits<double>::quiet_NaN());
+            if (ctx.has_prev) obs::count(&obs::SolveCounters::chain_resets);
             ctx.reset_warm();
           }
           rec.millis = sw.milliseconds();

@@ -1,26 +1,15 @@
 // Wall-clock stopwatch for coarse timing in examples and benches.
+//
+// Thin shim: the implementation is obs::Timer (src/obs), so bench JSON,
+// sweep wall-clock columns, and trace timestamps all read the same
+// monotonic clock. Kept under the historical name for existing callers;
+// new code should include stackroute/obs/timing.h directly.
 #pragma once
 
-#include <chrono>
+#include "stackroute/obs/timing.h"
 
 namespace stackroute {
 
-class Stopwatch {
- public:
-  Stopwatch() : start_(Clock::now()) {}
-
-  void reset() { start_ = Clock::now(); }
-
-  /// Seconds elapsed since construction or the last reset().
-  [[nodiscard]] double seconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
-  }
-
-  [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
-
- private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
-};
+using Stopwatch = obs::Timer;
 
 }  // namespace stackroute

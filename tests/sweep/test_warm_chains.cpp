@@ -6,8 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "stackroute/equilibrium/network.h"
+#include "stackroute/obs/counters.h"
 #include "stackroute/gen/generators.h"
 #include "stackroute/network/generators.h"
 #include "stackroute/sweep/runner.h"
@@ -222,6 +224,118 @@ TEST(WarmChains, RevisionTagForcesRecompileOnTopologyChange) {
   // Different network: the tag must move.
   (void)solve_nash(b, {}, ws);
   EXPECT_GT(ws.instance_revision(), after_first);
+}
+
+// ---- Warm-start counter accounting (obs integration) ---------------------
+// The chain structure is fully known in these specs, so the obs counters
+// have exact expected values: every non-anchor task attempts and hits,
+// and chain_resets land on exactly the task that broke the chain.
+
+SweepResult run_counted(const ScenarioSpec& spec, bool warm) {
+  const int saved = max_threads_setting();
+  set_max_threads(1);
+  SweepOptions opts;
+  opts.warm_start = warm;
+  opts.collect_counters = true;
+  SweepResult result = SweepRunner(opts).run(spec);
+  set_max_threads(saved);
+  return result;
+}
+
+TEST(WarmChainCounters, CleanChainHitsEveryAttemptAndNeverResets) {
+  ScenarioSpec spec;
+  spec.name = "counted-clean";
+  spec.grid.add_linspace("demand", 0.5, 2.5, 9);
+  spec.factory = generated_instance_source(gen::sized_spec("grid-bpr", 4), 11);
+  spec.metrics = default_metrics();
+  spec.warm_axis = "demand";
+
+  const SweepResult warm = run_counted(spec, true);
+  ASSERT_TRUE(warm.counted);
+  EXPECT_EQ(warm.chains, 1u);
+  const obs::SolveCounters totals = warm.total_counters();
+  EXPECT_GT(totals.warm_attempts, 0u);
+  EXPECT_EQ(totals.warm_attempts, totals.warm_hits);
+  EXPECT_EQ(totals.chain_resets, 0u);
+  // The chain's first task is the cold anchor: nothing to attempt yet.
+  EXPECT_EQ(warm.records[0].counters.warm_attempts, 0u);
+  for (std::size_t i = 1; i < warm.records.size(); ++i) {
+    EXPECT_GT(warm.records[i].counters.warm_attempts, 0u) << "task " << i;
+  }
+
+  // A cold run does solver work but never offers a warm payload.
+  const SweepResult cold = run_counted(spec, false);
+  EXPECT_TRUE(cold.total_counters().any());
+  EXPECT_EQ(cold.total_counters().warm_attempts, 0u);
+  EXPECT_EQ(cold.total_counters().chain_resets, 0u);
+
+  // And with collection off, nothing is counted at all.
+  EXPECT_FALSE(run_with(spec, true, 1).total_counters().any());
+}
+
+TEST(WarmChainCounters, TopologyBreakResetsExactlyAtTheFlip) {
+  // Two shared prototypes so only the genuine topology flip breaks the
+  // chain (chain compatibility is latency pointer identity: building
+  // instances fresh per call would reset at every task).
+  const NetworkInstance proto_a = fig7_instance(0.05);
+  Rng gen_rng(42);
+  const NetworkInstance proto_b = random_layered_dag(gen_rng, 2, 3, 0.6, 1.0);
+
+  ScenarioSpec spec;
+  spec.name = "counted-topology-break";
+  spec.grid.add_linspace("demand", 0.5, 2.0, 6);  // 0.5 0.8 1.1 | 1.4 1.7 2.0
+  spec.factory = [proto_a, proto_b](const ParamPoint& p, Rng&) -> Instance {
+    const double d = p.get("demand");
+    Instance inst = d < 1.2 ? Instance(proto_a) : Instance(proto_b);
+    override_demand(inst, d);
+    return inst;
+  };
+  spec.metrics = {metric_beta(), metric_optimum_cost()};
+  spec.warm_axis = "demand";
+
+  const SweepResult warm = run_counted(spec, true);
+  EXPECT_EQ(warm.num_failed(), 0u);
+  EXPECT_EQ(warm.total_counters().chain_resets, 1u);
+  for (std::size_t i = 0; i < warm.records.size(); ++i) {
+    EXPECT_EQ(warm.records[i].counters.chain_resets, i == 3 ? 1u : 0u)
+        << "task " << i;
+  }
+  // The flip task runs cold (its anchor failed the compatibility test);
+  // warm-starting resumes immediately after it.
+  EXPECT_EQ(warm.records[3].counters.warm_attempts, 0u);
+  EXPECT_GT(warm.records[2].counters.warm_attempts, 0u);
+  EXPECT_GT(warm.records[4].counters.warm_attempts, 0u);
+}
+
+TEST(WarmChainCounters, TaskFailureResetIsCountedOnTheFailingTask) {
+  ScenarioSpec spec;
+  spec.name = "counted-failure";
+  spec.grid.add("demand", {0.5, 1.0, -1.0, 1.5, 2.0});
+  const InstanceFactory base =
+      generated_instance_source(gen::sized_spec("grid-bpr", 3), 7);
+  spec.factory = [base](const ParamPoint& p, Rng& rng) -> Instance {
+    if (p.get("demand") < 0.0) throw std::runtime_error("infeasible demand");
+    return base(p, rng);
+  };
+  spec.metrics = default_metrics();
+  spec.warm_axis = "demand";
+
+  const SweepResult warm = run_counted(spec, true);
+  EXPECT_EQ(warm.num_failed(), 1u);
+  EXPECT_FALSE(warm.records[2].ok);
+  EXPECT_EQ(warm.total_counters().chain_resets, 1u);
+  for (std::size_t i = 0; i < warm.records.size(); ++i) {
+    EXPECT_EQ(warm.records[i].counters.chain_resets, i == 2 ? 1u : 0u)
+        << "task " << i;
+  }
+  // The failing task never reached a solver; the task after it restarts
+  // the chain cold, and the one after that warms from the new anchor.
+  EXPECT_EQ(warm.records[2].counters.warm_attempts, 0u);
+  EXPECT_EQ(warm.records[3].counters.warm_attempts, 0u);
+  EXPECT_GT(warm.records[1].counters.warm_attempts, 0u);
+  EXPECT_GT(warm.records[4].counters.warm_attempts, 0u);
+  const obs::SolveCounters totals = warm.total_counters();
+  EXPECT_EQ(totals.warm_attempts, totals.warm_hits);
 }
 
 }  // namespace

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Validate a stackroute chrome://tracing span trace (stdlib only).
+
+Usage:
+    check_trace.py TRACE.json [--min-events N]
+    check_trace.py --sweep SWEEP_BINARY TRACE.json [--min-events N]
+        [-- SWEEP_ARGS...]
+
+With ``--sweep`` the named stackroute-sweep binary is run first with
+``--trace TRACE.json`` plus everything after ``--`` (default: a small
+generated demand sweep), then the written file is validated. This is the
+CI/CTest smoke path: it proves the whole chain — instrumented solvers,
+per-chain sessions, the merge-and-export — produces a file that
+chrome://tracing / Perfetto will actually load.
+
+What "valid" means here:
+  * the document is a JSON object with a ``traceEvents`` list;
+  * every event carries name (str), cat (str), ph in {B, E, i},
+    a finite non-negative numeric ts, and integer pid/tid;
+  * per (pid, tid) lane, taken in file order: every E closes the
+    most-recently-opened B with the same name (proper nesting), no E
+    without an open B, and no B left open at the end;
+  * per lane, timestamps are non-decreasing (sessions are
+    single-threaded and append in time order);
+  * at least ``--min-events`` events overall (default 1 — an empty
+    trace of a sweep that did work means the wiring is broken).
+
+Failures print ``FAIL: ...`` lines and exit 1; crashes with tracebacks
+are themselves bugs (this script gates CI).
+"""
+
+import argparse
+import json
+import math
+import subprocess
+import sys
+
+VALID_PHASES = {"B", "E", "i"}
+
+
+def fail(msg):
+    print("FAIL: " + msg)
+    return 1
+
+
+def validate(doc, min_events):
+    if not isinstance(doc, dict):
+        return fail("top level is not a JSON object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return fail("missing or non-list traceEvents")
+    if len(events) < min_events:
+        return fail("only %d event(s), expected >= %d"
+                    % (len(events), min_events))
+
+    stacks = {}     # (pid, tid) -> list of open span names
+    last_ts = {}    # (pid, tid) -> last seen ts
+    spans = 0
+    for i, e in enumerate(events):
+        where = "event %d" % i
+        if not isinstance(e, dict):
+            return fail(where + ": not an object")
+        name = e.get("name")
+        if not isinstance(name, str) or not name:
+            return fail(where + ": missing name")
+        if not isinstance(e.get("cat"), str):
+            return fail(where + " (%s): missing cat" % name)
+        ph = e.get("ph")
+        if ph not in VALID_PHASES:
+            return fail(where + " (%s): bad ph %r" % (name, ph))
+        ts = e.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool) \
+                or not math.isfinite(ts) or ts < 0:
+            return fail(where + " (%s): bad ts %r" % (name, ts))
+        pid, tid = e.get("pid"), e.get("tid")
+        if not isinstance(pid, int) or not isinstance(tid, int):
+            return fail(where + " (%s): bad pid/tid" % name)
+
+        lane = (pid, tid)
+        if ts < last_ts.get(lane, 0.0):
+            return fail(where + " (%s): ts %s goes backwards in lane %s"
+                        % (name, ts, lane))
+        last_ts[lane] = ts
+        stack = stacks.setdefault(lane, [])
+        if ph == "B":
+            stack.append(name)
+            spans += 1
+        elif ph == "E":
+            if not stack:
+                return fail(where + " (%s): E with no open B in lane %s"
+                            % (name, lane))
+            opened = stack.pop()
+            if opened != name:
+                return fail(where + ": E '%s' closes B '%s' in lane %s"
+                            % (name, opened, lane))
+    for lane, stack in stacks.items():
+        if stack:
+            return fail("lane %s ends with unclosed span(s): %s"
+                        % (lane, ", ".join(stack)))
+
+    print("ok: %d event(s), %d span(s), %d lane(s)"
+          % (len(events), spans, len(stacks)))
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="validate a stackroute chrome trace")
+    parser.add_argument("trace", help="trace JSON file to validate")
+    parser.add_argument("--sweep", metavar="BIN",
+                        help="run this stackroute-sweep binary with "
+                             "--trace TRACE first")
+    parser.add_argument("--min-events", type=int, default=1)
+    if "--" in argv:
+        split = argv.index("--")
+        argv, sweep_args = argv[:split], argv[split + 1:]
+    else:
+        sweep_args = ["--generate", "grid", "--demand", "0.5", "1.5", "4",
+                      "--profile"]
+    args = parser.parse_args(argv)
+
+    if args.sweep:
+        cmd = [args.sweep, "--trace", args.trace] + sweep_args
+        proc = subprocess.run(cmd, stdout=subprocess.DEVNULL)
+        if proc.returncode != 0:
+            return fail("sweep run failed (exit %d): %s"
+                        % (proc.returncode, " ".join(cmd)))
+
+    try:
+        with open(args.trace) as fh:
+            doc = json.load(fh)
+    except OSError as e:
+        return fail("cannot read %s: %s" % (args.trace, e))
+    except ValueError as e:
+        return fail("%s is not valid JSON: %s" % (args.trace, e))
+    return validate(doc, args.min_events)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -59,9 +59,22 @@ int usage(std::ostream& os, int code) {
         "                        chains are the unit of parallelism)\n"
         "  --format FMT          md | csv | json (default md)\n"
         "  --out PATH            write the table to a file instead of stdout\n"
-        "  --timing              include the per-task wall-clock column\n"
+        "  --timing              include the diagnostic chain/wall-clock\n"
+        "                        columns (and counter columns with --counters)\n"
+        "  --counters            collect solver work counters: totals go to\n"
+        "                        the stderr summary, per-task values to the\n"
+        "                        --timing columns (never to the plain table)\n"
+        "  --profile             print p50/p90/p99 profiles of task/chain wall\n"
+        "                        times and counters to stderr (implies\n"
+        "                        --counters)\n"
+        "  --trace FILE          record per-chain solver span traces to FILE\n"
+        "                        as chrome://tracing JSON (load via ui.perfetto\n"
+        "                        .dev or chrome://tracing); a .jsonl suffix\n"
+        "                        writes per-iteration convergence samples as\n"
+        "                        JSON Lines instead\n"
         "  --list                list builtin scenarios and exit\n"
-        "  --list-generators     list generator families and knobs, exit\n";
+        "  --list-generators     list generator families and knobs, exit\n"
+        "  --help, -h            print this help and exit\n";
   return code;
 }
 
@@ -87,8 +100,12 @@ struct Args {
   std::string format = "md";
   std::string out;
   bool timing = false;
+  bool counters = false;
+  bool profile = false;
+  std::string trace;
   bool list = false;
   bool list_generators = false;
+  bool help = false;
 };
 
 /// std::stoull quietly wraps "-1" to 2^64-1; a negated seed must be a
@@ -108,8 +125,17 @@ bool parse_args(int argc, char** argv, Args& args) {
         args.list = true;
       } else if (a == "--list-generators") {
         args.list_generators = true;
+      } else if (a == "--help" || a == "-h") {
+        args.help = true;
       } else if (a == "--timing") {
         args.timing = true;
+      } else if (a == "--counters") {
+        args.counters = true;
+      } else if (a == "--profile") {
+        args.profile = true;
+        args.counters = true;  // profiles are counter aggregates
+      } else if (a == "--trace" && need(i, 1)) {
+        args.trace = argv[++i];
       } else if (a == "--scenario" && need(i, 1)) {
         args.scenario = argv[++i];
         args.scenario_given = true;
@@ -298,6 +324,7 @@ int main(int argc, char** argv) {
   using namespace stackroute;
   Args args;
   if (!parse_args(argc, argv, args)) return usage(std::cerr, 2);
+  if (args.help) return usage(std::cout, 0);
 
   if (args.list) {
     for (const auto& s : sweep::builtin_scenarios()) {
@@ -316,8 +343,12 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // Spec building rejects bad CLI input (unknown scenario or generator
+  // name, ambiguous prefix): those get the same usage footer as parse
+  // errors, printed exactly once. Failures past this point are runtime
+  // errors and do not.
+  sweep::ScenarioSpec spec;
   try {
-    sweep::ScenarioSpec spec;
     if (!args.generate.empty() || !args.file.empty()) {
       const bool alpha_swept =
           args.strategy == "scale" || args.strategy == "llf";
@@ -352,12 +383,21 @@ int main(int argc, char** argv) {
     } else {
       spec = sweep::make_scenario(args.scenario);
     }
-    spec.base_seed = args.seed;
+  } catch (const std::exception& e) {
+    std::cerr << "stackroute-sweep: " << e.what() << "\n";
+    return usage(std::cerr, 2);
+  }
+  spec.base_seed = args.seed;
 
+  try {
     set_max_threads(args.threads);
     sweep::SweepOptions sweep_opts;
     sweep_opts.warm_start = args.warm_start;
-    const sweep::SweepResult result = sweep::SweepRunner(sweep_opts).run(spec);
+    sweep_opts.collect_counters = args.counters;
+    sweep::SweepTrace trace;
+    const bool tracing = !args.trace.empty();
+    const sweep::SweepResult result =
+        sweep::SweepRunner(sweep_opts).run(spec, tracing ? &trace : nullptr);
 
     const Table table = args.timing ? result.timing_table() : result.table();
     std::string rendered;
@@ -380,7 +420,22 @@ int main(int argc, char** argv) {
       }
       out << rendered;
     }
+    if (tracing) {
+      std::ofstream tf(args.trace);
+      if (!tf) {
+        std::cerr << "cannot write " << args.trace << "\n";
+        return 1;
+      }
+      // A .jsonl target asks for the convergence samples; anything else
+      // gets the chrome://tracing span document.
+      if (args.trace.ends_with(".jsonl")) {
+        trace.write_convergence_jsonl(tf);
+      } else {
+        trace.write_chrome_trace(tf);
+      }
+    }
     std::cerr << result.summary() << "\n";
+    if (args.profile) std::cerr << result.profile() << "\n";
     return result.num_failed() == 0 ? 0 : 1;
   } catch (const std::exception& e) {
     std::cerr << "stackroute-sweep: " << e.what() << "\n";

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""CLI tests for check_trace.py (stdlib only, run by CTest/CI).
+
+Each case drives the validator as a subprocess on a synthetic trace and
+checks both the exit status and that failures are readable FAIL lines
+rather than tracebacks — this script gates the CI traced-sweep smoke
+job, so a crash in the validator would mask a broken trace.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "check_trace.py")
+
+
+def event(name, ph, ts, pid=1, tid=0, cat="stackroute"):
+    return {"name": name, "cat": cat, "ph": ph, "ts": ts,
+            "pid": pid, "tid": tid}
+
+
+class CheckTraceTest(unittest.TestCase):
+    def run_script(self, doc, extra=()):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "trace.json")
+            with open(path, "w") as fh:
+                if isinstance(doc, str):
+                    fh.write(doc)
+                else:
+                    json.dump(doc, fh)
+            proc = subprocess.run([sys.executable, SCRIPT, path, *extra],
+                                  capture_output=True, text=True)
+        return proc
+
+    def assert_clean_fail(self, proc):
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("FAIL:", proc.stdout)
+        self.assertNotIn("Traceback", proc.stderr)
+        self.assertNotIn("Traceback", proc.stdout)
+
+    def test_passes_on_nested_balanced_spans(self):
+        doc = {"traceEvents": [
+            event("solve", "B", 0.0),
+            event("dijkstra", "B", 1.0),
+            event("dijkstra", "E", 2.0),
+            event("note", "i", 2.5),
+            event("solve", "E", 3.0),
+        ]}
+        proc = self.run_script(doc)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("ok:", proc.stdout)
+
+    def test_lanes_are_independent(self):
+        # Interleaved chains: each tid's stack must balance on its own.
+        doc = {"traceEvents": [
+            event("a", "B", 0.0, tid=0),
+            event("b", "B", 0.5, tid=1),
+            event("a", "E", 1.0, tid=0),
+            event("b", "E", 1.5, tid=1),
+        ]}
+        self.assertEqual(self.run_script(doc).returncode, 0)
+
+    def test_unclosed_span_is_clean_fail(self):
+        doc = {"traceEvents": [event("solve", "B", 0.0)]}
+        self.assert_clean_fail(self.run_script(doc))
+
+    def test_stray_end_is_clean_fail(self):
+        doc = {"traceEvents": [event("solve", "E", 0.0)]}
+        self.assert_clean_fail(self.run_script(doc))
+
+    def test_mismatched_end_name_is_clean_fail(self):
+        doc = {"traceEvents": [
+            event("solve", "B", 0.0),
+            event("other", "E", 1.0),
+        ]}
+        self.assert_clean_fail(self.run_script(doc))
+
+    def test_backwards_timestamp_is_clean_fail(self):
+        doc = {"traceEvents": [
+            event("a", "B", 5.0),
+            event("a", "E", 4.0),
+        ]}
+        self.assert_clean_fail(self.run_script(doc))
+
+    def test_nonfinite_timestamp_is_clean_fail(self):
+        # json.load accepts bare NaN; the validator must not.
+        doc = '{"traceEvents": [{"name": "a", "cat": "c", "ph": "i", ' \
+              '"ts": NaN, "pid": 1, "tid": 0}]}'
+        self.assert_clean_fail(self.run_script(doc))
+
+    def test_min_events_floor(self):
+        # An empty trace fails the default floor of 1 (a sweep that did
+        # work but produced no events means the wiring broke) but can be
+        # allowed explicitly.
+        doc = {"traceEvents": []}
+        self.assert_clean_fail(self.run_script(doc))
+        self.assertEqual(
+            self.run_script(doc, ["--min-events", "0"]).returncode, 0)
+
+    def test_garbage_json_is_clean_fail(self):
+        self.assert_clean_fail(self.run_script("not json at all"))
+
+
+if __name__ == "__main__":
+    unittest.main()
