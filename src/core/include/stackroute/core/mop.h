@@ -60,6 +60,13 @@ struct MopResult {
   std::vector<MopCommodity> commodities;
   /// max_e |s_e + τ_e − o_e| — the verification residual.
   double induced_residual = 0.0;
+  /// Worst outcome over the pipeline's assignment solves (optimum +
+  /// induced verification). Degraded solves leave best-so-far flows in
+  /// place; `spread` bounds how far they sit from equilibrium.
+  SolveStatus status = SolveStatus::kConverged;
+  /// Largest achieved path-cost spread over those solves (~tol when
+  /// status == kConverged).
+  double spread = 0.0;
   /// Work counters of the whole pipeline (optimum solve, tight-subgraph
   /// Dijkstras, verification solve) — all zero unless the calling thread
   /// had a counter sink installed (obs::CountersScope).

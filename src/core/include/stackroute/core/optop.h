@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "stackroute/network/instance.h"
+#include "stackroute/solver/status.h"
 #include "stackroute/solver/workspace.h"
 
 namespace stackroute {
@@ -41,6 +42,13 @@ struct OpTopResult {
   double nash_cost = 0.0;        // C(N)
   double induced_cost = 0.0;     // C(S+T); equals C(O) by Theorem 2.1
   std::vector<OpTopRound> rounds;
+  /// Worst outcome over every internal water-filling solve (optimum, Nash,
+  /// each round's subsystem Nash, induced). Degraded sub-solves leave their
+  /// best-so-far flows in place; `supply_gap` below bounds the miss.
+  SolveStatus status = SolveStatus::kConverged;
+  /// Largest |demand − S(level)| over the degraded sub-solves (~0 when
+  /// status == kConverged).
+  double supply_gap = 0.0;
 };
 
 struct OpTopOptions {
@@ -48,6 +56,9 @@ struct OpTopOptions {
   double freeze_tol = 1e-9;
   /// Water-filling tolerance.
   double solve_tol = 1e-13;
+  /// Shared resource budget: armed once at op_top entry, so every internal
+  /// water-filling solve draws on one deadline (see solver/status.h).
+  SolveBudget budget;
 };
 
 /// Runs OpTop on (M, r). Throws on malformed instances.

@@ -40,6 +40,11 @@ struct StackelbergOutcome {
   /// Water-filling level of the induced Nash — the warm-start hint for the
   /// next point of a chained α-sweep (see solve_induced in parallel.h).
   double induced_level = 0.0;
+  /// How the induced water-filling solve ended (see solver/status.h);
+  /// degraded solves report best-so-far flows with `supply_gap` as the
+  /// honest miss on the followers' demand.
+  SolveStatus status = SolveStatus::kConverged;
+  double supply_gap = 0.0;
   /// Work counters of the induced solve — all zero unless the calling
   /// thread had a counter sink installed (obs::CountersScope).
   obs::SolveCounters counters;
@@ -65,6 +70,15 @@ StackelbergOutcome evaluate_strategy(const ParallelLinks& m,
                                      std::span<const double> strategy,
                                      double optimum_cost, double tol,
                                      SolverWorkspace& ws, double level_hint);
+
+/// Budgeted variant: the induced solve honors `budget` (see SolveBudget in
+/// solver/status.h); a budget hit or numeric failure degrades the outcome
+/// (status/supply_gap) instead of throwing.
+StackelbergOutcome evaluate_strategy(const ParallelLinks& m,
+                                     std::span<const double> strategy,
+                                     double optimum_cost, double tol,
+                                     SolverWorkspace& ws, double level_hint,
+                                     const SolveBudget& budget);
 
 /// s = 0: the do-nothing baseline (induces the plain Nash).
 std::vector<double> aloof_strategy(const ParallelLinks& m);
@@ -100,8 +114,13 @@ struct NetworkStackelbergOutcome {
   std::vector<double> induced;  // followers' edge flows t_e
   double cost = 0.0;            // C(S+T) on the instance's own latencies
   double ratio = 0.0;           // C(S+T)/C(O)
-  /// False only when the induced equilibrium solve hit its iteration caps.
+  /// converged == solve_ok(status); kept for existing call sites.
   bool converged = true;
+  /// How the induced assignment solve ended (see solver/status.h), with
+  /// its achieved path-cost spread as the honest quality bound. Budgets
+  /// flow in through AssignmentOptions::budget.
+  SolveStatus status = SolveStatus::kConverged;
+  double spread = 0.0;
   /// Work counters of the induced solve — all zero unless the calling
   /// thread had a counter sink installed (obs::CountersScope).
   obs::SolveCounters counters;

@@ -72,6 +72,10 @@ MopResult mop(const NetworkInstance& inst, const MopOptions& opts,
   obs::ScopedCounterDelta tally;
   obs::ScopedSpan span("mop");
   inst.validate();
+  // Arm the budget once so the optimum solve and the induced verification
+  // solve draw on a single shared deadline.
+  AssignmentOptions solve_opts = opts.assignment;
+  solve_opts.budget = opts.assignment.budget.armed();
   const Graph& g = inst.graph;
   const auto ne = static_cast<std::size_t>(g.num_edges());
   const std::size_t k = inst.commodities.size();
@@ -82,9 +86,11 @@ MopResult mop(const NetworkInstance& inst, const MopOptions& opts,
   NetworkAssignment opt = [&] {
     obs::ScopedSpan phase("mop_optimum");
     return warm_in != nullptr
-               ? solve_optimum(inst, opts.assignment, ws, warm_in->optimum)
-               : solve_optimum(inst, opts.assignment, ws);
+               ? solve_optimum(inst, solve_opts, ws, warm_in->optimum)
+               : solve_optimum(inst, solve_opts, ws);
   }();
+  result.status = worst_status(result.status, opt.status);
+  result.spread = std::fmax(result.spread, opt.spread);
   result.optimum_edge_flow = opt.edge_flow;
   result.optimum_cost = opt.cost;
   const std::vector<LatencyPtr> lat = g.latencies();
@@ -182,9 +188,11 @@ MopResult mop(const NetworkInstance& inst, const MopOptions& opts,
       NetworkAssignment induced =
           warm_in != nullptr
               ? solve_induced(followers, result.leader_edge_flow,
-                              opts.assignment, ws, warm_in->induced)
+                              solve_opts, ws, warm_in->induced)
               : solve_induced(followers, result.leader_edge_flow,
-                              opts.assignment, ws);
+                              solve_opts, ws);
+      result.status = worst_status(result.status, induced.status);
+      result.spread = std::fmax(result.spread, induced.spread);
       result.follower_edge_flow = induced.edge_flow;
       result.induced_cost = induced.cost;
       if (warm_out != nullptr) {

@@ -37,14 +37,25 @@ OpTopResult op_top(const ParallelLinks& m, const OpTopOptions& opts,
   // Collected locally so warm_in and warm_out may alias.
   OpTopWarmStart levels;
 
+  // One armed budget shared by every internal water-filling solve, so the
+  // whole pipeline draws on a single deadline.
+  const SolveBudget budget = opts.budget.armed();
+
   OpTopResult result;
+  const auto absorb = [&result](const LinkAssignment& a) {
+    result.status = worst_status(result.status, a.status);
+    result.supply_gap = std::fmax(result.supply_gap, std::fabs(a.supply_gap));
+  };
   {
     const LinkAssignment opt =
-        solve_optimum(m, opts.solve_tol, ws, hint(&OpTopWarmStart::optimum_level));
+        solve_optimum(m, opts.solve_tol, ws,
+                      hint(&OpTopWarmStart::optimum_level), budget);
+    absorb(opt);
     result.optimum = opt.flows;
     levels.optimum_level = opt.level;
-    const LinkAssignment nash =
-        solve_nash(m, opts.solve_tol, ws, hint(&OpTopWarmStart::nash_level));
+    const LinkAssignment nash = solve_nash(
+        m, opts.solve_tol, ws, hint(&OpTopWarmStart::nash_level), budget);
+    absorb(nash);
     result.nash = nash.flows;
     levels.nash_level = nash.level;
   }
@@ -64,7 +75,8 @@ OpTopResult op_top(const ParallelLinks& m, const OpTopOptions& opts,
     LinkAssignment nash;
     if (remaining > tol) {
       nash = solve_nash(sub, opts.solve_tol, ws,
-                        round_hint(static_cast<std::size_t>(round)));
+                        round_hint(static_cast<std::size_t>(round)), budget);
+      absorb(nash);
       levels.round_levels.push_back(nash.level);
     } else {
       nash.flows.assign(active.size(), 0.0);
@@ -100,8 +112,10 @@ OpTopResult op_top(const ParallelLinks& m, const OpTopOptions& opts,
   // by construction this reproduces the optimum there.
   if (!active.empty() && remaining > tol) {
     const ParallelLinks sub = subsystem(m, active, remaining);
-    const LinkAssignment induced = solve_nash(
-        sub, opts.solve_tol, ws, hint(&OpTopWarmStart::induced_level));
+    const LinkAssignment induced =
+        solve_nash(sub, opts.solve_tol, ws,
+                   hint(&OpTopWarmStart::induced_level), budget);
+    absorb(induced);
     levels.induced_level = induced.level;
     for (std::size_t pos = 0; pos < active.size(); ++pos) {
       result.induced[static_cast<std::size_t>(active[pos])] =

@@ -95,15 +95,27 @@ StackelbergOutcome evaluate_strategy(const ParallelLinks& m,
                                      std::span<const double> strategy,
                                      double optimum_cost, double tol,
                                      SolverWorkspace& ws, double level_hint) {
+  return evaluate_strategy(m, strategy, optimum_cost, tol, ws, level_hint,
+                           SolveBudget{});
+}
+
+StackelbergOutcome evaluate_strategy(const ParallelLinks& m,
+                                     std::span<const double> strategy,
+                                     double optimum_cost, double tol,
+                                     SolverWorkspace& ws, double level_hint,
+                                     const SolveBudget& budget) {
   obs::ScopedCounterDelta tally;
   obs::ScopedSpan span("evaluate_strategy");
   SR_REQUIRE(strategy.size() == m.size(), "strategy size mismatch");
   require_positive_optimum(optimum_cost);
   StackelbergOutcome out;
   out.strategy.assign(strategy.begin(), strategy.end());
-  const LinkAssignment induced = solve_induced(m, strategy, tol, ws, level_hint);
+  const LinkAssignment induced =
+      solve_induced(m, strategy, tol, ws, level_hint, budget);
   out.induced = induced.flows;
   out.induced_level = induced.level;
+  out.status = induced.status;
+  out.supply_gap = induced.supply_gap;
   out.cost = stackelberg_cost(m, strategy, out.induced);
   out.ratio = out.cost / optimum_cost;
   if (tally.active()) out.counters = tally.current();
@@ -220,6 +232,8 @@ NetworkStackelbergOutcome evaluate_strategy(const NetworkInstance& inst,
             ? solve_induced(followers, strategy.preload, opts, ws, *warm_in)
             : solve_induced(followers, strategy.preload, opts, ws);
     out.converged = induced.converged;
+    out.status = induced.status;
+    out.spread = induced.spread;
     out.cost = induced.cost;
     if (warm_out != nullptr) {
       warm_out->commodity_paths = std::move(induced.commodity_paths);

@@ -17,6 +17,11 @@ struct LinkAssignment {
   /// links; empty links sit at or above it.
   double level = 0.0;
   bool constant_plateau = false;
+  /// How the underlying water-filling solve ended (see solver/status.h).
+  SolveStatus status = SolveStatus::kConverged;
+  /// demand - S(level) of the underlying solve: the honest miss on a
+  /// degraded assignment (~0 when converged).
+  double supply_gap = 0.0;
 };
 
 /// The Nash assignment N of (M, r): unique for strictly increasing
@@ -55,6 +60,20 @@ LinkAssignment solve_optimum(const ParallelLinks& m, double tol,
 LinkAssignment solve_induced(const ParallelLinks& m,
                              std::span<const double> preload, double tol,
                              SolverWorkspace& ws, double level_hint);
+
+/// Budgeted variants (see SolveBudget in solver/status.h): a budget hit or
+/// numeric failure degrades the result (status/supply_gap) instead of
+/// throwing. Pass an armed budget to share one deadline across a pipeline.
+LinkAssignment solve_nash(const ParallelLinks& m, double tol,
+                          SolverWorkspace& ws, double level_hint,
+                          const SolveBudget& budget);
+LinkAssignment solve_optimum(const ParallelLinks& m, double tol,
+                             SolverWorkspace& ws, double level_hint,
+                             const SolveBudget& budget);
+LinkAssignment solve_induced(const ParallelLinks& m,
+                             std::span<const double> preload, double tol,
+                             SolverWorkspace& ws, double level_hint,
+                             const SolveBudget& budget);
 
 /// C(X) = Σ_i x_i·ℓ_i(x_i).
 double cost(const ParallelLinks& m, std::span<const double> flows);

@@ -16,6 +16,8 @@ NetworkAssignment from_assignment(const NetworkInstance& inst,
   out.edge_flow = std::move(r.edge_flow);
   out.commodity_paths = std::move(r.commodity_paths);
   out.converged = r.converged;
+  out.status = r.status;
+  out.spread = r.spread;
   out.cost = cost(inst, out.edge_flow);
   return out;
 }
@@ -87,6 +89,8 @@ NetworkAssignment solve_induced(const NetworkInstance& inst,
   out.edge_flow = std::move(r.edge_flow);
   out.commodity_paths = std::move(r.commodity_paths);
   out.converged = r.converged;
+  out.status = r.status;
+  out.spread = r.spread;
   // C(S+T): combined flow on the instance's own latencies.
   SR_REQUIRE(preload.size() == out.edge_flow.size(),
              "preload vector must have one entry per edge");

@@ -17,6 +17,8 @@ LinkAssignment from_water_fill(WaterFillingResult&& wf) {
   out.flows = std::move(wf.flows);
   out.level = wf.level;
   out.constant_plateau = wf.constant_plateau;
+  out.status = wf.status;
+  out.supply_gap = wf.supply_gap;
   return out;
 }
 
@@ -72,22 +74,41 @@ LinkAssignment solve_induced(const ParallelLinks& m,
 
 LinkAssignment solve_nash(const ParallelLinks& m, double tol,
                           SolverWorkspace& ws, double level_hint) {
-  m.validate();
-  return from_water_fill(
-      water_fill(m.links, m.demand, LevelKind::kLatency, tol, ws, level_hint));
+  return solve_nash(m, tol, ws, level_hint, SolveBudget{});
 }
 
 LinkAssignment solve_optimum(const ParallelLinks& m, double tol,
                              SolverWorkspace& ws, double level_hint) {
-  m.validate();
-  return from_water_fill(water_fill(m.links, m.demand,
-                                    LevelKind::kMarginalCost, tol, ws,
-                                    level_hint));
+  return solve_optimum(m, tol, ws, level_hint, SolveBudget{});
 }
 
 LinkAssignment solve_induced(const ParallelLinks& m,
                              std::span<const double> preload, double tol,
                              SolverWorkspace& ws, double level_hint) {
+  return solve_induced(m, preload, tol, ws, level_hint, SolveBudget{});
+}
+
+LinkAssignment solve_nash(const ParallelLinks& m, double tol,
+                          SolverWorkspace& ws, double level_hint,
+                          const SolveBudget& budget) {
+  m.validate();
+  return from_water_fill(water_fill(m.links, m.demand, LevelKind::kLatency,
+                                    tol, ws, level_hint, budget));
+}
+
+LinkAssignment solve_optimum(const ParallelLinks& m, double tol,
+                             SolverWorkspace& ws, double level_hint,
+                             const SolveBudget& budget) {
+  m.validate();
+  return from_water_fill(water_fill(m.links, m.demand,
+                                    LevelKind::kMarginalCost, tol, ws,
+                                    level_hint, budget));
+}
+
+LinkAssignment solve_induced(const ParallelLinks& m,
+                             std::span<const double> preload, double tol,
+                             SolverWorkspace& ws, double level_hint,
+                             const SolveBudget& budget) {
   m.validate();
   const std::vector<LatencyPtr> links = shifted_links(m, preload);
   const double controlled = sum(preload);
@@ -95,7 +116,8 @@ LinkAssignment solve_induced(const ParallelLinks& m,
              "Leader preload exceeds total demand");
   const double rest = std::fmax(0.0, m.demand - controlled);
   return from_water_fill(
-      water_fill(links, rest, LevelKind::kLatency, tol, ws, level_hint));
+      water_fill(links, rest, LevelKind::kLatency, tol, ws, level_hint,
+                 budget));
 }
 
 double cost(const ParallelLinks& m, std::span<const double> flows) {

@@ -1,5 +1,6 @@
 #include "stackroute/io/serialize.h"
 
+#include <cmath>
 #include <locale>
 #include <map>
 #include <ostream>
@@ -72,6 +73,10 @@ class LineReader {
       row.imbue(std::locale::classic());
       return true;
     }
+    // getline stops identically on clean EOF and on a stream gone bad
+    // (disk error, truncated pipe); only the former may end a document.
+    // Failing here guarantees a partial read never becomes an instance.
+    if (is_.bad()) fail("stream I/O error mid-document (truncated read?)");
     return false;
   }
 
@@ -114,7 +119,13 @@ LatencyPtr read_latency(std::istringstream& row, const LineReader& reader) {
                  "unknown latency kind '" + kind_name + "'");
   std::vector<double> params;
   double v = 0.0;
-  while (row >> v) params.push_back(v);
+  while (row >> v) {
+    // Classic-locale extraction rejects "nan"/"inf" text on common
+    // implementations, but not on all — enforce the invariant here so a
+    // non-finite parameter always dies with this line's number.
+    reader.require(std::isfinite(v), "non-finite latency parameter");
+    params.push_back(v);
+  }
   reader.require_consumed(row, "'" + kind_name + "' parameters");
   try {
     return make_latency(it->second, params);
@@ -159,12 +170,14 @@ ParallelLinks read_parallel_links(std::istream& is) {
   reader.require(static_cast<bool>(row >> tag >> m.demand) &&
                      tag == "parallel_links",
                  "expected 'parallel_links <demand>' header");
+  reader.require(std::isfinite(m.demand), "non-finite demand");
   reader.require_consumed(row, "'parallel_links' header");
   while (reader.next(row)) {
     reader.require(static_cast<bool>(row >> tag) && tag == "link",
                    "expected 'link <kind> <params...>'");
     m.links.push_back(read_latency(row, reader));
   }
+  if (m.links.empty()) reader.fail("parallel-links document has no links");
   m.validate();
   return m;
 }
@@ -200,11 +213,15 @@ NetworkInstance read_network(std::istream& is) {
       Commodity c;
       reader.require(static_cast<bool>(row >> c.source >> c.sink >> c.demand),
                      "expected 'commodity <source> <sink> <demand>'");
+      reader.require(std::isfinite(c.demand), "non-finite commodity demand");
       reader.require_consumed(row, "'commodity' line");
       inst.commodities.push_back(c);
     } else {
       reader.fail("unknown line tag '" + tag + "'");
     }
+  }
+  if (inst.graph.num_edges() == 0) {
+    reader.fail("network document has no edge lines");
   }
   inst.validate();
   return inst;

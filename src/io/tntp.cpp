@@ -1,6 +1,7 @@
 #include "stackroute/io/tntp.h"
 
 #include <cctype>
+#include <cmath>
 #include <fstream>
 #include <locale>
 #include <sstream>
@@ -44,6 +45,10 @@ int parse_int_value(const std::string& value, const std::string& tag,
 /// like the BPR formula itself: to a constant latency.
 LatencyPtr tntp_latency(double fft, double capacity, double b, double power,
                         int line_no) {
+  if (!std::isfinite(fft) || !std::isfinite(capacity) || !std::isfinite(b) ||
+      !std::isfinite(power)) {
+    fail_at(line_no, "non-finite value in link row");
+  }
   if (fft < 0.0 || capacity <= 0.0 || b < 0.0) {
     fail_at(line_no,
             "link needs free-flow time >= 0, capacity > 0 and B >= 0");
@@ -129,6 +134,7 @@ NetworkInstance read_tntp_network(std::istream& is, TntpMetadata* metadata) {
         term > meta.num_nodes) {
       fail_at(line_no, "link endpoint out of range (node ids are 1-based)");
     }
+    if (!std::isfinite(length)) fail_at(line_no, "non-finite value in link row");
     try {
       inst.graph.add_edge(static_cast<NodeId>(init - 1),
                           static_cast<NodeId>(term - 1),
@@ -141,8 +147,16 @@ NetworkInstance read_tntp_network(std::istream& is, TntpMetadata* metadata) {
     ++links_read;
   }
 
+  // A stream that went bad mid-read (disk error, truncated pipe) makes
+  // getline stop exactly like a clean EOF would — distinguish them, so a
+  // partially read document is never handed back as a complete instance.
+  if (is.bad()) {
+    fail_at(line_no, "stream I/O error while reading TNTP document "
+                     "(truncated read?)");
+  }
   SR_REQUIRE(!in_metadata, "TNTP document has no <END OF METADATA>");
   SR_REQUIRE(have_nodes, "TNTP document has no <NUMBER OF NODES>");
+  SR_REQUIRE(links_read > 0, "TNTP document has no link rows");
   if (have_links) {
     SR_REQUIRE(links_read == meta.num_links,
                "TNTP link count mismatch: <NUMBER OF LINKS> says " +

@@ -50,8 +50,12 @@ namespace stackroute::obs {
                 "spread)")                                                    \
   X(warm_attempts, "solves offered a non-empty warm-start payload")           \
   X(warm_hits, "warm payloads accepted and used (attempts - hits = misses)")  \
+  X(warm_fallbacks, "warm-started solves rerun cold after the warm seed "     \
+                    "degraded (non-finite costs, gap regression, or stall)")  \
   X(chain_resets, "sweep chains dropped warm state (topology break or task "  \
-                  "failure)")
+                  "failure)")                                                 \
+  X(task_retries, "sweep tasks re-attempted cold after a failed attempt "     \
+                  "(RetryPolicy)")
 
 /// One counter per kind of solver work; all start at zero.
 struct SolveCounters {

@@ -80,32 +80,30 @@ FrankWolfeResult frank_wolfe(const NetworkInstance& inst,
   return frank_wolfe(inst, objective, preload, opts, ws, {}, 0.0);
 }
 
-FrankWolfeResult frank_wolfe(const NetworkInstance& inst,
-                             FlowObjective objective,
-                             std::span<const double> preload,
-                             const FrankWolfeOptions& opts,
-                             SolverWorkspace& ws,
-                             std::span<const double> warm_flow,
-                             double warm_total_demand) {
-  obs::ScopedCounterDelta tally;
-  obs::ScopedSpan span("frank_wolfe");
-  inst.validate();
-  const Graph& g = inst.graph;
-  const std::vector<LatencyPtr> lat = effective_latencies(g, preload);
-  ws.table.ensure_compiled(lat);
+namespace {
+
+/// One Frank–Wolfe run (seed + iterate). Publishes its work counters into
+/// whatever sink/delta the caller installed; the public entry point owns
+/// the per-solve delta and the warm-fallback rerun.
+FrankWolfeResult fw_run(const NetworkInstance& inst, FlowObjective objective,
+                        const FrankWolfeOptions& opts, BudgetGate& gate,
+                        SolverWorkspace& ws, std::span<const double> warm_flow,
+                        double warm_total_demand, bool& used_warm) {
   const LatencyTable& table = ws.table;
-  const auto ne = static_cast<std::size_t>(g.num_edges());
+  const auto ne = static_cast<std::size_t>(inst.graph.num_edges());
   ws.costs.resize(ne);
   ws.aon_flow.resize(ne);
   ws.direction.resize(ne);
 
   FrankWolfeResult result;
+  used_warm = false;
   const double factor = warm_total_demand > 0.0
                             ? inst.total_demand() / warm_total_demand
                             : 0.0;
   if (!warm_flow.empty()) obs::count(&obs::SolveCounters::warm_attempts);
   if (warm_flow.size() == ne && factor > 0.0 && std::isfinite(factor)) {
     obs::count(&obs::SolveCounters::warm_hits);
+    used_warm = true;
     // Demand-rescaling projection of the prior converged flow.
     result.edge_flow.resize(ne);
     for (std::size_t e = 0; e < ne; ++e) {
@@ -124,19 +122,49 @@ FrankWolfeResult frank_wolfe(const NetworkInstance& inst,
   // a thread-local test per probe), published once after the loop.
   std::uint64_t ls_evals = 0;
   const bool tracing = obs::convergence() != nullptr;
+  result.rel_gap = kInf;
+  result.status = SolveStatus::kIterLimit;  // until proven otherwise
+  double best_gap = kInf;
+  int since_improved = 0;
 
   for (int iter = 1; iter <= opts.max_iters; ++iter) {
+    if (gate.over_iters(iter - 1)) break;  // budget cap below opts.max_iters
+    if (gate.expired()) {
+      result.status = SolveStatus::kDeadlineExceeded;
+      break;
+    }
     result.iterations = iter;
     edge_costs(table, result.edge_flow, objective, ws.costs);
-    const double aon_cost = all_or_nothing(inst, ws.costs, ws, ws.aon_flow);
 
+    // c·f before the Dijkstras: flow >= 0 everywhere, so any NaN/Inf cost
+    // makes cf non-finite (0 * NaN and 0 * Inf are both NaN) — one check
+    // catches corrupt costs before shortest paths run on them.
     double cf = 0.0;
     for (std::size_t e = 0; e < ne; ++e) {
       cf += ws.costs[e] * result.edge_flow[e];
     }
+    if (!std::isfinite(cf)) {
+      result.status = SolveStatus::kNumericFailure;
+      break;
+    }
+    const double aon_cost = all_or_nothing(inst, ws.costs, ws, ws.aon_flow);
+
     result.rel_gap = (cf - aon_cost) / std::fmax(std::fabs(cf), 1e-300);
+    if (!std::isfinite(result.rel_gap)) {
+      result.status = SolveStatus::kNumericFailure;
+      break;
+    }
+    if (opts.budget.stall_window > 0) {
+      if (result.rel_gap < best_gap) {
+        best_gap = result.rel_gap;
+        since_improved = 0;
+      } else if (++since_improved >= opts.budget.stall_window) {
+        result.status = SolveStatus::kStalled;
+        break;
+      }
+    }
     if (result.rel_gap <= opts.rel_gap_tol) {
-      result.converged = true;
+      result.status = SolveStatus::kConverged;
       if (tracing) {
         obs::record_convergence(
             iter, result.rel_gap, 0.0,
@@ -205,7 +233,7 @@ FrankWolfeResult frank_wolfe(const NetworkInstance& inst,
       }
     }
     if (theta <= 0.0) {
-      result.converged = true;  // stationary
+      result.status = SolveStatus::kConverged;  // stationary
       if (tracing) {
         obs::record_convergence(
             iter, result.rel_gap, 0.0,
@@ -223,15 +251,53 @@ FrankWolfeResult frank_wolfe(const NetworkInstance& inst,
           objective_value(table, result.edge_flow, objective));
     }
   }
+  result.converged = solve_ok(result.status);
   result.objective = objective_value(table, result.edge_flow, objective);
-  if (tally.active()) {
-    obs::count(&obs::SolveCounters::fw_iterations,
-               static_cast<std::uint64_t>(result.iterations));
-    obs::count(&obs::SolveCounters::gap_checks,
-               static_cast<std::uint64_t>(result.iterations));
-    obs::count(&obs::SolveCounters::fw_line_search_evals, ls_evals);
-    result.counters = tally.current();
+  obs::count(&obs::SolveCounters::fw_iterations,
+             static_cast<std::uint64_t>(result.iterations));
+  obs::count(&obs::SolveCounters::gap_checks,
+             static_cast<std::uint64_t>(result.iterations));
+  obs::count(&obs::SolveCounters::fw_line_search_evals, ls_evals);
+  return result;
+}
+
+}  // namespace
+
+FrankWolfeResult frank_wolfe(const NetworkInstance& inst,
+                             FlowObjective objective,
+                             std::span<const double> preload,
+                             const FrankWolfeOptions& opts,
+                             SolverWorkspace& ws,
+                             std::span<const double> warm_flow,
+                             double warm_total_demand) {
+  obs::ScopedCounterDelta tally;
+  obs::ScopedSpan span("frank_wolfe");
+  inst.validate();
+  const std::vector<LatencyPtr> lat =
+      effective_latencies(inst.graph, preload);
+  ws.table.ensure_compiled(lat);
+
+  // One gate for the whole call: if the warm run burns the deadline, the
+  // cold fallback below must not get a fresh one.
+  BudgetGate gate(opts.budget);
+  bool used_warm = false;
+  FrankWolfeResult result = fw_run(inst, objective, opts, gate, ws, warm_flow,
+                                   warm_total_demand, used_warm);
+
+  // Warm-start guard: a warm seed that went numerically bad, stalled, or
+  // burned the iteration cap without converging gets one cold retry — the
+  // seed, not the instance, is the prime suspect. A deadline hit is not
+  // retried (no time left to retry with).
+  if (used_warm && !solve_ok(result.status) &&
+      result.status != SolveStatus::kDeadlineExceeded) {
+    obs::count(&obs::SolveCounters::warm_fallbacks);
+    bool cold_used_warm = false;
+    FrankWolfeResult cold =
+        fw_run(inst, objective, opts, gate, ws, {}, 0.0, cold_used_warm);
+    result = std::move(cold);
   }
+
+  if (tally.active()) result.counters = tally.current();
   return result;
 }
 

@@ -14,6 +14,7 @@
 #include "stackroute/network/instance.h"
 #include "stackroute/obs/counters.h"
 #include "stackroute/solver/objective.h"
+#include "stackroute/solver/status.h"
 #include "stackroute/solver/workspace.h"
 
 namespace stackroute {
@@ -28,14 +29,23 @@ struct FrankWolfeOptions {
   /// Stop when (c·f − c·y)/max(c·f, eps) <= rel_gap_tol, y the AON flow.
   double rel_gap_tol = 1e-6;
   FwStepRule step_rule = FwStepRule::kExactLineSearch;
+  /// Resource limits (iteration cap, wall-clock deadline, opt-in stall
+  /// detection). Inactive by default; see status.h.
+  SolveBudget budget;
 };
 
 struct FrankWolfeResult {
   std::vector<double> edge_flow;
   double objective = 0.0;
+  /// The relative gap actually achieved — the honest quality bound on
+  /// `edge_flow` whether or not the solve converged.
   double rel_gap = 0.0;
   int iterations = 0;
+  /// converged == solve_ok(status); kept for existing call sites.
   bool converged = false;
+  /// How the solve ended. A degraded status means `edge_flow` is the
+  /// best-so-far feasible iterate with quality bound `rel_gap`.
+  SolveStatus status = SolveStatus::kConverged;
   /// This solve's work counters — all zero unless the calling thread had a
   /// counter sink installed (obs::CountersScope).
   obs::SolveCounters counters;

@@ -23,6 +23,7 @@
 #include "stackroute/network/paths.h"
 #include "stackroute/obs/counters.h"
 #include "stackroute/solver/objective.h"
+#include "stackroute/solver/status.h"
 #include "stackroute/solver/workspace.h"
 
 namespace stackroute {
@@ -34,6 +35,9 @@ struct AssignmentOptions {
   int max_sweeps = 2000;
   /// Inner equalization steps per commodity per sweep.
   int max_inner = 200;
+  /// Resource limits (equalization-step cap, wall-clock deadline, opt-in
+  /// stall detection on the per-sweep spread). Inactive by default.
+  SolveBudget budget;
 };
 
 struct AssignmentResult {
@@ -45,7 +49,14 @@ struct AssignmentResult {
   /// pair move) — the solver's cost driver, reported so warm-start wins
   /// are observable.
   int steps = 0;
+  /// converged == solve_ok(status); kept for existing call sites.
   bool converged = false;
+  /// How the solve ended. A degraded status means the flows/paths are the
+  /// best-so-far feasible state with quality bound `spread`.
+  SolveStatus status = SolveStatus::kConverged;
+  /// The worst path-cost spread measured in the last completed sweep —
+  /// the achieved counterpart of opts.tol (<= tol iff converged).
+  double spread = 0.0;
   /// This solve's work counters — all zero unless the calling thread had a
   /// counter sink installed (obs::CountersScope).
   obs::SolveCounters counters;

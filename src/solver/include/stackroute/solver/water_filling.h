@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "stackroute/latency/latency.h"
+#include "stackroute/solver/status.h"
 #include "stackroute/solver/workspace.h"
 
 namespace stackroute {
@@ -39,6 +40,13 @@ struct WaterFillingResult {
   /// True when the level is pinned by constant-latency links absorbing the
   /// residual flow.
   bool constant_plateau = false;
+  /// How the solve ended. Anything but kConverged means `flows`/`level`
+  /// are best-so-far: the flows fill consistently at `level`, but S(level)
+  /// may miss the demand by `supply_gap`.
+  SolveStatus status = SolveStatus::kConverged;
+  /// demand - S(level) before the roundoff polish: the honest quality
+  /// bound on a degraded solve (~0 when converged).
+  double supply_gap = 0.0;
 };
 
 /// Solves S(L) = demand as described above. Throws if demand is negative,
@@ -66,5 +74,14 @@ WaterFillingResult water_fill(std::span<const LatencyPtr> links, double demand,
 WaterFillingResult water_fill(std::span<const LatencyPtr> links, double demand,
                               LevelKind kind, double tol, SolverWorkspace& ws,
                               double level_hint);
+
+/// Budgeted variant. `budget.max_iters` caps the number of S(L) supply
+/// evaluations; the deadline is polled once per evaluation. A budget hit
+/// or a non-finite supply value degrades the result (status + supply_gap)
+/// instead of throwing; a non-finite probe at the warm hint falls back to
+/// the cold bracket (counted as a warm_fallback) before degrading.
+WaterFillingResult water_fill(std::span<const LatencyPtr> links, double demand,
+                              LevelKind kind, double tol, SolverWorkspace& ws,
+                              double level_hint, const SolveBudget& budget);
 
 }  // namespace stackroute

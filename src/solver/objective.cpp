@@ -3,6 +3,7 @@
 #include "stackroute/latency/families.h"
 #include "stackroute/obs/counters.h"
 #include "stackroute/util/error.h"
+#include "stackroute/util/fault.h"
 #include "stackroute/util/numeric.h"
 #include "stackroute/util/parallel.h"
 
@@ -50,6 +51,16 @@ void edge_costs(const LatencyTable& lat, std::span<const double> flow,
   parallel_for(lat.size(), [&](std::size_t e) {
     out[e] = edge_cost_at(lat, e, flow[e], objective);
   });
+  // Fault-injection seam: each batch evaluation is one event, corrupted
+  // after the join on the calling thread (the armed scope is thread-local,
+  // so this stays invariant under the worker count). One thread-local load
+  // and branch when no plan is armed.
+  if (fault::armed()) {
+    double bad;
+    if (fault::next_eval_faulted(bad) && !out.empty()) {
+      out[(out.size() - 1) / 2] = bad;
+    }
+  }
 }
 
 double objective_value(std::span<const LatencyPtr> lat,

@@ -8,6 +8,7 @@
 #include "stackroute/obs/counters.h"
 #include "stackroute/obs/trace.h"
 #include "stackroute/util/error.h"
+#include "stackroute/util/fault.h"
 #include "stackroute/util/numeric.h"
 #include "stackroute/util/scalar.h"
 
@@ -93,12 +94,35 @@ struct CommodityState {
 
 // Refresh the maintained cost entries of every edge on `path` from the
 // current flow — the incremental counterpart of recomputing all m costs.
+// One fault-injection event per call, and every refreshed entry is checked
+// finite: a NaN that slipped into the maintained costs would otherwise
+// poison the next Dijkstra silently (NaN relaxations all compare false).
+// Throws NumericError so assign_traffic can degrade to best-so-far.
 void refresh_costs(const LatencyTable& table, std::span<const double> flow,
                    FlowObjective objective, const Path& path,
                    std::vector<double>& costs) {
   for (EdgeId e : path) {
     const auto ei = static_cast<std::size_t>(e);
     costs[ei] = edge_cost_at(table, ei, flow[ei], objective);
+  }
+  if (fault::armed()) {
+    double bad;
+    if (fault::next_eval_faulted(bad) && !path.empty()) {
+      costs[static_cast<std::size_t>(path.front())] = bad;
+    }
+  }
+  for (EdgeId e : path) {
+    SR_REQUIRE_FINITE(costs[static_cast<std::size_t>(e)],
+                      "refresh_costs: non-finite edge cost");
+  }
+}
+
+// Full-table finiteness check, run once after each (re)seeding batch cost
+// evaluation — the batched edge_costs seam can inject there too, and the
+// first Dijkstra must not run on corrupt costs.
+void require_finite_costs(std::span<const double> costs) {
+  for (double c : costs) {
+    SR_REQUIRE_FINITE(c, "assign_traffic: non-finite edge cost");
   }
 }
 
@@ -119,6 +143,7 @@ double equalize_once(const Graph& g, const Commodity& com,
   Path& shortest = ws.path_scratch;
   extract_path_into(g, tree, com.sink, shortest);
   const double best_cost = path_cost(costs, shortest);
+  SR_REQUIRE_FINITE(best_cost, "equalize_once: non-finite shortest-path cost");
   const std::uint64_t shortest_fp = path_fingerprint(shortest);
 
   // Locate (or insert) the shortest path in the active set, and find the
@@ -421,6 +446,143 @@ bool seed_from_warm(const NetworkInstance& inst, const LatencyTable& table,
   return true;
 }
 
+// One full equilibration run (seed + sweeps). Publishes its work counters
+// into whatever sink/delta the caller installed; the public entry point
+// owns the per-solve delta and the warm-fallback rerun. A NumericError
+// anywhere in the seed or the sweeps degrades to best-so-far instead of
+// escaping.
+AssignmentResult assign_run(const NetworkInstance& inst,
+                            FlowObjective objective,
+                            const AssignmentOptions& opts, BudgetGate& gate,
+                            SolverWorkspace& ws,
+                            const AssignmentWarmStart& warm, bool& used_warm) {
+  const Graph& g = inst.graph;
+  const LatencyTable& table = ws.table;
+  const auto ne = static_cast<std::size_t>(g.num_edges());
+  const std::size_t k = inst.commodities.size();
+
+  AssignmentResult result;
+  result.edge_flow.assign(ne, 0.0);
+  std::vector<CommodityState> states(k);
+  ws.costs.resize(ne);
+  used_warm = false;
+  result.status = SolveStatus::kIterLimit;  // until proven otherwise
+  result.spread = kInf;
+
+  try {
+    if (!warm.empty()) obs::count(&obs::SolveCounters::warm_attempts);
+    if (!warm.empty() && seed_from_warm(inst, table, objective, warm, states,
+                                        result.edge_flow, ws)) {
+      obs::count(&obs::SolveCounters::warm_hits);
+      used_warm = true;
+      require_finite_costs(ws.costs);
+      warm_polish(inst, table, objective, opts.tol, states, result.edge_flow,
+                  ws);
+    } else {
+      // Cold start: all-or-nothing at current costs, commodity by commodity
+      // so later commodities see earlier ones' flow.
+      edge_costs(table, result.edge_flow, objective, ws.costs);
+      require_finite_costs(ws.costs);
+      for (std::size_t i = 0; i < k; ++i) {
+        const Commodity& com = inst.commodities[i];
+        const ShortestPathTree& tree =
+            dijkstra(g, com.source, ws.costs, ws.dijkstra);
+        count_dijkstra(ws.dijkstra);
+        Path& p = ws.path_scratch;
+        extract_path_into(g, tree, com.sink, p);
+        for (EdgeId e : p) {
+          result.edge_flow[static_cast<std::size_t>(e)] += com.demand;
+        }
+        refresh_costs(table, result.edge_flow, objective, p, ws.costs);
+        states[i].active.push_back(PathFlow{p, com.demand});
+        states[i].fingerprint.push_back(path_fingerprint(p));
+      }
+    }
+
+    const bool tracing = obs::convergence() != nullptr;
+    double best_spread = kInf;
+    int since_improved = 0;
+    bool out_of_budget = false;
+    for (int sweep = 1; sweep <= opts.max_sweeps && !out_of_budget; ++sweep) {
+      obs::ScopedSpan sweep_span("equalize_sweep");
+      double spread = 0.0;
+      for (std::size_t i = 0; i < k && !out_of_budget; ++i) {
+        for (int inner = 0; inner < opts.max_inner; ++inner) {
+          // Each equalization step is one Dijkstra plus one bisected pair
+          // move — the natural granularity for the cooperative budget.
+          if (gate.over_iters(result.steps)) {
+            result.status = SolveStatus::kIterLimit;
+            out_of_budget = true;
+            break;
+          }
+          if (gate.expired()) {
+            result.status = SolveStatus::kDeadlineExceeded;
+            out_of_budget = true;
+            break;
+          }
+          const double s =
+              equalize_once(g, inst.commodities[i], table, result.edge_flow,
+                            ws.costs, states[i], objective, opts.tol, ws);
+          ++result.steps;
+          if (inner == 0) spread = std::fmax(spread, s);
+          if (s <= opts.tol) break;
+        }
+      }
+      if (out_of_budget) break;
+      result.sweeps = sweep;
+      result.spread = spread;
+      if (tracing) {
+        // One sample per outer sweep: the spread plays the role of the
+        // relative gap, the step count so far is the "step", and the
+        // objective is recomputed (read-only; only when tracing).
+        obs::record_convergence(
+            sweep, spread, static_cast<double>(result.steps),
+            objective_value(table, result.edge_flow, objective));
+      }
+      if (spread <= opts.tol) {
+        result.status = SolveStatus::kConverged;
+        break;
+      }
+      if (opts.budget.stall_window > 0) {
+        if (spread < best_spread) {
+          best_spread = spread;
+          since_improved = 0;
+        } else if (++since_improved >= opts.budget.stall_window) {
+          result.status = SolveStatus::kStalled;
+          break;
+        }
+      }
+    }
+  } catch (const NumericError&) {
+    result.status = SolveStatus::kNumericFailure;
+  }
+  result.converged = solve_ok(result.status);
+
+  result.commodity_paths.resize(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    // Drop zero-flow actives from the report.
+    for (auto& pf : states[i].active) {
+      if (pf.flow > 0.0) result.commodity_paths[i].push_back(std::move(pf));
+    }
+  }
+  // Rebuild edge flows from the path decomposition: removes the tiny drift
+  // the incremental updates accumulate and guarantees the two views agree.
+  std::fill(result.edge_flow.begin(), result.edge_flow.end(), 0.0);
+  for (const auto& paths : result.commodity_paths) {
+    for (const PathFlow& pf : paths) {
+      for (EdgeId e : pf.path) {
+        result.edge_flow[static_cast<std::size_t>(e)] += pf.flow;
+      }
+    }
+  }
+  result.objective = objective_value(table, result.edge_flow, objective);
+  obs::count(&obs::SolveCounters::equalization_steps,
+             static_cast<std::uint64_t>(result.steps));
+  obs::count(&obs::SolveCounters::gap_checks,
+             static_cast<std::uint64_t>(result.sweeps));
+  return result;
+}
+
 }  // namespace
 
 AssignmentResult assign_traffic(const NetworkInstance& inst,
@@ -449,98 +611,30 @@ AssignmentResult assign_traffic(const NetworkInstance& inst,
   obs::ScopedCounterDelta tally;
   obs::ScopedSpan span("assign_traffic");
   inst.validate();
-  const Graph& g = inst.graph;
-  const std::vector<LatencyPtr> lat = effective_latencies(g, preload);
+  const std::vector<LatencyPtr> lat =
+      effective_latencies(inst.graph, preload);
   ws.table.ensure_compiled(lat);
-  const LatencyTable& table = ws.table;
-  const auto ne = static_cast<std::size_t>(g.num_edges());
-  const std::size_t k = inst.commodities.size();
 
-  AssignmentResult result;
-  result.edge_flow.assign(ne, 0.0);
-  std::vector<CommodityState> states(k);
-  ws.costs.resize(ne);
+  // One gate for the whole call: a cold fallback after a degraded warm run
+  // inherits whatever deadline is left, not a fresh one.
+  BudgetGate gate(opts.budget);
+  bool used_warm = false;
+  AssignmentResult result =
+      assign_run(inst, objective, opts, gate, ws, warm, used_warm);
 
-  if (!warm.empty()) obs::count(&obs::SolveCounters::warm_attempts);
-  if (!warm.empty() && seed_from_warm(inst, table, objective, warm, states,
-                                      result.edge_flow, ws)) {
-    obs::count(&obs::SolveCounters::warm_hits);
-    warm_polish(inst, table, objective, opts.tol, states, result.edge_flow,
-                ws);
-  } else {
-    // Cold start: all-or-nothing at current costs, commodity by commodity
-    // so later commodities see earlier ones' flow.
-    edge_costs(table, result.edge_flow, objective, ws.costs);
-    for (std::size_t i = 0; i < k; ++i) {
-      const Commodity& com = inst.commodities[i];
-      const ShortestPathTree& tree =
-          dijkstra(g, com.source, ws.costs, ws.dijkstra);
-      count_dijkstra(ws.dijkstra);
-      Path& p = ws.path_scratch;
-      extract_path_into(g, tree, com.sink, p);
-      for (EdgeId e : p) {
-        result.edge_flow[static_cast<std::size_t>(e)] += com.demand;
-      }
-      refresh_costs(table, result.edge_flow, objective, p, ws.costs);
-      states[i].active.push_back(PathFlow{p, com.demand});
-      states[i].fingerprint.push_back(path_fingerprint(p));
-    }
+  // Warm-start guard: a warm seed that went numerically bad, stalled, or
+  // exhausted the sweep cap without converging gets one cold retry — the
+  // seed, not the instance, is the prime suspect. A deadline hit is not
+  // retried (no time left to retry with).
+  if (used_warm && !solve_ok(result.status) &&
+      result.status != SolveStatus::kDeadlineExceeded) {
+    obs::count(&obs::SolveCounters::warm_fallbacks);
+    bool cold_used_warm = false;
+    result = assign_run(inst, objective, opts, gate, ws, AssignmentWarmStart{},
+                        cold_used_warm);
   }
 
-  const bool tracing = obs::convergence() != nullptr;
-  for (int sweep = 1; sweep <= opts.max_sweeps; ++sweep) {
-    obs::ScopedSpan sweep_span("equalize_sweep");
-    double spread = 0.0;
-    for (std::size_t i = 0; i < k; ++i) {
-      for (int inner = 0; inner < opts.max_inner; ++inner) {
-        const double s =
-            equalize_once(g, inst.commodities[i], table, result.edge_flow,
-                          ws.costs, states[i], objective, opts.tol, ws);
-        ++result.steps;
-        if (inner == 0) spread = std::fmax(spread, s);
-        if (s <= opts.tol) break;
-      }
-    }
-    result.sweeps = sweep;
-    if (tracing) {
-      // One sample per outer sweep: the spread plays the role of the
-      // relative gap, the step count so far is the "step", and the
-      // objective is recomputed (read-only; only when tracing).
-      obs::record_convergence(
-          sweep, spread, static_cast<double>(result.steps),
-          objective_value(table, result.edge_flow, objective));
-    }
-    if (spread <= opts.tol) {
-      result.converged = true;
-      break;
-    }
-  }
-
-  result.commodity_paths.resize(k);
-  for (std::size_t i = 0; i < k; ++i) {
-    // Drop zero-flow actives from the report.
-    for (auto& pf : states[i].active) {
-      if (pf.flow > 0.0) result.commodity_paths[i].push_back(std::move(pf));
-    }
-  }
-  // Rebuild edge flows from the path decomposition: removes the tiny drift
-  // the incremental updates accumulate and guarantees the two views agree.
-  std::fill(result.edge_flow.begin(), result.edge_flow.end(), 0.0);
-  for (const auto& paths : result.commodity_paths) {
-    for (const PathFlow& pf : paths) {
-      for (EdgeId e : pf.path) {
-        result.edge_flow[static_cast<std::size_t>(e)] += pf.flow;
-      }
-    }
-  }
-  result.objective = objective_value(table, result.edge_flow, objective);
-  if (tally.active()) {
-    obs::count(&obs::SolveCounters::equalization_steps,
-               static_cast<std::uint64_t>(result.steps));
-    obs::count(&obs::SolveCounters::gap_checks,
-               static_cast<std::uint64_t>(result.sweeps));
-    result.counters = tally.current();
-  }
+  if (tally.active()) result.counters = tally.current();
   return result;
 }
 

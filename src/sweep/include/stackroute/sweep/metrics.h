@@ -25,6 +25,7 @@
 #include "stackroute/equilibrium/network.h"
 #include "stackroute/equilibrium/parallel.h"
 #include "stackroute/network/instance.h"
+#include "stackroute/solver/status.h"
 #include "stackroute/solver/workspace.h"
 #include "stackroute/sweep/grid.h"
 
@@ -97,6 +98,17 @@ class TaskEval {
   [[nodiscard]] const ParamPoint& point() const { return point_; }
   [[nodiscard]] bool is_parallel() const;
 
+  /// Arms a per-task solve budget: every solve this task runs draws on one
+  /// shared deadline (see SolveBudget in solver/status.h). Call before the
+  /// first metric; an inactive budget changes nothing.
+  void set_budget(const SolveBudget& budget) { budget_ = budget.armed(); }
+
+  /// Worst SolveStatus over every solve this task has run so far — what
+  /// the runner records in TaskRecord::status. Degraded solves still
+  /// produce metric values (from best-so-far flows); this is the honest
+  /// label for them.
+  [[nodiscard]] SolveStatus status() const { return status_; }
+
   /// The instance as parallel links / a network; throws on shape mismatch.
   [[nodiscard]] const ParallelLinks& links() const;
   [[nodiscard]] const NetworkInstance& network() const;
@@ -159,6 +171,9 @@ class TaskEval {
   /// chained, this task's own otherwise.
   SolverWorkspace& ws();
 
+  /// Folds a sub-solve outcome into this task's worst status.
+  void absorb(SolveStatus s) { status_ = worst_status(status_, s); }
+
   /// One SCALE/LLF evaluation against this task's cached optimum — the
   /// single construction+evaluation path behind both the cached ratio
   /// columns (chained = true: thread the chain's warm payloads) and the
@@ -169,6 +184,8 @@ class TaskEval {
   const ParamPoint& point_;
   const Instance& instance_;
   ChainContext* chain_ = nullptr;
+  SolveBudget budget_;
+  SolveStatus status_ = SolveStatus::kConverged;
   // One compiled-kernel workspace shared by every solve this task runs
   // (TaskEval is confined to one task, hence one thread). Unused when the
   // task is chained.

@@ -41,9 +41,21 @@
 #include "stackroute/io/table.h"
 #include "stackroute/obs/counters.h"
 #include "stackroute/obs/trace.h"
+#include "stackroute/solver/status.h"
 #include "stackroute/sweep/scenario.h"
+#include "stackroute/util/fault.h"
 
 namespace stackroute::sweep {
+
+/// What the runner does with a task whose attempt threw: re-attempt it
+/// cold (the chain's warm state is already dropped) up to `max_retries`
+/// times before recording the failed row. Retries are counted in
+/// TaskRecord::retries and the obs `task_retries` counter; a task that
+/// succeeds on a retry is an ordinary ok row. Deterministic failures fail
+/// every attempt, so tables stay bitwise identical with retries on.
+struct RetryPolicy {
+  int max_retries = 1;
+};
 
 struct SweepOptions {
   /// Metric formatting precision in table()/to_csv()/to_markdown().
@@ -61,12 +73,29 @@ struct SweepOptions {
   /// either way, but off keeps the instrumented call sites at their
   /// zero-overhead load-and-branch path.
   bool collect_counters = false;
+  /// Cold re-attempts for failed tasks (see RetryPolicy above).
+  RetryPolicy retry;
+  /// Per-task solve budget: armed at each task attempt, shared by every
+  /// solve the task runs (see SolveBudget in solver/status.h). Inactive by
+  /// default — tables are bitwise identical to a budget-free run.
+  SolveBudget budget;
+  /// Fault-injection schedule (see util/fault.h); not owned, may be null.
+  /// With no plan armed and no budget set, the runner's behavior — and
+  /// every metric byte — is identical to a plan-free run.
+  const fault::FaultPlan* faults = nullptr;
 };
 
 struct TaskRecord {
   ParamPoint point;
   std::vector<double> metrics;  // NaN-filled when !ok
   bool ok = true;
+  /// Worst SolveStatus over the task's solves (see solver/status.h). An ok
+  /// task with a non-converged status is *degraded*: its metrics came from
+  /// best-so-far flows under a budget hit or numeric trouble. The table's
+  /// status column prints the taxonomy string for such rows.
+  SolveStatus status = SolveStatus::kConverged;
+  /// Cold re-attempts this task consumed (RetryPolicy).
+  int retries = 0;
   std::string error;
   double millis = 0.0;  // wall clock; excluded from deterministic exports
   /// Which warm chain this task belonged to (== its own index when the
@@ -117,6 +146,10 @@ struct SweepResult {
 
   [[nodiscard]] std::size_t num_tasks() const { return records.size(); }
   [[nodiscard]] std::size_t num_failed() const;
+  /// Tasks that completed but with a non-converged SolveStatus (budget
+  /// hit, stall, numeric trouble): their metrics are best-so-far values,
+  /// honestly labeled in the status column.
+  [[nodiscard]] std::size_t num_degraded() const;
 
   /// Deterministic result table: parameter columns, metric columns, status.
   [[nodiscard]] Table table() const;

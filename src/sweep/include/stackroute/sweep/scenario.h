@@ -65,6 +65,12 @@ InstanceFactory file_instance_source(std::string path);
 /// The same demand override, exposed for custom factories.
 void override_demand(Instance& instance, double demand);
 
+/// Multiplies the instance's demand by `factor` (> 0, finite) — parallel
+/// links scale their single demand, networks scale every commodity, so
+/// multicommodity splits are preserved. The seam fault-injected demand
+/// perturbations apply through (see util/fault.h).
+void scale_demand(Instance& instance, double factor);
+
 /// Factory serving gen::generate(spec, seed) at every grid point — one
 /// fixed generated instance (like file_instance_source, but from the
 /// generator subsystem instead of disk), with the same demand-axis

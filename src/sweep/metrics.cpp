@@ -108,36 +108,46 @@ void publish(AssignmentWarmStart& warm, const NetworkAssignment& a,
 
 const OpTopResult& TaskEval::optop() {
   if (!optop_) {
+    OpTopOptions opts;
+    opts.budget = budget_;
     if (chain_ != nullptr) {
       // In/out aliasing is supported: the hints are read before the levels
       // are overwritten with this task's.
-      optop_ = op_top(links(), {}, chain_->ws, &chain_->optop, &chain_->optop);
+      optop_ =
+          op_top(links(), opts, chain_->ws, &chain_->optop, &chain_->optop);
     } else {
-      optop_ = op_top(links());
+      optop_ = op_top(links(), opts);
     }
+    absorb(optop_->status);
   }
   return *optop_;
 }
 
 const MopResult& TaskEval::mop_result() {
   if (!mop_) {
+    MopOptions opts;
+    opts.assignment.budget = budget_;
     if (chain_ != nullptr) {
-      mop_ = mop(network(), {}, chain_->ws, &chain_->mop, &chain_->mop);
+      mop_ = mop(network(), opts, chain_->ws, &chain_->mop, &chain_->mop);
     } else {
-      mop_ = mop(network());
+      mop_ = mop(network(), opts);
     }
+    absorb(mop_->status);
   }
   return *mop_;
 }
 
 const NetworkAssignment& TaskEval::network_nash() {
   if (!net_nash_) {
+    AssignmentOptions opts;
+    opts.budget = budget_;
     if (chain_ != nullptr) {
-      net_nash_ = solve_nash(network(), {}, chain_->ws, chain_->nash);
+      net_nash_ = solve_nash(network(), opts, chain_->ws, chain_->nash);
       publish(chain_->nash, *net_nash_, network());
     } else {
-      net_nash_ = solve_nash(network(), {}, ws());
+      net_nash_ = solve_nash(network(), opts, ws());
     }
+    absorb(net_nash_->status);
   }
   return *net_nash_;
 }
@@ -160,11 +170,17 @@ const NetworkAssignment& TaskEval::network_optimum() {
         a.commodity_paths.push_back(std::move(paths));
       }
       net_opt_ = std::move(a);
-    } else if (chain_ != nullptr) {
-      net_opt_ = solve_optimum(network(), {}, chain_->ws, chain_->mop.optimum);
-      publish(chain_->mop.optimum, *net_opt_, network());
     } else {
-      net_opt_ = solve_optimum(network(), {}, ws());
+      AssignmentOptions opts;
+      opts.budget = budget_;
+      if (chain_ != nullptr) {
+        net_opt_ =
+            solve_optimum(network(), opts, chain_->ws, chain_->mop.optimum);
+        publish(chain_->mop.optimum, *net_opt_, network());
+      } else {
+        net_opt_ = solve_optimum(network(), opts, ws());
+      }
+      absorb(net_opt_->status);
     }
   }
   return *net_opt_;
@@ -234,8 +250,10 @@ double TaskEval::evaluate_baseline(StrategyKind kind, double alpha,
     const StackelbergOutcome out = evaluate_strategy(
         links(), s, ot.optimum_cost, 1e-13, ws(),
         level != nullptr ? *level
-                         : std::numeric_limits<double>::quiet_NaN());
+                         : std::numeric_limits<double>::quiet_NaN(),
+        budget_);
     if (level != nullptr) *level = out.induced_level;
+    absorb(out.status);
     return out.cost;
   }
   const NetworkAssignment& opt = network_optimum();
@@ -247,7 +265,12 @@ double TaskEval::evaluate_baseline(StrategyKind kind, double alpha,
     warm = kind == StrategyKind::kScale ? &chain_->strategy.scale_induced
                                         : &chain_->strategy.llf_induced;
   }
-  return evaluate_strategy(network(), s, opt.cost, {}, ws(), warm, warm).cost;
+  AssignmentOptions opts;
+  opts.budget = budget_;
+  const NetworkStackelbergOutcome out =
+      evaluate_strategy(network(), s, opt.cost, opts, ws(), warm, warm);
+  absorb(out.status);
+  return out.cost;
 }
 
 double TaskEval::strategy_cost(StrategyKind kind) {

@@ -1,5 +1,6 @@
 #include "stackroute/sweep/runner.h"
 
+#include <algorithm>
 #include <limits>
 #include <optional>
 #include <set>
@@ -34,6 +35,14 @@ std::size_t SweepResult::num_failed() const {
   return n;
 }
 
+std::size_t SweepResult::num_degraded() const {
+  std::size_t n = 0;
+  for (const auto& rec : records) {
+    n += (rec.ok && !solve_ok(rec.status)) ? 1 : 0;
+  }
+  return n;
+}
+
 obs::SolveCounters SweepResult::total_counters() const {
   obs::SolveCounters total;
   for (const auto& rec : records) total.merge(rec.counters);
@@ -53,6 +62,7 @@ Table build_table(const SweepResult& r, bool with_timing) {
   if (with_timing) {
     headers.emplace_back("chain");
     headers.emplace_back("millis");
+    headers.emplace_back("retries");
   }
   if (with_counters) {
     for (const auto& f : obs::SolveCounters::fields()) {
@@ -69,10 +79,15 @@ Table build_table(const SweepResult& r, bool with_timing) {
       row.emplace_back("nan");
     }
     for (double v : rec.metrics) row.push_back(format_double(v, r.digits));
-    row.emplace_back(rec.ok ? "ok" : "error");
+    // Converged rows keep the historical "ok" (bitwise-stable tables);
+    // degraded rows carry their taxonomy string, failed rows "error".
+    row.emplace_back(!rec.ok             ? "error"
+                     : solve_ok(rec.status) ? "ok"
+                                            : to_string(rec.status));
     if (with_timing) {
       row.push_back(std::to_string(rec.chain));
       row.push_back(format_double(rec.millis, 3));
+      row.push_back(std::to_string(rec.retries));
     }
     if (with_counters) {
       for (const auto& f : obs::SolveCounters::fields()) {
@@ -93,7 +108,8 @@ Table SweepResult::timing_table() const { return build_table(*this, true); }
 std::string SweepResult::summary() const {
   std::ostringstream os;
   os << scenario << ": " << num_tasks() << " tasks, " << num_failed()
-     << " failed, " << format_double(total_millis, 1) << " ms total, "
+     << " failed, " << num_degraded() << " degraded, "
+     << format_double(total_millis, 1) << " ms total, "
      << threads << " thread(s), ";
   if (!warm_axis.empty()) {
     os << chains << " warm chain(s) along '" << warm_axis << "'";
@@ -235,7 +251,7 @@ SweepResult SweepRunner::run(const ScenarioSpec& spec,
   // silently dropping a column; reject them like ParamGrid::add does —
   // including the columns table()/timing_table() append — before any
   // compute is spent.
-  std::set<std::string> columns = {"status", "millis", "chain"};
+  std::set<std::string> columns = {"status", "millis", "chain", "retries"};
   for (const auto& f : obs::SolveCounters::fields()) columns.insert(f.name);
   for (const auto& name : result.param_columns) {
     SR_REQUIRE(columns.insert(name).second,
@@ -320,34 +336,74 @@ SweepResult SweepRunner::run(const ScenarioSpec& spec,
           // Exceptions must not escape an OpenMP region: record and move
           // on, decide about rethrowing once the loop has joined.
           // grid.at() is inside too — even a bad_alloc there must become a
-          // failed row.
-          try {
-            rec.point = spec.grid.at(i);
-            Rng rng(mix_seed(spec.base_seed, i));
-            Instance instance = spec.factory(rec.point, rng);
-            TaskEval eval(rec.point, instance,
-                          layout.active ? &ctx : nullptr);
-            rec.metrics.reserve(spec.metrics.size());
-            for (const auto& m : spec.metrics) {
-              rec.metrics.push_back(m.fn(eval));
+          // failed row. A failed attempt drops the chain's warm state and
+          // may be re-attempted cold per RetryPolicy; faults for this task
+          // (if a plan is armed) fire per attempt, so a retry observes
+          // clean arithmetic unless the plan persists the fault.
+          const fault::TaskFaults* tf =
+              opts_.faults != nullptr ? opts_.faults->for_task(i) : nullptr;
+          const int max_attempts = 1 + std::max(0, opts_.retry.max_retries);
+          for (int attempt = 0; attempt < max_attempts; ++attempt) {
+            if (attempt > 0) {
+              obs::count(&obs::SolveCounters::task_retries);
+              ++rec.retries;
             }
-            eval.finish_chain(std::move(instance));
-          } catch (const std::exception& e) {
-            rec.ok = false;
-            rec.error = e.what();
-            rec.metrics.assign(spec.metrics.size(),
-                               std::numeric_limits<double>::quiet_NaN());
-            // The next point restarts the chain cold; only count a reset
-            // when there was warm state to drop.
-            if (ctx.has_prev) obs::count(&obs::SolveCounters::chain_resets);
-            ctx.reset_warm();
-          } catch (...) {  // foreign exception types must not escape either
-            rec.ok = false;
-            rec.error = "unknown error (non-std exception)";
-            rec.metrics.assign(spec.metrics.size(),
-                               std::numeric_limits<double>::quiet_NaN());
-            if (ctx.has_prev) obs::count(&obs::SolveCounters::chain_resets);
-            ctx.reset_warm();
+            try {
+              rec.point = spec.grid.at(i);
+              Rng rng(mix_seed(spec.base_seed, i));
+              Instance instance = spec.factory(rec.point, rng);
+              if (tf != nullptr) {
+                if (attempt < tf->fail_times) {
+                  throw fault::InjectedFault(
+                      "injected task failure (attempt " +
+                      std::to_string(attempt) + ")");
+                }
+                if (tf->demand_factor != 1.0) {
+                  scale_demand(instance, tf->demand_factor);
+                }
+              }
+              // Latency-evaluation faults arm on the first attempt only —
+              // they model transient numeric trouble a cold retry outlives.
+              fault::FaultScope fault_scope(tf, attempt);
+              TaskEval eval(rec.point, instance,
+                            layout.active ? &ctx : nullptr);
+              eval.set_budget(opts_.budget);
+              rec.metrics.clear();
+              rec.metrics.reserve(spec.metrics.size());
+              for (std::size_t k = 0; k < spec.metrics.size(); ++k) {
+                if (tf != nullptr &&
+                    static_cast<int>(k) == tf->metric_index &&
+                    attempt < tf->metric_times) {
+                  throw fault::InjectedFault("injected metric failure: " +
+                                             spec.metrics[k].column);
+                }
+                rec.metrics.push_back(spec.metrics[k].fn(eval));
+              }
+              rec.status = eval.status();
+              rec.ok = true;
+              rec.error.clear();
+              eval.finish_chain(std::move(instance));
+              break;
+            } catch (const std::exception& e) {
+              rec.ok = false;
+              rec.error = e.what();
+              rec.metrics.assign(spec.metrics.size(),
+                                 std::numeric_limits<double>::quiet_NaN());
+              rec.status = SolveStatus::kNumericFailure;
+              // The next point (or this task's retry) restarts the chain
+              // cold; only count a reset when there was warm state to drop,
+              // so the reset lands once, on the first failing attempt.
+              if (ctx.has_prev) obs::count(&obs::SolveCounters::chain_resets);
+              ctx.reset_warm();
+            } catch (...) {  // foreign exceptions must not escape either
+              rec.ok = false;
+              rec.error = "unknown error (non-std exception)";
+              rec.metrics.assign(spec.metrics.size(),
+                                 std::numeric_limits<double>::quiet_NaN());
+              rec.status = SolveStatus::kNumericFailure;
+              if (ctx.has_prev) obs::count(&obs::SolveCounters::chain_resets);
+              ctx.reset_warm();
+            }
           }
           rec.millis = sw.milliseconds();
         }
@@ -361,7 +417,18 @@ SweepResult SweepRunner::run(const ScenarioSpec& spec,
 
   if (!opts_.keep_going) {
     for (const auto& rec : result.records) {
-      SR_REQUIRE(rec.ok, "sweep task failed: " + rec.error);
+      if (rec.ok) continue;
+      // Name the grid point so the rethrow pinpoints the failing task.
+      std::string where;
+      for (std::size_t k = 0;
+           k < rec.point.size() && k < result.param_columns.size(); ++k) {
+        if (!where.empty()) where += ", ";
+        where += result.param_columns[k] + "=" +
+                 format_double(rec.point.values()[k], result.digits);
+      }
+      throw Error("sweep task failed" +
+                  (where.empty() ? std::string() : " at {" + where + "}") +
+                  ": " + rec.error);
     }
   }
   return result;

@@ -1,5 +1,6 @@
 #include "stackroute/sweep/scenario.h"
 
+#include <cmath>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -82,6 +83,18 @@ void override_demand(Instance& instance, double demand) {
   const double total = net.total_demand();
   SR_REQUIRE(total > 0.0, "instance has no demand to rescale");
   for (auto& c : net.commodities) c.demand *= demand / total;
+}
+
+void scale_demand(Instance& instance, double factor) {
+  SR_REQUIRE(std::isfinite(factor) && factor > 0.0,
+             "demand scale factor must be positive and finite");
+  if (auto* m = std::get_if<ParallelLinks>(&instance)) {
+    m->demand *= factor;
+    return;
+  }
+  for (auto& c : std::get<NetworkInstance>(instance).commodities) {
+    c.demand *= factor;
+  }
 }
 
 InstanceFactory file_instance_source(std::string path) {

@@ -12,4 +12,12 @@ void throw_error(std::string_view kind, std::string_view expr,
   throw Error(os.str());
 }
 
+void throw_numeric(std::string_view expr, std::string_view file, int line,
+                   std::string_view message, double value) {
+  std::ostringstream os;
+  os << "stackroute numeric failure: " << message << " [" << expr << " = "
+     << value << "] at " << file << ":" << line;
+  throw NumericError(os.str());
+}
+
 }  // namespace stackroute::detail

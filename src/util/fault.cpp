@@ -1,0 +1,100 @@
+#include "stackroute/util/fault.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stackroute/util/rng.h"
+
+namespace stackroute::fault {
+
+namespace detail {
+
+thread_local ArmedFaults* tl_armed = nullptr;
+
+bool next_event_faulted(double& bad) {
+  ArmedFaults* armed = tl_armed;
+  if (armed == nullptr) return false;
+  const std::uint64_t event = armed->next_event++;
+  const auto& latency = armed->faults->latency;
+  while (armed->cursor < latency.size() &&
+         latency[armed->cursor].call < event) {
+    ++armed->cursor;
+  }
+  if (armed->cursor < latency.size() &&
+      latency[armed->cursor].call == event) {
+    bad = latency[armed->cursor].inf
+              ? std::numeric_limits<double>::infinity()
+              : std::numeric_limits<double>::quiet_NaN();
+    ++armed->cursor;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace detail
+
+TaskFaults& FaultPlan::faults_for(std::size_t task) { return tasks_[task]; }
+
+void FaultPlan::fail_task(std::size_t task, int times) {
+  SR_REQUIRE(times > 0, "FaultPlan::fail_task: times must be positive");
+  faults_for(task).fail_times = times;
+}
+
+void FaultPlan::nan_latency(std::size_t task, std::uint64_t call) {
+  auto& faults = faults_for(task);
+  faults.latency.push_back({call, false});
+  std::sort(faults.latency.begin(), faults.latency.end(),
+            [](const auto& a, const auto& b) { return a.call < b.call; });
+}
+
+void FaultPlan::inf_latency(std::size_t task, std::uint64_t call) {
+  auto& faults = faults_for(task);
+  faults.latency.push_back({call, true});
+  std::sort(faults.latency.begin(), faults.latency.end(),
+            [](const auto& a, const auto& b) { return a.call < b.call; });
+}
+
+void FaultPlan::throwing_metric(std::size_t task, int metric_index,
+                                int times) {
+  SR_REQUIRE(metric_index >= 0,
+             "FaultPlan::throwing_metric: metric index must be >= 0");
+  SR_REQUIRE(times > 0, "FaultPlan::throwing_metric: times must be positive");
+  auto& faults = faults_for(task);
+  faults.metric_index = metric_index;
+  faults.metric_times = times;
+}
+
+void FaultPlan::perturb_demand(std::size_t task, double amplitude) {
+  SR_REQUIRE(amplitude >= 0.0 && amplitude < 1.0,
+             "FaultPlan::perturb_demand: amplitude must be in [0, 1)");
+  Rng rng(mix_seed(seed_, static_cast<std::uint64_t>(task)));
+  faults_for(task).demand_factor =
+      rng.uniform(1.0 - amplitude, 1.0 + amplitude);
+}
+
+void FaultPlan::scale_demand(std::size_t task, double factor) {
+  SR_REQUIRE(std::isfinite(factor) && factor > 0.0,
+             "FaultPlan::scale_demand: factor must be finite and positive");
+  faults_for(task).demand_factor = factor;
+}
+
+const TaskFaults* FaultPlan::for_task(std::size_t task) const {
+  const auto it = tasks_.find(task);
+  return it == tasks_.end() ? nullptr : &it->second;
+}
+
+FaultScope::FaultScope(const TaskFaults* faults, int attempt) {
+  // Latency faults are transient: armed on the first attempt only, so a
+  // cold retry re-solves on clean arithmetic.
+  if (faults == nullptr || attempt != 0 || faults->latency.empty()) return;
+  armed_.faults = faults;
+  prev_ = detail::tl_armed;
+  detail::tl_armed = &armed_;
+  installed_ = true;
+}
+
+FaultScope::~FaultScope() {
+  if (installed_) detail::tl_armed = prev_;
+}
+
+}  // namespace stackroute::fault

@@ -11,6 +11,7 @@
 // everywhere.
 #pragma once
 
+#include <cmath>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -24,10 +25,23 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// A numeric evaluation produced NaN/Inf where a finite value was required
+/// (root-finder probes, latency evaluations, objective sums). Distinct from
+/// Error so resilient callers can catch exactly the "the arithmetic went
+/// bad" case — and degrade to a best-so-far result — without masking
+/// genuine precondition or invariant violations.
+class NumericError : public Error {
+ public:
+  using Error::Error;
+};
+
 namespace detail {
 [[noreturn]] void throw_error(std::string_view kind, std::string_view expr,
                               std::string_view file, int line,
                               std::string_view message);
+[[noreturn]] void throw_numeric(std::string_view expr, std::string_view file,
+                                int line, std::string_view message,
+                                double value);
 }  // namespace detail
 
 /// Check a caller-facing precondition; throws stackroute::Error on failure.
@@ -46,6 +60,21 @@ namespace detail {
       ::stackroute::detail::throw_error("invariant", #cond, __FILE__,     \
                                         __LINE__, (message));             \
     }                                                                     \
+  } while (false)
+
+/// Require a floating-point value to be finite; throws
+/// stackroute::NumericError (a subclass of Error) naming the value
+/// otherwise. Use at the evaluation seams of iterative numerics, where a
+/// NaN/Inf would otherwise poison comparisons silently (every ordered
+/// comparison against NaN is false, so loops "run to max_iter" instead of
+/// failing).
+#define SR_REQUIRE_FINITE(value, message)                                   \
+  do {                                                                      \
+    const double sr_require_finite_v_ = (value);                            \
+    if (!std::isfinite(sr_require_finite_v_)) {                             \
+      ::stackroute::detail::throw_numeric(#value, __FILE__, __LINE__,       \
+                                          (message), sr_require_finite_v_); \
+    }                                                                       \
   } while (false)
 
 /// Debug-only invariant check for validation inside solver hot loops,

@@ -20,13 +20,19 @@ template <typename F>
 double bisect_increasing(F&& f, double lo, double hi, double tol = 1e-13,
                          int max_iter = 200) {
   SR_REQUIRE(lo <= hi, "bisect_increasing: empty bracket");
+  // NaN probes must fail loudly: every ordered comparison against NaN is
+  // false, so an unchecked NaN would steer every step to the upper branch
+  // and the loop would "converge" to a meaningless midpoint.
   double flo = f(lo);
+  SR_REQUIRE_FINITE(flo, "bisect_increasing: non-finite f(lo)");
   if (flo >= 0.0) return lo;
   double fhi = f(hi);
+  SR_REQUIRE_FINITE(fhi, "bisect_increasing: non-finite f(hi)");
   if (fhi <= 0.0) return hi;
   for (int it = 0; it < max_iter && hi - lo > tol; ++it) {
     const double mid = 0.5 * (lo + hi);
     const double fm = f(mid);
+    SR_REQUIRE_FINITE(fm, "bisect_increasing: non-finite f(mid)");
     if (fm < 0.0) {
       lo = mid;
     } else {
@@ -44,11 +50,16 @@ template <typename F, typename DF>
 double newton_bisect(F&& f, DF&& df, double lo, double hi, double tol = 1e-13,
                      int max_iter = 100) {
   SR_REQUIRE(lo <= hi, "newton_bisect: empty bracket");
-  if (f(lo) >= 0.0) return lo;
-  if (f(hi) <= 0.0) return hi;
+  const double flo = f(lo);
+  SR_REQUIRE_FINITE(flo, "newton_bisect: non-finite f(lo)");
+  if (flo >= 0.0) return lo;
+  const double fhi = f(hi);
+  SR_REQUIRE_FINITE(fhi, "newton_bisect: non-finite f(hi)");
+  if (fhi <= 0.0) return hi;
   double x = 0.5 * (lo + hi);
   for (int it = 0; it < max_iter; ++it) {
     const double fx = f(x);
+    SR_REQUIRE_FINITE(fx, "newton_bisect: non-finite f(x)");
     if (fx < 0.0) {
       lo = x;
     } else {
@@ -77,6 +88,8 @@ template <typename F>
 double illinois_increasing(F&& f, double lo, double hi, double flo, double fhi,
                            double tol = 1e-13, int max_iter = 200) {
   SR_REQUIRE(lo <= hi, "illinois_increasing: empty bracket");
+  SR_REQUIRE_FINITE(flo, "illinois_increasing: non-finite f(lo)");
+  SR_REQUIRE_FINITE(fhi, "illinois_increasing: non-finite f(hi)");
   if (flo >= 0.0) return lo;
   if (fhi <= 0.0) return hi;
   int last = 0;  // which endpoint the previous step replaced: -1 lo, +1 hi
@@ -89,6 +102,7 @@ double illinois_increasing(F&& f, double lo, double hi, double flo, double fhi,
       if (!(x > lo && x < hi)) x = 0.5 * (lo + hi);
     }
     const double fx = f(x);
+    SR_REQUIRE_FINITE(fx, "illinois_increasing: non-finite f(x)");
     if (fx == 0.0) return x;
     if (fx < 0.0) {
       lo = x;

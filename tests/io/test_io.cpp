@@ -5,6 +5,8 @@
 #include <functional>
 #include <locale>
 #include <sstream>
+#include <stdexcept>
+#include <streambuf>
 
 #include "stackroute/equilibrium/network.h"
 #include "stackroute/equilibrium/parallel.h"
@@ -262,6 +264,74 @@ TEST(Serialize, BadKindsAndCountsRejectedWithLineNumber) {
   expect_error_mentions(
       [] { network_from_string("network 2\nedge 0 1 affine 1\n"); },
       {"line 2"});
+}
+
+TEST(Serialize, NonFiniteFieldsRejectedWithLineNumber) {
+  // NaN/Inf text in any numeric field dies with that line's number —
+  // either stream extraction rejects the token outright or the reader's
+  // isfinite() guards catch the parsed value; no non-finite number may
+  // reach a returned instance either way.
+  expect_error_mentions(
+      [] { parallel_links_from_string("parallel_links nan\nlink constant 1\n"); },
+      {"line 1"});
+  expect_error_mentions(
+      [] { parallel_links_from_string("parallel_links 1\nlink affine inf 0\n"); },
+      {"line 2"});
+  expect_error_mentions(
+      [] {
+        network_from_string(
+            "network 2\nedge 0 1 constant nan\ncommodity 0 1 1\n");
+      },
+      {"line 2"});
+  expect_error_mentions(
+      [] {
+        network_from_string(
+            "network 2\nedge 0 1 affine 1 0\ncommodity 0 1 inf\n");
+      },
+      {"line 3"});
+}
+
+TEST(Serialize, EmptyInstancesRejectedWithLineNumber) {
+  // Structurally empty documents: a header with no link/edge lines must
+  // not survive to a (meaningless) instance.
+  expect_error_mentions(
+      [] { parallel_links_from_string("parallel_links 1\n# nothing else\n"); },
+      {"no links"});
+  expect_error_mentions(
+      [] { network_from_string("network 2\ncommodity 0 1 1\n"); },
+      {"no edge lines"});
+}
+
+// A streambuf that serves a prefix, then fails hard — a disk error or a
+// pipe torn down mid-transfer. getline() sets badbit and stops exactly
+// like EOF would, so LineReader must check bad() itself.
+class TruncatingBuf : public std::streambuf {
+ public:
+  explicit TruncatingBuf(std::string prefix) : text_(std::move(prefix)) {
+    setg(text_.data(), text_.data(), text_.data() + text_.size());
+  }
+
+ protected:
+  int_type underflow() override { throw std::runtime_error("disk error"); }
+
+ private:
+  std::string text_;
+};
+
+TEST(Serialize, BadStreamMidReadNeverYieldsPartialInstance) {
+  // The prefix alone parses as a complete 2-link Pigou instance; without
+  // the bad() check the reader would return it and silently drop whatever
+  // the failed read lost.
+  TruncatingBuf buf("parallel_links 1\nlink affine 1 0\nlink constant 1\n");
+  std::istream is(&buf);
+  expect_error_mentions([&] { read_parallel_links(is); },
+                        {"I/O error", "line 3"});
+
+  TruncatingBuf net_buf(
+      "network 2\nedge 0 1 affine 1 0\ncommodity 0 1 1\n");
+  std::istream net_is(&net_buf);
+  expect_error_mentions([&] { read_network(net_is); },
+                        {"I/O error", "line 3"});
 }
 
 // A numpunct facet whose decimal point is ',' — the de_DE shape — without

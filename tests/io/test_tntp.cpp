@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <stdexcept>
+#include <streambuf>
 #include <string>
 
 #include "stackroute/io/tntp.h"
@@ -103,6 +105,82 @@ TEST(Tntp, ErrorsCarryLineNumbers) {
   expect_line("<NUMBER OF NODES> 2\n<END OF METADATA>\n"
               "1 2 -5 1 1 0.15 4 0 0 1 ;\n",
               "line 3");
+}
+
+TEST(Tntp, NonFiniteFieldsRejectedWithLineNumber) {
+  const auto expect_line = [](const std::string& doc,
+                              const std::string& line_tag) {
+    std::istringstream is(doc);
+    try {
+      read_tntp_network(is);
+      FAIL() << "expected Error for: " << doc;
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find(line_tag), std::string::npos)
+          << e.what();
+    }
+  };
+  // NaN/Inf in any numeric field dies with the row's line number, whether
+  // the platform's stream extraction rejects the text itself or parses it
+  // to a non-finite double that our isfinite() guards catch.
+  expect_line("<NUMBER OF NODES> 2\n<END OF METADATA>\n"
+              "1 2 nan 1 1 0.15 4 0 0 1 ;\n",
+              "line 3");  // capacity
+  expect_line("<NUMBER OF NODES> 2\n<END OF METADATA>\n"
+              "1 2 100 inf 1 0.15 4 0 0 1 ;\n",
+              "line 3");  // length
+  expect_line("<NUMBER OF NODES> 2\n<END OF METADATA>\n"
+              "1 2 100 1 nan 0.15 4 0 0 1 ;\n",
+              "line 3");  // free-flow time
+  expect_line("<NUMBER OF NODES> 2\n<END OF METADATA>\n"
+              "1 2 100 1 1 inf 4 0 0 1 ;\n",
+              "line 3");  // B
+  expect_line("<NUMBER OF NODES> 2\n<END OF METADATA>\n"
+              "1 2 100 1 1 0.15 nan 0 0 1 ;\n",
+              "line 3");  // power
+}
+
+TEST(Tntp, ZeroLinkDocumentRejected) {
+  std::istringstream is("<NUMBER OF NODES> 2\n<END OF METADATA>\n");
+  try {
+    read_tntp_network(is);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("no link rows"), std::string::npos)
+        << e.what();
+  }
+}
+
+// A streambuf that serves a prefix, then fails hard — the shape of a disk
+// error or a pipe torn down mid-transfer. getline() sets badbit and stops
+// exactly like EOF, so the reader must check bad() itself.
+class TruncatingBuf : public std::streambuf {
+ public:
+  explicit TruncatingBuf(std::string prefix) : text_(std::move(prefix)) {
+    setg(text_.data(), text_.data(), text_.data() + text_.size());
+  }
+
+ protected:
+  int_type underflow() override { throw std::runtime_error("disk error"); }
+
+ private:
+  std::string text_;
+};
+
+TEST(Tntp, BadStreamMidReadNeverYieldsPartialInstance) {
+  // The prefix alone is a well-formed (if short) document: without the
+  // bad() check the reader would happily return a 1-link instance.
+  TruncatingBuf buf(
+      "<NUMBER OF NODES> 3\n<END OF METADATA>\n"
+      "1 2 100 1 1 0.15 4 0 0 1 ;\n");
+  std::istream is(&buf);
+  try {
+    read_tntp_network(is);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("I/O error"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+  }
 }
 
 TEST(Tntp, StructuralErrors) {

@@ -15,15 +15,21 @@
 //
 // The metric table is bitwise identical at any --threads value; timing
 // lives in the summary line (written to stderr so --out files stay clean).
+// Exit status: 0 = clean sweep; 1 = usage or runtime error; 2 = the sweep
+// completed but some rows failed or were degraded (budget hit, numeric
+// trouble) — the table was still written, check its status column.
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "stackroute/gen/registry.h"
 #include "stackroute/sweep/runner.h"
 #include "stackroute/sweep/scenarios.h"
 #include "stackroute/util/error.h"
+#include "stackroute/util/fault.h"
 #include "stackroute/util/parallel.h"
 
 namespace {
@@ -72,9 +78,22 @@ int usage(std::ostream& os, int code) {
         "                        .dev or chrome://tracing); a .jsonl suffix\n"
         "                        writes per-iteration convergence samples as\n"
         "                        JSON Lines instead\n"
+        "  --deadline-ms X       per-task wall-clock solve budget in ms:\n"
+        "                        overrunning solves return best-so-far flows\n"
+        "                        and the row's status column says 'deadline'\n"
+        "  --retries N           cold re-attempts for failed tasks before the\n"
+        "                        failed row is recorded (default 1)\n"
+        "  --inject SPEC         inject a deterministic fault (repeatable):\n"
+        "                          fail:TASK[:TIMES]    task throws at start\n"
+        "                          nan:TASK:CALL        NaN latency eval\n"
+        "                          inf:TASK:CALL        +Inf latency eval\n"
+        "                          metric:TASK:IDX[:TIMES]  metric throws\n"
+        "                          demand:TASK:FACTOR   scale task demand\n"
         "  --list                list builtin scenarios and exit\n"
         "  --list-generators     list generator families and knobs, exit\n"
-        "  --help, -h            print this help and exit\n";
+        "  --help, -h            print this help and exit\n"
+        "exit status: 0 clean; 1 usage/runtime error; 2 sweep completed\n"
+        "with failed or degraded rows (see the status column)\n";
   return code;
 }
 
@@ -103,6 +122,9 @@ struct Args {
   bool counters = false;
   bool profile = false;
   std::string trace;
+  double deadline_ms = 0.0;
+  int retries = 1;
+  std::vector<std::string> inject;
   bool list = false;
   bool list_generators = false;
   bool help = false;
@@ -174,6 +196,12 @@ bool parse_args(int argc, char** argv, Args& args) {
                     << " (expected on or off)\n";
           return false;
         }
+      } else if (a == "--deadline-ms" && need(i, 1)) {
+        args.deadline_ms = std::stod(argv[++i]);
+      } else if (a == "--retries" && need(i, 1)) {
+        args.retries = std::stoi(argv[++i]);
+      } else if (a == "--inject" && need(i, 1)) {
+        args.inject.emplace_back(argv[++i]);
       } else if (a == "--threads" && need(i, 1)) {
         args.threads = std::stoi(argv[++i]);
       } else if (a == "--format" && need(i, 1)) {
@@ -266,10 +294,69 @@ bool parse_args(int argc, char** argv, Args& args) {
               << " (must be >= 0; 0 = all cores)\n";
     return false;
   }
+  if (args.deadline_ms < 0.0) {
+    std::cerr << "bad value for --deadline-ms: " << args.deadline_ms
+              << " (must be >= 0; 0 = no deadline)\n";
+    return false;
+  }
+  if (args.retries < 0) {
+    std::cerr << "bad value for --retries: " << args.retries
+              << " (must be >= 0)\n";
+    return false;
+  }
   if (args.format != "md" && args.format != "csv" && args.format != "json") {
     std::cerr << "bad value for --format: " << args.format
               << " (expected md, csv or json)\n";
     return false;
+  }
+  return true;
+}
+
+/// Parses one --inject SPEC into `plan`. Returns false (with a stderr
+/// message) on malformed specs — a usage error, not a runtime one.
+bool parse_inject(const std::string& spec, stackroute::fault::FaultPlan& plan) {
+  std::vector<std::string> parts;
+  std::istringstream is(spec);
+  std::string field;
+  while (std::getline(is, field, ':')) parts.push_back(field);
+  const auto fail = [&](const char* why) {
+    std::cerr << "bad --inject spec '" << spec << "': " << why << "\n";
+    return false;
+  };
+  if (parts.empty()) return fail("empty spec");
+  try {
+    const std::string& kind = parts[0];
+    if (kind == "fail") {
+      if (parts.size() < 2 || parts.size() > 3) {
+        return fail("expected fail:TASK[:TIMES]");
+      }
+      plan.fail_task(std::stoul(parts[1]),
+                     parts.size() == 3 ? std::stoi(parts[2]) : 1);
+    } else if (kind == "nan" || kind == "inf") {
+      if (parts.size() != 3) return fail("expected nan|inf:TASK:CALL");
+      const auto task = std::stoul(parts[1]);
+      const auto call = std::stoull(parts[2]);
+      if (kind == "nan") {
+        plan.nan_latency(task, call);
+      } else {
+        plan.inf_latency(task, call);
+      }
+    } else if (kind == "metric") {
+      if (parts.size() < 3 || parts.size() > 4) {
+        return fail("expected metric:TASK:INDEX[:TIMES]");
+      }
+      plan.throwing_metric(std::stoul(parts[1]), std::stoi(parts[2]),
+                           parts.size() == 4 ? std::stoi(parts[3]) : 1);
+    } else if (kind == "demand") {
+      if (parts.size() != 3) return fail("expected demand:TASK:FACTOR");
+      const double factor = std::stod(parts[2]);
+      if (!(factor > 0.0)) return fail("FACTOR must be > 0");
+      plan.scale_demand(std::stoul(parts[1]), factor);
+    } else {
+      return fail("unknown kind (expected fail, nan, inf, metric or demand)");
+    }
+  } catch (const std::exception&) {
+    return fail("non-numeric field");
   }
   return true;
 }
@@ -323,8 +410,14 @@ std::vector<stackroute::sweep::Metric> strategy_cli_metrics(
 int main(int argc, char** argv) {
   using namespace stackroute;
   Args args;
-  if (!parse_args(argc, argv, args)) return usage(std::cerr, 2);
+  if (!parse_args(argc, argv, args)) return usage(std::cerr, 1);
   if (args.help) return usage(std::cout, 0);
+
+  fault::FaultPlan faults;
+  faults.set_seed(args.seed);
+  for (const std::string& spec : args.inject) {
+    if (!parse_inject(spec, faults)) return usage(std::cerr, 1);
+  }
 
   if (args.list) {
     for (const auto& s : sweep::builtin_scenarios()) {
@@ -385,7 +478,7 @@ int main(int argc, char** argv) {
     }
   } catch (const std::exception& e) {
     std::cerr << "stackroute-sweep: " << e.what() << "\n";
-    return usage(std::cerr, 2);
+    return usage(std::cerr, 1);
   }
   spec.base_seed = args.seed;
 
@@ -394,6 +487,9 @@ int main(int argc, char** argv) {
     sweep::SweepOptions sweep_opts;
     sweep_opts.warm_start = args.warm_start;
     sweep_opts.collect_counters = args.counters;
+    sweep_opts.retry.max_retries = args.retries;
+    sweep_opts.budget.deadline_ms = args.deadline_ms;
+    if (faults.armed()) sweep_opts.faults = &faults;
     sweep::SweepTrace trace;
     const bool tracing = !args.trace.empty();
     const sweep::SweepResult result =
@@ -435,8 +531,35 @@ int main(int argc, char** argv) {
       }
     }
     std::cerr << result.summary() << "\n";
+    // One stderr line per failed task, truncated so a mass failure cannot
+    // flood the terminal; the full text stays in the table/JSON exports.
+    constexpr std::size_t kMaxErrorChars = 160;
+    for (std::size_t i = 0; i < result.records.size(); ++i) {
+      const auto& rec = result.records[i];
+      if (rec.ok) continue;
+      std::string where;
+      for (std::size_t k = 0;
+           k < rec.point.size() && k < result.param_columns.size(); ++k) {
+        if (!where.empty()) where += ", ";
+        where += result.param_columns[k] + "=" +
+                 format_double(rec.point.values()[k], result.digits);
+      }
+      std::string msg = rec.error;
+      if (msg.size() > kMaxErrorChars) {
+        msg.resize(kMaxErrorChars);
+        msg += "...";
+      }
+      std::cerr << "task " << i;
+      if (!where.empty()) std::cerr << " {" << where << "}";
+      std::cerr << " failed";
+      if (rec.retries > 0) {
+        std::cerr << " (after " << rec.retries << " cold retr"
+                  << (rec.retries == 1 ? "y" : "ies") << ")";
+      }
+      std::cerr << ": " << msg << "\n";
+    }
     if (args.profile) std::cerr << result.profile() << "\n";
-    return result.num_failed() == 0 ? 0 : 1;
+    return result.num_failed() + result.num_degraded() == 0 ? 0 : 2;
   } catch (const std::exception& e) {
     std::cerr << "stackroute-sweep: " << e.what() << "\n";
     return 1;

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Exit-code contract of stackroute-sweep.
+
+  0  clean sweep (every row converged)
+  1  usage error (bad flags/values) or runtime error
+  2  sweep completed but some rows failed or were degraded
+
+Run with the binary path as the only argument:
+
+  test_cli_exit_codes.py /path/to/stackroute-sweep
+"""
+import subprocess
+import sys
+
+
+def run(binary, *args):
+    proc = subprocess.run(
+        [binary, *args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        timeout=300,
+    )
+    return proc
+
+
+def main():
+    if len(sys.argv) != 2:
+        print("usage: test_cli_exit_codes.py <stackroute-sweep binary>")
+        return 2
+    binary = sys.argv[1]
+    failures = []
+
+    def check(name, expected_code, *args, stderr_contains=None):
+        proc = run(binary, *args)
+        if proc.returncode != expected_code:
+            failures.append(
+                f"{name}: expected exit {expected_code}, got {proc.returncode}"
+                f"\n  stderr: {proc.stderr.strip()[:300]}"
+            )
+            return None
+        if stderr_contains is not None and stderr_contains not in proc.stderr:
+            failures.append(
+                f"{name}: stderr missing {stderr_contains!r}"
+                f"\n  stderr: {proc.stderr.strip()[:300]}"
+            )
+        return proc
+
+    common = ["--scenario", "pigou-grid", "--threads", "1", "--format", "csv"]
+
+    # 0: clean run.
+    clean = check("clean", 0, *common)
+
+    # 1: usage errors — unknown flag, bad value, bad inject spec, unknown
+    # scenario.
+    check("unknown-flag", 1, "--bogus")
+    check("bad-threads", 1, *common[:4], "--threads", "-2")
+    check("bad-inject-kind", 1, *common, "--inject", "frobnicate:1")
+    check("bad-inject-field", 1, *common, "--inject", "fail:xyz")
+    check("unknown-scenario", 1, "--scenario", "no-such-scenario")
+
+    # 2: completed with a failed row (fail twice to defeat the one cold
+    # retry), with the per-task error line on stderr.
+    check(
+        "injected-failure",
+        2,
+        *common,
+        "--inject",
+        "fail:2:2",
+        stderr_contains="task 2",
+    )
+
+    # 2: completed with degraded rows (NaN latency on a network assignment
+    # surfaces as a degraded solve, not a crash).
+    check(
+        "injected-nan-degraded",
+        2,
+        "--scenario",
+        "grid-bpr",
+        "--threads",
+        "1",
+        "--format",
+        "csv",
+        "--inject",
+        "nan:1:3",
+    )
+
+    # 0: the same NaN on a warm-started water-filling solve is healed by
+    # the solver's warm-fallback (cold rerun sees clean arithmetic).
+    check("injected-nan-healed", 0, *common, "--inject", "nan:1:3")
+
+    # 0: a single injected failure is healed by the default cold retry.
+    healed = check("healed-by-retry", 0, *common, "--inject", "fail:2:1")
+
+    # The healed table must match the clean table byte for byte.
+    if clean is not None and healed is not None and clean.stdout != healed.stdout:
+        failures.append("healed-by-retry: table differs from the clean run")
+
+    if failures:
+        print("FAIL:\n" + "\n".join(failures))
+        return 1
+    print("ok: exit-code contract holds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
