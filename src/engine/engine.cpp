@@ -1,0 +1,387 @@
+#include "stackroute/engine/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <utility>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "stackroute/obs/timing.h"
+#include "stackroute/solver/frank_wolfe.h"
+#include "stackroute/util/error.h"
+#include "stackroute/util/parallel.h"
+
+namespace stackroute::engine {
+
+const char* to_string(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kEquilibrium:
+      return "equilibrium";
+    case RequestKind::kOptimum:
+      return "optimum";
+    case RequestKind::kMop:
+      return "mop";
+    case RequestKind::kStrategy:
+      return "strategy";
+  }
+  return "?";
+}
+
+RequestKind parse_request_kind(const std::string& name) {
+  if (name == "equilibrium") return RequestKind::kEquilibrium;
+  if (name == "optimum") return RequestKind::kOptimum;
+  if (name == "mop") return RequestKind::kMop;
+  if (name == "strategy") return RequestKind::kStrategy;
+  throw Error("unknown request kind: '" + name +
+              "' (expected equilibrium/optimum/mop/strategy)");
+}
+
+std::uint64_t Engine::open_session() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t id = next_session_id_++;
+  sessions_.emplace(id, std::make_unique<SolveSession>());
+  ++stats_.sessions_opened;
+  return id;
+}
+
+bool Engine::close_session(std::uint64_t id) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const bool erased = sessions_.erase(id) > 0;
+  if (erased) ++stats_.sessions_closed;
+  return erased;
+}
+
+SolveSession* Engine::session(std::uint64_t id) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+EngineStats Engine::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::size_t Engine::num_sessions() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+namespace {
+
+std::vector<LatencyPtr> instance_latencies(const Instance& inst) {
+  if (const auto* m = std::get_if<ParallelLinks>(&inst)) return m->links;
+  return std::get<NetworkInstance>(inst).graph.latencies();
+}
+
+/// True when the session's converged FW flow may seed this instance's FW
+/// solve: frank_wolfe's warm start rescales by the total-demand ratio,
+/// which is feasible only when every commodity's demand scaled by that
+/// same ratio (see frank_wolfe.h's precondition).
+bool fw_seed_usable(const SolveSession& s, const NetworkInstance& inst) {
+  if (s.fw_flow.size() !=
+      static_cast<std::size_t>(inst.graph.num_edges())) {
+    return false;
+  }
+  if (!(s.fw_demand > 0.0)) return false;
+  const auto* prev = std::get_if<NetworkInstance>(&s.prev_instance);
+  if (prev == nullptr ||
+      prev->commodities.size() != inst.commodities.size()) {
+    return false;
+  }
+  const double ratio = inst.total_demand() / s.fw_demand;
+  for (std::size_t i = 0; i < inst.commodities.size(); ++i) {
+    const double want = prev->commodities[i].demand * ratio;
+    const double got = inst.commodities[i].demand;
+    if (std::abs(got - want) > 1e-12 * std::max(1.0, std::abs(got))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Serializes nested solver parallelism exactly the way SweepRunner does,
+/// so engine responses are bitwise identical at any thread count: inside a
+/// sharded batch the inner OpenMP regions are nested (and collapse to one
+/// thread under max_active_levels = 1); a lone request/group never opens
+/// the outer region, so it is pinned to one thread explicitly.
+class ParallelPin {
+ public:
+  explicit ParallelPin(bool pin_single) {
+#ifdef _OPENMP
+    saved_levels_ = omp_get_max_active_levels();
+    omp_set_max_active_levels(1);
+#endif
+    saved_threads_ = max_threads_setting();
+    if (pin_single) set_max_threads(1);
+    pinned_ = pin_single;
+  }
+  ~ParallelPin() {
+    if (pinned_) set_max_threads(saved_threads_);
+#ifdef _OPENMP
+    omp_set_max_active_levels(saved_levels_);
+#endif
+  }
+
+ private:
+#ifdef _OPENMP
+  int saved_levels_ = 1;
+#endif
+  int saved_threads_ = 0;
+  bool pinned_ = false;
+};
+
+}  // namespace
+
+void Engine::prepare_tables(SolverWorkspace& ws, const Instance& inst) {
+  if (opts_.table_cache_capacity == 0) return;
+  const std::vector<LatencyPtr> lats = instance_latencies(inst);
+  // Pointer-identical to the last compilation: the solvers' own
+  // ensure_compiled fast path will hit, nothing to do.
+  if (ws.table.compiled_for(lats)) return;
+  const std::uint64_t h = latency_set_hash(lats);
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (TableCacheEntry& entry : table_cache_) {
+      if (entry.hash != h || entry.table.size() != lats.size()) continue;
+      bool equal = true;
+      for (std::size_t i = 0; i < lats.size() && equal; ++i) {
+        equal = latency_equal(*entry.table.source(i), *lats[i]);
+      }
+      if (!equal) continue;  // 64-bit collision: fall through to compile
+      ws.table.adopt(entry.table, lats);
+      entry.last_use = ++cache_clock_;
+      ++stats_.table_cache_hits;
+      return;
+    }
+  }
+  ws.table.ensure_compiled(lats);  // compile outside the lock
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.table_cache_misses;
+  if (table_cache_.size() >= opts_.table_cache_capacity) {
+    auto lru = std::min_element(table_cache_.begin(), table_cache_.end(),
+                                [](const auto& a, const auto& b) {
+                                  return a.last_use < b.last_use;
+                                });
+    table_cache_.erase(lru);
+  }
+  table_cache_.push_back({h, ws.table, ++cache_clock_});
+}
+
+SolveResponse Engine::solve_on(SolveSession* session,
+                               const SolveRequest& req) {
+  SolveResponse resp;
+  resp.id = req.id;
+  resp.kind = req.kind;
+  std::optional<obs::CountersScope> counter_scope;
+  if (opts_.collect_counters) counter_scope.emplace(resp.counters);
+  obs::Timer timer;
+  const bool had_anchor = session != nullptr && session->has_prev;
+  try {
+    // A session keeps its own copy of the instance alive as the next
+    // request's warm anchor; sessionless solves bind the request's.
+    std::optional<Instance> owned;
+    if (session != nullptr) owned = req.instance;
+    const Instance& inst = owned ? *owned : req.instance;
+    if (session != nullptr) prepare_tables(session->ws, inst);
+
+    Evaluation eval(inst, session, WarmPolicy::kValueEquality);
+    resp.warm = eval.warm();
+    const SolveBudget& budget =
+        req.budget.active() ? req.budget : opts_.default_budget;
+    eval.set_budget(budget);
+
+    switch (req.kind) {
+      case RequestKind::kEquilibrium:
+        if (eval.is_parallel()) {
+          const LinkAssignment& a = eval.parallel_nash();
+          resp.cost = cost(eval.links(), a.flows);
+        } else if (req.method == EquilibriumMethod::kFrankWolfe) {
+          FrankWolfeOptions opts;
+          opts.budget = budget.armed();
+          const NetworkInstance& net = eval.network();
+          FrankWolfeResult fw;
+          if (session != nullptr && eval.warm() &&
+              fw_seed_usable(*session, net)) {
+            fw = frank_wolfe(net, FlowObjective::kBeckmann, {}, opts,
+                             eval.ws(), session->fw_flow,
+                             session->fw_demand);
+          } else {
+            fw = frank_wolfe(net, FlowObjective::kBeckmann, {}, opts,
+                             eval.ws());
+          }
+          eval.absorb(fw.status);
+          resp.cost = cost(net, fw.edge_flow);
+          if (session != nullptr) {
+            session->fw_flow = std::move(fw.edge_flow);
+            session->fw_demand = net.total_demand();
+          }
+        } else {
+          resp.cost = eval.network_nash().cost;
+        }
+        break;
+      case RequestKind::kOptimum:
+        if (eval.is_parallel()) {
+          const LinkAssignment& a = eval.parallel_optimum();
+          resp.cost = cost(eval.links(), a.flows);
+        } else {
+          resp.cost = eval.network_optimum().cost;
+        }
+        resp.optimum_cost = resp.cost;
+        break;
+      case RequestKind::kMop:
+        resp.cost = eval.stackelberg_cost();
+        resp.beta = eval.beta();
+        resp.optimum_cost = eval.optimum_cost();
+        break;
+      case RequestKind::kStrategy:
+        if (req.strategy != StrategyKind::kAloof) {
+          SR_REQUIRE(req.alpha >= 0.0 && req.alpha <= 1.0,
+                     "strategy request needs alpha in [0, 1]");
+        }
+        resp.cost = eval.strategy_cost(req.strategy, req.alpha);
+        resp.optimum_cost = eval.optimum_cost();
+        resp.ratio = resp.cost / resp.optimum_cost;
+        break;
+    }
+
+    resp.status = eval.status();
+    resp.ok = true;
+    if (session != nullptr) eval.finish(std::move(*owned));
+  } catch (const std::exception& e) {
+    resp.ok = false;
+    resp.error = e.what();
+    resp.status = SolveStatus::kNumericFailure;
+    if (session != nullptr) {
+      if (session->has_prev) obs::count(&obs::SolveCounters::chain_resets);
+      session->reset_warm();
+    }
+  } catch (...) {
+    resp.ok = false;
+    resp.error = "unknown error (non-std exception)";
+    resp.status = SolveStatus::kNumericFailure;
+    if (session != nullptr) {
+      if (session->has_prev) obs::count(&obs::SolveCounters::chain_resets);
+      session->reset_warm();
+    }
+  }
+  resp.millis = timer.milliseconds();
+
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.requests;
+  if (!resp.ok) ++stats_.errors;
+  if (resp.ok && !solve_ok(resp.status)) ++stats_.degraded;
+  if (had_anchor) {
+    ++stats_.warm_attempts;
+    if (resp.warm) ++stats_.warm_hits;
+  }
+  return resp;
+}
+
+SolveResponse Engine::solve(const SolveRequest& req) {
+  const ParallelPin pin(/*pin_single=*/true);
+  if (req.session == 0) {
+    // Borrow a pooled session: its workspace (compiled table, buffers)
+    // persists across sessionless requests, its warm payloads never do
+    // (finish() is never called on it, so has_prev stays false).
+    std::unique_ptr<SolveSession> pooled;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (!pool_.empty()) {
+        pooled = std::move(pool_.back());
+        pool_.pop_back();
+      }
+    }
+    if (pooled == nullptr) pooled = std::make_unique<SolveSession>();
+    SolveResponse resp = solve_on(pooled.get(), req);
+    const std::lock_guard<std::mutex> lock(mu_);
+    pool_.push_back(std::move(pooled));
+    return resp;
+  }
+  SolveSession* s = session(req.session);
+  if (s == nullptr) {
+    SolveResponse resp;
+    resp.id = req.id;
+    resp.kind = req.kind;
+    resp.ok = false;
+    resp.status = SolveStatus::kNumericFailure;
+    resp.error =
+        "unknown session id " + std::to_string(req.session) +
+        " (open_session first)";
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.requests;
+    ++stats_.errors;
+    return resp;
+  }
+  return solve_on(s, req);
+}
+
+std::vector<SolveResponse> Engine::solve_batch(
+    std::span<const SolveRequest> reqs) {
+  // Shard by session: one group per session (its requests run in
+  // submission order on one thread — the chain discipline), one group per
+  // sessionless request (they are independent).
+  std::vector<std::vector<std::size_t>> groups;
+  std::map<std::uint64_t, std::size_t> group_of;
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const std::uint64_t sid = reqs[i].session;
+    if (sid == 0) {
+      groups.push_back({i});
+      continue;
+    }
+    const auto [it, fresh] = group_of.emplace(sid, groups.size());
+    if (fresh) groups.emplace_back();
+    groups[it->second].push_back(i);
+  }
+
+  std::vector<SolveResponse> out(reqs.size());
+  const ParallelPin pin(/*pin_single=*/groups.size() < 2);
+  parallel_for(
+      groups.size(),
+      [&](std::size_t g) {
+        for (const std::size_t i : groups[g]) {
+          const SolveRequest& req = reqs[i];
+          if (req.session == 0) {
+            std::unique_ptr<SolveSession> pooled;
+            {
+              const std::lock_guard<std::mutex> lock(mu_);
+              if (!pool_.empty()) {
+                pooled = std::move(pool_.back());
+                pool_.pop_back();
+              }
+            }
+            if (pooled == nullptr) pooled = std::make_unique<SolveSession>();
+            out[i] = solve_on(pooled.get(), req);
+            const std::lock_guard<std::mutex> lock(mu_);
+            pool_.push_back(std::move(pooled));
+            continue;
+          }
+          SolveSession* s = session(req.session);
+          if (s == nullptr) {
+            SolveResponse resp;
+            resp.id = req.id;
+            resp.kind = req.kind;
+            resp.ok = false;
+            resp.status = SolveStatus::kNumericFailure;
+            resp.error = "unknown session id " +
+                         std::to_string(req.session) +
+                         " (open_session first)";
+            {
+              const std::lock_guard<std::mutex> lock(mu_);
+              ++stats_.requests;
+              ++stats_.errors;
+            }
+            out[i] = std::move(resp);
+            continue;
+          }
+          out[i] = solve_on(s, req);
+        }
+      },
+      /*grain=*/1);
+  return out;
+}
+
+}  // namespace stackroute::engine

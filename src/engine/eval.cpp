@@ -1,0 +1,313 @@
+#include "stackroute/engine/eval.h"
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <utility>
+
+#include "stackroute/core/strategy.h"
+#include "stackroute/obs/counters.h"
+#include "stackroute/util/error.h"
+
+namespace stackroute::engine {
+
+void SolveSession::reset_warm() {
+  has_prev = false;
+  nash = {};
+  mop = {};
+  optop = {};
+  strategy = {};
+  fw_flow.clear();
+  fw_demand = std::numeric_limits<double>::quiet_NaN();
+  nash_level = std::numeric_limits<double>::quiet_NaN();
+  opt_level = std::numeric_limits<double>::quiet_NaN();
+}
+
+Evaluation::Evaluation(const Instance& instance, SolveSession* session,
+                       WarmPolicy policy)
+    : instance_(instance), session_(session) {
+  // A broken chain must not leak stale payloads into this evaluation's
+  // solves: the solve accessors below consume whatever payloads survive
+  // this reset, so warm validity flows from the anchor test alone, not
+  // from payload provenance.
+  warm_ = session_ != nullptr && session_->has_prev &&
+          (policy == WarmPolicy::kPointerIdentity
+               ? chain_compatible(session_->prev_instance, instance_)
+               : warm_compatible(session_->prev_instance, instance_));
+  if (session_ != nullptr && !warm_) {
+    // Count only genuine breaks (an anchor existed and failed the test) —
+    // a session's cold first request is not a reset.
+    if (session_->has_prev) obs::count(&obs::SolveCounters::chain_resets);
+    session_->reset_warm();
+  }
+}
+
+SolverWorkspace& Evaluation::ws() {
+  return session_ != nullptr ? session_->ws : own_ws_;
+}
+
+void Evaluation::finish(Instance&& instance) {
+  if (session_ == nullptr) return;
+  SR_ASSERT(&instance == &instance_,
+            "finish must be handed the evaluated instance");
+  session_->prev_instance = std::move(instance);
+  session_->has_prev = true;
+}
+
+bool Evaluation::is_parallel() const {
+  return std::holds_alternative<ParallelLinks>(instance_);
+}
+
+const ParallelLinks& Evaluation::links() const {
+  SR_REQUIRE(is_parallel(), "solve needs a parallel-links instance");
+  return std::get<ParallelLinks>(instance_);
+}
+
+const NetworkInstance& Evaluation::network() const {
+  SR_REQUIRE(!is_parallel(), "solve needs a network instance");
+  return std::get<NetworkInstance>(instance_);
+}
+
+namespace {
+
+/// Publishes a converged decomposition as the session's warm payload for
+/// the next evaluation (copies: the memoized result must stay intact for
+/// other readers of this evaluation).
+void publish(AssignmentWarmStart& warm, const NetworkAssignment& a,
+             const NetworkInstance& inst) {
+  warm.commodity_paths = a.commodity_paths;
+  warm.demands.clear();
+  for (const Commodity& c : inst.commodities) warm.demands.push_back(c.demand);
+}
+
+}  // namespace
+
+const OpTopResult& Evaluation::optop() {
+  if (!optop_) {
+    OpTopOptions opts;
+    opts.budget = budget_;
+    if (session_ != nullptr) {
+      // In/out aliasing is supported: the hints are read before the levels
+      // are overwritten with this evaluation's.
+      optop_ = op_top(links(), opts, session_->ws, &session_->optop,
+                      &session_->optop);
+    } else {
+      optop_ = op_top(links(), opts);
+    }
+    absorb(optop_->status);
+  }
+  return *optop_;
+}
+
+const MopResult& Evaluation::mop_result() {
+  if (!mop_) {
+    MopOptions opts;
+    opts.assignment.budget = budget_;
+    if (session_ != nullptr) {
+      mop_ = mop(network(), opts, session_->ws, &session_->mop,
+                 &session_->mop);
+    } else {
+      mop_ = mop(network(), opts);
+    }
+    absorb(mop_->status);
+  }
+  return *mop_;
+}
+
+const NetworkAssignment& Evaluation::network_nash() {
+  if (!net_nash_) {
+    AssignmentOptions opts;
+    opts.budget = budget_;
+    if (session_ != nullptr) {
+      net_nash_ = solve_nash(network(), opts, session_->ws, session_->nash);
+      publish(session_->nash, *net_nash_, network());
+    } else {
+      net_nash_ = solve_nash(network(), opts, ws());
+    }
+    absorb(net_nash_->status);
+  }
+  return *net_nash_;
+}
+
+const NetworkAssignment& Evaluation::network_optimum() {
+  if (!net_opt_) {
+    if (mop_) {
+      // Reuse MOP's optimum instead of solving again: its per-commodity
+      // leader/free path splits jointly decompose O, which is all the
+      // strategy evaluations need (mop() already published the payload).
+      NetworkAssignment a;
+      a.edge_flow = mop_->optimum_edge_flow;
+      a.cost = mop_->optimum_cost;
+      a.converged = true;
+      a.commodity_paths.reserve(mop_->commodities.size());
+      for (const MopCommodity& c : mop_->commodities) {
+        std::vector<PathFlow> paths = c.free_paths;
+        paths.insert(paths.end(), c.leader_paths.begin(),
+                     c.leader_paths.end());
+        a.commodity_paths.push_back(std::move(paths));
+      }
+      net_opt_ = std::move(a);
+    } else {
+      AssignmentOptions opts;
+      opts.budget = budget_;
+      if (session_ != nullptr) {
+        net_opt_ = solve_optimum(network(), opts, session_->ws,
+                                 session_->mop.optimum);
+        publish(session_->mop.optimum, *net_opt_, network());
+      } else {
+        net_opt_ = solve_optimum(network(), opts, ws());
+      }
+      absorb(net_opt_->status);
+    }
+  }
+  return *net_opt_;
+}
+
+const LinkAssignment& Evaluation::parallel_nash() {
+  if (!par_nash_) {
+    if (session_ != nullptr) {
+      par_nash_ = solve_nash(links(), 1e-13, session_->ws,
+                             session_->nash_level, budget_);
+      session_->nash_level = par_nash_->level;
+    } else {
+      par_nash_ = solve_nash(links(), 1e-13, ws(),
+                             std::numeric_limits<double>::quiet_NaN(),
+                             budget_);
+    }
+    absorb(par_nash_->status);
+  }
+  return *par_nash_;
+}
+
+const LinkAssignment& Evaluation::parallel_optimum() {
+  if (!par_opt_) {
+    if (session_ != nullptr) {
+      par_opt_ = solve_optimum(links(), 1e-13, session_->ws,
+                               session_->opt_level, budget_);
+      session_->opt_level = par_opt_->level;
+    } else {
+      par_opt_ = solve_optimum(links(), 1e-13, ws(),
+                               std::numeric_limits<double>::quiet_NaN(),
+                               budget_);
+    }
+    absorb(par_opt_->status);
+  }
+  return *par_opt_;
+}
+
+double Evaluation::beta() {
+  return is_parallel() ? optop().beta : mop_result().beta;
+}
+
+double Evaluation::poa() { return nash_cost() / optimum_cost(); }
+
+double Evaluation::nash_cost() {
+  return is_parallel() ? optop().nash_cost : network_nash().cost;
+}
+
+double Evaluation::optimum_cost() {
+  if (is_parallel()) return optop().optimum_cost;
+  // Reuse MOP's optimum when some other reader already paid for it.
+  if (mop_) return mop_->optimum_cost;
+  return network_optimum().cost;
+}
+
+double Evaluation::stackelberg_cost() {
+  return is_parallel() ? optop().induced_cost : mop_result().induced_cost;
+}
+
+double Evaluation::rounds() {
+  if (!is_parallel()) return std::numeric_limits<double>::quiet_NaN();
+  return static_cast<double>(optop().rounds.size());
+}
+
+const char* strategy_name(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kAloof:
+      return "aloof";
+    case StrategyKind::kScale:
+      return "scale";
+    case StrategyKind::kLlf:
+      return "llf";
+  }
+  return "?";
+}
+
+double Evaluation::strategy_ratio(StrategyKind kind, double alpha) {
+  // Same denominator the evaluations use, so ratio == cost/C(O) exactly.
+  return strategy_cost(kind, alpha) /
+         (is_parallel() ? optop().optimum_cost : network_optimum().cost);
+}
+
+double Evaluation::evaluate_baseline(StrategyKind kind, double alpha,
+                                     bool chained) {
+  if (is_parallel()) {
+    const OpTopResult& ot = optop();
+    const std::vector<double> s =
+        kind == StrategyKind::kScale
+            ? scale_strategy(links(), alpha, ot.optimum)
+            : llf_strategy(links(), alpha, ot.optimum);
+    double* level = nullptr;
+    if (chained && session_ != nullptr) {
+      level = kind == StrategyKind::kScale ? &session_->strategy.scale_level
+                                           : &session_->strategy.llf_level;
+    }
+    const StackelbergOutcome out = evaluate_strategy(
+        links(), s, ot.optimum_cost, 1e-13, ws(),
+        level != nullptr ? *level
+                         : std::numeric_limits<double>::quiet_NaN(),
+        budget_);
+    if (level != nullptr) *level = out.induced_level;
+    absorb(out.status);
+    return out.cost;
+  }
+  const NetworkAssignment& opt = network_optimum();
+  const NetworkStrategy s = kind == StrategyKind::kScale
+                                ? scale_strategy(network(), alpha, opt)
+                                : llf_strategy(network(), alpha, opt);
+  AssignmentWarmStart* warm = nullptr;
+  if (chained && session_ != nullptr) {
+    warm = kind == StrategyKind::kScale ? &session_->strategy.scale_induced
+                                        : &session_->strategy.llf_induced;
+  }
+  AssignmentOptions opts;
+  opts.budget = budget_;
+  const NetworkStackelbergOutcome out =
+      evaluate_strategy(network(), s, opt.cost, opts, ws(), warm, warm);
+  absorb(out.status);
+  return out.cost;
+}
+
+double Evaluation::strategy_cost(StrategyKind kind, double alpha) {
+  if (kind == StrategyKind::kAloof) return nash_cost();
+  std::optional<double>& slot = strategy_cost_[static_cast<int>(kind)];
+  if (!slot) slot = evaluate_baseline(kind, alpha, /*chained=*/true);
+  return *slot;
+}
+
+double Evaluation::strategy_alpha_to_optimum(StrategyKind kind, double eps) {
+  SR_REQUIRE(kind != StrategyKind::kAloof,
+             "alpha_to_optimum is defined for SCALE and LLF only");
+  SR_REQUIRE(eps > 0.0, "alpha_to_optimum needs eps > 0");
+  // One optimum solve feeds every probe; the probes deliberately skip the
+  // session's warm payloads (their α jumps around, the session's is
+  // ordered).
+  const double opt_cost =
+      is_parallel() ? optop().optimum_cost : network_optimum().cost;
+  auto ratio_at = [&](double alpha) -> double {
+    return evaluate_baseline(kind, alpha, /*chained=*/false) / opt_cost;
+  };
+  const double threshold = 1.0 + eps;
+  if (ratio_at(0.0) <= threshold) return 0.0;
+  if (ratio_at(1.0) > threshold) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  double lo = 0.0, hi = 1.0;  // ratio(lo) > threshold >= ratio(hi)
+  for (int it = 0; it < 30; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    (ratio_at(mid) <= threshold ? hi : lo) = mid;
+  }
+  return hi;
+}
+
+}  // namespace stackroute::engine

@@ -1,0 +1,184 @@
+// Engine: the resident solve service underneath the sweep CLI and the
+// serve transport.
+//
+// An Engine owns what a long-lived solver process needs across requests:
+//
+//   * sessions — persistent SolveSessions (workspace + warm payloads,
+//     see session.h) keyed by id. Consecutive requests in one session
+//     warm-start each other whenever their instances are value-compatible
+//     (warm_compatible in instance.h: requests arrive freshly
+//     deserialized, so pointer identity is useless here).
+//   * a workspace pool — sessionless (session = 0) requests borrow a
+//     pooled workspace instead of allocating one per request.
+//   * a compiled-LatencyTable cache keyed by the *content hash* of the
+//     latency set: a fresh session whose instance is value-equal to one
+//     the engine has already compiled adopts the cached kernel instead of
+//     recompiling (hash fast path + full value-equality check, so a
+//     collision can never cause wrong reuse — see instance.h).
+//
+// solve_batch shards requests across the existing thread pool, one group
+// per session (a session's requests run in submission order on one
+// thread, exactly the sweep chain discipline), so responses are
+// deterministic at any thread count.
+//
+// The sweep layer is a thin client: SweepRunner opens one session per
+// warm chain and evaluates its metrics through the same Evaluation type
+// typed requests use, keeping its tables bitwise identical to the
+// pre-engine implementation.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "stackroute/engine/eval.h"
+#include "stackroute/engine/instance.h"
+#include "stackroute/engine/session.h"
+#include "stackroute/obs/counters.h"
+#include "stackroute/solver/status.h"
+
+namespace stackroute::engine {
+
+enum class RequestKind {
+  kEquilibrium,  // Nash: water-filling / path equilibration / FW
+  kOptimum,      // system optimum
+  kMop,          // the paper's MOP: beta + optimal Stackelberg strategy
+  kStrategy,     // baseline strategy (Aloof/SCALE/LLF) at a given alpha
+};
+
+/// Printable request-kind name ("equilibrium", "optimum", "mop",
+/// "strategy"); parse_request_kind is its inverse (throws on unknown).
+const char* to_string(RequestKind kind);
+RequestKind parse_request_kind(const std::string& name);
+
+enum class EquilibriumMethod {
+  kPathEqualization,  // assign_traffic path equilibration (default)
+  kFrankWolfe,        // FW on the Beckmann objective
+};
+
+struct SolveRequest {
+  RequestKind kind = RequestKind::kEquilibrium;
+  Instance instance;
+  /// Leader fraction for kStrategy (SCALE/LLF read it; Aloof ignores it).
+  double alpha = std::numeric_limits<double>::quiet_NaN();
+  StrategyKind strategy = StrategyKind::kAloof;
+  /// Network equilibrium solver choice (parallel links always water-fill).
+  EquilibriumMethod method = EquilibriumMethod::kPathEqualization;
+  /// Optional per-request budget; when inactive the engine's default
+  /// applies. Armed per request — the deadline starts when the solve does.
+  SolveBudget budget;
+  /// Session id from open_session(); 0 = sessionless (pooled workspace,
+  /// no warm carry-over).
+  std::uint64_t session = 0;
+  /// Caller tag, echoed verbatim in the response.
+  std::uint64_t id = 0;
+};
+
+struct SolveResponse {
+  std::uint64_t id = 0;
+  bool ok = false;
+  std::string error;  // set when !ok
+  RequestKind kind = RequestKind::kEquilibrium;
+  SolveStatus status = SolveStatus::kConverged;
+  /// The headline value: C(N) for equilibrium, C(O) for optimum, the
+  /// optimal C(S+T) for MOP, the baseline's C(S+T) for strategy.
+  double cost = std::numeric_limits<double>::quiet_NaN();
+  /// MOP extras (NaN otherwise).
+  double beta = std::numeric_limits<double>::quiet_NaN();
+  /// C(O) — filled by kOptimum, kMop and kStrategy.
+  double optimum_cost = std::numeric_limits<double>::quiet_NaN();
+  /// kStrategy: cost / optimum_cost.
+  double ratio = std::numeric_limits<double>::quiet_NaN();
+  /// True when the session's warm state carried into this solve.
+  bool warm = false;
+  double millis = 0.0;
+  /// This request's solver work counters (all zero unless
+  /// EngineOptions::collect_counters).
+  obs::SolveCounters counters;
+};
+
+struct EngineOptions {
+  /// Install a counter sink per request (response.counters).
+  bool collect_counters = false;
+  /// Compiled-table cache entries kept (LRU beyond this); 0 disables.
+  std::size_t table_cache_capacity = 64;
+  /// Applied to requests whose own budget is inactive.
+  SolveBudget default_budget;
+};
+
+/// Cumulative service counters (diagnostic; see also per-request
+/// SolveResponse::counters).
+struct EngineStats {
+  std::uint64_t requests = 0;
+  std::uint64_t errors = 0;    // !ok responses
+  std::uint64_t degraded = 0;  // ok but not solve_ok(status)
+  std::uint64_t warm_attempts = 0;  // session requests with a warm anchor
+  std::uint64_t warm_hits = 0;      // ... whose compatibility test passed
+  std::uint64_t table_cache_hits = 0;
+  std::uint64_t table_cache_misses = 0;
+  std::uint64_t sessions_opened = 0;
+  std::uint64_t sessions_closed = 0;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineOptions opts = {}) : opts_(opts) {}
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Creates a fresh session and returns its id (never 0).
+  std::uint64_t open_session();
+  /// Destroys a session (its warm state and workspace); false if unknown.
+  bool close_session(std::uint64_t id);
+  /// Borrows a session for direct use — the sweep runner's path: it runs
+  /// one chain per session through Evaluation itself. Null if unknown.
+  /// The caller owns the thread discipline (one session, one thread).
+  [[nodiscard]] SolveSession* session(std::uint64_t id);
+
+  /// Serves one request (in the caller's thread). Never throws: failures
+  /// come back as !ok responses and reset the session's warm state.
+  SolveResponse solve(const SolveRequest& req);
+
+  /// Serves a batch: requests are grouped by session id (group order =
+  /// first appearance, intra-group order = submission order) and the
+  /// groups run in parallel over the thread pool. Responses line up
+  /// index-for-index with the requests and are bitwise identical at any
+  /// thread count.
+  std::vector<SolveResponse> solve_batch(std::span<const SolveRequest> reqs);
+
+  [[nodiscard]] const EngineOptions& options() const { return opts_; }
+  [[nodiscard]] EngineStats stats() const;
+  [[nodiscard]] std::size_t num_sessions() const;
+
+ private:
+  /// The typed-request core: runs `req` on `session` (null = pooled
+  /// workspace, cold). Assumes exclusive use of the session.
+  SolveResponse solve_on(SolveSession* session, const SolveRequest& req);
+  /// Seeds `ws.table` for `inst` from the content-hash cache (adopt) or
+  /// compiles and caches. The sweep client never comes through here — its
+  /// chains keep the pointer-identity fast path untouched.
+  void prepare_tables(SolverWorkspace& ws, const Instance& inst);
+
+  EngineOptions opts_;
+
+  mutable std::mutex mu_;  // guards everything below
+  std::uint64_t next_session_id_ = 1;
+  std::map<std::uint64_t, std::unique_ptr<SolveSession>> sessions_;
+  std::vector<std::unique_ptr<SolveSession>> pool_;  // sessionless spares
+  struct TableCacheEntry {
+    std::uint64_t hash = 0;
+    LatencyTable table;
+    std::uint64_t last_use = 0;
+  };
+  std::vector<TableCacheEntry> table_cache_;
+  std::uint64_t cache_clock_ = 0;
+  EngineStats stats_;
+};
+
+}  // namespace stackroute::engine

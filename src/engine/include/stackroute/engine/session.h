@@ -1,0 +1,62 @@
+// SolveSession: the persistent per-client solver state of the engine —
+// the generalization of the sweep layer's old ChainContext (which is now
+// an alias of this type). A session owns one SolverWorkspace (compiled
+// latency table, Dijkstra/path buffers) plus the converged warm-start
+// payloads of the last request it served, and hands them to the next
+// request whenever the instances are chain-compatible. Confined to one
+// request at a time, hence one thread — the engine serializes a session's
+// requests and shards only across sessions.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "stackroute/core/mop.h"
+#include "stackroute/core/optop.h"
+#include "stackroute/engine/instance.h"
+#include "stackroute/solver/workspace.h"
+
+namespace stackroute::engine {
+
+/// Converged baseline-strategy solver state carried along an α-sweep
+/// chain: the induced-equilibrium decompositions on networks, the induced
+/// water-filling levels on parallel links.
+struct StrategyWarmState {
+  AssignmentWarmStart scale_induced;  // network follower decompositions
+  AssignmentWarmStart llf_induced;
+  double scale_level = std::numeric_limits<double>::quiet_NaN();
+  double llf_level = std::numeric_limits<double>::quiet_NaN();
+};
+
+struct SolveSession {
+  SolverWorkspace ws;
+  bool has_prev = false;
+  /// The previous request's instance — kept alive so chain_compatible's
+  /// pointer-identity test is sound (and warm_compatible has an anchor).
+  Instance prev_instance;
+  AssignmentWarmStart nash;  // converged Nash decomposition
+  MopWarmStart mop;          // optimum + induced decompositions (the
+                             // .optimum half also feeds plain optimum
+                             // solves on non-MOP metric sets)
+  OpTopWarmStart optop;      // parallel-links water-filling levels
+  StrategyWarmState strategy;  // per-baseline induced payloads (α chains)
+  /// Converged Frank–Wolfe edge flow + the total demand it routed — the
+  /// warm seed of chained FW equilibrium requests (see frank_wolfe.h for
+  /// the proportional-split precondition; structure-equal instances of a
+  /// demand chain satisfy it).
+  std::vector<double> fw_flow;
+  double fw_demand = std::numeric_limits<double>::quiet_NaN();
+  /// Water-filling levels of the last plain parallel-links Nash/optimum
+  /// solves — the warm seeds of chained equilibrium/optimum requests
+  /// (OpTop keeps its own levels in `optop`).
+  double nash_level = std::numeric_limits<double>::quiet_NaN();
+  double opt_level = std::numeric_limits<double>::quiet_NaN();
+
+  /// Drops the warm payloads (workspace capacity is kept): called when a
+  /// task fails or an incompatible instance breaks the chain, so stale
+  /// state can never leak across the break.
+  void reset_warm();
+};
+
+}  // namespace stackroute::engine

@@ -1,0 +1,88 @@
+// Minimal JSON reader/writer support for the serve transport
+// (tools/stackroute_serve.cpp): line-delimited request objects in, response
+// objects out. Deliberately dependency-free and small — objects, arrays,
+// strings (with escapes incl. \uXXXX -> UTF-8), numbers, booleans, null —
+// with parse errors that carry the byte offset so the transport can report
+// "line N, byte M". Not a general-purpose JSON library: no comments, no
+// trailing commas, no NaN/Infinity (JSON has none), object keys keep
+// insertion order and duplicates keep the last value.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace stackroute::io {
+
+class JsonValue;
+
+/// Thrown by JsonValue::parse; `offset` is the byte position (0-based)
+/// where parsing failed, for the caller to map to a line/column.
+struct JsonParseError {
+  std::string message;
+  std::size_t offset = 0;
+};
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Array = std::vector<JsonValue>;
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() = default;  // null
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_number() const { return type_ == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type_ == Type::kString; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw stackroute::Error naming the actual type on a
+  /// mismatch (so transport code gets "field 'alpha': expected number,
+  /// got string" for free by wrapping).
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Object member lookup (last duplicate wins); null when absent or when
+  /// this value is not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  /// Parses exactly one JSON value spanning all of `text` (surrounding
+  /// whitespace allowed); throws JsonParseError on anything else,
+  /// including trailing garbage.
+  static JsonValue parse(std::string_view text);
+
+  // Construction helpers for writers/tests.
+  static JsonValue null();
+  static JsonValue boolean(bool b);
+  static JsonValue number(double v);
+  static JsonValue string(std::string s);
+  static JsonValue array(Array a);
+  static JsonValue object(Object o);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+/// `s` with the JSON string escapes applied (quotes, backslash, control
+/// characters as \uXXXX) — no surrounding quotes.
+std::string json_escape(std::string_view s);
+
+/// A double formatted as a JSON number token (17 significant digits, so
+/// values round-trip). Non-finite values have no JSON representation;
+/// callers must omit such fields (this function throws on them).
+std::string json_number(double v);
+
+}  // namespace stackroute::io

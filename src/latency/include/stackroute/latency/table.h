@@ -50,6 +50,21 @@ class LatencyTable {
   /// preload-free re-solves) reuse the compiled kernel.
   bool ensure_compiled(std::span<const LatencyPtr> lats);
 
+  /// True when `lats` is pointer-identical to the currently compiled set —
+  /// the test ensure_compiled short-circuits on, exposed so callers (the
+  /// engine's table cache) can probe without risking a compile.
+  [[nodiscard]] bool compiled_for(std::span<const LatencyPtr> lats) const;
+
+  /// Takes over `other`'s compiled arrays as the compilation of `lats`,
+  /// skipping the compile walk. Sound only when `lats` is *value-equal* to
+  /// the set `other` was compiled from — same kinds, parameters and wrapper
+  /// chains elementwise — which the caller must guarantee (the engine
+  /// checks a content hash plus full structural equality). The sources are
+  /// re-pointed at `lats`, so opaque entries and inverse fallbacks dispatch
+  /// to the new (equal-valued) objects and subsequent ensure_compiled(lats)
+  /// calls take the fast path. Counts as a recompilation for revision().
+  void adopt(const LatencyTable& other, std::span<const LatencyPtr> lats);
+
   /// Monotonic count of actual recompilations of this table — the
   /// instance-revision tag a SolverWorkspace carries across chained solves.
   [[nodiscard]] std::uint64_t revision() const { return revision_; }

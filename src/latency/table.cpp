@@ -17,12 +17,29 @@ constexpr std::size_t kMaxWrapDepth = 64;
 }  // namespace
 
 bool LatencyTable::ensure_compiled(std::span<const LatencyPtr> lats) {
-  if (src_.size() == lats.size() &&
-      std::equal(src_.begin(), src_.end(), lats.begin())) {
-    return false;
-  }
+  if (compiled_for(lats)) return false;
   compile(lats);
   return true;
+}
+
+bool LatencyTable::compiled_for(std::span<const LatencyPtr> lats) const {
+  return src_.size() == lats.size() &&
+         std::equal(src_.begin(), src_.end(), lats.begin());
+}
+
+void LatencyTable::adopt(const LatencyTable& other,
+                         std::span<const LatencyPtr> lats) {
+  SR_REQUIRE(other.src_.size() == lats.size(),
+             "LatencyTable::adopt size mismatch");
+  const std::uint64_t revision = revision_ + 1;  // self-adopt keeps counting
+  entries_ = other.entries_;
+  wraps_ = other.wraps_;
+  coeffs_ = other.coeffs_;
+  all_affine_ = other.all_affine_;
+  aff_a_ = other.aff_a_;
+  aff_b_ = other.aff_b_;
+  src_.assign(lats.begin(), lats.end());
+  revision_ = revision;
 }
 
 void LatencyTable::compile(std::span<const LatencyPtr> lats) {

@@ -2,86 +2,61 @@
 //
 // A Metric is a named function of a TaskEval — the per-task evaluation
 // context holding the grid point and the instance (parallel links or a
-// network). TaskEval caches the expensive solves (OpTop, MOP, the Nash and
-// optimum assignments) so that a metric list like {beta, poa, nash_cost}
-// runs each solver once per task, not once per metric. Custom metrics are
-// plain lambdas; the builtin ones dispatch on the instance shape:
-// β via op_top on parallel links and mop on networks, C(N)/C(O)/C(S+T)
-// from the cached results, and solver round counts.
+// network). The solve machinery itself lives one layer down in
+// engine::Evaluation (see engine/eval.h): TaskEval binds an Evaluation to
+// a grid point, so that a metric list like {beta, poa, nash_cost} runs
+// each solver once per task, not once per metric, and so that sweep tasks
+// and engine service requests share one battle-tested solve path. Custom
+// metrics are plain lambdas; the builtin ones dispatch on the instance
+// shape: β via op_top on parallel links and mop on networks, C(N)/C(O)/
+// C(S+T) from the cached results, and solver round counts.
+//
+// The instance variant, chain-compatibility test and warm-chain state
+// moved to the engine layer with this split; the sweep names below are
+// aliases kept for the existing call sites (tests, benches, the CLI).
 #pragma once
 
 #include <any>
 #include <functional>
-#include <limits>
 #include <map>
-#include <optional>
 #include <string>
 #include <variant>
 #include <vector>
 
-#include "stackroute/core/mop.h"
-#include "stackroute/core/optop.h"
-#include "stackroute/core/strategy.h"
-#include "stackroute/equilibrium/network.h"
-#include "stackroute/equilibrium/parallel.h"
-#include "stackroute/network/instance.h"
-#include "stackroute/solver/status.h"
-#include "stackroute/solver/workspace.h"
+#include "stackroute/engine/eval.h"
+#include "stackroute/engine/instance.h"
+#include "stackroute/engine/session.h"
 #include "stackroute/sweep/grid.h"
 
 namespace stackroute::sweep {
 
-/// The two input shapes of the paper's algorithms, as one sweepable type.
-using Instance = std::variant<ParallelLinks, NetworkInstance>;
+/// The two input shapes of the paper's algorithms, as one sweepable type
+/// (now owned by the engine layer).
+using Instance = engine::Instance;
 
-/// True when `cur` is the same network as `prev` with at most scalar knobs
-/// (demands) changed: identical shape, edge endpoints, *pointer-identical*
-/// latency objects, and identical commodity endpoints. Pointer identity is
-/// sound because the comparison is only made while `prev` is still alive
-/// (shared ownership rules out address reuse), and it is exactly the test
-/// that decides whether a chain's warm-start state carries over — so it
-/// must stay a pure function of the two instances (thread-count and
-/// execution-order independent), which it is.
-bool chain_compatible(const Instance& prev, const Instance& cur);
+/// Pointer-identity chain compatibility — see engine/instance.h. This is
+/// the sweep determinism contract's test: chains hold the previous
+/// instance alive, and identical pointers guarantee identical
+/// compilation, hence bitwise-stable tables.
+using engine::chain_compatible;
 
 /// The classical Stackelberg baselines exposed as sweep metrics (see
 /// core/strategy.h). Aloof ignores the grid's "alpha" parameter; SCALE and
 /// LLF read it per point.
-enum class StrategyKind { kAloof, kScale, kLlf };
+using StrategyKind = engine::StrategyKind;
 
 /// Converged baseline-strategy solver state carried along an α-sweep
-/// chain: the induced-equilibrium decompositions on networks, the induced
-/// water-filling levels on parallel links.
-struct StrategyChainState {
-  AssignmentWarmStart scale_induced;  // network follower decompositions
-  AssignmentWarmStart llf_induced;
-  double scale_level = std::numeric_limits<double>::quiet_NaN();
-  double llf_level = std::numeric_limits<double>::quiet_NaN();
-};
+/// chain (see engine/session.h).
+using StrategyChainState = engine::StrategyWarmState;
 
 /// Cross-task warm-start state carried along one chain of a sweep (see
-/// runner.h): the workspace shared by the chain's tasks, the previous
-/// task's instance — kept alive so chain_compatible's pointer-identity
-/// test is sound — and the converged solver state that task produced.
-/// Confined to one chain, hence one thread.
-struct ChainContext {
-  SolverWorkspace ws;
-  bool has_prev = false;
-  Instance prev_instance;
-  AssignmentWarmStart nash;  // converged Nash decomposition
-  MopWarmStart mop;          // optimum + induced decompositions (the
-                             // .optimum half also feeds plain optimum
-                             // solves on non-MOP metric sets)
-  OpTopWarmStart optop;      // parallel-links water-filling levels
-  StrategyChainState strategy;  // per-baseline induced payloads (α chains)
+/// runner.h) — the engine's SolveSession: the workspace shared by the
+/// chain's tasks, the previous task's instance, and the converged solver
+/// state that task produced. Confined to one chain, hence one thread.
+using ChainContext = engine::SolveSession;
 
-  /// Drops the warm payloads (workspace capacity is kept): called when a
-  /// task fails or an incompatible instance breaks the chain, so stale
-  /// state can never leak across the break.
-  void reset_warm();
-};
-
-/// Per-task evaluation context with memoized solver results.
+/// Per-task evaluation context with memoized solver results: an
+/// engine::Evaluation bound to the task's grid point.
 class TaskEval {
  public:
   TaskEval(const ParamPoint& point, const Instance& instance)
@@ -93,41 +68,49 @@ class TaskEval {
   /// runner calls finish_chain() after the metrics to publish this task's
   /// instance as the next task's warm anchor.
   TaskEval(const ParamPoint& point, const Instance& instance,
-           ChainContext* chain);
+           ChainContext* chain)
+      : point_(point),
+        eval_(instance, chain, engine::WarmPolicy::kPointerIdentity) {}
 
   [[nodiscard]] const ParamPoint& point() const { return point_; }
-  [[nodiscard]] bool is_parallel() const;
+  [[nodiscard]] bool is_parallel() const { return eval_.is_parallel(); }
 
   /// Arms a per-task solve budget: every solve this task runs draws on one
   /// shared deadline (see SolveBudget in solver/status.h). Call before the
   /// first metric; an inactive budget changes nothing.
-  void set_budget(const SolveBudget& budget) { budget_ = budget.armed(); }
+  void set_budget(const SolveBudget& budget) { eval_.set_budget(budget); }
 
   /// Worst SolveStatus over every solve this task has run so far — what
   /// the runner records in TaskRecord::status. Degraded solves still
   /// produce metric values (from best-so-far flows); this is the honest
   /// label for them.
-  [[nodiscard]] SolveStatus status() const { return status_; }
+  [[nodiscard]] SolveStatus status() const { return eval_.status(); }
 
   /// The instance as parallel links / a network; throws on shape mismatch.
-  [[nodiscard]] const ParallelLinks& links() const;
-  [[nodiscard]] const NetworkInstance& network() const;
+  [[nodiscard]] const ParallelLinks& links() const { return eval_.links(); }
+  [[nodiscard]] const NetworkInstance& network() const {
+    return eval_.network();
+  }
 
   /// Cached OpTop run (parallel links only).
-  const OpTopResult& optop();
+  const OpTopResult& optop() { return eval_.optop(); }
   /// Cached MOP run (networks only).
-  const MopResult& mop_result();
+  const MopResult& mop_result() { return eval_.mop_result(); }
   /// Cached Nash / optimum network assignments (networks only).
-  const NetworkAssignment& network_nash();
-  const NetworkAssignment& network_optimum();
+  const NetworkAssignment& network_nash() { return eval_.network_nash(); }
+  const NetworkAssignment& network_optimum() {
+    return eval_.network_optimum();
+  }
 
   // Shape-dispatching accessors, usable from any metric.
-  double beta();              // β_M via OpTop or β_G via MOP
-  double poa();               // C(N)/C(O)
-  double nash_cost();         // C(N)
-  double optimum_cost();      // C(O)
-  double stackelberg_cost();  // C(S+T) of the optimal Leader strategy
-  double rounds();  // OpTop freeze rounds; NaN on networks (MOP is one-shot)
+  double beta() { return eval_.beta(); }  // β_M via OpTop or β_G via MOP
+  double poa() { return eval_.poa(); }    // C(N)/C(O)
+  double nash_cost() { return eval_.nash_cost(); }        // C(N)
+  double optimum_cost() { return eval_.optimum_cost(); }  // C(O)
+  /// C(S+T) of the optimal Leader strategy.
+  double stackelberg_cost() { return eval_.stackelberg_cost(); }
+  /// OpTop freeze rounds; NaN on networks (MOP is one-shot).
+  double rounds() { return eval_.rounds(); }
 
   /// Cached baseline-strategy evaluation at the point's "alpha" parameter
   /// (Aloof ignores alpha and reuses the Nash/optimum caches). Parallel
@@ -138,12 +121,11 @@ class TaskEval {
   double strategy_ratio(StrategyKind kind);  // C(S+T)/C(O)
   double strategy_cost(StrategyKind kind);   // C(S+T)
 
-  /// Smallest α at which `kind` reaches C(S+T) <= (1+eps)·C(O), located by
-  /// bisection over [0, 1] (assuming a single ratio crossing — on
-  /// Braess-style anomalies with several crossings this converges to the
-  /// topmost one). 0 when the plain Nash is already within eps; NaN when
-  /// even α = 1 misses (eps below solver tolerance).
-  double strategy_alpha_to_optimum(StrategyKind kind, double eps);
+  /// Smallest α at which `kind` reaches C(S+T) <= (1+eps)·C(O) (see
+  /// engine::Evaluation::strategy_alpha_to_optimum).
+  double strategy_alpha_to_optimum(StrategyKind kind, double eps) {
+    return eval_.strategy_alpha_to_optimum(kind, eps);
+  }
 
   /// Publishes this task's instance as the chain's warm anchor (no-op
   /// without a chain). The runner calls it once, after every metric
@@ -151,7 +133,7 @@ class TaskEval {
   /// argument must be the very instance this TaskEval was constructed
   /// over; it is moved into the chain (saving a per-task graph copy), so
   /// no metric may run afterwards.
-  void finish_chain(Instance&& instance);
+  void finish_chain(Instance&& instance) { eval_.finish(std::move(instance)); }
 
   /// Memoizes an arbitrary intermediate result under `key` for this task's
   /// lifetime, so several custom metrics can share one expensive solve
@@ -167,33 +149,8 @@ class TaskEval {
   }
 
  private:
-  /// The workspace every solve of this task runs on: the chain's when
-  /// chained, this task's own otherwise.
-  SolverWorkspace& ws();
-
-  /// Folds a sub-solve outcome into this task's worst status.
-  void absorb(SolveStatus s) { status_ = worst_status(status_, s); }
-
-  /// One SCALE/LLF evaluation against this task's cached optimum — the
-  /// single construction+evaluation path behind both the cached ratio
-  /// columns (chained = true: thread the chain's warm payloads) and the
-  /// alpha_star bisection probes (chained = false: α jumps around, the
-  /// chain's payloads stay untouched). Returns C(S+T).
-  double evaluate_baseline(StrategyKind kind, double alpha, bool chained);
-
   const ParamPoint& point_;
-  const Instance& instance_;
-  ChainContext* chain_ = nullptr;
-  SolveBudget budget_;
-  SolveStatus status_ = SolveStatus::kConverged;
-  // One compiled-kernel workspace shared by every solve this task runs
-  // (TaskEval is confined to one task, hence one thread). Unused when the
-  // task is chained.
-  SolverWorkspace own_ws_;
-  std::optional<OpTopResult> optop_;
-  std::optional<MopResult> mop_;
-  std::optional<NetworkAssignment> net_nash_;
-  std::optional<NetworkAssignment> net_opt_;
+  engine::Evaluation eval_;
   std::map<std::string, std::any> cache_;
 };
 

@@ -6,12 +6,13 @@
 // typically "demand") and warm-starting is enabled, the grid decomposes
 // into chains — sequences of tasks varying only along that axis, all other
 // parameters fixed. Chains, not tasks, are the unit of parallel
-// scheduling; each chain carries one persistent SolverWorkspace (compiled
-// latency table, Dijkstra/path buffers) and threads the previous point's
-// converged solver state into the next point's solves (see
-// ChainContext/chain_compatible in metrics.h). Without a warm axis — or
-// with warm_start off — every task is its own chain, which is exactly the
-// pre-chain behavior.
+// scheduling; each chain is an engine::Engine session carrying one
+// persistent SolverWorkspace (compiled latency table, Dijkstra/path
+// buffers) and threads the previous point's converged solver state into
+// the next point's solves (see SolveSession in engine/session.h and
+// chain_compatible in engine/instance.h — the runner is a thin client of
+// the engine layer). Without a warm axis — or with warm_start off — every
+// task is its own chain, which is exactly the pre-chain behavior.
 //
 // Determinism contract: the metric values in a SweepResult — and therefore
 // to_markdown()/to_csv()/to_json() — are bitwise identical at any thread

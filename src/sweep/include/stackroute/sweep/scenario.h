@@ -50,10 +50,11 @@ Instance load_instance_text(const std::string& text);
 Instance load_instance_file(const std::string& path);
 
 /// Resolves a repo-relative data file (e.g. the shipped SiouxFalls TNTP)
-/// for builtin scenarios: the relative path itself when readable from the
-/// working directory, else the same path under the source tree the library
-/// was configured from. Throws stackroute::Error naming both candidates
-/// when neither resolves.
+/// for builtin scenarios, trying in order: the relative path itself from
+/// the working directory, the STACKROUTE_DATA_DIR environment directory
+/// (deployment override for installed builds with no source tree), then
+/// the source tree the library was configured from. Throws
+/// stackroute::Error naming every candidate when none resolves.
 std::string locate_data_file(const std::string& relative_path);
 
 /// Factory serving the given instance file at every grid point. If the

@@ -1,232 +1,6 @@
 #include "stackroute/sweep/metrics.h"
 
-#include <cmath>
-#include <limits>
-#include <utility>
-
-#include "stackroute/obs/counters.h"
-#include "stackroute/util/error.h"
-
 namespace stackroute::sweep {
-
-bool chain_compatible(const Instance& prev, const Instance& cur) {
-  if (prev.index() != cur.index()) return false;
-  if (const auto* a = std::get_if<ParallelLinks>(&prev)) {
-    const auto& b = std::get<ParallelLinks>(cur);
-    // shared_ptr operator== is pointer identity — exactly the test wanted.
-    return a->links == b.links;
-  }
-  const auto& a = std::get<NetworkInstance>(prev);
-  const auto& b = std::get<NetworkInstance>(cur);
-  const Graph& ga = a.graph;
-  const Graph& gb = b.graph;
-  if (ga.num_nodes() != gb.num_nodes() || ga.num_edges() != gb.num_edges()) {
-    return false;
-  }
-  for (EdgeId e = 0; e < ga.num_edges(); ++e) {
-    const Edge& ea = ga.edge(e);
-    const Edge& eb = gb.edge(e);
-    if (ea.tail != eb.tail || ea.head != eb.head ||
-        ea.latency != eb.latency) {
-      return false;
-    }
-  }
-  if (a.commodities.size() != b.commodities.size()) return false;
-  for (std::size_t i = 0; i < a.commodities.size(); ++i) {
-    if (a.commodities[i].source != b.commodities[i].source ||
-        a.commodities[i].sink != b.commodities[i].sink) {
-      return false;
-    }
-  }
-  return true;
-}
-
-void ChainContext::reset_warm() {
-  has_prev = false;
-  nash = {};
-  mop = {};
-  optop = {};
-  strategy = {};
-}
-
-TaskEval::TaskEval(const ParamPoint& point, const Instance& instance,
-                   ChainContext* chain)
-    : point_(point), instance_(instance), chain_(chain) {
-  // A broken chain must not leak stale payloads into this task's solves:
-  // the solve accessors below consume whatever payloads survive this
-  // reset, so warm validity flows from the anchor test alone, not from
-  // payload provenance.
-  const bool warm = chain_ != nullptr && chain_->has_prev &&
-                    chain_compatible(chain_->prev_instance, instance_);
-  if (chain_ != nullptr && !warm) {
-    // Count only genuine breaks (an anchor existed and failed the test) —
-    // a chain's cold first task is not a reset.
-    if (chain_->has_prev) obs::count(&obs::SolveCounters::chain_resets);
-    chain_->reset_warm();
-  }
-}
-
-SolverWorkspace& TaskEval::ws() {
-  return chain_ != nullptr ? chain_->ws : own_ws_;
-}
-
-void TaskEval::finish_chain(Instance&& instance) {
-  if (chain_ == nullptr) return;
-  SR_ASSERT(&instance == &instance_,
-            "finish_chain must be handed the evaluated instance");
-  chain_->prev_instance = std::move(instance);
-  chain_->has_prev = true;
-}
-
-bool TaskEval::is_parallel() const {
-  return std::holds_alternative<ParallelLinks>(instance_);
-}
-
-const ParallelLinks& TaskEval::links() const {
-  SR_REQUIRE(is_parallel(), "metric needs a parallel-links instance");
-  return std::get<ParallelLinks>(instance_);
-}
-
-const NetworkInstance& TaskEval::network() const {
-  SR_REQUIRE(!is_parallel(), "metric needs a network instance");
-  return std::get<NetworkInstance>(instance_);
-}
-
-namespace {
-
-/// Publishes a converged decomposition as the chain's warm payload for the
-/// next task (copies: the memoized result must stay intact for other
-/// metrics of this task).
-void publish(AssignmentWarmStart& warm, const NetworkAssignment& a,
-             const NetworkInstance& inst) {
-  warm.commodity_paths = a.commodity_paths;
-  warm.demands.clear();
-  for (const Commodity& c : inst.commodities) warm.demands.push_back(c.demand);
-}
-
-}  // namespace
-
-const OpTopResult& TaskEval::optop() {
-  if (!optop_) {
-    OpTopOptions opts;
-    opts.budget = budget_;
-    if (chain_ != nullptr) {
-      // In/out aliasing is supported: the hints are read before the levels
-      // are overwritten with this task's.
-      optop_ =
-          op_top(links(), opts, chain_->ws, &chain_->optop, &chain_->optop);
-    } else {
-      optop_ = op_top(links(), opts);
-    }
-    absorb(optop_->status);
-  }
-  return *optop_;
-}
-
-const MopResult& TaskEval::mop_result() {
-  if (!mop_) {
-    MopOptions opts;
-    opts.assignment.budget = budget_;
-    if (chain_ != nullptr) {
-      mop_ = mop(network(), opts, chain_->ws, &chain_->mop, &chain_->mop);
-    } else {
-      mop_ = mop(network(), opts);
-    }
-    absorb(mop_->status);
-  }
-  return *mop_;
-}
-
-const NetworkAssignment& TaskEval::network_nash() {
-  if (!net_nash_) {
-    AssignmentOptions opts;
-    opts.budget = budget_;
-    if (chain_ != nullptr) {
-      net_nash_ = solve_nash(network(), opts, chain_->ws, chain_->nash);
-      publish(chain_->nash, *net_nash_, network());
-    } else {
-      net_nash_ = solve_nash(network(), opts, ws());
-    }
-    absorb(net_nash_->status);
-  }
-  return *net_nash_;
-}
-
-const NetworkAssignment& TaskEval::network_optimum() {
-  if (!net_opt_) {
-    if (mop_) {
-      // Reuse MOP's optimum instead of solving again: its per-commodity
-      // leader/free path splits jointly decompose O, which is all the
-      // strategy metrics need (mop() already published the chain payload).
-      NetworkAssignment a;
-      a.edge_flow = mop_->optimum_edge_flow;
-      a.cost = mop_->optimum_cost;
-      a.converged = true;
-      a.commodity_paths.reserve(mop_->commodities.size());
-      for (const MopCommodity& c : mop_->commodities) {
-        std::vector<PathFlow> paths = c.free_paths;
-        paths.insert(paths.end(), c.leader_paths.begin(),
-                     c.leader_paths.end());
-        a.commodity_paths.push_back(std::move(paths));
-      }
-      net_opt_ = std::move(a);
-    } else {
-      AssignmentOptions opts;
-      opts.budget = budget_;
-      if (chain_ != nullptr) {
-        net_opt_ =
-            solve_optimum(network(), opts, chain_->ws, chain_->mop.optimum);
-        publish(chain_->mop.optimum, *net_opt_, network());
-      } else {
-        net_opt_ = solve_optimum(network(), opts, ws());
-      }
-      absorb(net_opt_->status);
-    }
-  }
-  return *net_opt_;
-}
-
-double TaskEval::beta() {
-  return is_parallel() ? optop().beta : mop_result().beta;
-}
-
-double TaskEval::poa() { return nash_cost() / optimum_cost(); }
-
-double TaskEval::nash_cost() {
-  return is_parallel() ? optop().nash_cost : network_nash().cost;
-}
-
-double TaskEval::optimum_cost() {
-  if (is_parallel()) return optop().optimum_cost;
-  // Reuse MOP's optimum when some other metric already paid for it.
-  if (mop_) return mop_->optimum_cost;
-  return network_optimum().cost;
-}
-
-double TaskEval::stackelberg_cost() {
-  return is_parallel() ? optop().induced_cost : mop_result().induced_cost;
-}
-
-double TaskEval::rounds() {
-  if (!is_parallel()) return std::numeric_limits<double>::quiet_NaN();
-  return static_cast<double>(optop().rounds.size());
-}
-
-namespace {
-
-const char* strategy_name(StrategyKind kind) {
-  switch (kind) {
-    case StrategyKind::kAloof:
-      return "aloof";
-    case StrategyKind::kScale:
-      return "scale";
-    case StrategyKind::kLlf:
-      return "llf";
-  }
-  return "?";
-}
-
-}  // namespace
 
 double TaskEval::strategy_ratio(StrategyKind kind) {
   // Same denominator the evaluations use, so ratio == cost/C(O) exactly.
@@ -234,75 +8,10 @@ double TaskEval::strategy_ratio(StrategyKind kind) {
          (is_parallel() ? optop().optimum_cost : network_optimum().cost);
 }
 
-double TaskEval::evaluate_baseline(StrategyKind kind, double alpha,
-                                   bool chained) {
-  if (is_parallel()) {
-    const OpTopResult& ot = optop();
-    const std::vector<double> s =
-        kind == StrategyKind::kScale
-            ? scale_strategy(links(), alpha, ot.optimum)
-            : llf_strategy(links(), alpha, ot.optimum);
-    double* level = nullptr;
-    if (chained && chain_ != nullptr) {
-      level = kind == StrategyKind::kScale ? &chain_->strategy.scale_level
-                                           : &chain_->strategy.llf_level;
-    }
-    const StackelbergOutcome out = evaluate_strategy(
-        links(), s, ot.optimum_cost, 1e-13, ws(),
-        level != nullptr ? *level
-                         : std::numeric_limits<double>::quiet_NaN(),
-        budget_);
-    if (level != nullptr) *level = out.induced_level;
-    absorb(out.status);
-    return out.cost;
-  }
-  const NetworkAssignment& opt = network_optimum();
-  const NetworkStrategy s = kind == StrategyKind::kScale
-                                ? scale_strategy(network(), alpha, opt)
-                                : llf_strategy(network(), alpha, opt);
-  AssignmentWarmStart* warm = nullptr;
-  if (chained && chain_ != nullptr) {
-    warm = kind == StrategyKind::kScale ? &chain_->strategy.scale_induced
-                                        : &chain_->strategy.llf_induced;
-  }
-  AssignmentOptions opts;
-  opts.budget = budget_;
-  const NetworkStackelbergOutcome out =
-      evaluate_strategy(network(), s, opt.cost, opts, ws(), warm, warm);
-  absorb(out.status);
-  return out.cost;
-}
-
 double TaskEval::strategy_cost(StrategyKind kind) {
   if (kind == StrategyKind::kAloof) return nash_cost();
-  const std::string key = std::string("strategy:") + strategy_name(kind);
-  return cached<double>(key, [&] {
-    return evaluate_baseline(kind, point_.get("alpha"), /*chained=*/true);
-  });
-}
-
-double TaskEval::strategy_alpha_to_optimum(StrategyKind kind, double eps) {
-  SR_REQUIRE(kind != StrategyKind::kAloof,
-             "alpha_to_optimum is defined for SCALE and LLF only");
-  SR_REQUIRE(eps > 0.0, "alpha_to_optimum needs eps > 0");
-  // One optimum solve feeds every probe; the probes deliberately skip the
-  // chain's warm payloads (their α jumps around, the chain's is ordered).
-  const double opt_cost =
-      is_parallel() ? optop().optimum_cost : network_optimum().cost;
-  auto ratio_at = [&](double alpha) -> double {
-    return evaluate_baseline(kind, alpha, /*chained=*/false) / opt_cost;
-  };
-  const double threshold = 1.0 + eps;
-  if (ratio_at(0.0) <= threshold) return 0.0;
-  if (ratio_at(1.0) > threshold) {
-    return std::numeric_limits<double>::quiet_NaN();
-  }
-  double lo = 0.0, hi = 1.0;  // ratio(lo) > threshold >= ratio(hi)
-  for (int it = 0; it < 30; ++it) {
-    const double mid = 0.5 * (lo + hi);
-    (ratio_at(mid) <= threshold ? hi : lo) = mid;
-  }
-  return hi;
+  // One α per task (the point's), cached per kind inside the Evaluation.
+  return eval_.strategy_cost(kind, point_.get("alpha"));
 }
 
 Metric metric_beta() {
@@ -330,17 +39,17 @@ Metric metric_optop_rounds() {
 }
 
 Metric metric_strategy_ratio(StrategyKind kind) {
-  return {std::string(strategy_name(kind)) + "_ratio",
+  return {std::string(engine::strategy_name(kind)) + "_ratio",
           [kind](TaskEval& e) { return e.strategy_ratio(kind); }};
 }
 
 Metric metric_strategy_cost(StrategyKind kind) {
-  return {std::string(strategy_name(kind)) + "_cost",
+  return {std::string(engine::strategy_name(kind)) + "_cost",
           [kind](TaskEval& e) { return e.strategy_cost(kind); }};
 }
 
 Metric metric_alpha_to_optimum(StrategyKind kind, double eps) {
-  return {std::string(strategy_name(kind)) + "_alpha_star",
+  return {std::string(engine::strategy_name(kind)) + "_alpha_star",
           [kind, eps](TaskEval& e) {
             return e.strategy_alpha_to_optimum(kind, eps);
           }};

@@ -11,6 +11,7 @@
 #include <omp.h>
 #endif
 
+#include "stackroute/engine/engine.h"
 #include "stackroute/obs/profile.h"
 #include "stackroute/obs/timing.h"
 #include "stackroute/util/error.h"
@@ -299,6 +300,20 @@ SweepResult SweepRunner::run(const ScenarioSpec& spec,
   if (layout.chains < 2) set_max_threads(1);
   result.threads = max_threads();  // after the pin, so summary() is honest
 
+  // The runner is a thin client of the engine: every chain is an engine
+  // session (workspace + warm payloads), opened up front so the chain
+  // lambda below is allocation-order independent. The engine's typed
+  // request path is bypassed — metrics are arbitrary lambdas over
+  // TaskEval — but the state the tasks hand forward is exactly the state
+  // a service request stream would reuse, through the same
+  // engine::Evaluation.
+  engine::Engine eng;
+  std::vector<std::uint64_t> session_ids;
+  session_ids.reserve(layout.chains);
+  for (std::size_t c = 0; c < layout.chains; ++c) {
+    session_ids.push_back(eng.open_session());
+  }
+
   obs::Timer total;
   // grain = 1: chains are sequences of whole equilibrium computations,
   // orders of magnitude heavier than the OpenMP dispatch overhead the
@@ -307,11 +322,12 @@ SweepResult SweepRunner::run(const ScenarioSpec& spec,
   parallel_for(
       layout.chains,
       [&](std::size_t c) {
-        // The chain's persistent state: workspace + warm-start payloads,
-        // handed from each task to the next in axis order. With inactive
-        // layouts (length 1) the context is never consulted across tasks,
-        // so solves run exactly as the pre-chain cold path did.
-        ChainContext ctx;
+        // The chain's persistent state: the engine session owning the
+        // workspace + warm-start payloads, handed from each task to the
+        // next in axis order. With inactive layouts (length 1) the context
+        // is never consulted across tasks, so solves run exactly as the
+        // pre-chain cold path did.
+        ChainContext& ctx = *eng.session(session_ids[c]);
         // Tracing sinks live per chain (one thread each); counters per
         // task, installed below so each record tallies its own work.
         std::optional<obs::TraceScope> trace_scope;

@@ -1,9 +1,11 @@
 #include "stackroute/sweep/scenario.h"
 
 #include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <sstream>
+#include <vector>
 
 #include "stackroute/io/serialize.h"
 #include "stackroute/io/tntp.h"
@@ -40,17 +42,29 @@ Instance load_instance_text(const std::string& text) {
 }
 
 std::string locate_data_file(const std::string& relative_path) {
+  std::vector<std::string> tried;
   if (std::ifstream(relative_path).good()) return relative_path;
+  tried.push_back("./" + relative_path);
+  // Deployment override: installed/containerized builds have no source
+  // tree, so STACKROUTE_DATA_DIR names where the shipped data files live.
+  // It outranks the baked-in source dir but not an explicit relative hit.
+  if (const char* data_dir = std::getenv("STACKROUTE_DATA_DIR")) {
+    if (*data_dir != '\0') {
+      const std::string in_data = std::string(data_dir) + "/" + relative_path;
+      if (std::ifstream(in_data).good()) return in_data;
+      tried.push_back(in_data);
+    }
+  }
 #ifdef STACKROUTE_SOURCE_DIR
   const std::string in_source =
       std::string(STACKROUTE_SOURCE_DIR) + "/" + relative_path;
   if (std::ifstream(in_source).good()) return in_source;
-  throw Error("cannot locate data file " + relative_path + " (tried ./" +
-              relative_path + " and " + in_source + ")");
-#else
-  throw Error("cannot locate data file " + relative_path +
-              " relative to the working directory");
+  tried.push_back(in_source);
 #endif
+  std::string msg = "cannot locate data file " + relative_path + " (tried";
+  for (const std::string& t : tried) msg += " " + t + ",";
+  msg.back() = ')';
+  throw Error(msg);
 }
 
 Instance load_instance_file(const std::string& path) {

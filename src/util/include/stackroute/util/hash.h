@@ -1,0 +1,87 @@
+// Stable 64-bit content hashing — the identity primitive behind the
+// engine's cross-request caches (see engine/instance.h).
+//
+// Requirements that shaped this:
+//   * platform-stable: the digest of a value sequence depends only on the
+//     values, never on addresses, iteration order of unordered containers,
+//     or the process — so hashes can key caches across requests and be
+//     asserted in tests. (std::hash guarantees none of this.)
+//   * doubles hash by bit pattern (round-trip through io::serialize's
+//     17-digit format preserves it), with -0.0 folded into +0.0 so the two
+//     representations of zero — numerically indistinguishable to every
+//     solver — cannot split a cache.
+//   * cheap incremental mixing: instances hash in one pass, no buffering.
+//
+// The mixer is FNV-1a over bytes for strings plus a splitmix64 finalizer
+// per 64-bit word — not cryptographic, but with 64-bit digests and cache
+// populations in the thousands, accidental collisions are ~2^-32 events;
+// correctness-critical users (warm-state reuse) must pair the hash with a
+// full equality check, and the engine does.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace stackroute {
+
+/// splitmix64's finalizer: a full-avalanche bijection on 64-bit words.
+[[nodiscard]] constexpr std::uint64_t hash_mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Incremental stable hasher. Streams words/doubles/strings into a running
+/// 64-bit digest; equal value sequences yield equal digests on every
+/// platform with IEEE-754 doubles.
+class StableHash {
+ public:
+  static constexpr std::uint64_t kSeed = 0xcbf29ce484222325ULL;  // FNV offset
+
+  constexpr StableHash() = default;
+  explicit constexpr StableHash(std::uint64_t seed) : state_(seed) {}
+
+  constexpr StableHash& mix(std::uint64_t v) {
+    state_ = hash_mix64(state_ ^ v);
+    return *this;
+  }
+
+  constexpr StableHash& mix_i64(std::int64_t v) {
+    return mix(static_cast<std::uint64_t>(v));
+  }
+
+  /// Bit-pattern hash; +0.0 and -0.0 collapse (see header comment). NaNs
+  /// hash by their payload — any NaN-bearing instance is already outside
+  /// every cache-reuse path, so distinguishing them costs nothing.
+  StableHash& mix_double(double v) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    if (bits == 0x8000000000000000ULL) bits = 0;  // -0.0 -> +0.0
+    return mix(bits);
+  }
+
+  /// FNV-1a over the bytes, then folded into the running state — length is
+  /// mixed too, so {"ab","c"} and {"a","bc"} cannot collide by design.
+  constexpr StableHash& mix_string(std::string_view s) {
+    std::uint64_t h = kSeed;
+    for (const char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 0x100000001b3ULL;  // FNV prime
+    }
+    mix(h);
+    return mix(s.size());
+  }
+
+  [[nodiscard]] constexpr std::uint64_t digest() const {
+    // Finalize a copy so digest() can be read mid-stream.
+    return hash_mix64(state_);
+  }
+
+ private:
+  std::uint64_t state_ = kSeed;
+};
+
+}  // namespace stackroute

@@ -1,0 +1,89 @@
+// Engine-vs-SweepRunner equivalence: the runner is now a thin client of
+// engine sessions, and this suite pins the refactor's contract — every
+// builtin warm-axis scenario produces bitwise-identical exported tables at
+// 1 and N threads, and fault-injected runs whose failures heal on retry
+// stay byte-identical to the clean run. (The pre/post-refactor golden
+// comparison was done once at refactor time; what must hold forever is
+// thread-count and fault-recovery invariance, which these tests keep
+// honest on every run.)
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "stackroute/sweep/runner.h"
+#include "stackroute/sweep/scenarios.h"
+#include "stackroute/util/fault.h"
+#include "stackroute/util/parallel.h"
+
+namespace stackroute::sweep {
+namespace {
+
+SweepResult run_at(const ScenarioSpec& spec, int threads,
+                   const SweepOptions& opts = {}) {
+  const int saved = max_threads_setting();
+  set_max_threads(threads);
+  SweepResult result = SweepRunner(opts).run(spec);
+  set_max_threads(saved);
+  return result;
+}
+
+TEST(SweepEquivalence, AllWarmAxisScenariosBitwiseAcrossThreads) {
+  int covered = 0;
+  for (const NamedScenario& named : builtin_scenarios()) {
+    const ScenarioSpec spec = named.make();
+    if (spec.warm_axis.empty()) continue;
+    ++covered;
+    const SweepResult serial = run_at(spec, 1);
+    const SweepResult parallel = run_at(spec, 4);
+    EXPECT_EQ(serial.to_csv(), parallel.to_csv()) << named.name;
+    EXPECT_EQ(serial.to_json(), parallel.to_json()) << named.name;
+    EXPECT_EQ(serial.num_failed(), 0u) << named.name;
+  }
+  // The registry must actually exercise warm chains somewhere; if this
+  // trips, the suite silently stopped covering the engine-session path.
+  EXPECT_GE(covered, 3);
+}
+
+TEST(SweepEquivalence, ColdRunsAlsoThreadCountInvariant) {
+  SweepOptions cold;
+  cold.warm_start = false;
+  const ScenarioSpec spec = make_scenario("pigou-grid");
+  EXPECT_EQ(run_at(spec, 1, cold).to_csv(), run_at(spec, 4, cold).to_csv());
+}
+
+TEST(SweepEquivalence, HealedRetryRowsByteIdentical) {
+  const ScenarioSpec spec = make_scenario("pigou-grid");
+  const std::string clean = run_at(spec, 1).to_csv();
+
+  // A transient forced failure: fails the first attempt of task 2, heals
+  // on the cold retry. The exported table must not betray that anything
+  // happened — byte for byte, at any thread count.
+  fault::FaultPlan faults;
+  faults.fail_task(2, 1);
+  SweepOptions opts;
+  opts.faults = &faults;
+  const SweepResult healed1 = run_at(spec, 1, opts);
+  const SweepResult healedN = run_at(spec, 4, opts);
+  EXPECT_EQ(healed1.num_failed(), 0u);
+  EXPECT_EQ(healed1.to_csv(), clean);
+  EXPECT_EQ(healedN.to_csv(), clean);
+}
+
+TEST(SweepEquivalence, HealedNanLatencyRowsByteIdentical) {
+  // pigou-grid + nan:1:3 is the known *healing* corruption (on grid-bpr the
+  // same fault degrades the row instead — that path is pinned by
+  // test_cli_exit_codes.py's injected-nan-degraded case).
+  const ScenarioSpec spec = make_scenario("pigou-grid");
+  const std::string clean = run_at(spec, 1).to_csv();
+
+  fault::FaultPlan faults;
+  faults.nan_latency(1, 3);  // corrupt one latency eval on task 1's first try
+  SweepOptions opts;
+  opts.faults = &faults;
+  const SweepResult healed = run_at(spec, 4, opts);
+  EXPECT_EQ(healed.num_failed(), 0u);
+  EXPECT_EQ(healed.to_csv(), clean);
+}
+
+}  // namespace
+}  // namespace stackroute::sweep

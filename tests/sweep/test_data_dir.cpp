@@ -1,0 +1,103 @@
+// locate_data_file resolution order (sweep/scenario.h): working directory
+// first, then the STACKROUTE_DATA_DIR environment override, then the
+// baked-in source tree — with every candidate named in the miss error.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "stackroute/sweep/scenario.h"
+#include "stackroute/util/error.h"
+
+namespace stackroute::sweep {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Scoped STACKROUTE_DATA_DIR value; restores the previous state on exit.
+class ScopedDataDir {
+ public:
+  explicit ScopedDataDir(const std::string& value) {
+    const char* old = std::getenv("STACKROUTE_DATA_DIR");
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    ::setenv("STACKROUTE_DATA_DIR", value.c_str(), 1);
+  }
+  ~ScopedDataDir() {
+    if (had_old_) {
+      ::setenv("STACKROUTE_DATA_DIR", old_.c_str(), 1);
+    } else {
+      ::unsetenv("STACKROUTE_DATA_DIR");
+    }
+  }
+
+ private:
+  bool had_old_ = false;
+  std::string old_;
+};
+
+class DataDirTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("stackroute_data_dir_test_" + std::to_string(::getpid()));
+    fs::create_directories(root_ / "examples" / "instances");
+    std::ofstream(root_ / "examples" / "instances" / "env_only.links")
+        << "# placeholder\n";
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(root_, ec);
+  }
+
+  fs::path root_;
+};
+
+TEST_F(DataDirTest, EnvOverrideServesFilesTheSourceTreeLacks) {
+  ScopedDataDir env(root_.string());
+  const std::string found =
+      locate_data_file("examples/instances/env_only.links");
+  EXPECT_EQ(found, (root_ / "examples" / "instances" / "env_only.links"));
+}
+
+TEST_F(DataDirTest, EnvOverrideOutranksSourceTree) {
+  // fig4.links exists in the source tree; a copy under the env dir must
+  // win (installed builds point the env at their own data root).
+  std::ofstream(root_ / "examples" / "instances" / "fig4.links")
+      << "# shadowing copy\n";
+  ScopedDataDir env(root_.string());
+  const std::string found = locate_data_file("examples/instances/fig4.links");
+  EXPECT_EQ(found, (root_ / "examples" / "instances" / "fig4.links"));
+}
+
+TEST_F(DataDirTest, FallsBackToSourceTreeWhenEnvMisses) {
+  ScopedDataDir env(root_.string());
+  const std::string found = locate_data_file("examples/instances/fig4.links");
+  EXPECT_NE(found.find("examples/instances/fig4.links"), std::string::npos);
+  EXPECT_TRUE(std::ifstream(found).good());
+  EXPECT_EQ(found.find(root_.string()), std::string::npos);
+}
+
+TEST_F(DataDirTest, MissNamesEveryCandidate) {
+  ScopedDataDir env(root_.string());
+  try {
+    locate_data_file("examples/instances/no_such_file.links");
+    FAIL() << "expected a miss";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("no_such_file"), std::string::npos);
+    EXPECT_NE(msg.find(root_.string()), std::string::npos) << msg;
+  }
+}
+
+TEST_F(DataDirTest, EmptyEnvValueIsIgnored) {
+  ScopedDataDir env("");
+  const std::string found = locate_data_file("examples/instances/fig4.links");
+  EXPECT_TRUE(std::ifstream(found).good());
+}
+
+}  // namespace
+}  // namespace stackroute::sweep

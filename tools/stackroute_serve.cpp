@@ -1,0 +1,405 @@
+// stackroute-serve: line-delimited JSON transport over the engine layer.
+// Reads one request object per line from stdin (or a replay file), serves
+// it through a resident engine::Engine, and writes one response object per
+// line to stdout. Sessions persist across requests, so a client streaming
+// e.g. a demand ramp into one session gets warm-started solves and a
+// compiled-latency-table cache for free.
+//
+//   stackroute-serve                       # serve stdin until EOF
+//   stackroute-serve --replay requests.ldjson
+//   echo '{"op":"mop","generate":"grid-bpr","demand":2}' | stackroute-serve
+//
+// Request fields (unknown keys are rejected — typos are errors here):
+//   op            "equilibrium" | "optimum" | "mop" | "strategy" | "close"
+//   id            number, echoed verbatim in the response (default 0)
+//   session       number; requests sharing a session id warm-start each
+//                 other (0 / absent = sessionless pooled workspace);
+//                 "close" drops the session and its warm state
+//   instance_file path to a .links/.net text or TNTP instance
+//   generate      generator family name (see stackroute-sweep
+//                 --list-generators), with optional size / gen_seed
+//   instance      inline serialized instance text (io/serialize format)
+//   demand        demand override (scaled proportionally on networks)
+//   alpha         Leader fraction for op=strategy (scale/llf)
+//   strategy      "aloof" | "scale" | "llf" (op=strategy, default aloof)
+//   method        "pe" | "fw" equilibrium solver on networks (default pe)
+//   deadline_ms   per-request wall-clock budget
+//   max_iters     per-request iteration budget
+//
+// Responses: {"id":..,"ok":true,"kind":..,"status":..,"cost":..,...} with
+// NaN-valued fields omitted; a malformed request yields {"id":0,"ok":
+// false,"error":"line N: ..."} and the stream continues. The stderr
+// summary (suppress with --quiet) reports counts, warm hit rate, table
+// cache hits and p50/p99 latency. Exit status mirrors stackroute-sweep:
+// 0 = all requests ok and converged; 1 = usage or transport error;
+// 2 = served to EOF but some responses failed or were degraded.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "stackroute/engine/engine.h"
+#include "stackroute/gen/registry.h"
+#include "stackroute/io/json.h"
+#include "stackroute/obs/profile.h"
+#include "stackroute/obs/timing.h"
+#include "stackroute/sweep/scenario.h"
+#include "stackroute/util/error.h"
+
+namespace {
+
+using stackroute::io::JsonParseError;
+using stackroute::io::JsonValue;
+
+int usage(std::ostream& os, int code) {
+  os << "usage: stackroute-serve [options]\n"
+        "  --replay FILE  read requests from FILE instead of stdin\n"
+        "  --quiet        suppress the stderr run summary\n"
+        "  --help         show this message\n"
+        "Serves line-delimited JSON requests (one object per line) against\n"
+        "a resident solve engine; see the header of stackroute_serve.cpp\n"
+        "or README.md for the request schema.\n"
+        "Exit: 0 clean, 1 usage/transport error, 2 some requests failed\n"
+        "or were degraded (their responses carry the detail).\n";
+  return code;
+}
+
+stackroute::engine::StrategyKind parse_strategy(const std::string& name) {
+  using stackroute::engine::StrategyKind;
+  if (name == "aloof") return StrategyKind::kAloof;
+  if (name == "scale") return StrategyKind::kScale;
+  if (name == "llf") return StrategyKind::kLlf;
+  throw stackroute::Error("unknown strategy '" + name +
+                          "' (expected aloof, scale or llf)");
+}
+
+stackroute::engine::EquilibriumMethod parse_method(const std::string& name) {
+  using stackroute::engine::EquilibriumMethod;
+  if (name == "pe" || name == "path") return EquilibriumMethod::kPathEqualization;
+  if (name == "fw" || name == "frank-wolfe") return EquilibriumMethod::kFrankWolfe;
+  throw stackroute::Error("unknown method '" + name +
+                          "' (expected pe or fw)");
+}
+
+/// Field accessors that throw with the field name in the message, so the
+/// transport's per-line errors read "field 'alpha': expected number, ...".
+double number_field(const JsonValue& v, const char* key) {
+  try {
+    return v.as_number();
+  } catch (const stackroute::Error& e) {
+    throw stackroute::Error(std::string("field '") + key + "': " + e.what());
+  }
+}
+
+std::string string_field(const JsonValue& v, const char* key) {
+  try {
+    return v.as_string();
+  } catch (const stackroute::Error& e) {
+    throw stackroute::Error(std::string("field '") + key + "': " + e.what());
+  }
+}
+
+std::uint64_t id_field(const JsonValue& v, const char* key) {
+  const double d = number_field(v, key);
+  if (d < 0 || d != d) {
+    throw stackroute::Error(std::string("field '") + key +
+                            "': expected a non-negative integer");
+  }
+  return static_cast<std::uint64_t>(d);
+}
+
+/// The long-lived transport state: the engine, the client-id -> engine-id
+/// session map, and a prototype cache so a stream of requests against the
+/// same file/generator parses or generates the instance once.
+struct Serve {
+  stackroute::engine::Engine engine;
+  std::map<std::uint64_t, std::uint64_t> sessions;  // client id -> engine id
+  std::map<std::string, stackroute::engine::Instance> prototypes;
+
+  const stackroute::engine::Instance& prototype(const std::string& key,
+                                                const JsonValue& req) {
+    auto it = prototypes.find(key);
+    if (it != prototypes.end()) return it->second;
+    stackroute::engine::Instance inst = build_instance(req);
+    return prototypes.emplace(key, std::move(inst)).first->second;
+  }
+
+  static stackroute::engine::Instance build_instance(const JsonValue& req) {
+    if (const JsonValue* file = req.find("instance_file")) {
+      return stackroute::sweep::load_instance_file(
+          string_field(*file, "instance_file"));
+    }
+    if (const JsonValue* text = req.find("instance")) {
+      return stackroute::sweep::load_instance_text(
+          string_field(*text, "instance"));
+    }
+    const JsonValue* fam = req.find("generate");
+    const std::string family = string_field(*fam, "generate");
+    int size = 0;
+    std::uint64_t seed = 1;
+    if (const JsonValue* s = req.find("size")) {
+      size = static_cast<int>(number_field(*s, "size"));
+    }
+    if (const JsonValue* s = req.find("gen_seed")) seed = id_field(*s, "gen_seed");
+    return stackroute::gen::generate_sized(family, size, 1.0, seed);
+  }
+};
+
+/// One key per distinct instance source, so the prototype cache can serve
+/// repeated requests without re-reading files or re-generating.
+std::string source_key(const JsonValue& req) {
+  if (const JsonValue* file = req.find("instance_file")) {
+    return "file:" + string_field(*file, "instance_file");
+  }
+  if (const JsonValue* text = req.find("instance")) {
+    return "text:" + string_field(*text, "instance");
+  }
+  if (const JsonValue* fam = req.find("generate")) {
+    std::string key = "gen:" + string_field(*fam, "generate");
+    if (const JsonValue* s = req.find("size")) {
+      key += ":size=" + std::to_string(static_cast<int>(number_field(*s, "size")));
+    }
+    if (const JsonValue* s = req.find("gen_seed")) {
+      key += ":seed=" + std::to_string(id_field(*s, "gen_seed"));
+    }
+    return key;
+  }
+  throw stackroute::Error(
+      "request needs an instance source: one of instance_file, generate "
+      "or instance");
+}
+
+const char* const kKnownKeys[] = {
+    "op",     "id",       "session",  "instance_file", "generate",
+    "size",   "gen_seed", "instance", "demand",        "alpha",
+    "strategy", "method", "deadline_ms", "max_iters",
+};
+
+void reject_unknown_keys(const JsonValue& req) {
+  for (const auto& [key, value] : req.as_object()) {
+    bool known = false;
+    for (const char* k : kKnownKeys) {
+      if (key == k) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      throw stackroute::Error("unknown request field '" + key + "'");
+    }
+  }
+}
+
+std::string response_json(const stackroute::engine::SolveResponse& resp) {
+  using stackroute::io::json_escape;
+  using stackroute::io::json_number;
+  std::ostringstream os;
+  os << "{\"id\":" << resp.id << ",\"ok\":" << (resp.ok ? "true" : "false");
+  if (!resp.ok) {
+    os << ",\"error\":\"" << json_escape(resp.error) << "\"}";
+    return os.str();
+  }
+  os << ",\"kind\":\"" << to_string(resp.kind) << "\""
+     << ",\"status\":\"" << to_string(resp.status) << "\"";
+  const auto field = [&os](const char* name, double v) {
+    if (v == v) os << ",\"" << name << "\":" << json_number(v);
+  };
+  field("cost", resp.cost);
+  field("beta", resp.beta);
+  field("optimum_cost", resp.optimum_cost);
+  field("ratio", resp.ratio);
+  os << ",\"warm\":" << (resp.warm ? "true" : "false")
+     << ",\"millis\":" << json_number(resp.millis) << "}";
+  return os.str();
+}
+
+std::string error_json(std::uint64_t id, std::size_t line,
+                       const std::string& message) {
+  std::ostringstream os;
+  os << "{\"id\":" << id << ",\"ok\":false,\"error\":\"line " << line << ": "
+     << stackroute::io::json_escape(message) << "\"}";
+  return os.str();
+}
+
+struct ServeTally {
+  std::size_t requests = 0;
+  std::size_t errors = 0;
+  std::size_t degraded = 0;
+  std::vector<double> millis;
+};
+
+/// Serves one request line; returns the response line. Never throws:
+/// every failure becomes an ok=false response tagged with `line`.
+std::string serve_line(Serve& sv, const std::string& text, std::size_t line,
+                       ServeTally& tally) {
+  ++tally.requests;
+  std::uint64_t id = 0;
+  try {
+    JsonValue req;
+    try {
+      req = JsonValue::parse(text);
+    } catch (const JsonParseError& e) {
+      throw stackroute::Error(e.message + " (byte " +
+                              std::to_string(e.offset) + ")");
+    }
+    if (!req.is_object()) throw stackroute::Error("request must be an object");
+    if (const JsonValue* v = req.find("id")) id = id_field(*v, "id");
+    reject_unknown_keys(req);
+
+    const JsonValue* opv = req.find("op");
+    if (!opv) throw stackroute::Error("missing required field 'op'");
+    const std::string op = string_field(*opv, "op");
+
+    std::uint64_t client_session = 0;
+    if (const JsonValue* v = req.find("session")) {
+      client_session = id_field(*v, "session");
+    }
+
+    if (op == "close") {
+      auto it = sv.sessions.find(client_session);
+      const bool known = it != sv.sessions.end();
+      if (known) {
+        sv.engine.close_session(it->second);
+        sv.sessions.erase(it);
+      }
+      std::ostringstream os;
+      os << "{\"id\":" << id << ",\"ok\":" << (known ? "true" : "false");
+      if (!known) {
+        os << ",\"error\":\"line " << line << ": unknown session "
+           << client_session << "\"";
+        ++tally.errors;
+      }
+      os << "}";
+      return os.str();
+    }
+
+    stackroute::engine::SolveRequest sreq;
+    sreq.id = id;
+    sreq.kind = stackroute::engine::parse_request_kind(op);
+    if (client_session != 0) {
+      auto [it, inserted] = sv.sessions.try_emplace(client_session, 0);
+      if (inserted) it->second = sv.engine.open_session();
+      sreq.session = it->second;
+    }
+
+    sreq.instance = sv.prototype(source_key(req), req);
+    if (const JsonValue* v = req.find("demand")) {
+      stackroute::sweep::override_demand(sreq.instance,
+                                         number_field(*v, "demand"));
+    }
+    if (const JsonValue* v = req.find("alpha")) {
+      sreq.alpha = number_field(*v, "alpha");
+    }
+    if (const JsonValue* v = req.find("strategy")) {
+      sreq.strategy = parse_strategy(string_field(*v, "strategy"));
+    }
+    if (const JsonValue* v = req.find("method")) {
+      sreq.method = parse_method(string_field(*v, "method"));
+    }
+    if (const JsonValue* v = req.find("deadline_ms")) {
+      sreq.budget.deadline_ms = number_field(*v, "deadline_ms");
+    }
+    if (const JsonValue* v = req.find("max_iters")) {
+      sreq.budget.max_iters =
+          static_cast<long long>(number_field(*v, "max_iters"));
+    }
+
+    stackroute::engine::SolveResponse resp = sv.engine.solve(sreq);
+    if (!resp.ok) {
+      ++tally.errors;
+      resp.error = "line " + std::to_string(line) + ": " + resp.error;
+    } else if (!solve_ok(resp.status)) {
+      ++tally.degraded;
+    }
+    tally.millis.push_back(resp.millis);
+    return response_json(resp);
+  } catch (const stackroute::Error& e) {
+    ++tally.errors;
+    return error_json(id, line, e.what());
+  } catch (const std::exception& e) {
+    ++tally.errors;
+    return error_json(id, line, e.what());
+  }
+}
+
+int serve_stream(std::istream& in, std::ostream& out, bool quiet) {
+  Serve sv;
+  ServeTally tally;
+  stackroute::obs::Timer wall;
+  std::string text;
+  std::size_t line = 0;
+  while (std::getline(in, text)) {
+    ++line;
+    // Blank lines are harmless separators, not requests.
+    if (text.find_first_not_of(" \t\r") == std::string::npos) continue;
+    out << serve_line(sv, text, line, tally) << '\n';
+    out.flush();
+  }
+  const double total_ms = wall.milliseconds();
+
+  if (!quiet) {
+    const auto stats = sv.engine.stats();
+    std::ostringstream os;
+    os << "serve: " << tally.requests << " requests (" << tally.errors
+       << " failed, " << tally.degraded << " degraded) in " << total_ms
+       << " ms";
+    if (total_ms > 0 && tally.requests > 0) {
+      os << ", " << (1000.0 * static_cast<double>(tally.requests) / total_ms)
+         << " req/s";
+    }
+    os << "\nwarm: " << stats.warm_hits << "/" << stats.warm_attempts
+       << " hits; table cache: " << stats.table_cache_hits << " hits / "
+       << stats.table_cache_misses << " misses; sessions: "
+       << stats.sessions_opened << " opened, " << stats.sessions_closed
+       << " closed";
+    if (!tally.millis.empty()) {
+      os << "\nlatency ms: "
+         << stackroute::obs::QuantileSummary::of(tally.millis).to_string();
+    }
+    std::cerr << os.str() << "\n";
+  }
+  if (tally.errors > 0 || tally.degraded > 0) return 2;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string replay;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") return usage(std::cout, 0);
+    if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--replay") {
+      if (i + 1 >= argc) {
+        std::cerr << "--replay needs a file argument\n";
+        return usage(std::cerr, 1);
+      }
+      replay = argv[++i];
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return usage(std::cerr, 1);
+    }
+  }
+
+  try {
+    if (!replay.empty()) {
+      std::ifstream in(replay);
+      if (!in) {
+        std::cerr << "cannot open replay file: " << replay << "\n";
+        return 1;
+      }
+      return serve_stream(in, std::cout, quiet);
+    }
+    return serve_stream(std::cin, std::cout, quiet);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -2,7 +2,7 @@
 // sweep, or a generated-instance demand sweep across all cores and print
 // the metric table.
 //
-//   stackroute-sweep --list
+//   stackroute-sweep --list-scenarios
 //   stackroute-sweep --list-generators
 //   stackroute-sweep --scenario grid-bpr
 //   stackroute-sweep --scenario pigou-grid --threads 1 --format csv
@@ -89,7 +89,8 @@ int usage(std::ostream& os, int code) {
         "                          inf:TASK:CALL        +Inf latency eval\n"
         "                          metric:TASK:IDX[:TIMES]  metric throws\n"
         "                          demand:TASK:FACTOR   scale task demand\n"
-        "  --list                list builtin scenarios and exit\n"
+        "  --list-scenarios      list builtin scenarios and exit\n"
+        "                        (--list is a shorthand)\n"
         "  --list-generators     list generator families and knobs, exit\n"
         "  --help, -h            print this help and exit\n"
         "exit status: 0 clean; 1 usage/runtime error; 2 sweep completed\n"
@@ -143,7 +144,7 @@ bool parse_args(int argc, char** argv, Args& args) {
   try {
     for (int i = 1; i < argc; ++i) {
       const std::string a = current = argv[i];
-      if (a == "--list") {
+      if (a == "--list" || a == "--list-scenarios") {
         args.list = true;
       } else if (a == "--list-generators") {
         args.list_generators = true;

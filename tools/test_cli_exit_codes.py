@@ -51,6 +51,30 @@ def main():
     # 0: clean run.
     clean = check("clean", 0, *common)
 
+    # 0: the listing flags, and --list-scenarios/--list parity.
+    scenarios = check("list-scenarios", 0, "--list-scenarios")
+    list_short = check("list-short", 0, "--list")
+    if (
+        scenarios is not None
+        and list_short is not None
+        and scenarios.stdout != list_short.stdout
+    ):
+        failures.append("list-scenarios: output differs from --list")
+    if scenarios is not None and "pigou-grid" not in scenarios.stdout:
+        failures.append("list-scenarios: pigou-grid missing from the listing")
+    generators = check("list-generators", 0, "--list-generators")
+    if generators is not None and "grid-bpr" not in generators.stdout:
+        failures.append("list-generators: grid-bpr missing from the listing")
+
+    # Usage errors print the usage text exactly once (no doubled footer
+    # when an error path and the catch-all both try to print it).
+    bad = run(binary, "--bogus")
+    if bad.stderr.count("usage: stackroute-sweep") != 1:
+        failures.append(
+            "usage-footer: expected exactly one usage block on stderr, got "
+            f"{bad.stderr.count('usage: stackroute-sweep')}"
+        )
+
     # 1: usage errors — unknown flag, bad value, bad inject spec, unknown
     # scenario.
     check("unknown-flag", 1, "--bogus")

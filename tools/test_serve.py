@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""Transport contract of stackroute-serve.
+
+  0  every request served ok and converged
+  1  usage or transport error (bad flags, unreadable replay file)
+  2  served to EOF but some responses failed or were degraded
+
+Also checks the per-line behavior: responses are valid single-line JSON
+aligned with requests, malformed requests yield line-numbered errors
+without killing the stream, sessions warm-start, and --replay matches the
+stdin path byte for byte on stdout.
+
+Run with the binary path as the only argument:
+
+  test_serve.py /path/to/stackroute-serve
+"""
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def run(binary, *args, stdin=""):
+    return subprocess.run(
+        [binary, *args],
+        input=stdin,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        timeout=300,
+    )
+
+
+def parse_lines(stdout):
+    return [json.loads(line) for line in stdout.splitlines() if line.strip()]
+
+
+def main():
+    if len(sys.argv) != 2:
+        print("usage: test_serve.py <stackroute-serve binary>")
+        return 2
+    binary = sys.argv[1]
+    failures = []
+
+    def expect(cond, name, detail=""):
+        if not cond:
+            failures.append(f"{name}: {detail}")
+
+    # --- clean session ramp: warm starts and exit 0 -----------------------
+    ramp = "\n".join(
+        json.dumps(
+            {
+                "id": i,
+                "op": "mop",
+                "generate": "grid-bpr",
+                "session": 1,
+                "demand": 1.0 + 0.2 * i,
+            }
+        )
+        for i in range(4)
+    )
+    proc = run(binary, stdin=ramp)
+    expect(proc.returncode == 0, "ramp-exit", f"exit {proc.returncode}")
+    resps = parse_lines(proc.stdout)
+    expect(len(resps) == 4, "ramp-count", f"{len(resps)} responses")
+    for i, r in enumerate(resps):
+        expect(r["id"] == i, "ramp-id", f"response {i} has id {r['id']}")
+        expect(r["ok"], "ramp-ok", f"response {i}: {r.get('error')}")
+        expect(r["status"] == "converged", "ramp-status", str(r))
+    expect(not resps[0]["warm"], "ramp-cold-first", str(resps[0]))
+    expect(
+        all(r["warm"] for r in resps[1:]),
+        "ramp-warm-rest",
+        proc.stdout,
+    )
+    expect("warm: 3/3" in proc.stderr, "ramp-summary", proc.stderr[:300])
+    expect("latency ms:" in proc.stderr, "ramp-latency-line", proc.stderr[:300])
+
+    # --- malformed requests: line-numbered errors, stream survives --------
+    mixed = "\n".join(
+        [
+            '{"id":1,"op":"mop","generate":"grid-bpr"}',
+            "this is not json",
+            '{"id":3,"op":"frobnicate","generate":"grid-bpr"}',
+            '{"id":4,"op":"mop","generate":"grid-bpr","bogus_key":1}',
+            '{"id":5,"op":"mop"}',
+            '{"id":6,"op":"strategy","strategy":"scale","generate":"grid-bpr"}',
+            '{"id":7,"op":"mop","generate":"grid-bpr"}',
+        ]
+    )
+    proc = run(binary, stdin=mixed)
+    expect(proc.returncode == 2, "mixed-exit", f"exit {proc.returncode}")
+    resps = parse_lines(proc.stdout)
+    expect(len(resps) == 7, "mixed-count", f"{len(resps)} responses")
+    expect(resps[0]["ok"] and resps[6]["ok"], "mixed-bookends", proc.stdout)
+    for idx, line_no, needle in [
+        (1, 2, "invalid"),
+        (2, 3, "unknown request kind"),
+        (3, 4, "bogus_key"),
+        (4, 5, "instance source"),
+        (5, 6, "alpha"),
+    ]:
+        r = resps[idx]
+        expect(not r["ok"], f"mixed-{line_no}-fails", str(r))
+        expect(
+            r.get("error", "").startswith(f"line {line_no}:"),
+            f"mixed-{line_no}-line-tag",
+            r.get("error", ""),
+        )
+        expect(needle in r.get("error", ""), f"mixed-{line_no}-msg", str(r))
+
+    # --- degraded rows: budget-capped solve exits 2, labeled honestly -----
+    degraded = json.dumps(
+        {
+            "id": 1,
+            "op": "equilibrium",
+            "generate": "grid-bpr",
+            "demand": 2.0,
+            "method": "fw",
+            "max_iters": 1,
+        }
+    )
+    proc = run(binary, stdin=degraded)
+    expect(proc.returncode == 2, "degraded-exit", f"exit {proc.returncode}")
+    resps = parse_lines(proc.stdout)
+    expect(
+        resps and resps[0]["ok"] and resps[0]["status"] != "converged",
+        "degraded-status",
+        proc.stdout,
+    )
+
+    # --- replay mode: same stdout as the stdin path -----------------------
+    with tempfile.NamedTemporaryFile(
+        "w", suffix=".ldjson", delete=False
+    ) as f:
+        f.write(ramp + "\n")
+        replay_path = f.name
+    try:
+        direct = run(binary, "--quiet", stdin=ramp)
+        replay = run(binary, "--quiet", "--replay", replay_path)
+        expect(replay.returncode == 0, "replay-exit", f"{replay.returncode}")
+
+        def strip_clock(stdout):
+            out = []
+            for r in parse_lines(stdout):
+                r.pop("millis", None)
+                out.append(r)
+            return out
+
+        # Everything but the wall clock is deterministic across the two
+        # transports — including every solved cost, bit for bit.
+        expect(
+            strip_clock(direct.stdout) == strip_clock(replay.stdout),
+            "replay-matches-stdin",
+            "responses differ between --replay and stdin",
+        )
+        expect(
+            direct.stderr.strip() == "",
+            "quiet-suppresses-summary",
+            direct.stderr[:200],
+        )
+    finally:
+        os.unlink(replay_path)
+
+    # --- usage / transport errors ----------------------------------------
+    expect(
+        run(binary, "--bogus").returncode == 1,
+        "unknown-flag",
+        "expected exit 1",
+    )
+    expect(
+        run(binary, "--replay", "/no/such/file.ldjson").returncode == 1,
+        "missing-replay-file",
+        "expected exit 1",
+    )
+    expect(run(binary, "--help").returncode == 0, "help", "expected exit 0")
+
+    # --- session close ----------------------------------------------------
+    close = "\n".join(
+        [
+            '{"id":1,"op":"mop","generate":"grid-bpr","session":9}',
+            '{"id":2,"op":"close","session":9}',
+            '{"id":3,"op":"close","session":9}',
+        ]
+    )
+    proc = run(binary, stdin=close)
+    resps = parse_lines(proc.stdout)
+    expect(resps[1]["ok"], "close-known", str(resps[1]))
+    expect(not resps[2]["ok"], "close-unknown", str(resps[2]))
+
+    if failures:
+        print("FAIL:\n" + "\n".join(failures))
+        return 1
+    print("ok: serve transport contract holds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
