@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 #include <optional>
 #include <utility>
 
@@ -80,21 +81,21 @@ std::vector<LatencyPtr> instance_latencies(const Instance& inst) {
 /// True when the session's converged FW flow may seed this instance's FW
 /// solve: frank_wolfe's warm start rescales by the total-demand ratio,
 /// which is feasible only when every commodity's demand scaled by that
-/// same ratio (see frank_wolfe.h's precondition).
+/// same ratio (see frank_wolfe.h's precondition). Proportionality is
+/// tested against the demand snapshot taken when the seed was stored —
+/// prev_instance is overwritten by *every* request (including non-FW ones
+/// whose demands this test never saw), so comparing against it would
+/// accept a stale seed after any intervening demand-split change.
 bool fw_seed_usable(const SolveSession& s, const NetworkInstance& inst) {
   if (s.fw_flow.size() !=
       static_cast<std::size_t>(inst.graph.num_edges())) {
     return false;
   }
   if (!(s.fw_demand > 0.0)) return false;
-  const auto* prev = std::get_if<NetworkInstance>(&s.prev_instance);
-  if (prev == nullptr ||
-      prev->commodities.size() != inst.commodities.size()) {
-    return false;
-  }
+  if (s.fw_demands.size() != inst.commodities.size()) return false;
   const double ratio = inst.total_demand() / s.fw_demand;
   for (std::size_t i = 0; i < inst.commodities.size(); ++i) {
-    const double want = prev->commodities[i].demand * ratio;
+    const double want = s.fw_demands[i] * ratio;
     const double got = inst.commodities[i].demand;
     if (std::abs(got - want) > 1e-12 * std::max(1.0, std::abs(got))) {
       return false;
@@ -108,9 +109,18 @@ bool fw_seed_usable(const SolveSession& s, const NetworkInstance& inst) {
 /// sharded batch the inner OpenMP regions are nested (and collapse to one
 /// thread under max_active_levels = 1); a lone request/group never opens
 /// the outer region, so it is pinned to one thread explicitly.
+///
+/// The pinned settings are process-global OpenMP state, so overlapping
+/// save/apply/restore from concurrent solve()/solve_batch() calls would
+/// race and could restore the wrong settings permanently (e.g. leave
+/// max_threads stuck at 1). The pin therefore holds a process-global mutex
+/// for its whole lifetime: top-level engine entry points serialize against
+/// each other (across all Engine objects — the state they touch is shared
+/// anyway), while the parallelism that matters lives *inside* one batch,
+/// across its session groups.
 class ParallelPin {
  public:
-  explicit ParallelPin(bool pin_single) {
+  explicit ParallelPin(bool pin_single) : lock_(pin_mutex()) {
 #ifdef _OPENMP
     saved_levels_ = omp_get_max_active_levels();
     omp_set_max_active_levels(1);
@@ -127,6 +137,12 @@ class ParallelPin {
   }
 
  private:
+  static std::mutex& pin_mutex() {
+    static std::mutex mu;
+    return mu;
+  }
+
+  std::unique_lock<std::mutex> lock_;
 #ifdef _OPENMP
   int saved_levels_ = 1;
 #endif
@@ -218,6 +234,10 @@ SolveResponse Engine::solve_on(SolveSession* session,
           if (session != nullptr) {
             session->fw_flow = std::move(fw.edge_flow);
             session->fw_demand = net.total_demand();
+            session->fw_demands.clear();
+            for (const Commodity& c : net.commodities) {
+              session->fw_demands.push_back(c.demand);
+            }
           }
         } else {
           resp.cost = eval.network_nash().cost;
@@ -285,8 +305,10 @@ SolveResponse Engine::solve(const SolveRequest& req) {
   const ParallelPin pin(/*pin_single=*/true);
   if (req.session == 0) {
     // Borrow a pooled session: its workspace (compiled table, buffers)
-    // persists across sessionless requests, its warm payloads never do
-    // (finish() is never called on it, so has_prev stays false).
+    // persists across sessionless requests, its warm payloads never do —
+    // reset before the return to the pool, because which pooled session a
+    // request borrows depends on scheduling, so any surviving warm state
+    // would make sessionless responses thread-count dependent.
     std::unique_ptr<SolveSession> pooled;
     {
       const std::lock_guard<std::mutex> lock(mu_);
@@ -297,6 +319,7 @@ SolveResponse Engine::solve(const SolveRequest& req) {
     }
     if (pooled == nullptr) pooled = std::make_unique<SolveSession>();
     SolveResponse resp = solve_on(pooled.get(), req);
+    pooled->reset_warm();
     const std::lock_guard<std::mutex> lock(mu_);
     pool_.push_back(std::move(pooled));
     return resp;
@@ -355,6 +378,7 @@ std::vector<SolveResponse> Engine::solve_batch(
             }
             if (pooled == nullptr) pooled = std::make_unique<SolveSession>();
             out[i] = solve_on(pooled.get(), req);
+            pooled->reset_warm();  // sessionless: no warm carry-over
             const std::lock_guard<std::mutex> lock(mu_);
             pool_.push_back(std::move(pooled));
             continue;

@@ -18,6 +18,7 @@ void SolveSession::reset_warm() {
   optop = {};
   strategy = {};
   fw_flow.clear();
+  fw_demands.clear();
   fw_demand = std::numeric_limits<double>::quiet_NaN();
   nash_level = std::numeric_limits<double>::quiet_NaN();
   opt_level = std::numeric_limits<double>::quiet_NaN();

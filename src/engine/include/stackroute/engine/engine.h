@@ -143,6 +143,13 @@ class Engine {
 
   /// Serves one request (in the caller's thread). Never throws: failures
   /// come back as !ok responses and reset the session's warm state.
+  ///
+  /// solve() and solve_batch() may be called from multiple threads, but
+  /// they serialize against each other on a process-global pin: they
+  /// save/restore OpenMP's process-global thread settings, which cannot
+  /// be held at two different values at once. Concurrency comes from
+  /// batching (solve_batch shards across sessions), not from overlapping
+  /// entry calls.
   SolveResponse solve(const SolveRequest& req);
 
   /// Serves a batch: requests are grouped by session id (group order =

@@ -41,11 +41,14 @@ struct SolveSession {
                              // solves on non-MOP metric sets)
   OpTopWarmStart optop;      // parallel-links water-filling levels
   StrategyWarmState strategy;  // per-baseline induced payloads (α chains)
-  /// Converged Frank–Wolfe edge flow + the total demand it routed — the
-  /// warm seed of chained FW equilibrium requests (see frank_wolfe.h for
-  /// the proportional-split precondition; structure-equal instances of a
-  /// demand chain satisfy it).
+  /// Converged Frank–Wolfe edge flow + the demands it routed — the warm
+  /// seed of chained FW equilibrium requests. `fw_demands` snapshots the
+  /// per-commodity demands at the moment the seed was stored: frank_wolfe's
+  /// proportional-split precondition (see frank_wolfe.h) must be checked
+  /// against the seed point itself, not against `prev_instance`, which
+  /// every request overwrites while the seed survives non-FW requests.
   std::vector<double> fw_flow;
+  std::vector<double> fw_demands;
   double fw_demand = std::numeric_limits<double>::quiet_NaN();
   /// Water-filling levels of the last plain parallel-links Nash/optimum
   /// solves — the warm seeds of chained equilibrium/optimum requests

@@ -25,6 +25,21 @@ Instance links_instance(double demand) {
   return Instance(m);
 }
 
+/// Two commodities (0->2 and 1->2) sharing the congested 1->2 edges, so
+/// the equilibrium genuinely depends on how the total demand splits
+/// between them — the shape that exposes a stale FW seed.
+Instance two_commodity_instance(double d0, double d1) {
+  NetworkInstance net;
+  net.graph = Graph(3);
+  net.graph.add_edge(0, 2, make_affine(1.0, 1.0));
+  net.graph.add_edge(0, 1, make_affine(0.5, 0.2));
+  net.graph.add_edge(1, 2, make_affine(1.0, 0.1));
+  net.graph.add_edge(1, 2, make_affine(0.5, 1.0));
+  net.commodities.push_back({0, 2, d0});
+  net.commodities.push_back({1, 2, d1});
+  return Instance(std::move(net));
+}
+
 SolveRequest request(RequestKind kind, Instance inst,
                      std::uint64_t session = 0) {
   SolveRequest req;
@@ -279,6 +294,80 @@ TEST(EngineTest, BatchSessionsWarmInSubmissionOrder) {
   EXPECT_FALSE(resps[0].warm);
   EXPECT_TRUE(resps[1].warm);
   EXPECT_TRUE(resps[2].warm);
+}
+
+TEST(EngineTest, FwSeedRejectedAfterDemandSplitChange) {
+  // Regression: the FW warm seed's proportional-split precondition must be
+  // checked against the demands the seed actually routed, not against the
+  // session's last-seen instance. Converge FW at split (1,1), slide the
+  // split to (1.5,0.5) through a non-FW request (total demand unchanged —
+  // it overwrites the warm anchor but not the seed), then solve FW at
+  // (1.5,0.5): against the anchor the ratio is exactly 1, so a stale seed
+  // would be accepted even though it routes the wrong split. The solve
+  // must fall back to a cold start and match a cold reference bit for bit.
+  Engine eng;
+  const std::uint64_t s = eng.open_session();
+  SolveRequest fw1 =
+      request(RequestKind::kEquilibrium, two_commodity_instance(1.0, 1.0), s);
+  fw1.method = EquilibriumMethod::kFrankWolfe;
+  ASSERT_TRUE(eng.solve(fw1).ok);
+  ASSERT_TRUE(
+      eng.solve(
+             request(RequestKind::kOptimum, two_commodity_instance(1.5, 0.5), s))
+          .ok);
+  SolveRequest fw2 =
+      request(RequestKind::kEquilibrium, two_commodity_instance(1.5, 0.5), s);
+  fw2.method = EquilibriumMethod::kFrankWolfe;
+  const SolveResponse chained = eng.solve(fw2);
+  ASSERT_TRUE(chained.ok) << chained.error;
+
+  SolveRequest cold = fw2;
+  cold.session = 0;
+  const SolveResponse reference = eng.solve(cold);
+  ASSERT_TRUE(reference.ok) << reference.error;
+  EXPECT_EQ(chained.cost, reference.cost);
+}
+
+TEST(EngineTest, FwSeedAcceptedOnProportionalRescale) {
+  // The complement: a genuinely proportional demand change through a
+  // non-FW request keeps the seed usable, and the warm solve still lands
+  // on the cold answer to tolerance.
+  Engine eng;
+  const std::uint64_t s = eng.open_session();
+  SolveRequest fw1 =
+      request(RequestKind::kEquilibrium, two_commodity_instance(1.0, 1.0), s);
+  fw1.method = EquilibriumMethod::kFrankWolfe;
+  ASSERT_TRUE(eng.solve(fw1).ok);
+  ASSERT_TRUE(
+      eng.solve(
+             request(RequestKind::kOptimum, two_commodity_instance(1.2, 1.2), s))
+          .ok);
+  SolveRequest fw2 =
+      request(RequestKind::kEquilibrium, two_commodity_instance(1.2, 1.2), s);
+  fw2.method = EquilibriumMethod::kFrankWolfe;
+  const SolveResponse warm = eng.solve(fw2);
+  ASSERT_TRUE(warm.ok) << warm.error;
+  EXPECT_TRUE(warm.warm);
+  SolveRequest cold = fw2;
+  cold.session = 0;
+  const SolveResponse reference = eng.solve(cold);
+  ASSERT_TRUE(reference.ok) << reference.error;
+  EXPECT_NEAR(warm.cost, reference.cost,
+              1e-6 * std::fmax(1.0, std::fabs(reference.cost)));
+}
+
+TEST(EngineTest, SessionlessRequestsNeverWarmStart) {
+  // Pooled workspaces persist across sessionless requests, warm payloads
+  // must not: which pooled session a request borrows is scheduling-
+  // dependent, so surviving warm state would break determinism (and the
+  // documented sessionless contract).
+  Engine eng;
+  ASSERT_TRUE(eng.solve(request(RequestKind::kMop, grid_instance(1.0))).ok);
+  const SolveResponse second =
+      eng.solve(request(RequestKind::kMop, grid_instance(1.2)));
+  ASSERT_TRUE(second.ok) << second.error;
+  EXPECT_FALSE(second.warm);
+  EXPECT_EQ(eng.stats().warm_attempts, 0u);
 }
 
 TEST(EngineTest, FailedSolveResetsSessionWarmState) {

@@ -14,7 +14,9 @@
 //   id            number, echoed verbatim in the response (default 0)
 //   session       number; requests sharing a session id warm-start each
 //                 other (0 / absent = sessionless pooled workspace);
-//                 "close" drops the session and its warm state
+//                 "close" drops the session and its warm state. At most
+//                 256 sessions may be open at once — beyond that, new
+//                 session ids are per-line errors until some close.
 //   instance_file path to a .links/.net text or TNTP instance
 //   generate      generator family name (see stackroute-sweep
 //                 --list-generators), with optional size / gen_seed
@@ -27,12 +29,14 @@
 //   max_iters     per-request iteration budget
 //
 // Responses: {"id":..,"ok":true,"kind":..,"status":..,"cost":..,...} with
-// NaN-valued fields omitted; a malformed request yields {"id":0,"ok":
+// non-finite fields omitted; a malformed request yields {"id":0,"ok":
 // false,"error":"line N: ..."} and the stream continues. The stderr
 // summary (suppress with --quiet) reports counts, warm hit rate, table
 // cache hits and p50/p99 latency. Exit status mirrors stackroute-sweep:
 // 0 = all requests ok and converged; 1 = usage or transport error;
 // 2 = served to EOF but some responses failed or were degraded.
+#include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -103,29 +107,70 @@ std::string string_field(const JsonValue& v, const char* key) {
   }
 }
 
-std::uint64_t id_field(const JsonValue& v, const char* key) {
+/// JSON numbers arrive as doubles, and casting one that is out of the
+/// target type's range (or NaN) to an integer type is undefined behavior
+/// — a hostile {"id":1e300} must become a per-line field error, not UB.
+/// 2^53 is the largest range a JSON double covers exactly, and is ample
+/// for every integer field of the schema.
+constexpr double kMaxExactInt = 9007199254740992.0;  // 2^53
+
+double integer_field(const JsonValue& v, const char* key, double lo,
+                     double hi) {
   const double d = number_field(v, key);
-  if (d < 0 || d != d) {
-    throw stackroute::Error(std::string("field '") + key +
-                            "': expected a non-negative integer");
+  if (!(d >= lo && d <= hi) || d != std::floor(d)) {
+    std::ostringstream os;
+    os << "field '" << key << "': expected an integer in [" << lo << ", "
+       << hi << "]";
+    throw stackroute::Error(os.str());
   }
-  return static_cast<std::uint64_t>(d);
+  return d;
+}
+
+std::uint64_t id_field(const JsonValue& v, const char* key) {
+  return static_cast<std::uint64_t>(
+      integer_field(v, key, 0.0, kMaxExactInt));
+}
+
+int size_field(const JsonValue& v, const char* key) {
+  return static_cast<int>(integer_field(v, key, 0.0, 2147483647.0));
 }
 
 /// The long-lived transport state: the engine, the client-id -> engine-id
 /// session map, and a prototype cache so a stream of requests against the
-/// same file/generator parses or generates the instance once.
+/// same file/generator parses or generates the instance once. Both maps
+/// are bounded — a resident process fed varied inline instances or ever
+/// fresh session ids must not grow without limit: prototypes are an LRU
+/// (like the engine's compiled-table cache), and opening more than
+/// kMaxClientSessions concurrent sessions is a per-line error telling the
+/// client to close some.
+constexpr std::size_t kPrototypeCacheCapacity = 64;
+constexpr std::size_t kMaxClientSessions = 256;
+
 struct Serve {
   stackroute::engine::Engine engine;
   std::map<std::uint64_t, std::uint64_t> sessions;  // client id -> engine id
-  std::map<std::string, stackroute::engine::Instance> prototypes;
+  struct Prototype {
+    stackroute::engine::Instance inst;
+    std::uint64_t last_use = 0;
+  };
+  std::map<std::string, Prototype> prototypes;
+  std::uint64_t prototype_clock = 0;
 
   const stackroute::engine::Instance& prototype(const std::string& key,
                                                 const JsonValue& req) {
     auto it = prototypes.find(key);
-    if (it != prototypes.end()) return it->second;
-    stackroute::engine::Instance inst = build_instance(req);
-    return prototypes.emplace(key, std::move(inst)).first->second;
+    if (it == prototypes.end()) {
+      if (prototypes.size() >= kPrototypeCacheCapacity) {
+        prototypes.erase(std::min_element(
+            prototypes.begin(), prototypes.end(),
+            [](const auto& a, const auto& b) {
+              return a.second.last_use < b.second.last_use;
+            }));
+      }
+      it = prototypes.emplace(key, Prototype{build_instance(req), 0}).first;
+    }
+    it->second.last_use = ++prototype_clock;
+    return it->second.inst;
   }
 
   static stackroute::engine::Instance build_instance(const JsonValue& req) {
@@ -142,7 +187,7 @@ struct Serve {
     int size = 0;
     std::uint64_t seed = 1;
     if (const JsonValue* s = req.find("size")) {
-      size = static_cast<int>(number_field(*s, "size"));
+      size = size_field(*s, "size");
     }
     if (const JsonValue* s = req.find("gen_seed")) seed = id_field(*s, "gen_seed");
     return stackroute::gen::generate_sized(family, size, 1.0, seed);
@@ -161,7 +206,7 @@ std::string source_key(const JsonValue& req) {
   if (const JsonValue* fam = req.find("generate")) {
     std::string key = "gen:" + string_field(*fam, "generate");
     if (const JsonValue* s = req.find("size")) {
-      key += ":size=" + std::to_string(static_cast<int>(number_field(*s, "size")));
+      key += ":size=" + std::to_string(size_field(*s, "size"));
     }
     if (const JsonValue* s = req.find("gen_seed")) {
       key += ":seed=" + std::to_string(id_field(*s, "gen_seed"));
@@ -205,8 +250,12 @@ std::string response_json(const stackroute::engine::SolveResponse& resp) {
   }
   os << ",\"kind\":\"" << to_string(resp.kind) << "\""
      << ",\"status\":\"" << to_string(resp.status) << "\"";
+  // Non-finite fields are omitted, not serialized: NaN means "not
+  // computed", and a degraded solve can leave an Inf (e.g. ratio against
+  // a zero optimum cost) — json_number would reject either and turn an
+  // otherwise valid response into a line error.
   const auto field = [&os](const char* name, double v) {
-    if (v == v) os << ",\"" << name << "\":" << json_number(v);
+    if (std::isfinite(v)) os << ",\"" << name << "\":" << json_number(v);
   };
   field("cost", resp.cost);
   field("beta", resp.beta);
@@ -281,8 +330,17 @@ std::string serve_line(Serve& sv, const std::string& text, std::size_t line,
     sreq.id = id;
     sreq.kind = stackroute::engine::parse_request_kind(op);
     if (client_session != 0) {
-      auto [it, inserted] = sv.sessions.try_emplace(client_session, 0);
-      if (inserted) it->second = sv.engine.open_session();
+      auto it = sv.sessions.find(client_session);
+      if (it == sv.sessions.end()) {
+        if (sv.sessions.size() >= kMaxClientSessions) {
+          throw stackroute::Error(
+              "too many open sessions (cap " +
+              std::to_string(kMaxClientSessions) +
+              "): close unused sessions first");
+        }
+        it = sv.sessions.emplace(client_session, sv.engine.open_session())
+                 .first;
+      }
       sreq.session = it->second;
     }
 
@@ -304,8 +362,8 @@ std::string serve_line(Serve& sv, const std::string& text, std::size_t line,
       sreq.budget.deadline_ms = number_field(*v, "deadline_ms");
     }
     if (const JsonValue* v = req.find("max_iters")) {
-      sreq.budget.max_iters =
-          static_cast<long long>(number_field(*v, "max_iters"));
+      sreq.budget.max_iters = static_cast<long long>(
+          integer_field(*v, "max_iters", 0.0, kMaxExactInt));
     }
 
     stackroute::engine::SolveResponse resp = sv.engine.solve(sreq);

@@ -110,6 +110,74 @@ def main():
         )
         expect(needle in r.get("error", ""), f"mixed-{line_no}-msg", str(r))
 
+    # --- hostile numbers: out-of-range / non-integral integer fields are
+    # per-line errors (never UB casts), and the stream survives ------------
+    hostile = "\n".join(
+        [
+            '{"id":1e300,"op":"mop","generate":"grid-bpr"}',
+            '{"id":1.5,"op":"mop","generate":"grid-bpr"}',
+            '{"id":2,"op":"equilibrium","generate":"grid-bpr",'
+            '"method":"fw","max_iters":1e300}',
+            '{"id":3,"op":"mop","generate":"grid-bpr","size":1e100}',
+            '{"id":4,"op":"mop","generate":"grid-bpr","session":-1}',
+            '{"id":5,"op":"mop","generate":"grid-bpr"}',
+        ]
+    )
+    proc = run(binary, stdin=hostile)
+    expect(proc.returncode == 2, "hostile-exit", f"exit {proc.returncode}")
+    resps = parse_lines(proc.stdout)
+    expect(len(resps) == 6, "hostile-count", f"{len(resps)} responses")
+    for idx, line_no, field in [
+        (0, 1, "id"),
+        (1, 2, "id"),
+        (2, 3, "max_iters"),
+        (3, 4, "size"),
+        (4, 5, "session"),
+    ]:
+        r = resps[idx]
+        expect(not r["ok"], f"hostile-{line_no}-fails", str(r))
+        expect(
+            r.get("error", "").startswith(f"line {line_no}:"),
+            f"hostile-{line_no}-line-tag",
+            r.get("error", ""),
+        )
+        expect(field in r.get("error", ""), f"hostile-{line_no}-msg", str(r))
+    expect(resps[5]["ok"], "hostile-stream-survives", str(resps[5]))
+
+    # --- session cap: the 257th concurrent session is a per-line error;
+    # closing one frees a slot --------------------------------------------
+    cap_lines = [
+        json.dumps(
+            {
+                "id": i,
+                "op": "optimum",
+                "generate": "parallel-affine",
+                "session": i + 1,
+            }
+        )
+        for i in range(257)
+    ]
+    cap_lines.append('{"id":900,"op":"close","session":1}')
+    cap_lines.append(
+        '{"id":901,"op":"optimum","generate":"parallel-affine",'
+        '"session":999}'
+    )
+    proc = run(binary, stdin="\n".join(cap_lines))
+    resps = parse_lines(proc.stdout)
+    expect(len(resps) == 259, "cap-count", f"{len(resps)} responses")
+    expect(
+        all(r["ok"] for r in resps[:256]),
+        "cap-under",
+        next((str(r) for r in resps[:256] if not r["ok"]), ""),
+    )
+    expect(
+        not resps[256]["ok"] and "sessions" in resps[256].get("error", ""),
+        "cap-over",
+        str(resps[256]),
+    )
+    expect(resps[257]["ok"], "cap-close", str(resps[257]))
+    expect(resps[258]["ok"], "cap-reopen-after-close", str(resps[258]))
+
     # --- degraded rows: budget-capped solve exits 2, labeled honestly -----
     degraded = json.dumps(
         {
