@@ -10,6 +10,7 @@
 #include <omp.h>
 #endif
 
+#include "stackroute/engine/footprint.h"
 #include "stackroute/obs/timing.h"
 #include "stackroute/solver/frank_wolfe.h"
 #include "stackroute/util/error.h"
@@ -43,22 +44,129 @@ RequestKind parse_request_kind(const std::string& name) {
 std::uint64_t Engine::open_session() {
   const std::lock_guard<std::mutex> lock(mu_);
   const std::uint64_t id = next_session_id_++;
-  sessions_.emplace(id, std::make_unique<SolveSession>());
+  SessionSlot slot;
+  slot.session = std::make_unique<SolveSession>();
+  slot.bytes = footprint_bytes(*slot.session);
+  slot.last_use = ++session_clock_;
+  stats_.session_bytes += slot.bytes;
+  sessions_.emplace(id, std::move(slot));
   ++stats_.sessions_opened;
   return id;
 }
 
 bool Engine::close_session(std::uint64_t id) {
-  const std::lock_guard<std::mutex> lock(mu_);
-  const bool erased = sessions_.erase(id) > 0;
-  if (erased) ++stats_.sessions_closed;
-  return erased;
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return false;
+  // A request may be running on this session right now (e.g. a front end
+  // tearing down a disconnected client); wait for it to finish rather
+  // than pulling the session out from under the solve.
+  session_cv_.wait(lock, [&] {
+    it = sessions_.find(id);
+    return it == sessions_.end() || !it->second.busy;
+  });
+  if (it == sessions_.end()) return false;  // a contender closed it
+  stats_.session_bytes -= std::min<std::uint64_t>(stats_.session_bytes,
+                                                  it->second.bytes);
+  sessions_.erase(it);
+  ++stats_.sessions_closed;
+  return true;
 }
 
 SolveSession* Engine::session(std::uint64_t id) {
   const std::lock_guard<std::mutex> lock(mu_);
   const auto it = sessions_.find(id);
-  return it == sessions_.end() ? nullptr : it->second.get();
+  return it == sessions_.end() ? nullptr : it->second.session.get();
+}
+
+SolveSession* Engine::acquire_session(std::uint64_t id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = sessions_.end();
+  session_cv_.wait(lock, [&] {
+    it = sessions_.find(id);
+    return it == sessions_.end() || !it->second.busy;
+  });
+  if (it == sessions_.end()) return nullptr;
+  it->second.busy = true;
+  return it->second.session.get();
+}
+
+void Engine::release_session(std::uint64_t id) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = sessions_.find(id);
+    if (it != sessions_.end()) {
+      SessionSlot& slot = it->second;
+      slot.busy = false;
+      stats_.session_bytes -= std::min<std::uint64_t>(stats_.session_bytes,
+                                                      slot.bytes);
+      slot.bytes = footprint_bytes(*slot.session);
+      stats_.session_bytes += slot.bytes;
+      slot.last_use = ++session_clock_;
+      enforce_session_budget_locked();
+    }
+  }
+  session_cv_.notify_all();
+}
+
+std::unique_ptr<SolveSession> Engine::acquire_pooled() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (pool_.empty()) return std::make_unique<SolveSession>();
+  std::unique_ptr<SolveSession> pooled = std::move(pool_.back());
+  pool_.pop_back();
+  const std::size_t bytes = footprint_bytes(*pooled);
+  pool_bytes_ -= std::min(pool_bytes_, bytes);
+  stats_.session_bytes -= std::min<std::uint64_t>(stats_.session_bytes, bytes);
+  return pooled;
+}
+
+void Engine::release_pooled(std::unique_ptr<SolveSession> pooled) {
+  pooled->reset_warm();  // sessionless: no warm carry-over, ever
+  const std::size_t bytes = footprint_bytes(*pooled);
+  const std::lock_guard<std::mutex> lock(mu_);
+  pool_bytes_ += bytes;
+  stats_.session_bytes += bytes;
+  pool_.push_back(std::move(pooled));
+  enforce_session_budget_locked();
+}
+
+void Engine::enforce_session_budget_locked() {
+  stats_.peak_bytes = std::max(stats_.peak_bytes, resident_bytes_locked());
+  const std::size_t budget = opts_.session_budget_bytes;
+  if (budget == 0) return;
+  // Pooled spares are pure caches — drop them first.
+  while (stats_.session_bytes > budget && !pool_.empty()) {
+    const std::size_t bytes = footprint_bytes(*pool_.back());
+    pool_.pop_back();
+    pool_bytes_ -= std::min(pool_bytes_, bytes);
+    stats_.session_bytes -= std::min<std::uint64_t>(stats_.session_bytes,
+                                                    bytes);
+    ++stats_.session_sheds;
+  }
+  // Then idle sessions, least recently used first, shed their memory (the
+  // session object stays; only its buffers and warm payloads go). Busy
+  // sessions are skipped — their footprint is re-accounted on release,
+  // which re-runs this enforcement.
+  while (stats_.session_bytes > budget) {
+    auto victim = sessions_.end();
+    for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+      if (it->second.busy) continue;
+      const std::size_t floor_bytes = sizeof(SolveSession) + sizeof(Instance);
+      if (it->second.bytes <= floor_bytes) continue;  // already shed
+      if (victim == sessions_.end() ||
+          it->second.last_use < victim->second.last_use) {
+        victim = it;
+      }
+    }
+    if (victim == sessions_.end()) break;  // nothing left to shed
+    SessionSlot& slot = victim->second;
+    slot.session->shed_memory();
+    stats_.session_bytes -= std::min<std::uint64_t>(stats_.session_bytes,
+                                                    slot.bytes);
+    slot.bytes = footprint_bytes(*slot.session);
+    stats_.session_bytes += slot.bytes;
+    ++stats_.session_sheds;
+  }
 }
 
 EngineStats Engine::stats() const {
@@ -152,6 +260,13 @@ class ParallelPin {
 
 }  // namespace
 
+struct SolverPin::Impl {
+  ParallelPin pin{/*pin_single=*/true};
+};
+
+SolverPin::SolverPin() : impl_(std::make_unique<Impl>()) {}
+SolverPin::~SolverPin() = default;
+
 void Engine::prepare_tables(SolverWorkspace& ws, const Instance& inst) {
   if (opts_.table_cache_capacity == 0) return;
   const std::vector<LatencyPtr> lats = instance_latencies(inst);
@@ -175,16 +290,34 @@ void Engine::prepare_tables(SolverWorkspace& ws, const Instance& inst) {
     }
   }
   ws.table.ensure_compiled(lats);  // compile outside the lock
+  const std::size_t bytes = ws.table.footprint_bytes();
   const std::lock_guard<std::mutex> lock(mu_);
   ++stats_.table_cache_misses;
-  if (table_cache_.size() >= opts_.table_cache_capacity) {
-    auto lru = std::min_element(table_cache_.begin(), table_cache_.end(),
-                                [](const auto& a, const auto& b) {
-                                  return a.last_use < b.last_use;
-                                });
+  const std::size_t budget = opts_.table_cache_budget_bytes;
+  // A single table bigger than the whole byte budget is served to the
+  // caller but never cached — caching it would blow the budget by itself.
+  if (budget != 0 && bytes > budget) return;
+  const auto evict_lru = [&] {
+    const auto lru = std::min_element(table_cache_.begin(), table_cache_.end(),
+                                      [](const auto& a, const auto& b) {
+                                        return a.last_use < b.last_use;
+                                      });
+    stats_.table_cache_bytes -=
+        std::min<std::uint64_t>(stats_.table_cache_bytes, lru->bytes);
     table_cache_.erase(lru);
+    ++stats_.table_cache_evictions;
+  };
+  while (table_cache_.size() >= opts_.table_cache_capacity) evict_lru();
+  while (budget != 0 && !table_cache_.empty() &&
+         stats_.table_cache_bytes + bytes > budget) {
+    evict_lru();
   }
-  table_cache_.push_back({h, ws.table, ++cache_clock_});
+  table_cache_.push_back({h, ws.table, ++cache_clock_, bytes});
+  // Charge the cached copy's own capacities (a vector copy may allocate
+  // tighter than the original it was copied from).
+  table_cache_.back().bytes = table_cache_.back().table.footprint_bytes();
+  stats_.table_cache_bytes += table_cache_.back().bytes;
+  stats_.peak_bytes = std::max(stats_.peak_bytes, resident_bytes_locked());
 }
 
 SolveResponse Engine::solve_on(SolveSession* session,
@@ -301,45 +434,63 @@ SolveResponse Engine::solve_on(SolveSession* session,
   return resp;
 }
 
-SolveResponse Engine::solve(const SolveRequest& req) {
-  const ParallelPin pin(/*pin_single=*/true);
-  if (req.session == 0) {
-    // Borrow a pooled session: its workspace (compiled table, buffers)
-    // persists across sessionless requests, its warm payloads never do —
-    // reset before the return to the pool, because which pooled session a
-    // request borrows depends on scheduling, so any surviving warm state
-    // would make sessionless responses thread-count dependent.
-    std::unique_ptr<SolveSession> pooled;
-    {
-      const std::lock_guard<std::mutex> lock(mu_);
-      if (!pool_.empty()) {
-        pooled = std::move(pool_.back());
-        pool_.pop_back();
-      }
-    }
-    if (pooled == nullptr) pooled = std::make_unique<SolveSession>();
-    SolveResponse resp = solve_on(pooled.get(), req);
-    pooled->reset_warm();
-    const std::lock_guard<std::mutex> lock(mu_);
-    pool_.push_back(std::move(pooled));
-    return resp;
-  }
-  SolveSession* s = session(req.session);
-  if (s == nullptr) {
+SolveResponse Engine::solve_impl(const SolveRequest& req) {
+  // Check the cancellation flag once, before any session work: a request
+  // whose client gave up while it sat in a queue is answered with a typed
+  // shed instead of burning a solve. Warm state is untouched — the request
+  // never reached its session.
+  if (req.cancel != nullptr && req.cancel->load(std::memory_order_acquire)) {
     SolveResponse resp;
     resp.id = req.id;
     resp.kind = req.kind;
     resp.ok = false;
-    resp.status = SolveStatus::kNumericFailure;
-    resp.error =
-        "unknown session id " + std::to_string(req.session) +
-        " (open_session first)";
+    resp.status = SolveStatus::kOverloaded;
+    resp.error = "request cancelled before solving";
     const std::lock_guard<std::mutex> lock(mu_);
     ++stats_.requests;
     ++stats_.errors;
+    ++stats_.cancelled;
     return resp;
   }
-  return solve_on(s, req);
+  SolveResponse resp;
+  if (req.session == 0) {
+    // Borrow a pooled session: its workspace (compiled table, buffers)
+    // persists across sessionless requests, its warm payloads never do —
+    // release_pooled resets them, because which pooled session a request
+    // borrows depends on scheduling, so any surviving warm state would
+    // make sessionless responses thread-count dependent.
+    std::unique_ptr<SolveSession> pooled = acquire_pooled();
+    resp = solve_on(pooled.get(), req);
+    release_pooled(std::move(pooled));
+  } else {
+    SolveSession* s = acquire_session(req.session);
+    if (s == nullptr) {
+      resp.id = req.id;
+      resp.kind = req.kind;
+      resp.ok = false;
+      resp.status = SolveStatus::kNumericFailure;
+      resp.error = "unknown session id " + std::to_string(req.session) +
+                   " (open_session first)";
+      const std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.requests;
+      ++stats_.errors;
+      return resp;
+    }
+    resp = solve_on(s, req);
+    release_session(req.session);
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  resp.engine_bytes = resident_bytes_locked();
+  return resp;
+}
+
+SolveResponse Engine::solve(const SolveRequest& req) {
+  const ParallelPin pin(/*pin_single=*/true);
+  return solve_impl(req);
+}
+
+SolveResponse Engine::solve_pinned(const SolveRequest& req) {
+  return solve_impl(req);
 }
 
 std::vector<SolveResponse> Engine::solve_batch(
@@ -365,44 +516,7 @@ std::vector<SolveResponse> Engine::solve_batch(
   parallel_for(
       groups.size(),
       [&](std::size_t g) {
-        for (const std::size_t i : groups[g]) {
-          const SolveRequest& req = reqs[i];
-          if (req.session == 0) {
-            std::unique_ptr<SolveSession> pooled;
-            {
-              const std::lock_guard<std::mutex> lock(mu_);
-              if (!pool_.empty()) {
-                pooled = std::move(pool_.back());
-                pool_.pop_back();
-              }
-            }
-            if (pooled == nullptr) pooled = std::make_unique<SolveSession>();
-            out[i] = solve_on(pooled.get(), req);
-            pooled->reset_warm();  // sessionless: no warm carry-over
-            const std::lock_guard<std::mutex> lock(mu_);
-            pool_.push_back(std::move(pooled));
-            continue;
-          }
-          SolveSession* s = session(req.session);
-          if (s == nullptr) {
-            SolveResponse resp;
-            resp.id = req.id;
-            resp.kind = req.kind;
-            resp.ok = false;
-            resp.status = SolveStatus::kNumericFailure;
-            resp.error = "unknown session id " +
-                         std::to_string(req.session) +
-                         " (open_session first)";
-            {
-              const std::lock_guard<std::mutex> lock(mu_);
-              ++stats_.requests;
-              ++stats_.errors;
-            }
-            out[i] = std::move(resp);
-            continue;
-          }
-          out[i] = solve_on(s, req);
-        }
+        for (const std::size_t i : groups[g]) out[i] = solve_impl(reqs[i]);
       },
       /*grain=*/1);
   return out;

@@ -24,6 +24,16 @@ void SolveSession::reset_warm() {
   opt_level = std::numeric_limits<double>::quiet_NaN();
 }
 
+void SolveSession::shed_memory() {
+  reset_warm();
+  // reset_warm clears but keeps capacity; swapping with fresh objects is
+  // what actually returns the bytes to the allocator.
+  ws = SolverWorkspace{};
+  prev_instance = Instance{};
+  std::vector<double>().swap(fw_flow);
+  std::vector<double>().swap(fw_demands);
+}
+
 Evaluation::Evaluation(const Instance& instance, SolveSession* session,
                        WarmPolicy policy)
     : instance_(instance), session_(session) {

@@ -1,0 +1,86 @@
+#include "stackroute/engine/footprint.h"
+
+#include "stackroute/engine/session.h"
+
+namespace stackroute::engine {
+
+namespace {
+
+template <typename T>
+std::size_t vec_bytes(const std::vector<T>& v) {
+  return v.capacity() * sizeof(T);
+}
+
+std::size_t path_flows_bytes(const std::vector<PathFlow>& paths) {
+  std::size_t bytes = vec_bytes(paths);
+  for (const PathFlow& pf : paths) bytes += vec_bytes(pf.path);
+  return bytes;
+}
+
+}  // namespace
+
+std::size_t footprint_bytes(const ParallelLinks& m) {
+  return sizeof(m) + vec_bytes(m.links);
+}
+
+std::size_t footprint_bytes(const NetworkInstance& inst) {
+  return sizeof(inst) - sizeof(Graph) + inst.graph.footprint_bytes() +
+         vec_bytes(inst.commodities);
+}
+
+std::size_t footprint_bytes(const Instance& inst) {
+  if (const auto* m = std::get_if<ParallelLinks>(&inst)) {
+    return footprint_bytes(*m);
+  }
+  return footprint_bytes(std::get<NetworkInstance>(inst));
+}
+
+std::size_t footprint_bytes(const DijkstraWorkspace& ws) {
+  return vec_bytes(ws.tree.dist) + vec_bytes(ws.tree.parent_edge) +
+         vec_bytes(ws.heap);
+}
+
+std::size_t footprint_bytes(const SolverWorkspace& ws) {
+  std::size_t bytes = sizeof(ws) + ws.table.footprint_bytes() +
+                      footprint_bytes(ws.dijkstra) +
+                      footprint_bytes(ws.dijkstra_rev) + vec_bytes(ws.costs) +
+                      vec_bytes(ws.direction) + vec_bytes(ws.aon_flow) +
+                      vec_bytes(ws.nonzero) + vec_bytes(ws.dists) +
+                      vec_bytes(ws.paths) + vec_bytes(ws.path_scratch) +
+                      vec_bytes(ws.delta_mask) + vec_bytes(ws.weights) +
+                      vec_bytes(ws.settled_scratch);
+  for (const Path& p : ws.paths) bytes += vec_bytes(p);
+  return bytes;
+}
+
+std::size_t footprint_bytes(const AssignmentWarmStart& warm) {
+  std::size_t bytes = vec_bytes(warm.commodity_paths) + vec_bytes(warm.demands);
+  for (const auto& paths : warm.commodity_paths) {
+    bytes += path_flows_bytes(paths);
+  }
+  return bytes;
+}
+
+std::size_t footprint_bytes(const MopWarmStart& warm) {
+  return footprint_bytes(warm.optimum) + footprint_bytes(warm.induced);
+}
+
+std::size_t footprint_bytes(const OpTopWarmStart& warm) {
+  return vec_bytes(warm.round_levels);
+}
+
+std::size_t footprint_bytes(const SolveSession& session) {
+  std::size_t bytes = sizeof(session) - sizeof(SolverWorkspace) +
+                      footprint_bytes(session.ws) + footprint_bytes(session.nash) +
+                      footprint_bytes(session.mop) + footprint_bytes(session.optop) +
+                      footprint_bytes(session.strategy.scale_induced) +
+                      footprint_bytes(session.strategy.llf_induced) +
+                      vec_bytes(session.fw_flow) + vec_bytes(session.fw_demands);
+  // The anchor instance holds memory even after reset_warm flips has_prev
+  // off (the payload is dropped, the buffers may not be) — count what is
+  // actually retained.
+  bytes += footprint_bytes(session.prev_instance);
+  return bytes;
+}
+
+}  // namespace stackroute::engine

@@ -27,6 +27,8 @@
 // pre-engine implementation.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <limits>
 #include <map>
@@ -77,6 +79,14 @@ struct SolveRequest {
   std::uint64_t session = 0;
   /// Caller tag, echoed verbatim in the response.
   std::uint64_t id = 0;
+  /// Optional cancellation flag, owned by the caller and set from any
+  /// thread (e.g. a serve front end noticing the client disconnected). The
+  /// engine checks it once, on entry: a request already cancelled when its
+  /// turn comes is answered with a typed kOverloaded error instead of
+  /// being solved, and the session's warm state is left untouched. A solve
+  /// already running is not interrupted (use SolveBudget for bounded solve
+  /// time); the caller simply discards the response.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 struct SolveResponse {
@@ -97,6 +107,11 @@ struct SolveResponse {
   /// True when the session's warm state carried into this solve.
   bool warm = false;
   double millis = 0.0;
+  /// Engine resident-memory reading right after this request finished:
+  /// compiled-table cache bytes + tracked session/pool bytes (see
+  /// EngineStats). Zero for requests that never touched a session slot
+  /// (unknown-session errors, cancelled-before-solve).
+  std::uint64_t engine_bytes = 0;
   /// This request's solver work counters (all zero unless
   /// EngineOptions::collect_counters).
   obs::SolveCounters counters;
@@ -107,6 +122,20 @@ struct EngineOptions {
   bool collect_counters = false;
   /// Compiled-table cache entries kept (LRU beyond this); 0 disables.
   std::size_t table_cache_capacity = 64;
+  /// Byte budget for the compiled-table cache (0 = entry-count LRU only).
+  /// Eviction is LRU *by bytes*: entries are dropped until the cache fits,
+  /// and a single table larger than the whole budget is served but never
+  /// cached. Enforced at insert time, so the budget is never exceeded.
+  std::size_t table_cache_budget_bytes = 0;
+  /// Byte budget for the session set (open sessions + the sessionless
+  /// workspace pool); 0 = unlimited. When a finished solve leaves the
+  /// total above budget, pooled spares are dropped and then idle sessions
+  /// shed their memory (warm payloads + workspace buffers) LRU-first —
+  /// sessions stay open and correct, they just re-warm from cold. Only
+  /// requests served through solve()/solve_batch()/solve_pinned() are
+  /// accounted; sessions driven directly via session() (the sweep path)
+  /// must not rely on this budget.
+  std::size_t session_budget_bytes = 0;
   /// Applied to requests whose own budget is inactive.
   SolveBudget default_budget;
 };
@@ -123,6 +152,39 @@ struct EngineStats {
   std::uint64_t table_cache_misses = 0;
   std::uint64_t sessions_opened = 0;
   std::uint64_t sessions_closed = 0;
+  std::uint64_t cancelled = 0;  // requests answered kOverloaded because
+                                // their cancel flag was set on entry
+  // --- memory accounting (see footprint.h) ------------------------------
+  std::uint64_t table_cache_bytes = 0;  // current compiled-table cache
+  std::uint64_t session_bytes = 0;      // current sessions + pooled spares
+  /// High-water mark of table_cache_bytes + session_bytes, sampled at
+  /// every accounting update — the figure the saturation benchmark checks
+  /// against the configured budgets.
+  std::uint64_t peak_bytes = 0;
+  std::uint64_t table_cache_evictions = 0;  // entries dropped (LRU or byte
+                                            // budget)
+  std::uint64_t session_sheds = 0;  // sessions/pool spares that gave up
+                                    // their memory under the byte budget
+};
+
+/// Holds the process-global solver-thread pin (the OpenMP settings
+/// ParallelPin saves, pins to one inner thread, and restores) for its
+/// lifetime. A multi-threaded front end constructs ONE of these for the
+/// server's lifetime and then calls Engine::solve_pinned from any number
+/// of worker threads concurrently — per-request pinning would serialize
+/// the workers on the pin's global mutex. While a SolverPin exists, every
+/// plain solve()/solve_batch() call in the process blocks (they acquire
+/// the same mutex), so do not mix the two styles.
+class SolverPin {
+ public:
+  SolverPin();
+  ~SolverPin();
+  SolverPin(const SolverPin&) = delete;
+  SolverPin& operator=(const SolverPin&) = delete;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 class Engine {
@@ -148,9 +210,19 @@ class Engine {
   /// they serialize against each other on a process-global pin: they
   /// save/restore OpenMP's process-global thread settings, which cannot
   /// be held at two different values at once. Concurrency comes from
-  /// batching (solve_batch shards across sessions), not from overlapping
-  /// entry calls.
+  /// batching (solve_batch shards across sessions), from overlapping
+  /// solve_pinned calls under one SolverPin — not from overlapping plain
+  /// entry calls. Concurrent calls naming the same session id are safe
+  /// either way: a session serves one request at a time, and contenders
+  /// queue on it in arrival order.
   SolveResponse solve(const SolveRequest& req);
+
+  /// solve() minus the per-call pin: requires a live SolverPin in the
+  /// process (the caller's responsibility) and may then be called from
+  /// many threads concurrently — each solve runs single-threaded, and
+  /// concurrency comes from the callers. Responses for a given request
+  /// sequence per session are identical to serial solve() calls.
+  SolveResponse solve_pinned(const SolveRequest& req);
 
   /// Serves a batch: requests are grouped by session id (group order =
   /// first appearance, intra-group order = submission order) and the
@@ -167,24 +239,52 @@ class Engine {
   /// The typed-request core: runs `req` on `session` (null = pooled
   /// workspace, cold). Assumes exclusive use of the session.
   SolveResponse solve_on(SolveSession* session, const SolveRequest& req);
+  /// solve() without the per-call pin — shared by solve/solve_pinned.
+  SolveResponse solve_impl(const SolveRequest& req);
   /// Seeds `ws.table` for `inst` from the content-hash cache (adopt) or
   /// compiles and caches. The sweep client never comes through here — its
   /// chains keep the pointer-identity fast path untouched.
   void prepare_tables(SolverWorkspace& ws, const Instance& inst);
 
+  /// Marks the session busy (waiting while another request holds it);
+  /// null when the id is unknown. Every acquire must be paired with
+  /// release_session, which re-accounts the session's footprint, enforces
+  /// the session byte budget and wakes contenders.
+  SolveSession* acquire_session(std::uint64_t id);
+  void release_session(std::uint64_t id);
+  /// Pooled-workspace checkout for sessionless requests (same accounting).
+  std::unique_ptr<SolveSession> acquire_pooled();
+  void release_pooled(std::unique_ptr<SolveSession> pooled);
+  /// With mu_ held: recompute totals, shed LRU idle sessions / drop pool
+  /// spares until session_bytes fits the budget, refresh peak_bytes.
+  void enforce_session_budget_locked();
+  [[nodiscard]] std::uint64_t resident_bytes_locked() const {
+    return stats_.table_cache_bytes + stats_.session_bytes;
+  }
+
   EngineOptions opts_;
 
   mutable std::mutex mu_;  // guards everything below
+  std::condition_variable session_cv_;  // busy-session handoff
   std::uint64_t next_session_id_ = 1;
-  std::map<std::uint64_t, std::unique_ptr<SolveSession>> sessions_;
+  struct SessionSlot {
+    std::unique_ptr<SolveSession> session;
+    std::size_t bytes = 0;        // footprint at last release
+    std::uint64_t last_use = 0;   // session-LRU clock value
+    bool busy = false;            // held by a solve right now
+  };
+  std::map<std::uint64_t, SessionSlot> sessions_;
   std::vector<std::unique_ptr<SolveSession>> pool_;  // sessionless spares
+  std::size_t pool_bytes_ = 0;
   struct TableCacheEntry {
     std::uint64_t hash = 0;
     LatencyTable table;
     std::uint64_t last_use = 0;
+    std::size_t bytes = 0;
   };
   std::vector<TableCacheEntry> table_cache_;
   std::uint64_t cache_clock_ = 0;
+  std::uint64_t session_clock_ = 0;
   EngineStats stats_;
 };
 

@@ -60,6 +60,14 @@ struct SolveSession {
   /// task fails or an incompatible instance breaks the chain, so stale
   /// state can never leak across the break.
   void reset_warm();
+
+  /// reset_warm() plus actually releasing the memory: the workspace
+  /// (compiled table included) and the anchor instance are swapped with
+  /// empty objects, so the session's footprint drops to a few hundred
+  /// bytes. The engine calls this on idle sessions when the session byte
+  /// budget is exceeded — the session stays open and correct, its next
+  /// request just starts cold and re-grows the buffers.
+  void shed_memory();
 };
 
 }  // namespace stackroute::engine

@@ -69,6 +69,12 @@ class LatencyTable {
   /// instance-revision tag a SolverWorkspace carries across chained solves.
   [[nodiscard]] std::uint64_t revision() const { return revision_; }
 
+  /// Heap bytes held by this compilation (entry/wrapper/coefficient
+  /// arrays, source pointers, affine fast-path arrays), by *capacity* —
+  /// what the allocator actually holds, not what is in use. This is the
+  /// figure the engine's byte-budgeted table cache charges per entry.
+  [[nodiscard]] std::size_t footprint_bytes() const;
+
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
   [[nodiscard]] bool empty() const { return entries_.empty(); }
 

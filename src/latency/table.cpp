@@ -79,6 +79,14 @@ LatencyTable LatencyTable::compiled(std::span<const LatencyPtr> lats) {
   return t;
 }
 
+std::size_t LatencyTable::footprint_bytes() const {
+  return sizeof(*this) + entries_.capacity() * sizeof(Entry) +
+         wraps_.capacity() * sizeof(Wrap) +
+         coeffs_.capacity() * sizeof(double) +
+         src_.capacity() * sizeof(LatencyPtr) +
+         (aff_a_.capacity() + aff_b_.capacity()) * sizeof(double);
+}
+
 void LatencyTable::append_entry(const LatencyFunction& f) {
   Entry en;
   en.wrap_begin = static_cast<std::uint32_t>(wraps_.size());

@@ -117,6 +117,22 @@ std::vector<LatencyPtr> Graph::latencies() const {
   return out;
 }
 
+std::size_t Graph::footprint_bytes() const {
+  std::size_t bytes = sizeof(*this) + edges_.capacity() * sizeof(Edge);
+  for (const std::vector<std::vector<EdgeId>>* adj : {&out_, &in_}) {
+    bytes += adj->capacity() * sizeof(std::vector<EdgeId>);
+    for (const auto& v : *adj) bytes += v.capacity() * sizeof(EdgeId);
+  }
+  // The CSR cache may be mid-build on another reader thread; its lock
+  // makes the capacity reads safe.
+  const std::lock_guard<std::mutex> lock(csr_mutex_);
+  for (const CsrAdjacency* csr : {&out_csr_, &in_csr_}) {
+    bytes += csr->offsets.capacity() * sizeof(std::int32_t) +
+             csr->arcs.capacity() * sizeof(CsrAdjacency::Arc);
+  }
+  return bytes;
+}
+
 void Graph::check_node(NodeId v) const {
   SR_REQUIRE(v >= 0 && v < num_nodes(), "node id out of range");
 }

@@ -90,6 +90,11 @@ class Graph {
   /// Latencies of all edges, indexed by EdgeId (convenience for solvers).
   [[nodiscard]] std::vector<LatencyPtr> latencies() const;
 
+  /// Heap bytes held by the adjacency and (if built) the CSR cache, by
+  /// capacity. Latency objects are shared and counted as one pointer each
+  /// — the engine's memory accounting charges the instance that owns them.
+  [[nodiscard]] std::size_t footprint_bytes() const;
+
  private:
   void check_node(NodeId v) const;
   void build_csr() const;

@@ -22,10 +22,14 @@ enum class SolveStatus : std::uint8_t {
                           ///< detection via SolveBudget::stall_window)
   kDeadlineExceeded = 3,  ///< wall-clock budget expired mid-solve
   kNumericFailure = 4,    ///< NaN/Inf surfaced in costs/objective/gap
+  kOverloaded = 5,        ///< shed by admission control before solving: the
+                          ///< service refused the request (queue full,
+                          ///< per-client cap, or shutdown in progress) —
+                          ///< no solver ever ran, so there is no best-so-far
 };
 
 /// Short stable identifier ("converged", "iter_limit", "stalled",
-/// "deadline", "numeric") used in tables and logs.
+/// "deadline", "numeric", "overloaded") used in tables and logs.
 const char* to_string(SolveStatus status) noexcept;
 
 /// True when the solve met its tolerance.

@@ -16,6 +16,8 @@ const char* to_string(SolveStatus status) noexcept {
       return "deadline";
     case SolveStatus::kNumericFailure:
       return "numeric";
+    case SolveStatus::kOverloaded:
+      return "overloaded";
   }
   return "unknown";
 }

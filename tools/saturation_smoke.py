@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Saturation smoke for stackroute-serve's socket mode.
+
+Drives the server at a configurable oversubscription factor (default 16x:
+32 clients against 2 workers) with deliberately tiny admission queues and
+checks the overload contract end to end:
+
+  * no crash, no hang: the server answers every submitted line and shuts
+    down cleanly on SIGINT (exit 2 — sheds are counted as errors);
+  * no silent drops: every response is either ok or carries the typed
+    "status":"overloaded" shed marker;
+  * bounded degradation: some requests are still served (the shed rate is
+    below 100%), and the accepted-request p99 latency stays bounded;
+  * the stderr summary reports the admission and memory tallies.
+
+Usage:
+    saturation_smoke.py /path/to/stackroute-serve [--clients 32]
+        [--requests 30] [--workers 2] [--p99-ms 10000]
+"""
+import argparse
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+
+def start_server(binary, sock_path, workers):
+    proc = subprocess.Popen(
+        [
+            binary,
+            "--socket", sock_path,
+            "--workers", str(workers),
+            "--max-queue", str(2 * workers),
+            "--max-client-queue", "2",
+            "--table-budget-mb", "64",
+            "--session-budget-mb", "64",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    deadline = time.time() + 10
+    while time.time() < deadline:
+        if os.path.exists(sock_path):
+            try:
+                probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                probe.connect(sock_path)
+                probe.close()
+                return proc
+            except OSError:
+                pass
+        time.sleep(0.05)
+    proc.kill()
+    raise RuntimeError("server socket never came up")
+
+
+def client(sock_path, k, n, results):
+    lines = "".join(
+        json.dumps(
+            {
+                "id": k * 10000 + i,
+                "op": "mop",
+                "generate": "grid-bpr",
+                "session": 1,
+                "demand": 1.0 + 0.01 * i,
+            }
+        )
+        + "\n"
+        for i in range(n)
+    )
+    s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    s.connect(sock_path)
+    s.sendall(lines.encode())
+    s.shutdown(socket.SHUT_WR)
+    buf = b""
+    while True:
+        chunk = s.recv(65536)
+        if not chunk:
+            break
+        buf += chunk
+    s.close()
+    results[k] = [json.loads(ln) for ln in buf.decode().splitlines() if ln]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("binary")
+    parser.add_argument("--clients", type=int, default=32)
+    parser.add_argument("--requests", type=int, default=30)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--p99-ms", type=float, default=10000.0,
+                        help="accepted-request p99 latency bound")
+    args = parser.parse_args()
+
+    sock_path = os.path.join(tempfile.mkdtemp(), "serve.sock")
+    proc = start_server(args.binary, sock_path, args.workers)
+    results = {}
+    threads = [
+        threading.Thread(target=client,
+                         args=(sock_path, k, args.requests, results))
+        for k in range(args.clients)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    proc.send_signal(signal.SIGINT)
+    try:
+        _, err = proc.communicate(timeout=60)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        print("FAIL: server wedged on SIGINT")
+        return 1
+
+    failures = []
+    responses = [r for v in results.values() for r in v]
+    sent = args.clients * args.requests
+    if len(responses) != sent:
+        failures.append(f"answered {len(responses)}/{sent} lines")
+    untyped = [
+        r for r in responses
+        if not r.get("ok") and r.get("status") != "overloaded"
+    ]
+    if untyped:
+        failures.append(f"{len(untyped)} untyped failures: {untyped[:3]}")
+    ok = [r for r in responses if r.get("ok")]
+    shed = [r for r in responses if r.get("status") == "overloaded"]
+    if not ok:
+        failures.append("shed rate 100%: nothing was served")
+    if not shed:
+        failures.append("no sheds at all: the load was not a saturation")
+    lat = sorted(r["millis"] for r in ok if "millis" in r)
+    p99 = lat[max(0, int(len(lat) * 0.99) - 1)] if lat else float("inf")
+    if p99 > args.p99_ms:
+        failures.append(f"accepted-request p99 {p99:.1f} ms > bound "
+                        f"{args.p99_ms} ms")
+    if proc.returncode != 2:
+        failures.append(f"exit {proc.returncode}, want 2 (sheds counted)")
+    for needle in ("admission:", "memory:", "shed"):
+        if needle not in err:
+            failures.append(f"summary missing {needle!r}: {err[:300]}")
+
+    rate = 100.0 * len(shed) / max(1, len(responses))
+    print(f"saturation: {len(responses)} answered, {len(ok)} served, "
+          f"{len(shed)} shed ({rate:.1f}%), accepted p99 {p99:.2f} ms")
+    if failures:
+        print("FAIL:\n" + "\n".join(failures))
+        return 1
+    print("ok: saturation contract holds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,22 +1,31 @@
 // stackroute-serve: line-delimited JSON transport over the engine layer.
-// Reads one request object per line from stdin (or a replay file), serves
-// it through a resident engine::Engine, and writes one response object per
-// line to stdout. Sessions persist across requests, so a client streaming
-// e.g. a demand ramp into one session gets warm-started solves and a
-// compiled-latency-table cache for free.
+// Reads one request object per line, serves it through a resident
+// engine::Engine, and writes one response object per line. Three modes:
 //
 //   stackroute-serve                       # serve stdin until EOF
 //   stackroute-serve --replay requests.ldjson
-//   echo '{"op":"mop","generate":"grid-bpr","demand":2}' | stackroute-serve
+//   stackroute-serve --socket /tmp/sr.sock # serve N concurrent clients
+//
+// stdin/replay serve one client with *blocking* admission, so their
+// output is the sequential transport's, byte for byte. --socket accepts
+// up to --max-clients Unix-domain connections multiplexed onto one
+// engine by a shared worker pool (see serve/frontend.h) under admission
+// control: full queues shed requests with a typed "overloaded" error
+// instead of growing, slow readers are backpressured through bounded
+// write buffers, and a disconnected client's pending work is cancelled
+// without poisoning the engine. SIGINT/SIGTERM drain in-flight work,
+// refuse new requests with a typed error, flush the stderr summary and
+// exit under the normal contract (a second signal force-kills).
 //
 // Request fields (unknown keys are rejected — typos are errors here):
 //   op            "equilibrium" | "optimum" | "mop" | "strategy" | "close"
 //   id            number, echoed verbatim in the response (default 0)
 //   session       number; requests sharing a session id warm-start each
 //                 other (0 / absent = sessionless pooled workspace);
-//                 "close" drops the session and its warm state. At most
-//                 256 sessions may be open at once — beyond that, new
-//                 session ids are per-line errors until some close.
+//                 "close" drops the session and its warm state. Session
+//                 ids are per connection. At most 256 sessions may be
+//                 open at once per client — beyond that, new session ids
+//                 are per-line errors until some close.
 //   instance_file path to a .links/.net text or TNTP instance
 //   generate      generator family name (see stackroute-sweep
 //                 --list-generators), with optional size / gen_seed
@@ -30,432 +39,625 @@
 //
 // Responses: {"id":..,"ok":true,"kind":..,"status":..,"cost":..,...} with
 // non-finite fields omitted; a malformed request yields {"id":0,"ok":
-// false,"error":"line N: ..."} and the stream continues. The stderr
-// summary (suppress with --quiet) reports counts, warm hit rate, table
-// cache hits and p50/p99 latency. Exit status mirrors stackroute-sweep:
-// 0 = all requests ok and converged; 1 = usage or transport error;
-// 2 = served to EOF but some responses failed or were degraded.
-#include <algorithm>
-#include <cmath>
+// false,"error":"line N: ..."} and the stream continues; a shed or
+// refused request additionally carries "status":"overloaded". Lines
+// longer than --max-line-bytes are discarded with a per-line error (the
+// JSON parser separately caps nesting depth). The stderr summary
+// (suppress with --quiet) reports counts, warm hit rate, table cache
+// hits, p50/p99 latency, admission-control counters and the engine's
+// byte accounting. Exit status mirrors stackroute-sweep: 0 = all
+// requests ok and converged; 1 = usage or transport error; 2 = served to
+// EOF but some responses failed or were degraded.
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <iostream>
 #include <map>
+#include <mutex>
 #include <sstream>
 #include <string>
-#include <variant>
+#include <thread>
 #include <vector>
 
 #include "stackroute/engine/engine.h"
-#include "stackroute/gen/registry.h"
-#include "stackroute/io/json.h"
 #include "stackroute/obs/profile.h"
 #include "stackroute/obs/timing.h"
-#include "stackroute/sweep/scenario.h"
+#include "stackroute/serve/frontend.h"
+#include "stackroute/serve/protocol.h"
 #include "stackroute/util/error.h"
 
 namespace {
 
-using stackroute::io::JsonParseError;
-using stackroute::io::JsonValue;
-
 int usage(std::ostream& os, int code) {
   os << "usage: stackroute-serve [options]\n"
-        "  --replay FILE  read requests from FILE instead of stdin\n"
-        "  --quiet        suppress the stderr run summary\n"
-        "  --help         show this message\n"
+        "  --replay FILE        read requests from FILE instead of stdin\n"
+        "  --socket PATH        serve concurrent clients on a Unix socket\n"
+        "  --workers N          solver worker threads (default 4)\n"
+        "  --max-clients N      concurrent socket connections (default 64)\n"
+        "  --max-queue N        global queued-request bound (default 256)\n"
+        "  --max-client-queue N per-client queued-request bound (default "
+        "16)\n"
+        "  --write-buffer-bytes N  per-client response buffer bound\n"
+        "                       (default 1048576)\n"
+        "  --max-line-bytes N   request-line length cap (default 1048576)\n"
+        "  --table-budget-mb N  compiled-table cache byte budget (0 = "
+        "off)\n"
+        "  --session-budget-mb N  session/workspace byte budget (0 = off)\n"
+        "  --quiet              suppress the stderr run summary\n"
+        "  --help               show this message\n"
         "Serves line-delimited JSON requests (one object per line) against\n"
         "a resident solve engine; see the header of stackroute_serve.cpp\n"
-        "or README.md for the request schema.\n"
+        "or README.md for the request schema. stdin/replay admission\n"
+        "blocks (sequential semantics); socket admission sheds overload\n"
+        "with typed \"overloaded\" errors.\n"
         "Exit: 0 clean, 1 usage/transport error, 2 some requests failed\n"
         "or were degraded (their responses carry the detail).\n";
   return code;
 }
 
-stackroute::engine::StrategyKind parse_strategy(const std::string& name) {
-  using stackroute::engine::StrategyKind;
-  if (name == "aloof") return StrategyKind::kAloof;
-  if (name == "scale") return StrategyKind::kScale;
-  if (name == "llf") return StrategyKind::kLlf;
-  throw stackroute::Error("unknown strategy '" + name +
-                          "' (expected aloof, scale or llf)");
+struct ToolOptions {
+  std::string replay;
+  std::string socket_path;
+  bool quiet = false;
+  std::size_t workers = 4;
+  std::size_t max_clients = 64;
+  std::size_t max_queue = 256;
+  std::size_t max_client_queue = 16;
+  std::size_t write_buffer_bytes = 1 << 20;
+  std::size_t max_line_bytes = 1 << 20;
+  std::size_t table_budget_mb = 0;
+  std::size_t session_budget_mb = 0;
+};
+
+stackroute::engine::EngineOptions engine_options(const ToolOptions& o) {
+  stackroute::engine::EngineOptions opts;
+  opts.table_cache_budget_bytes = o.table_budget_mb << 20;
+  opts.session_budget_bytes = o.session_budget_mb << 20;
+  return opts;
 }
 
-stackroute::engine::EquilibriumMethod parse_method(const std::string& name) {
-  using stackroute::engine::EquilibriumMethod;
-  if (name == "pe" || name == "path") return EquilibriumMethod::kPathEqualization;
-  if (name == "fw" || name == "frank-wolfe") return EquilibriumMethod::kFrankWolfe;
-  throw stackroute::Error("unknown method '" + name +
-                          "' (expected pe or fw)");
+stackroute::serve::FrontEndOptions frontend_options(const ToolOptions& o) {
+  stackroute::serve::FrontEndOptions opts;
+  opts.workers = o.workers;
+  opts.max_queue = o.max_queue;
+  opts.max_client_queue = o.max_client_queue;
+  opts.write_buffer_bytes = o.write_buffer_bytes;
+  opts.show_bytes = o.table_budget_mb > 0 || o.session_budget_mb > 0;
+  return opts;
 }
 
-/// Field accessors that throw with the field name in the message, so the
-/// transport's per-line errors read "field 'alpha': expected number, ...".
-double number_field(const JsonValue& v, const char* key) {
-  try {
-    return v.as_number();
-  } catch (const stackroute::Error& e) {
-    throw stackroute::Error(std::string("field '") + key + "': " + e.what());
-  }
+// ---- signal plumbing ----------------------------------------------------
+// The handler writes one byte into a self-pipe the serving loops poll
+// alongside their input fds, then re-arms the default disposition so a
+// second signal force-kills a wedged drain. sigaction without SA_RESTART
+// on purpose: blocked reads should fail with EINTR, not resume.
+
+int g_signal_pipe[2] = {-1, -1};
+
+void on_signal(int) {
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = write(g_signal_pipe[1], &byte, 1);
+  signal(SIGINT, SIG_DFL);
+  signal(SIGTERM, SIG_DFL);
 }
 
-std::string string_field(const JsonValue& v, const char* key) {
-  try {
-    return v.as_string();
-  } catch (const stackroute::Error& e) {
-    throw stackroute::Error(std::string("field '") + key + "': " + e.what());
-  }
+bool install_signals() {
+  if (pipe2(g_signal_pipe, O_CLOEXEC | O_NONBLOCK) != 0) return false;
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = on_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  if (sigaction(SIGINT, &sa, nullptr) != 0) return false;
+  if (sigaction(SIGTERM, &sa, nullptr) != 0) return false;
+  signal(SIGPIPE, SIG_IGN);  // broken client pipes are per-client errors
+  return true;
 }
 
-/// JSON numbers arrive as doubles, and casting one that is out of the
-/// target type's range (or NaN) to an integer type is undefined behavior
-/// — a hostile {"id":1e300} must become a per-line field error, not UB.
-/// 2^53 is the largest range a JSON double covers exactly, and is ample
-/// for every integer field of the schema.
-constexpr double kMaxExactInt = 9007199254740992.0;  // 2^53
+// ---- bounded line input -------------------------------------------------
 
-double integer_field(const JsonValue& v, const char* key, double lo,
-                     double hi) {
-  const double d = number_field(v, key);
-  if (!(d >= lo && d <= hi) || d != std::floor(d)) {
-    std::ostringstream os;
-    os << "field '" << key << "': expected an integer in [" << lo << ", "
-       << hi << "]";
-    throw stackroute::Error(os.str());
-  }
-  return d;
-}
+/// Reads newline-delimited lines from an fd with a hard length cap: an
+/// over-long line is discarded up to its newline and reported as one
+/// kOversized event, so a hostile client cannot balloon server memory.
+/// Optionally polls a wake fd (the signal self-pipe) alongside the input.
+/// Mirrors std::getline otherwise: the delimiter is stripped, CR is kept,
+/// a final unterminated line is still a line.
+class FdLineReader {
+ public:
+  enum class Event { kLine, kOversized, kEof, kError, kSignal };
 
-std::uint64_t id_field(const JsonValue& v, const char* key) {
-  return static_cast<std::uint64_t>(
-      integer_field(v, key, 0.0, kMaxExactInt));
-}
+  FdLineReader(int fd, std::size_t max_line, int wake_fd)
+      : fd_(fd), max_line_(max_line), wake_fd_(wake_fd) {}
 
-int size_field(const JsonValue& v, const char* key) {
-  return static_cast<int>(integer_field(v, key, 0.0, 2147483647.0));
-}
-
-/// The long-lived transport state: the engine, the client-id -> engine-id
-/// session map, and a prototype cache so a stream of requests against the
-/// same file/generator parses or generates the instance once. Both maps
-/// are bounded — a resident process fed varied inline instances or ever
-/// fresh session ids must not grow without limit: prototypes are an LRU
-/// (like the engine's compiled-table cache), and opening more than
-/// kMaxClientSessions concurrent sessions is a per-line error telling the
-/// client to close some.
-constexpr std::size_t kPrototypeCacheCapacity = 64;
-constexpr std::size_t kMaxClientSessions = 256;
-
-struct Serve {
-  stackroute::engine::Engine engine;
-  std::map<std::uint64_t, std::uint64_t> sessions;  // client id -> engine id
-  struct Prototype {
-    stackroute::engine::Instance inst;
-    std::uint64_t last_use = 0;
-  };
-  std::map<std::string, Prototype> prototypes;
-  std::uint64_t prototype_clock = 0;
-
-  const stackroute::engine::Instance& prototype(const std::string& key,
-                                                const JsonValue& req) {
-    auto it = prototypes.find(key);
-    if (it == prototypes.end()) {
-      if (prototypes.size() >= kPrototypeCacheCapacity) {
-        prototypes.erase(std::min_element(
-            prototypes.begin(), prototypes.end(),
-            [](const auto& a, const auto& b) {
-              return a.second.last_use < b.second.last_use;
-            }));
+  Event next(std::string* line) {
+    line->clear();
+    for (;;) {
+      const std::size_t nl = buf_.find('\n', scan_);
+      if (nl != std::string::npos) {
+        if (skipping_ || nl > max_line_) {
+          // Over-long even though its newline is already buffered (one
+          // read can deliver many lines): same kOversized as the
+          // accumulate-then-skip path.
+          buf_.erase(0, nl + 1);
+          scan_ = 0;
+          skipping_ = false;
+          return Event::kOversized;
+        }
+        line->assign(buf_, 0, nl);
+        buf_.erase(0, nl + 1);
+        scan_ = 0;
+        return Event::kLine;
       }
-      it = prototypes.emplace(key, Prototype{build_instance(req), 0}).first;
+      scan_ = buf_.size();
+      if (!skipping_ && buf_.size() > max_line_) {
+        buf_.clear();
+        scan_ = 0;
+        skipping_ = true;
+      }
+      if (eof_) {
+        if (skipping_) {
+          skipping_ = false;
+          return Event::kOversized;
+        }
+        if (!buf_.empty()) {
+          *line = std::move(buf_);
+          buf_.clear();
+          scan_ = 0;
+          return Event::kLine;  // mid-line EOF: the partial is a line
+        }
+        return Event::kEof;
+      }
+      if (wake_fd_ >= 0) {
+        struct pollfd fds[2] = {{fd_, POLLIN, 0}, {wake_fd_, POLLIN, 0}};
+        const int rc = poll(fds, 2, -1);
+        if (rc < 0) {
+          if (errno == EINTR) continue;
+          return Event::kError;
+        }
+        if (fds[1].revents != 0) {
+          char drain[16];
+          while (read(wake_fd_, drain, sizeof(drain)) > 0) {
+          }
+          return Event::kSignal;
+        }
+        if (fds[0].revents == 0) continue;
+      }
+      char tmp[4096];
+      const ssize_t n = read(fd_, tmp, sizeof(tmp));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Event::kError;
+      }
+      if (n == 0) {
+        eof_ = true;
+        continue;
+      }
+      if (skipping_) {
+        const char* p =
+            static_cast<const char*>(std::memchr(tmp, '\n', static_cast<std::size_t>(n)));
+        if (p != nullptr) {
+          buf_.assign(p + 1, static_cast<std::size_t>(tmp + n - (p + 1)));
+          scan_ = 0;
+          skipping_ = false;
+          return Event::kOversized;
+        }
+        continue;  // still inside the oversized line: discard
+      }
+      buf_.append(tmp, static_cast<std::size_t>(n));
     }
-    it->second.last_use = ++prototype_clock;
-    return it->second.inst;
   }
 
-  static stackroute::engine::Instance build_instance(const JsonValue& req) {
-    if (const JsonValue* file = req.find("instance_file")) {
-      return stackroute::sweep::load_instance_file(
-          string_field(*file, "instance_file"));
-    }
-    if (const JsonValue* text = req.find("instance")) {
-      return stackroute::sweep::load_instance_text(
-          string_field(*text, "instance"));
-    }
-    const JsonValue* fam = req.find("generate");
-    const std::string family = string_field(*fam, "generate");
-    int size = 0;
-    std::uint64_t seed = 1;
-    if (const JsonValue* s = req.find("size")) {
-      size = size_field(*s, "size");
-    }
-    if (const JsonValue* s = req.find("gen_seed")) seed = id_field(*s, "gen_seed");
-    return stackroute::gen::generate_sized(family, size, 1.0, seed);
-  }
+ private:
+  int fd_;
+  std::size_t max_line_;
+  int wake_fd_;
+  std::string buf_;
+  std::size_t scan_ = 0;
+  bool skipping_ = false;
+  bool eof_ = false;
 };
 
-/// One key per distinct instance source, so the prototype cache can serve
-/// repeated requests without re-reading files or re-generating.
-std::string source_key(const JsonValue& req) {
-  if (const JsonValue* file = req.find("instance_file")) {
-    return "file:" + string_field(*file, "instance_file");
-  }
-  if (const JsonValue* text = req.find("instance")) {
-    return "text:" + string_field(*text, "instance");
-  }
-  if (const JsonValue* fam = req.find("generate")) {
-    std::string key = "gen:" + string_field(*fam, "generate");
-    if (const JsonValue* s = req.find("size")) {
-      key += ":size=" + std::to_string(size_field(*s, "size"));
-    }
-    if (const JsonValue* s = req.find("gen_seed")) {
-      key += ":seed=" + std::to_string(id_field(*s, "gen_seed"));
-    }
-    return key;
-  }
-  throw stackroute::Error(
-      "request needs an instance source: one of instance_file, generate "
-      "or instance");
+bool blank_line(const std::string& text) {
+  return text.find_first_not_of(" \t\r") == std::string::npos;
 }
 
-const char* const kKnownKeys[] = {
-    "op",     "id",       "session",  "instance_file", "generate",
-    "size",   "gen_seed", "instance", "demand",        "alpha",
-    "strategy", "method", "deadline_ms", "max_iters",
-};
+std::string oversized_message(const ToolOptions& o) {
+  return "request line exceeds " + std::to_string(o.max_line_bytes) +
+         " bytes";
+}
 
-void reject_unknown_keys(const JsonValue& req) {
-  for (const auto& [key, value] : req.as_object()) {
-    bool known = false;
-    for (const char* k : kKnownKeys) {
-      if (key == k) {
-        known = true;
+bool write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;  // EPIPE / send-timeout: the client is gone or stuck
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// ---- summary + exit contract --------------------------------------------
+
+void print_summary(const stackroute::serve::FrontEndStats& tally,
+                   const stackroute::engine::EngineStats& stats,
+                   double total_ms, std::uint64_t conn_refused) {
+  std::ostringstream os;
+  os << "serve: " << tally.requests << " requests (" << tally.errors
+     << " failed, " << tally.degraded << " degraded) in " << total_ms
+     << " ms";
+  if (total_ms > 0 && tally.requests > 0) {
+    os << ", "
+       << (1000.0 * static_cast<double>(tally.requests) / total_ms)
+       << " req/s";
+  }
+  os << "\nwarm: " << stats.warm_hits << "/" << stats.warm_attempts
+     << " hits; table cache: " << stats.table_cache_hits << " hits / "
+     << stats.table_cache_misses << " misses; sessions: "
+     << stats.sessions_opened << " opened, " << stats.sessions_closed
+     << " closed";
+  if (!tally.millis.empty()) {
+    os << "\nlatency ms: "
+       << stackroute::obs::QuantileSummary::of(tally.millis).to_string();
+  }
+  os << "\nadmission: " << tally.shed << " shed, "
+     << (tally.refused + conn_refused) << " refused, "
+     << tally.cancelled_lines + stats.cancelled << " cancelled, peak queue "
+     << tally.peak_queue;
+  os << "\nmemory: table cache " << stats.table_cache_bytes << " B ("
+     << stats.table_cache_evictions << " evicted), sessions "
+     << stats.session_bytes << " B (" << stats.session_sheds
+     << " sheds), peak " << stats.peak_bytes << " B";
+  std::cerr << os.str() << "\n";
+}
+
+int exit_code(const stackroute::serve::FrontEndStats& tally) {
+  return (tally.errors > 0 || tally.degraded > 0) ? 2 : 0;
+}
+
+// ---- single-client (stdin / replay) mode --------------------------------
+
+int run_single(int in_fd, const ToolOptions& o) {
+  stackroute::engine::Engine engine(engine_options(o));
+  stackroute::serve::FrontEnd fe(engine, frontend_options(o));
+  const std::uint64_t cid =
+      fe.add_client(stackroute::serve::Admission::kBlock);
+  stackroute::obs::Timer wall;
+
+  std::thread writer([&fe, cid] {
+    std::string line;
+    while (fe.next_response(cid, &line)) {
+      line.push_back('\n');
+      if (std::fwrite(line.data(), 1, line.size(), stdout) != line.size()) {
+        fe.abort_client(cid);
+        break;
+      }
+      std::fflush(stdout);
+    }
+  });
+
+  FdLineReader reader(in_fd, o.max_line_bytes, g_signal_pipe[0]);
+  std::string text;
+  std::size_t line_no = 0;
+  bool aborted = false;
+  for (bool reading = true; reading;) {
+    switch (reader.next(&text)) {
+      case FdLineReader::Event::kLine:
+        ++line_no;
+        // Blank lines are harmless separators, not requests.
+        if (!blank_line(text)) fe.submit_line(cid, std::move(text), line_no);
+        break;
+      case FdLineReader::Event::kOversized:
+        ++line_no;
+        fe.submit_error(cid, line_no, oversized_message(o));
+        break;
+      case FdLineReader::Event::kSignal:
+        // Drain what is queued, refuse what still arrives (typed), keep
+        // consuming input so the writer can deliver the refusals.
+        fe.begin_shutdown();
+        break;
+      case FdLineReader::Event::kEof:
+        reading = false;
+        break;
+      case FdLineReader::Event::kError:
+        aborted = true;
+        reading = false;
+        break;
+    }
+  }
+  if (aborted) {
+    fe.abort_client(cid);
+  } else {
+    fe.finish_client(cid);
+  }
+  writer.join();
+  fe.drain();
+
+  const double total_ms = wall.milliseconds();
+  const stackroute::serve::FrontEndStats tally = fe.stats();
+  if (!o.quiet) print_summary(tally, engine.stats(), total_ms, 0);
+  return aborted ? 1 : exit_code(tally);
+}
+
+// ---- socket mode --------------------------------------------------------
+
+void handle_connection(int fd, std::uint64_t cid,
+                       stackroute::serve::FrontEnd& fe,
+                       const ToolOptions& o) {
+  std::thread writer([&fe, fd, cid] {
+    std::string line;
+    while (fe.next_response(cid, &line)) {
+      line.push_back('\n');
+      if (!write_all(fd, line)) {
+        fe.abort_client(cid);
         break;
       }
     }
-    if (!known) {
-      throw stackroute::Error("unknown request field '" + key + "'");
-    }
-  }
-}
+    shutdown(fd, SHUT_WR);
+  });
 
-std::string response_json(const stackroute::engine::SolveResponse& resp) {
-  using stackroute::io::json_escape;
-  using stackroute::io::json_number;
-  std::ostringstream os;
-  os << "{\"id\":" << resp.id << ",\"ok\":" << (resp.ok ? "true" : "false");
-  if (!resp.ok) {
-    os << ",\"error\":\"" << json_escape(resp.error) << "\"}";
-    return os.str();
-  }
-  os << ",\"kind\":\"" << to_string(resp.kind) << "\""
-     << ",\"status\":\"" << to_string(resp.status) << "\"";
-  // Non-finite fields are omitted, not serialized: NaN means "not
-  // computed", and a degraded solve can leave an Inf (e.g. ratio against
-  // a zero optimum cost) — json_number would reject either and turn an
-  // otherwise valid response into a line error.
-  const auto field = [&os](const char* name, double v) {
-    if (std::isfinite(v)) os << ",\"" << name << "\":" << json_number(v);
-  };
-  field("cost", resp.cost);
-  field("beta", resp.beta);
-  field("optimum_cost", resp.optimum_cost);
-  field("ratio", resp.ratio);
-  os << ",\"warm\":" << (resp.warm ? "true" : "false")
-     << ",\"millis\":" << json_number(resp.millis) << "}";
-  return os.str();
-}
-
-std::string error_json(std::uint64_t id, std::size_t line,
-                       const std::string& message) {
-  std::ostringstream os;
-  os << "{\"id\":" << id << ",\"ok\":false,\"error\":\"line " << line << ": "
-     << stackroute::io::json_escape(message) << "\"}";
-  return os.str();
-}
-
-struct ServeTally {
-  std::size_t requests = 0;
-  std::size_t errors = 0;
-  std::size_t degraded = 0;
-  std::vector<double> millis;
-};
-
-/// Serves one request line; returns the response line. Never throws:
-/// every failure becomes an ok=false response tagged with `line`.
-std::string serve_line(Serve& sv, const std::string& text, std::size_t line,
-                       ServeTally& tally) {
-  ++tally.requests;
-  std::uint64_t id = 0;
-  try {
-    JsonValue req;
-    try {
-      req = JsonValue::parse(text);
-    } catch (const JsonParseError& e) {
-      throw stackroute::Error(e.message + " (byte " +
-                              std::to_string(e.offset) + ")");
-    }
-    if (!req.is_object()) throw stackroute::Error("request must be an object");
-    if (const JsonValue* v = req.find("id")) id = id_field(*v, "id");
-    reject_unknown_keys(req);
-
-    const JsonValue* opv = req.find("op");
-    if (!opv) throw stackroute::Error("missing required field 'op'");
-    const std::string op = string_field(*opv, "op");
-
-    std::uint64_t client_session = 0;
-    if (const JsonValue* v = req.find("session")) {
-      client_session = id_field(*v, "session");
-    }
-
-    if (op == "close") {
-      auto it = sv.sessions.find(client_session);
-      const bool known = it != sv.sessions.end();
-      if (known) {
-        sv.engine.close_session(it->second);
-        sv.sessions.erase(it);
-      }
-      std::ostringstream os;
-      os << "{\"id\":" << id << ",\"ok\":" << (known ? "true" : "false");
-      if (!known) {
-        os << ",\"error\":\"line " << line << ": unknown session "
-           << client_session << "\"";
-        ++tally.errors;
-      }
-      os << "}";
-      return os.str();
-    }
-
-    stackroute::engine::SolveRequest sreq;
-    sreq.id = id;
-    sreq.kind = stackroute::engine::parse_request_kind(op);
-    if (client_session != 0) {
-      auto it = sv.sessions.find(client_session);
-      if (it == sv.sessions.end()) {
-        if (sv.sessions.size() >= kMaxClientSessions) {
-          throw stackroute::Error(
-              "too many open sessions (cap " +
-              std::to_string(kMaxClientSessions) +
-              "): close unused sessions first");
-        }
-        it = sv.sessions.emplace(client_session, sv.engine.open_session())
-                 .first;
-      }
-      sreq.session = it->second;
-    }
-
-    sreq.instance = sv.prototype(source_key(req), req);
-    if (const JsonValue* v = req.find("demand")) {
-      stackroute::sweep::override_demand(sreq.instance,
-                                         number_field(*v, "demand"));
-    }
-    if (const JsonValue* v = req.find("alpha")) {
-      sreq.alpha = number_field(*v, "alpha");
-    }
-    if (const JsonValue* v = req.find("strategy")) {
-      sreq.strategy = parse_strategy(string_field(*v, "strategy"));
-    }
-    if (const JsonValue* v = req.find("method")) {
-      sreq.method = parse_method(string_field(*v, "method"));
-    }
-    if (const JsonValue* v = req.find("deadline_ms")) {
-      sreq.budget.deadline_ms = number_field(*v, "deadline_ms");
-    }
-    if (const JsonValue* v = req.find("max_iters")) {
-      sreq.budget.max_iters = static_cast<long long>(
-          integer_field(*v, "max_iters", 0.0, kMaxExactInt));
-    }
-
-    stackroute::engine::SolveResponse resp = sv.engine.solve(sreq);
-    if (!resp.ok) {
-      ++tally.errors;
-      resp.error = "line " + std::to_string(line) + ": " + resp.error;
-    } else if (!solve_ok(resp.status)) {
-      ++tally.degraded;
-    }
-    tally.millis.push_back(resp.millis);
-    return response_json(resp);
-  } catch (const stackroute::Error& e) {
-    ++tally.errors;
-    return error_json(id, line, e.what());
-  } catch (const std::exception& e) {
-    ++tally.errors;
-    return error_json(id, line, e.what());
-  }
-}
-
-int serve_stream(std::istream& in, std::ostream& out, bool quiet) {
-  Serve sv;
-  ServeTally tally;
-  stackroute::obs::Timer wall;
+  FdLineReader reader(fd, o.max_line_bytes, /*wake_fd=*/-1);
   std::string text;
-  std::size_t line = 0;
-  while (std::getline(in, text)) {
-    ++line;
-    // Blank lines are harmless separators, not requests.
-    if (text.find_first_not_of(" \t\r") == std::string::npos) continue;
-    out << serve_line(sv, text, line, tally) << '\n';
-    out.flush();
+  std::size_t line_no = 0;
+  bool clean = false;
+  for (bool reading = true; reading;) {
+    const FdLineReader::Event ev = reader.next(&text);
+    switch (ev) {
+      case FdLineReader::Event::kLine:
+        ++line_no;
+        if (!blank_line(text)) fe.submit_line(cid, std::move(text), line_no);
+        break;
+      case FdLineReader::Event::kOversized:
+        ++line_no;
+        fe.submit_error(cid, line_no, oversized_message(o));
+        break;
+      default:  // kEof is a clean goodbye, anything else a drop
+        clean = ev == FdLineReader::Event::kEof;
+        reading = false;
+        break;
+    }
   }
-  const double total_ms = wall.milliseconds();
+  if (clean) {
+    fe.finish_client(cid);
+  } else {
+    fe.abort_client(cid);
+  }
+  writer.join();
+  close(fd);
+  fe.remove_client(cid);
+}
 
-  if (!quiet) {
-    const auto stats = sv.engine.stats();
-    std::ostringstream os;
-    os << "serve: " << tally.requests << " requests (" << tally.errors
-       << " failed, " << tally.degraded << " degraded) in " << total_ms
-       << " ms";
-    if (total_ms > 0 && tally.requests > 0) {
-      os << ", " << (1000.0 * static_cast<double>(tally.requests) / total_ms)
-         << " req/s";
-    }
-    os << "\nwarm: " << stats.warm_hits << "/" << stats.warm_attempts
-       << " hits; table cache: " << stats.table_cache_hits << " hits / "
-       << stats.table_cache_misses << " misses; sessions: "
-       << stats.sessions_opened << " opened, " << stats.sessions_closed
-       << " closed";
-    if (!tally.millis.empty()) {
-      os << "\nlatency ms: "
-         << stackroute::obs::QuantileSummary::of(tally.millis).to_string();
-    }
-    std::cerr << os.str() << "\n";
+int run_socket(const ToolOptions& o) {
+  stackroute::engine::Engine engine(engine_options(o));
+  stackroute::serve::FrontEnd fe(engine, frontend_options(o));
+
+  struct sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (o.socket_path.size() >= sizeof(addr.sun_path)) {
+    std::cerr << "socket path too long: " << o.socket_path << "\n";
+    return 1;
   }
-  if (tally.errors > 0 || tally.degraded > 0) return 2;
-  return 0;
+  std::memcpy(addr.sun_path, o.socket_path.c_str(), o.socket_path.size());
+  const int listen_fd = socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd < 0) {
+    std::cerr << "socket: " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  unlink(o.socket_path.c_str());  // replace a stale socket file
+  if (bind(listen_fd, reinterpret_cast<struct sockaddr*>(&addr),
+           sizeof(addr)) != 0 ||
+      listen(listen_fd, 128) != 0) {
+    std::cerr << "cannot listen on " << o.socket_path << ": "
+              << std::strerror(errno) << "\n";
+    close(listen_fd);
+    return 1;
+  }
+  if (!o.quiet) std::cerr << "listening on " << o.socket_path << "\n";
+
+  stackroute::obs::Timer wall;
+  std::mutex conn_mu;
+  std::map<std::uint64_t, int> conn_fds;       // live connections, for wakeup
+  std::map<std::uint64_t, std::thread> conn_threads;
+  std::vector<std::uint64_t> finished;         // cids ready to reap
+  std::atomic<std::size_t> active{0};
+  std::uint64_t conn_refused = 0;
+
+  for (;;) {
+    {
+      // Reap connection threads that announced completion, so a
+      // long-running server does not accumulate joinable threads.
+      std::vector<std::uint64_t> reap;
+      {
+        const std::lock_guard<std::mutex> lock(conn_mu);
+        reap.swap(finished);
+      }
+      for (const std::uint64_t cid : reap) {
+        const auto it = conn_threads.find(cid);
+        if (it != conn_threads.end()) {
+          it->second.join();
+          conn_threads.erase(it);
+        }
+      }
+    }
+    struct pollfd fds[2] = {{listen_fd, POLLIN, 0},
+                            {g_signal_pipe[0], POLLIN, 0}};
+    const int rc = poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0) break;  // SIGINT/SIGTERM: drain and exit
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) continue;
+    // A bounded send timeout keeps a stuck reader from wedging the
+    // writer thread (and with it, shutdown) forever: the blocked write
+    // fails and the client is aborted.
+    struct timeval tv = {10, 0};
+    setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    if (active.load() >= o.max_clients) {
+      ++conn_refused;
+      write_all(fd,
+                "{\"id\":0,\"ok\":false,\"error\":\"too many clients (cap " +
+                    std::to_string(o.max_clients) +
+                    ")\",\"status\":\"overloaded\"}\n");
+      close(fd);
+      continue;
+    }
+    ++active;
+    const std::uint64_t cid =
+        fe.add_client(stackroute::serve::Admission::kShed);
+    {
+      const std::lock_guard<std::mutex> lock(conn_mu);
+      conn_fds[cid] = fd;
+    }
+    std::thread t([&fe, &o, &conn_mu, &conn_fds, &finished, &active, fd,
+                   cid] {
+      handle_connection(fd, cid, fe, o);
+      const std::lock_guard<std::mutex> lock(conn_mu);
+      conn_fds.erase(cid);
+      finished.push_back(cid);
+      --active;
+    });
+    conn_threads.emplace(cid, std::move(t));
+  }
+
+  close(listen_fd);
+  fe.begin_shutdown();
+  {
+    // Wake every connection reader with EOF; their queued work drains,
+    // their writers flush, their threads exit.
+    const std::lock_guard<std::mutex> lock(conn_mu);
+    for (const auto& [cid, fd] : conn_fds) shutdown(fd, SHUT_RD);
+  }
+  for (auto& [cid, t] : conn_threads) t.join();
+  fe.drain();
+
+  const double total_ms = wall.milliseconds();
+  const stackroute::serve::FrontEndStats tally = fe.stats();
+  if (!o.quiet) print_summary(tally, engine.stats(), total_ms, conn_refused);
+  unlink(o.socket_path.c_str());
+  return exit_code(tally);
+}
+
+// ---- argument parsing ---------------------------------------------------
+
+bool parse_count(const char* text, std::size_t* out) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0') return false;
+  *out = static_cast<std::size_t>(v);
+  return true;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string replay;
-  bool quiet = false;
+  ToolOptions o;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    const auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << flag << " needs an argument\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    const auto count_flag = [&](const char* flag,
+                                std::size_t* out) -> bool {
+      const char* v = value(flag);
+      if (v == nullptr || !parse_count(v, out)) {
+        if (v != nullptr) {
+          std::cerr << flag << " needs a non-negative integer, got '" << v
+                    << "'\n";
+        }
+        return false;
+      }
+      return true;
+    };
     if (arg == "--help" || arg == "-h") return usage(std::cout, 0);
     if (arg == "--quiet") {
-      quiet = true;
+      o.quiet = true;
     } else if (arg == "--replay") {
-      if (i + 1 >= argc) {
-        std::cerr << "--replay needs a file argument\n";
+      const char* v = value("--replay");
+      if (v == nullptr) return usage(std::cerr, 1);
+      o.replay = v;
+    } else if (arg == "--socket") {
+      const char* v = value("--socket");
+      if (v == nullptr) return usage(std::cerr, 1);
+      o.socket_path = v;
+    } else if (arg == "--workers") {
+      if (!count_flag("--workers", &o.workers)) return usage(std::cerr, 1);
+      if (o.workers == 0) o.workers = 1;
+    } else if (arg == "--max-clients") {
+      if (!count_flag("--max-clients", &o.max_clients)) {
         return usage(std::cerr, 1);
       }
-      replay = argv[++i];
+    } else if (arg == "--max-queue") {
+      if (!count_flag("--max-queue", &o.max_queue)) return usage(std::cerr, 1);
+    } else if (arg == "--max-client-queue") {
+      if (!count_flag("--max-client-queue", &o.max_client_queue)) {
+        return usage(std::cerr, 1);
+      }
+    } else if (arg == "--write-buffer-bytes") {
+      if (!count_flag("--write-buffer-bytes", &o.write_buffer_bytes)) {
+        return usage(std::cerr, 1);
+      }
+    } else if (arg == "--max-line-bytes") {
+      if (!count_flag("--max-line-bytes", &o.max_line_bytes)) {
+        return usage(std::cerr, 1);
+      }
+    } else if (arg == "--table-budget-mb") {
+      if (!count_flag("--table-budget-mb", &o.table_budget_mb)) {
+        return usage(std::cerr, 1);
+      }
+    } else if (arg == "--session-budget-mb") {
+      if (!count_flag("--session-budget-mb", &o.session_budget_mb)) {
+        return usage(std::cerr, 1);
+      }
     } else {
       std::cerr << "unknown argument: " << arg << "\n";
       return usage(std::cerr, 1);
     }
   }
+  if (!o.replay.empty() && !o.socket_path.empty()) {
+    std::cerr << "--replay and --socket are mutually exclusive\n";
+    return usage(std::cerr, 1);
+  }
+
+  if (!install_signals()) {
+    std::cerr << "cannot install signal handlers: " << std::strerror(errno)
+              << "\n";
+    return 1;
+  }
 
   try {
-    if (!replay.empty()) {
-      std::ifstream in(replay);
-      if (!in) {
-        std::cerr << "cannot open replay file: " << replay << "\n";
+    if (!o.socket_path.empty()) return run_socket(o);
+    if (!o.replay.empty()) {
+      const int fd = open(o.replay.c_str(), O_RDONLY | O_CLOEXEC);
+      if (fd < 0) {
+        std::cerr << "cannot open replay file: " << o.replay << "\n";
         return 1;
       }
-      return serve_stream(in, std::cout, quiet);
+      const int rc = run_single(fd, o);
+      close(fd);
+      return rc;
     }
-    return serve_stream(std::cin, std::cout, quiet);
+    return run_single(STDIN_FILENO, o);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

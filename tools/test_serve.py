@@ -16,9 +16,13 @@ Run with the binary path as the only argument:
 """
 import json
 import os
+import signal
+import socket
 import subprocess
 import sys
 import tempfile
+import threading
+import time
 
 
 def run(binary, *args, stdin=""):
@@ -256,6 +260,287 @@ def main():
     resps = parse_lines(proc.stdout)
     expect(resps[1]["ok"], "close-known", str(resps[1]))
     expect(not resps[2]["ok"], "close-unknown", str(resps[2]))
+
+    # --- hostile input: oversized lines are per-line errors, the stream
+    # survives, and a final line without a newline is still served --------
+    long_pad = "x" * 300
+    hostile_stream = "\n".join(
+        [
+            '{"id":1,"op":"mop","generate":"grid-bpr"}',
+            '{"id":2,"op":"mop","generate":"grid-bpr","instance":"'
+            + long_pad
+            + '"}',
+            "\x00\x01\x02 binary garbage \xff",
+            '{"id":4,"op":"mop","generate":"grid-bpr"}',
+        ]
+    )
+    proc = run(binary, "--max-line-bytes", "128", stdin=hostile_stream)
+    expect(proc.returncode == 2, "oversize-exit", f"exit {proc.returncode}")
+    resps = parse_lines(proc.stdout)
+    expect(len(resps) == 4, "oversize-count", f"{len(resps)} responses")
+    expect(resps[0]["ok"], "oversize-first-ok", str(resps[0]))
+    expect(
+        not resps[1]["ok"]
+        and "line 2:" in resps[1].get("error", "")
+        and "exceeds 128 bytes" in resps[1].get("error", ""),
+        "oversize-typed",
+        str(resps[1]),
+    )
+    expect(
+        not resps[2]["ok"] and "line 3:" in resps[2].get("error", ""),
+        "oversize-garbage-line",
+        str(resps[2]),
+    )
+    expect(resps[3]["ok"], "oversize-stream-survives", str(resps[3]))
+
+    # Mid-line EOF: a final request without a trailing newline is served.
+    proc = run(binary, stdin='{"id":9,"op":"mop","generate":"grid-bpr"}')
+    resps = parse_lines(proc.stdout)
+    expect(
+        proc.returncode == 0 and len(resps) == 1 and resps[0]["id"] == 9,
+        "midline-eof",
+        f"exit {proc.returncode}, {len(resps)} responses",
+    )
+
+    # --- byte budgets: responses carry "bytes", summary reports memory ----
+    proc = run(
+        binary,
+        "--table-budget-mb",
+        "64",
+        "--session-budget-mb",
+        "64",
+        stdin=ramp,
+    )
+    expect(proc.returncode == 0, "budget-exit", f"exit {proc.returncode}")
+    resps = parse_lines(proc.stdout)
+    expect(
+        all("bytes" in r and r["bytes"] > 0 for r in resps),
+        "budget-bytes-field",
+        proc.stdout,
+    )
+    expect("memory: table cache" in proc.stderr, "budget-memory-line",
+           proc.stderr[:400])
+    expect("admission:" in proc.stderr, "budget-admission-line",
+           proc.stderr[:400])
+
+    # --- graceful shutdown: SIGINT drains in-flight work, refuses later
+    # lines with typed errors, and still flushes the summary ---------------
+    proc = subprocess.Popen(
+        [binary],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        for i in range(2):
+            proc.stdin.write(
+                json.dumps(
+                    {"id": i, "op": "mop", "generate": "grid-bpr",
+                     "session": 1, "demand": 1.0 + 0.1 * i}
+                )
+                + "\n"
+            )
+        proc.stdin.flush()
+        time.sleep(0.5)  # let both solves finish
+        proc.send_signal(signal.SIGINT)
+        time.sleep(0.3)  # let the reader notice and begin shutdown
+        for i in (90, 91):
+            proc.stdin.write(
+                json.dumps({"id": i, "op": "mop", "generate": "grid-bpr"})
+                + "\n"
+            )
+        proc.stdin.flush()
+        proc.stdin.close()
+        out = proc.stdout.read()
+        err = proc.stderr.read()
+        proc.wait(timeout=60)
+    except Exception as e:  # noqa: BLE001 - any wedge is the failure
+        proc.kill()
+        out = err = ""
+        expect(False, "shutdown-wedged", repr(e))
+    resps = parse_lines(out)
+    expect(len(resps) == 4, "shutdown-count", f"{len(resps)} responses")
+    expect(
+        all(r["ok"] for r in resps[:2]),
+        "shutdown-drains-inflight",
+        out,
+    )
+    refusals = [r for r in resps[2:] if not r.get("ok")]
+    expect(
+        len(refusals) == 2
+        and all(r.get("status") == "overloaded" for r in refusals)
+        and all("shutting down" in r.get("error", "") for r in refusals),
+        "shutdown-typed-refusals",
+        out,
+    )
+    expect("admission:" in err and "2 refused" in err,
+           "shutdown-summary-flushed", err[:400])
+    expect(proc.returncode == 2, "shutdown-exit", f"exit {proc.returncode}")
+
+    # --- socket mode: concurrent clients, shed under overload, and a
+    # client that disconnects with work pending ----------------------------
+    sock_dir = tempfile.mkdtemp()
+    sock_path = os.path.join(sock_dir, "serve.sock")
+
+    def start_server(*extra):
+        p = subprocess.Popen(
+            [binary, "--socket", sock_path, *extra],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        deadline = time.time() + 10
+        while time.time() < deadline:
+            if os.path.exists(sock_path):
+                try:
+                    probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                    probe.connect(sock_path)
+                    probe.close()
+                    return p
+                except OSError:
+                    pass
+            time.sleep(0.05)
+        p.kill()
+        raise RuntimeError("server socket never came up")
+
+    def stop_server(p):
+        p.send_signal(signal.SIGINT)
+        try:
+            return p.communicate(timeout=60)
+        except subprocess.TimeoutExpired:
+            p.kill()
+            out, err = p.communicate()
+            expect(False, "socket-shutdown-wedged", err[:400])
+            return out, err
+
+    def socket_session(lines):
+        """Sends all lines, half-closes, reads every response to EOF."""
+        s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        s.connect(sock_path)
+        payload = ("".join(ln + "\n" for ln in lines)).encode()
+        s.sendall(payload)
+        s.shutdown(socket.SHUT_WR)
+        buf = b""
+        while True:
+            chunk = s.recv(65536)
+            if not chunk:
+                break
+            buf += chunk
+        s.close()
+        return [json.loads(ln) for ln in buf.decode().splitlines() if ln]
+
+    # Concurrent well-behaved clients: every request answered ok, warm
+    # chains independent per client.
+    server = start_server("--workers", "2")
+    client_resps = {}
+
+    def client_task(k):
+        lines = [
+            json.dumps(
+                {"id": k * 100 + i, "op": "mop", "generate": "grid-bpr",
+                 "session": 1, "demand": 1.0 + 0.1 * i}
+            )
+            for i in range(4)
+        ]
+        client_resps[k] = socket_session(lines)
+
+    threads = [
+        threading.Thread(target=client_task, args=(k,)) for k in range(3)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    for k in range(3):
+        resps = client_resps.get(k, [])
+        expect(len(resps) == 4, f"socket-client{k}-count", str(resps))
+        expect(
+            all(r.get("ok") for r in resps),
+            f"socket-client{k}-ok",
+            str(resps),
+        )
+        got_ids = [r["id"] for r in resps]
+        expect(
+            got_ids == [k * 100 + i for i in range(4)],
+            f"socket-client{k}-order",
+            str(got_ids),
+        )
+
+    # Disconnect with pending work: dump requests and slam the socket shut.
+    # The server must survive and keep serving others.
+    s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    s.connect(sock_path)
+    burst = "".join(
+        json.dumps(
+            {"id": i, "op": "mop", "generate": "grid-bpr", "session": 1,
+             "demand": 1.0 + 0.01 * i}
+        )
+        + "\n"
+        for i in range(20)
+    )
+    s.sendall(burst.encode())
+    s.close()  # no SHUT_WR handshake, no reads: an abrupt disconnect
+    survivor = socket_session(
+        ['{"id":7,"op":"mop","generate":"grid-bpr"}']
+    )
+    expect(
+        len(survivor) == 1 and survivor[0]["ok"],
+        "socket-survives-disconnect",
+        str(survivor),
+    )
+    out, err = stop_server(server)
+    expect("serve:" in err and "admission:" in err,
+           "socket-summary", err[:400])
+
+    # Saturation: many clients against a tiny queue — typed sheds, every
+    # line answered, no crash.
+    server = start_server(
+        "--workers", "2", "--max-queue", "4", "--max-client-queue", "2"
+    )
+    sat_resps = {}
+
+    def sat_task(k):
+        lines = [
+            json.dumps(
+                {"id": k * 1000 + i, "op": "equilibrium",
+                 "generate": "grid-bpr", "demand": 1.0 + 0.01 * i}
+            )
+            for i in range(30)
+        ]
+        sat_resps[k] = socket_session(lines)
+
+    threads = [
+        threading.Thread(target=sat_task, args=(k,)) for k in range(8)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    total = sum(len(v) for v in sat_resps.values())
+    expect(total == 8 * 30, "saturation-no-lost", f"{total} responses")
+    shed = [
+        r
+        for v in sat_resps.values()
+        for r in v
+        if not r.get("ok") and r.get("status") == "overloaded"
+    ]
+    served_ok = [r for v in sat_resps.values() for r in v if r.get("ok")]
+    expect(shed, "saturation-sheds-typed", "no typed sheds under 8x load")
+    expect(served_ok, "saturation-some-served", "nothing served at all")
+    expect(
+        all(
+            r.get("ok") or r.get("status") == "overloaded"
+            for v in sat_resps.values()
+            for r in v
+        ),
+        "saturation-all-typed",
+        "untyped failure under load",
+    )
+    out, err = stop_server(server)
+    expect(server.returncode == 2, "saturation-exit",
+           f"exit {server.returncode}")
+    expect("shed" in err, "saturation-summary", err[:400])
 
     if failures:
         print("FAIL:\n" + "\n".join(failures))
