@@ -12,7 +12,6 @@
 
 #include "stackroute/engine/footprint.h"
 #include "stackroute/obs/timing.h"
-#include "stackroute/solver/frank_wolfe.h"
 #include "stackroute/util/error.h"
 #include "stackroute/util/parallel.h"
 
@@ -186,32 +185,6 @@ std::vector<LatencyPtr> instance_latencies(const Instance& inst) {
   return std::get<NetworkInstance>(inst).graph.latencies();
 }
 
-/// True when the session's converged FW flow may seed this instance's FW
-/// solve: frank_wolfe's warm start rescales by the total-demand ratio,
-/// which is feasible only when every commodity's demand scaled by that
-/// same ratio (see frank_wolfe.h's precondition). Proportionality is
-/// tested against the demand snapshot taken when the seed was stored —
-/// prev_instance is overwritten by *every* request (including non-FW ones
-/// whose demands this test never saw), so comparing against it would
-/// accept a stale seed after any intervening demand-split change.
-bool fw_seed_usable(const SolveSession& s, const NetworkInstance& inst) {
-  if (s.fw_flow.size() !=
-      static_cast<std::size_t>(inst.graph.num_edges())) {
-    return false;
-  }
-  if (!(s.fw_demand > 0.0)) return false;
-  if (s.fw_demands.size() != inst.commodities.size()) return false;
-  const double ratio = inst.total_demand() / s.fw_demand;
-  for (std::size_t i = 0; i < inst.commodities.size(); ++i) {
-    const double want = s.fw_demands[i] * ratio;
-    const double got = inst.commodities[i].demand;
-    if (std::abs(got - want) > 1e-12 * std::max(1.0, std::abs(got))) {
-      return false;
-    }
-  }
-  return true;
-}
-
 /// Serializes nested solver parallelism exactly the way SweepRunner does,
 /// so engine responses are bitwise identical at any thread count: inside a
 /// sharded batch the inner OpenMP regions are nested (and collapse to one
@@ -348,31 +321,11 @@ SolveResponse Engine::solve_on(SolveSession* session,
         if (eval.is_parallel()) {
           const LinkAssignment& a = eval.parallel_nash();
           resp.cost = cost(eval.links(), a.flows);
-        } else if (req.method == EquilibriumMethod::kFrankWolfe) {
-          FrankWolfeOptions opts;
-          opts.budget = budget.armed();
-          const NetworkInstance& net = eval.network();
-          FrankWolfeResult fw;
-          if (session != nullptr && eval.warm() &&
-              fw_seed_usable(*session, net)) {
-            fw = frank_wolfe(net, FlowObjective::kBeckmann, {}, opts,
-                             eval.ws(), session->fw_flow,
-                             session->fw_demand);
-          } else {
-            fw = frank_wolfe(net, FlowObjective::kBeckmann, {}, opts,
-                             eval.ws());
-          }
-          eval.absorb(fw.status);
-          resp.cost = cost(net, fw.edge_flow);
-          if (session != nullptr) {
-            session->fw_flow = std::move(fw.edge_flow);
-            session->fw_demand = net.total_demand();
-            session->fw_demands.clear();
-            for (const Commodity& c : net.commodities) {
-              session->fw_demands.push_back(c.demand);
-            }
-          }
         } else {
+          // The backend seam: every network equilibrium — pe, fw, bush —
+          // funnels through the dispatcher, and the session's tagged warm
+          // state carries whichever payload the backend produces.
+          eval.set_backend(req.backend);
           resp.cost = eval.network_nash().cost;
         }
         break;

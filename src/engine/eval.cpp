@@ -13,13 +13,10 @@ namespace stackroute::engine {
 
 void SolveSession::reset_warm() {
   has_prev = false;
-  nash = {};
+  equilibrium.clear();
   mop = {};
   optop = {};
   strategy = {};
-  fw_flow.clear();
-  fw_demands.clear();
-  fw_demand = std::numeric_limits<double>::quiet_NaN();
   nash_level = std::numeric_limits<double>::quiet_NaN();
   opt_level = std::numeric_limits<double>::quiet_NaN();
 }
@@ -30,8 +27,7 @@ void SolveSession::shed_memory() {
   // what actually returns the bytes to the allocator.
   ws = SolverWorkspace{};
   prev_instance = Instance{};
-  std::vector<double>().swap(fw_flow);
-  std::vector<double>().swap(fw_demands);
+  equilibrium = EquilibriumWarmState{};
 }
 
 Evaluation::Evaluation(const Instance& instance, SolveSession* session,
@@ -127,13 +123,17 @@ const MopResult& Evaluation::mop_result() {
 
 const NetworkAssignment& Evaluation::network_nash() {
   if (!net_nash_) {
-    AssignmentOptions opts;
-    opts.budget = budget_;
+    // Backend-dispatched (see solver/backend.h): the session's tagged warm
+    // state seeds the solve and receives the converged payload back; the
+    // default backend takes exactly the legacy assign_traffic path.
+    EquilibriumRequest req;
+    req.backend = backend_;
+    req.budget = budget_;
     if (session_ != nullptr) {
-      net_nash_ = solve_nash(network(), opts, session_->ws, session_->nash);
-      publish(session_->nash, *net_nash_, network());
+      net_nash_ = solve_nash(network(), req, session_->ws,
+                             &session_->equilibrium, &session_->equilibrium);
     } else {
-      net_nash_ = solve_nash(network(), opts, ws());
+      net_nash_ = solve_nash(network(), req, ws(), nullptr, nullptr);
     }
     absorb(net_nash_->status);
   }

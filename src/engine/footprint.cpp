@@ -69,13 +69,18 @@ std::size_t footprint_bytes(const OpTopWarmStart& warm) {
   return vec_bytes(warm.round_levels);
 }
 
+std::size_t footprint_bytes(const EquilibriumWarmState& warm) {
+  return footprint_bytes(warm.paths) + vec_bytes(warm.fw_flow) +
+         vec_bytes(warm.fw_demands) + warm.bush.footprint_bytes();
+}
+
 std::size_t footprint_bytes(const SolveSession& session) {
   std::size_t bytes = sizeof(session) - sizeof(SolverWorkspace) +
-                      footprint_bytes(session.ws) + footprint_bytes(session.nash) +
+                      footprint_bytes(session.ws) +
+                      footprint_bytes(session.equilibrium) +
                       footprint_bytes(session.mop) + footprint_bytes(session.optop) +
                       footprint_bytes(session.strategy.scale_induced) +
-                      footprint_bytes(session.strategy.llf_induced) +
-                      vec_bytes(session.fw_flow) + vec_bytes(session.fw_demands);
+                      footprint_bytes(session.strategy.llf_induced);
   // The anchor instance holds memory even after reset_warm flips has_prev
   // off (the payload is dropped, the buffers may not be) — count what is
   // actually retained.

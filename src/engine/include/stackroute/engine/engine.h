@@ -47,7 +47,7 @@
 namespace stackroute::engine {
 
 enum class RequestKind {
-  kEquilibrium,  // Nash: water-filling / path equilibration / FW
+  kEquilibrium,  // Nash: water-filling / any registered network backend
   kOptimum,      // system optimum
   kMop,          // the paper's MOP: beta + optimal Stackelberg strategy
   kStrategy,     // baseline strategy (Aloof/SCALE/LLF) at a given alpha
@@ -58,19 +58,17 @@ enum class RequestKind {
 const char* to_string(RequestKind kind);
 RequestKind parse_request_kind(const std::string& name);
 
-enum class EquilibriumMethod {
-  kPathEqualization,  // assign_traffic path equilibration (default)
-  kFrankWolfe,        // FW on the Beckmann objective
-};
-
 struct SolveRequest {
   RequestKind kind = RequestKind::kEquilibrium;
   Instance instance;
   /// Leader fraction for kStrategy (SCALE/LLF read it; Aloof ignores it).
   double alpha = std::numeric_limits<double>::quiet_NaN();
   StrategyKind strategy = StrategyKind::kAloof;
-  /// Network equilibrium solver choice (parallel links always water-fill).
-  EquilibriumMethod method = EquilibriumMethod::kPathEqualization;
+  /// Network equilibrium backend for kEquilibrium (see solver/backend.h;
+  /// parallel links always water-fill). Warm chaining is backend-tagged:
+  /// consecutive requests on one session warm-start each other only while
+  /// they keep naming the same backend.
+  EquilibriumBackend backend = EquilibriumBackend::kPathEqualization;
   /// Optional per-request budget; when inactive the engine's default
   /// applies. Armed per request — the deadline starts when the solve does.
   SolveBudget budget;

@@ -51,6 +51,12 @@ class Evaluation {
   /// solve; an inactive budget changes nothing.
   void set_budget(const SolveBudget& budget) { budget_ = budget.armed(); }
 
+  /// Selects the equilibrium backend network_nash() dispatches through
+  /// (see solver/backend.h; the default is the legacy path-equalization
+  /// solve). Call before the first solve — the session's warm payload is
+  /// backend-tagged, so a mid-chain switch re-warms from cold.
+  void set_backend(EquilibriumBackend backend) { backend_ = backend; }
+
   /// Worst SolveStatus over every solve run so far. Degraded solves still
   /// produce values (from best-so-far flows); this is the honest label.
   [[nodiscard]] SolveStatus status() const { return status_; }
@@ -123,6 +129,7 @@ class Evaluation {
   SolveSession* session_ = nullptr;
   bool warm_ = false;
   SolveBudget budget_;
+  EquilibriumBackend backend_ = EquilibriumBackend::kPathEqualization;
   SolveStatus status_ = SolveStatus::kConverged;
   // Private fallback workspace for session-less evaluations (one compiled
   // kernel per evaluation; an Evaluation is confined to one thread).

@@ -17,6 +17,7 @@
 #include "stackroute/core/optop.h"
 #include "stackroute/engine/instance.h"
 #include "stackroute/network/dijkstra.h"
+#include "stackroute/solver/backend.h"
 #include "stackroute/solver/traffic_assignment.h"
 #include "stackroute/solver/workspace.h"
 
@@ -34,6 +35,7 @@ std::size_t footprint_bytes(const SolverWorkspace& ws);
 std::size_t footprint_bytes(const AssignmentWarmStart& warm);
 std::size_t footprint_bytes(const MopWarmStart& warm);
 std::size_t footprint_bytes(const OpTopWarmStart& warm);
+std::size_t footprint_bytes(const EquilibriumWarmState& warm);
 
 /// Everything a session retains between requests: workspace buffers,
 /// compiled table, warm payloads and the previous instance kept as the

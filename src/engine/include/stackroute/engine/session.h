@@ -15,6 +15,7 @@
 #include "stackroute/core/mop.h"
 #include "stackroute/core/optop.h"
 #include "stackroute/engine/instance.h"
+#include "stackroute/solver/backend.h"
 #include "stackroute/solver/workspace.h"
 
 namespace stackroute::engine {
@@ -35,21 +36,18 @@ struct SolveSession {
   /// The previous request's instance — kept alive so chain_compatible's
   /// pointer-identity test is sound (and warm_compatible has an anchor).
   Instance prev_instance;
-  AssignmentWarmStart nash;  // converged Nash decomposition
+  /// Converged equilibrium warm state, tagged by the backend that produced
+  /// it (see solver/backend.h): the path-equalization decomposition, the
+  /// Frank–Wolfe edge flow + demand snapshot, or the per-origin bushes —
+  /// whichever the last equilibrium request ran. Switching backends inside
+  /// a session clears the other backend's payload (prepare()), so a chain
+  /// that flips backends re-warms from cold instead of mis-seeding.
+  EquilibriumWarmState equilibrium;
   MopWarmStart mop;          // optimum + induced decompositions (the
                              // .optimum half also feeds plain optimum
                              // solves on non-MOP metric sets)
   OpTopWarmStart optop;      // parallel-links water-filling levels
   StrategyWarmState strategy;  // per-baseline induced payloads (α chains)
-  /// Converged Frank–Wolfe edge flow + the demands it routed — the warm
-  /// seed of chained FW equilibrium requests. `fw_demands` snapshots the
-  /// per-commodity demands at the moment the seed was stored: frank_wolfe's
-  /// proportional-split precondition (see frank_wolfe.h) must be checked
-  /// against the seed point itself, not against `prev_instance`, which
-  /// every request overwrites while the seed survives non-FW requests.
-  std::vector<double> fw_flow;
-  std::vector<double> fw_demands;
-  double fw_demand = std::numeric_limits<double>::quiet_NaN();
   /// Water-filling levels of the last plain parallel-links Nash/optimum
   /// solves — the warm seeds of chained equilibrium/optimum requests
   /// (OpTop keeps its own levels in `optop`).

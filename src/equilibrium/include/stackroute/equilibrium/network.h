@@ -7,6 +7,7 @@
 
 #include "stackroute/network/instance.h"
 #include "stackroute/network/paths.h"
+#include "stackroute/solver/backend.h"
 #include "stackroute/solver/traffic_assignment.h"
 
 namespace stackroute {
@@ -74,6 +75,25 @@ NetworkAssignment solve_induced(const NetworkInstance& inst,
                                 const AssignmentOptions& opts,
                                 SolverWorkspace& ws,
                                 const AssignmentWarmStart& warm);
+
+/// Backend-dispatched variants (see solver/backend.h): the equilibrium is
+/// solved by whichever backend `req` names, warm state flows through the
+/// backend-tagged EquilibriumWarmState (either pointer may be null, and
+/// they may alias). With the default request this is byte-for-byte the
+/// legacy path-equalization call above. `commodity_paths` is populated by
+/// the path-equalization backend only; the Wardrop checker needs it, edge
+/// costs do not.
+NetworkAssignment solve_nash(const NetworkInstance& inst,
+                             const EquilibriumRequest& req,
+                             SolverWorkspace& ws,
+                             const EquilibriumWarmState* warm_in,
+                             EquilibriumWarmState* warm_out);
+NetworkAssignment solve_induced(const NetworkInstance& inst,
+                                std::span<const double> preload,
+                                const EquilibriumRequest& req,
+                                SolverWorkspace& ws,
+                                const EquilibriumWarmState* warm_in,
+                                EquilibriumWarmState* warm_out);
 
 /// C(f) on the instance's latencies.
 double cost(const NetworkInstance& inst, std::span<const double> edge_flow);

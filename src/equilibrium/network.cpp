@@ -99,6 +99,56 @@ NetworkAssignment solve_induced(const NetworkInstance& inst,
   return out;
 }
 
+namespace {
+NetworkAssignment from_equilibrium(const NetworkInstance& inst,
+                                   EquilibriumResult&& r) {
+  NetworkAssignment out;
+  out.edge_flow = std::move(r.edge_flow);
+  out.commodity_paths = std::move(r.commodity_paths);
+  out.converged = r.converged;
+  out.status = r.status;
+  out.spread = r.spread;
+  out.cost = cost(inst, out.edge_flow);
+  return out;
+}
+}  // namespace
+
+NetworkAssignment solve_nash(const NetworkInstance& inst,
+                             const EquilibriumRequest& req,
+                             SolverWorkspace& ws,
+                             const EquilibriumWarmState* warm_in,
+                             EquilibriumWarmState* warm_out) {
+  EquilibriumRequest nash = req;
+  nash.objective = FlowObjective::kBeckmann;
+  return from_equilibrium(inst,
+                          solve_equilibrium(inst, {}, nash, ws, warm_in,
+                                            warm_out));
+}
+
+NetworkAssignment solve_induced(const NetworkInstance& inst,
+                                std::span<const double> preload,
+                                const EquilibriumRequest& req,
+                                SolverWorkspace& ws,
+                                const EquilibriumWarmState* warm_in,
+                                EquilibriumWarmState* warm_out) {
+  EquilibriumRequest nash = req;
+  nash.objective = FlowObjective::kBeckmann;
+  EquilibriumResult r =
+      solve_equilibrium(inst, preload, nash, ws, warm_in, warm_out);
+  NetworkAssignment out;
+  out.edge_flow = std::move(r.edge_flow);
+  out.commodity_paths = std::move(r.commodity_paths);
+  out.converged = r.converged;
+  out.status = r.status;
+  out.spread = r.spread;
+  // C(S+T): combined flow on the instance's own latencies.
+  SR_REQUIRE(preload.size() == out.edge_flow.size(),
+             "preload vector must have one entry per edge");
+  std::vector<double> combined = add(preload, out.edge_flow);
+  out.cost = cost(inst, combined);
+  return out;
+}
+
 double cost(const NetworkInstance& inst, std::span<const double> edge_flow) {
   const std::vector<LatencyPtr> lat = inst.graph.latencies();
   return total_cost(lat, edge_flow);

@@ -25,6 +25,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "stackroute/network/instance.h"
 
@@ -42,6 +43,10 @@ struct TntpMetadata {
   /// centroid semantics must filter paths themselves.
   int first_thru_node = 1;
   int num_zones = 0;
+  /// `<TOTAL OD FLOW>` of a `_trips.tntp` document (0 when absent).
+  /// Informational only — the reader does not reconcile it against the
+  /// summed entries, since published files round it freely.
+  double total_od_flow = 0.0;
 };
 
 /// Parses a `_net.tntp` document. The returned instance has num_nodes
@@ -53,5 +58,30 @@ NetworkInstance read_tntp_network(std::istream& is,
 /// read_tntp_network over a file's contents; throws on unreadable paths.
 NetworkInstance read_tntp_network_file(const std::string& path,
                                        TntpMetadata* metadata = nullptr);
+
+/// Parses a `_trips.tntp` demand document (the `_net.tntp` sibling in the
+/// Transportation Networks repository):
+///
+///   <NUMBER OF ZONES> 24
+///   <TOTAL OD FLOW> 360600.0
+///   <END OF METADATA>
+///   Origin  1
+///       2 :     100.0;    3 :     100.0;    4 :     500.0;
+///   Origin  2
+///       1 :     100.0;  ...
+///
+/// Returns one Commodity per origin-destination pair with positive
+/// demand, node ids converted to 0-based; repeated pairs sum. Intrazonal
+/// entries (dest == origin) and zero-demand entries are skipped, as
+/// traffic assignment does. When `<NUMBER OF ZONES>` is present, zone ids
+/// beyond it are rejected. Lines starting with `~` are comments. Throws
+/// stackroute::Error with a line number on malformed input (negative or
+/// non-finite demands, entries before any `Origin` line, bad syntax).
+std::vector<Commodity> read_tntp_trips(std::istream& is,
+                                       TntpMetadata* metadata = nullptr);
+
+/// read_tntp_trips over a file's contents; throws on unreadable paths.
+std::vector<Commodity> read_tntp_trips_file(const std::string& path,
+                                            TntpMetadata* metadata = nullptr);
 
 }  // namespace stackroute

@@ -175,4 +175,133 @@ NetworkInstance read_tntp_network_file(const std::string& path,
   return read_tntp_network(in, metadata);
 }
 
+namespace {
+
+double parse_double_value(const std::string& value, const std::string& tag,
+                          int line_no) {
+  std::istringstream is(value);
+  is.imbue(std::locale::classic());
+  double out = 0.0;
+  if (!(is >> out) || !std::isfinite(out)) {
+    fail_at(line_no, "metadata tag <" + tag + "> needs a finite number");
+  }
+  return out;
+}
+
+/// Zone id of an `Origin N` line or a destination entry: 1-based, bounded
+/// by <NUMBER OF ZONES> when the document declares it.
+int check_zone(long long zone, int num_zones, int line_no) {
+  if (zone < 1) fail_at(line_no, "zone ids are 1-based");
+  if (num_zones > 0 && zone > num_zones) {
+    fail_at(line_no, "zone id " + std::to_string(zone) + " exceeds "
+                     "<NUMBER OF ZONES> " + std::to_string(num_zones));
+  }
+  return static_cast<int>(zone);
+}
+
+}  // namespace
+
+std::vector<Commodity> read_tntp_trips(std::istream& is,
+                                       TntpMetadata* metadata) {
+  TntpMetadata meta;
+  // (origin-1, dest-1) -> summed demand, in first-appearance order so the
+  // commodity list is a stable function of the document.
+  std::vector<Commodity> commodities;
+  std::string line;
+  int line_no = 0;
+  bool in_metadata = true;
+  int origin = 0;  // 1-based; 0 = no Origin line seen yet
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto pos = line.find_first_not_of(" \t\r");
+    if (pos == std::string::npos) continue;
+    if (line[pos] == '~') continue;
+
+    if (in_metadata && line[pos] == '<') {
+      std::string tag, value;
+      if (!parse_metadata_tag(line, tag, value)) {
+        fail_at(line_no, "malformed metadata tag");
+      }
+      if (tag == "END OF METADATA") {
+        in_metadata = false;
+      } else if (tag == "NUMBER OF ZONES") {
+        meta.num_zones = parse_int_value(value, tag, line_no);
+        if (meta.num_zones <= 0) fail_at(line_no, "non-positive zone count");
+      } else if (tag == "TOTAL OD FLOW") {
+        meta.total_od_flow = parse_double_value(value, tag, line_no);
+      }
+      continue;
+    }
+    if (in_metadata) fail_at(line_no, "trip row before <END OF METADATA>");
+
+    if (line.compare(pos, 6, "Origin") == 0) {
+      std::istringstream row(line.substr(pos + 6));
+      row.imbue(std::locale::classic());
+      long long zone = 0;
+      std::string extra;
+      if (!(row >> zone) || (row >> extra)) {
+        fail_at(line_no, "expected 'Origin N'");
+      }
+      origin = check_zone(zone, meta.num_zones, line_no);
+      continue;
+    }
+    if (origin == 0) {
+      fail_at(line_no, "destination entry before any 'Origin' line");
+    }
+
+    // `dest : flow ; dest : flow ; ...` — a trailing `;` (and hence a
+    // blank final segment) is the format's convention, not an error.
+    std::istringstream row(line);
+    row.imbue(std::locale::classic());
+    std::string entry;
+    while (std::getline(row, entry, ';')) {
+      if (entry.find_first_not_of(" \t\r") == std::string::npos) continue;
+      std::istringstream e(entry);
+      e.imbue(std::locale::classic());
+      long long dest = 0;
+      char colon = '\0';
+      double flow = 0.0;
+      std::string extra;
+      if (!(e >> dest >> colon >> flow) || colon != ':' || (e >> extra)) {
+        fail_at(line_no, "expected 'dest : flow;' entries, got '" + entry +
+                         "'");
+      }
+      check_zone(dest, meta.num_zones, line_no);
+      if (!std::isfinite(flow) || flow < 0.0) {
+        fail_at(line_no, "trip demand must be finite and >= 0");
+      }
+      if (flow == 0.0 || dest == origin) continue;  // intrazonal / empty
+      const auto s = static_cast<NodeId>(origin - 1);
+      const auto t = static_cast<NodeId>(dest - 1);
+      bool merged = false;
+      for (Commodity& c : commodities) {
+        if (c.source == s && c.sink == t) {
+          c.demand += flow;
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) commodities.push_back(Commodity{s, t, flow});
+    }
+  }
+
+  if (is.bad()) {
+    fail_at(line_no, "stream I/O error while reading TNTP trips "
+                     "(truncated read?)");
+  }
+  SR_REQUIRE(!in_metadata, "TNTP trips document has no <END OF METADATA>");
+  SR_REQUIRE(!commodities.empty(),
+             "TNTP trips document has no positive interzonal demand");
+  if (metadata != nullptr) *metadata = meta;
+  return commodities;
+}
+
+std::vector<Commodity> read_tntp_trips_file(const std::string& path,
+                                            TntpMetadata* metadata) {
+  std::ifstream in(path);
+  SR_REQUIRE(in.good(), "cannot open TNTP trips file: " + path);
+  return read_tntp_trips(in, metadata);
+}
+
 }  // namespace stackroute

@@ -55,7 +55,11 @@ namespace stackroute::obs {
   X(chain_resets, "sweep chains dropped warm state (topology break or task "  \
                   "failure)")                                                 \
   X(task_retries, "sweep tasks re-attempted cold after a failed attempt "     \
-                  "(RetryPolicy)")
+                  "(RetryPolicy)")                                             \
+  X(bush_shifts, "bush Newton flow shifts (one max-to-min path segment "       \
+                 "move)")                                                      \
+  X(bush_rebuilds, "bush edge-set updates (drop/add passes that changed an "   \
+                   "origin bush)")
 
 /// One counter per kind of solver work; all start at zero.
 struct SolveCounters {

@@ -314,7 +314,8 @@ std::string FrontEnd::process(Client& c, const Item& item, bool* is_error,
   }
   std::uint64_t id = 0;
   try {
-    ParsedLine p = parse_line(item.text, prototypes_, &id);
+    ParsedLine p =
+        parse_line(item.text, prototypes_, &id, opts_.default_backend);
     if (p.op == ParsedLine::Op::kClose) {
       const auto sit = c.sessions.find(p.client_session);
       const bool known = sit != c.sessions.end();

@@ -72,6 +72,9 @@ struct FrontEndOptions {
   std::size_t prototype_cache_capacity = 64;
   /// Append "bytes" (engine resident bytes) to ok responses.
   bool show_bytes = false;
+  /// Backend for requests that set neither "backend" nor "method" — the
+  /// server's --backend flag (see solver/backend.h).
+  EquilibriumBackend default_backend = EquilibriumBackend::kPathEqualization;
 };
 
 struct FrontEndStats {

@@ -65,8 +65,12 @@ struct ParsedLine {
 /// field (message has no "line N:" prefix — the transport adds it). When
 /// `id_seen` is non-null it is updated as soon as the id field parses, so
 /// a later failure can still be answered under the client's id.
-ParsedLine parse_line(const std::string& text, PrototypeCache& prototypes,
-                      std::uint64_t* id_seen);
+/// `default_backend` is what solves run on when the request carries
+/// neither "backend" nor "method" — the server's --backend flag.
+ParsedLine parse_line(
+    const std::string& text, PrototypeCache& prototypes,
+    std::uint64_t* id_seen,
+    EquilibriumBackend default_backend = EquilibriumBackend::kPathEqualization);
 
 /// Formats a solve response. Non-finite numeric fields are omitted, not
 /// serialized: NaN means "not computed", and a degraded solve can leave

@@ -25,15 +25,12 @@ engine::StrategyKind parse_strategy(const std::string& name) {
               "' (expected aloof, scale or llf)");
 }
 
-engine::EquilibriumMethod parse_method(const std::string& name) {
-  using engine::EquilibriumMethod;
-  if (name == "pe" || name == "path") {
-    return EquilibriumMethod::kPathEqualization;
-  }
-  if (name == "fw" || name == "frank-wolfe") {
-    return EquilibriumMethod::kFrankWolfe;
-  }
-  throw Error("unknown method '" + name + "' (expected pe or fw)");
+EquilibriumBackend parse_backend_field(const std::string& name) {
+  // "path" predates the backend registry ("method":"path" in old clients);
+  // everything else — pe/fw/bush and their long aliases — is the
+  // registry's own parse, so new backends need no transport change.
+  if (name == "path") return EquilibriumBackend::kPathEqualization;
+  return parse_equilibrium_backend(name);
 }
 
 /// Field accessors that throw with the field name in the message, so the
@@ -124,7 +121,7 @@ std::string source_key(const JsonValue& req) {
 const char* const kKnownKeys[] = {
     "op",     "id",       "session",  "instance_file", "generate",
     "size",   "gen_seed", "instance", "demand",        "alpha",
-    "strategy", "method", "deadline_ms", "max_iters",
+    "strategy", "method", "backend", "deadline_ms", "max_iters",
 };
 
 void reject_unknown_keys(const JsonValue& req) {
@@ -167,7 +164,8 @@ engine::Instance PrototypeCache::get(const JsonValue& request) {
 }
 
 ParsedLine parse_line(const std::string& text, PrototypeCache& prototypes,
-                      std::uint64_t* id_seen) {
+                      std::uint64_t* id_seen,
+                      EquilibriumBackend default_backend) {
   ParsedLine out;
   JsonValue req;
   try {
@@ -208,8 +206,23 @@ ParsedLine parse_line(const std::string& text, PrototypeCache& prototypes,
   if (const JsonValue* v = req.find("strategy")) {
     out.solve.strategy = parse_strategy(string_field(*v, "strategy"));
   }
+  // "backend" is the canonical field; "method" is its pre-registry spelling
+  // (kept for old clients). When a request carries both, backend wins;
+  // when it carries neither, the server's configured default applies.
+  out.solve.backend = default_backend;
   if (const JsonValue* v = req.find("method")) {
-    out.solve.method = parse_method(string_field(*v, "method"));
+    try {
+      out.solve.backend = parse_backend_field(string_field(*v, "method"));
+    } catch (const Error& e) {
+      throw Error(std::string("field 'method': ") + e.what());
+    }
+  }
+  if (const JsonValue* v = req.find("backend")) {
+    try {
+      out.solve.backend = parse_backend_field(string_field(*v, "backend"));
+    } catch (const Error& e) {
+      throw Error(std::string("field 'backend': ") + e.what());
+    }
   }
   if (const JsonValue* v = req.find("deadline_ms")) {
     out.solve.budget.deadline_ms = number_field(*v, "deadline_ms");

@@ -1,0 +1,129 @@
+// The pluggable equilibrium-backend seam.
+//
+// Every layer that needs a Wardrop equilibrium — equilibrium/'s
+// solve_nash, the engine's typed batch requests, sweep scenarios, the
+// serve protocol — now names a backend from the registry below instead of
+// a solver function, and funnels through solve_equilibrium(). The three
+// backends minimize the same convex program and agree on the equilibrium
+// cost to their tolerances; they differ in what they return and where they
+// are fast:
+//
+//   kPathEqualization  explicit path decomposition per commodity (what MOP
+//                      and the Wardrop checker need); linear convergence;
+//                      the default — golden sweep tables are frozen on it.
+//   kFrankWolfe        edge flows only; O(1/k) — cheap loose gaps, stalls
+//                      at tight ones; kept as cross-check and baseline.
+//   kBush              edge flows via per-origin acyclic bushes (Dial's
+//                      Algorithm B style); reaches 1e-10-and-below gaps on
+//                      city-scale TNTP networks where FW stalls.
+//
+// Warm state is backend-tagged: a session or sweep chain that switches
+// backend drops the other backend's payload instead of feeding, say, FW
+// edge flows to a bush solve (EquilibriumWarmState::prepare).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stackroute/network/instance.h"
+#include "stackroute/solver/bush.h"
+#include "stackroute/solver/frank_wolfe.h"
+#include "stackroute/solver/traffic_assignment.h"
+
+namespace stackroute {
+
+enum class EquilibriumBackend : std::uint8_t {
+  kPathEqualization = 0,
+  kFrankWolfe = 1,
+  kBush = 2,
+};
+
+/// Canonical short name ("pe", "fw", "bush") — what tables, the CLI and
+/// the serve protocol print.
+const char* to_string(EquilibriumBackend backend) noexcept;
+
+/// All registered backends, in enum order.
+std::span<const EquilibriumBackend> equilibrium_backends() noexcept;
+
+/// The canonical names joined for usage/error text: "pe, fw or bush".
+const char* equilibrium_backend_names() noexcept;
+
+/// Parses a canonical name or its long alias ("path-equalization",
+/// "frank-wolfe"); throws stackroute::Error naming the accepted values on
+/// anything else.
+EquilibriumBackend parse_equilibrium_backend(std::string_view name);
+
+/// One equilibrium solve, backend-agnostically: which backend, which
+/// convex program, the Leader's preload, per-backend knobs, one shared
+/// budget.
+struct EquilibriumRequest {
+  EquilibriumBackend backend = EquilibriumBackend::kPathEqualization;
+  FlowObjective objective = FlowObjective::kBeckmann;
+  /// Knobs of the backend that runs; the others are ignored.
+  AssignmentOptions assignment;
+  FrankWolfeOptions frank_wolfe;
+  BushOptions bush;
+  /// When active, overrides the chosen backend's own opts.budget — the
+  /// engine/sweep layers set deadlines here once, backend-independently.
+  SolveBudget budget;
+};
+
+/// The uniform result: edge flows plus the honest quality bound in the
+/// backend's native metric (spread for path equalization, relative gap
+/// for FW/bush; the unused one keeps its zero/NaN default).
+struct EquilibriumResult {
+  std::vector<double> edge_flow;
+  /// Path decomposition — kPathEqualization only (empty otherwise).
+  std::vector<std::vector<PathFlow>> commodity_paths;
+  double objective = 0.0;
+  double spread = 0.0;
+  double rel_gap = 0.0;
+  int iterations = 0;
+  bool converged = false;
+  SolveStatus status = SolveStatus::kConverged;
+  obs::SolveCounters counters;
+};
+
+/// Backend-tagged warm payload for chained solves. Exactly one payload is
+/// meaningful at a time — the one matching `backend`; prepare() enforces
+/// that on every backend switch.
+struct EquilibriumWarmState {
+  EquilibriumBackend backend = EquilibriumBackend::kPathEqualization;
+  /// kPathEqualization: converged path decomposition + demand snapshot.
+  AssignmentWarmStart paths;
+  /// kFrankWolfe: converged edge flow + the demands it routed (the
+  /// proportionality certificate frank_wolfe's projection needs).
+  std::vector<double> fw_flow;
+  std::vector<double> fw_demands;
+  double fw_demand = 0.0;
+  /// kBush: the per-origin bushes.
+  BushWarmState bush;
+
+  [[nodiscard]] bool empty() const {
+    return paths.empty() && fw_flow.empty() && bush.empty();
+  }
+  /// Drops every payload (shrinking nothing; buffers are reused).
+  void clear();
+  /// Retags for `next`, clearing all payloads on a backend switch — stale
+  /// cross-backend state never seeds a solve.
+  void prepare(EquilibriumBackend next);
+};
+
+/// Solves the requested program with the requested backend, seeding from
+/// `warm_in` when its tag and payload fit (see each backend's warm
+/// contract) and, when `warm_out` is non-null, publishing the converged
+/// state back for the next solve in the chain. `warm_in` and `warm_out`
+/// may alias. With the default backend and an untagged/empty request this
+/// is byte-for-byte the legacy assign_traffic call — the frozen sweep
+/// tables rely on that.
+EquilibriumResult solve_equilibrium(const NetworkInstance& inst,
+                                    std::span<const double> preload,
+                                    const EquilibriumRequest& req,
+                                    SolverWorkspace& ws,
+                                    const EquilibriumWarmState* warm_in,
+                                    EquilibriumWarmState* warm_out);
+
+}  // namespace stackroute

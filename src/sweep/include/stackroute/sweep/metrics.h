@@ -80,6 +80,13 @@ class TaskEval {
   /// first metric; an inactive budget changes nothing.
   void set_budget(const SolveBudget& budget) { eval_.set_budget(budget); }
 
+  /// Selects the equilibrium backend for this task's network Nash solves
+  /// (see solver/backend.h). The runner applies ScenarioSpec::backend here
+  /// before the first metric; warm chains are keyed per backend (the
+  /// session payload is backend-tagged), so mixing backends across tasks
+  /// re-warms from cold instead of mis-seeding.
+  void set_backend(EquilibriumBackend backend) { eval_.set_backend(backend); }
+
   /// Worst SolveStatus over every solve this task has run so far — what
   /// the runner records in TaskRecord::status. Degraded solves still
   /// produce metric values (from best-so-far flows); this is the honest

@@ -32,6 +32,10 @@ struct ScenarioSpec {
   std::vector<Metric> metrics;
   /// Root of the per-task seed derivation (see header comment).
   std::uint64_t base_seed = 1;
+  /// Equilibrium backend every task's Nash solves dispatch through (see
+  /// solver/backend.h; the CLI's --backend flag sets it). The default is
+  /// the legacy path-equalization solver — golden tables are frozen on it.
+  EquilibriumBackend backend = EquilibriumBackend::kPathEqualization;
   /// Grid axis along which adjacent tasks form warm-start chains (see
   /// runner.h); typically "demand". Empty — or naming an axis the grid
   /// lacks — means every task is its own cold chain. Declaring a warm axis

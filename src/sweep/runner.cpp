@@ -384,6 +384,7 @@ SweepResult SweepRunner::run(const ScenarioSpec& spec,
               TaskEval eval(rec.point, instance,
                             layout.active ? &ctx : nullptr);
               eval.set_budget(opts_.budget);
+              eval.set_backend(spec.backend);
               rec.metrics.clear();
               rec.metrics.reserve(spec.metrics.size());
               for (std::size_t k = 0; k < spec.metrics.size(); ++k) {

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -69,14 +70,28 @@ std::string locate_data_file(const std::string& relative_path) {
 
 Instance load_instance_file(const std::string& path) {
   if (has_suffix(path, ".tntp")) {
-    // `_net.tntp` carries no demands: attach a unit single commodity
-    // across the network (first node -> last node) so the file is
-    // sweepable; a "demand" axis rescales it like any other instance.
     NetworkInstance net = read_tntp_network_file(path);
     SR_REQUIRE(net.graph.num_nodes() >= 2,
                "TNTP network too small to route: " + path);
-    net.commodities.push_back(
-        Commodity{0, static_cast<NodeId>(net.graph.num_nodes() - 1), 1.0});
+    // `_net.tntp` carries no demands. A sibling `X_trips.tntp` (the
+    // Transportation Networks convention) supplies the real OD matrix;
+    // without one, attach a unit single commodity across the network
+    // (first node -> last node) so the file is still sweepable. Either
+    // way a "demand" axis rescales the result like any other instance.
+    bool have_trips = false;
+    if (has_suffix(path, "_net.tntp")) {
+      const std::string trips_path =
+          path.substr(0, path.size() - std::strlen("_net.tntp")) +
+          "_trips.tntp";
+      if (std::ifstream probe(trips_path); probe.good()) {
+        net.commodities = read_tntp_trips_file(trips_path);
+        have_trips = true;
+      }
+    }
+    if (!have_trips) {
+      net.commodities.push_back(
+          Commodity{0, static_cast<NodeId>(net.graph.num_nodes() - 1), 1.0});
+    }
     net.validate();
     return net;
   }

@@ -187,7 +187,7 @@ TEST(EngineTest, AloofStrategyIgnoresAlpha) {
 TEST(EngineTest, BudgetDegradesInsteadOfFailing) {
   Engine eng;
   SolveRequest req = request(RequestKind::kEquilibrium, grid_instance(2.0));
-  req.method = EquilibriumMethod::kFrankWolfe;
+  req.backend = EquilibriumBackend::kFrankWolfe;
   req.budget.max_iters = 1;
   const SolveResponse r = eng.solve(req);
   ASSERT_TRUE(r.ok) << r.error;
@@ -201,7 +201,7 @@ TEST(EngineTest, DefaultBudgetAppliesWhenRequestHasNone) {
   opts.default_budget.max_iters = 1;
   Engine eng(opts);
   SolveRequest req = request(RequestKind::kEquilibrium, grid_instance(2.0));
-  req.method = EquilibriumMethod::kFrankWolfe;
+  req.backend = EquilibriumBackend::kFrankWolfe;
   const SolveResponse r = eng.solve(req);
   ASSERT_TRUE(r.ok) << r.error;
   EXPECT_FALSE(solve_ok(r.status));
@@ -309,7 +309,7 @@ TEST(EngineTest, FwSeedRejectedAfterDemandSplitChange) {
   const std::uint64_t s = eng.open_session();
   SolveRequest fw1 =
       request(RequestKind::kEquilibrium, two_commodity_instance(1.0, 1.0), s);
-  fw1.method = EquilibriumMethod::kFrankWolfe;
+  fw1.backend = EquilibriumBackend::kFrankWolfe;
   ASSERT_TRUE(eng.solve(fw1).ok);
   ASSERT_TRUE(
       eng.solve(
@@ -317,7 +317,7 @@ TEST(EngineTest, FwSeedRejectedAfterDemandSplitChange) {
           .ok);
   SolveRequest fw2 =
       request(RequestKind::kEquilibrium, two_commodity_instance(1.5, 0.5), s);
-  fw2.method = EquilibriumMethod::kFrankWolfe;
+  fw2.backend = EquilibriumBackend::kFrankWolfe;
   const SolveResponse chained = eng.solve(fw2);
   ASSERT_TRUE(chained.ok) << chained.error;
 
@@ -336,7 +336,7 @@ TEST(EngineTest, FwSeedAcceptedOnProportionalRescale) {
   const std::uint64_t s = eng.open_session();
   SolveRequest fw1 =
       request(RequestKind::kEquilibrium, two_commodity_instance(1.0, 1.0), s);
-  fw1.method = EquilibriumMethod::kFrankWolfe;
+  fw1.backend = EquilibriumBackend::kFrankWolfe;
   ASSERT_TRUE(eng.solve(fw1).ok);
   ASSERT_TRUE(
       eng.solve(
@@ -344,7 +344,7 @@ TEST(EngineTest, FwSeedAcceptedOnProportionalRescale) {
           .ok);
   SolveRequest fw2 =
       request(RequestKind::kEquilibrium, two_commodity_instance(1.2, 1.2), s);
-  fw2.method = EquilibriumMethod::kFrankWolfe;
+  fw2.backend = EquilibriumBackend::kFrankWolfe;
   const SolveResponse warm = eng.solve(fw2);
   ASSERT_TRUE(warm.ok) << warm.error;
   EXPECT_TRUE(warm.warm);

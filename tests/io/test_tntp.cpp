@@ -228,5 +228,88 @@ TEST(Tntp, SiouxFallsLoads) {
   }
 }
 
+// ---- `_trips.tntp` demand documents ------------------------------------
+
+const char* kTinyTrips =
+    "<NUMBER OF ZONES> 3\n"
+    "<TOTAL OD FLOW> 700.0\n"
+    "<END OF METADATA>\n"
+    "\n"
+    "~ comment line\n"
+    "Origin  1\n"
+    "    1 :     50.0;    2 :     100.0;    3 :     200.0;\n"
+    "Origin 2\n"
+    "    3 :     300.0;\n"
+    "    1 :     0.0;\n"
+    "Origin 3\n"
+    "    2 :     25.0;    2 :     25.0\n";
+
+TEST(TntpTrips, ParsesOriginBlocks) {
+  std::istringstream is(kTinyTrips);
+  TntpMetadata meta;
+  const std::vector<Commodity> trips = read_tntp_trips(is, &meta);
+  EXPECT_EQ(meta.num_zones, 3);
+  EXPECT_DOUBLE_EQ(meta.total_od_flow, 700.0);
+  // Intrazonal (1:1) and zero-demand (2->1) entries skipped; the repeated
+  // 3->2 pair sums; ids converted to 0-based.
+  ASSERT_EQ(trips.size(), 4u);
+  EXPECT_EQ(trips[0].source, 0u);
+  EXPECT_EQ(trips[0].sink, 1u);
+  EXPECT_DOUBLE_EQ(trips[0].demand, 100.0);
+  EXPECT_EQ(trips[1].sink, 2u);
+  EXPECT_DOUBLE_EQ(trips[1].demand, 200.0);
+  EXPECT_EQ(trips[2].source, 1u);
+  EXPECT_DOUBLE_EQ(trips[2].demand, 300.0);
+  EXPECT_EQ(trips[3].source, 2u);
+  EXPECT_EQ(trips[3].sink, 1u);
+  EXPECT_DOUBLE_EQ(trips[3].demand, 50.0);
+}
+
+TEST(TntpTrips, ErrorsCarryLineNumbers) {
+  const auto expect_fail_at = [](const std::string& doc, int line,
+                                 const std::string& needle) {
+    std::istringstream is(doc);
+    try {
+      read_tntp_trips(is);
+      FAIL() << "expected a parse error containing '" << needle << "'";
+    } catch (const Error& e) {
+      const std::string what = e.what();
+      EXPECT_TRUE(what.find("line " + std::to_string(line) + ":") == 0)
+          << what;
+      EXPECT_NE(what.find(needle), std::string::npos) << what;
+    }
+  };
+  const std::string head = "<NUMBER OF ZONES> 2\n<END OF METADATA>\n";
+  // Destination entry before any Origin line.
+  expect_fail_at(head + "1 : 5.0;\n", 3, "before any 'Origin'");
+  // Malformed Origin line.
+  expect_fail_at(head + "Origin one\n", 3, "expected 'Origin N'");
+  // Zone id beyond <NUMBER OF ZONES>.
+  expect_fail_at(head + "Origin 9\n", 3, "exceeds");
+  expect_fail_at(head + "Origin 1\n9 : 5.0;\n", 4, "exceeds");
+  // Negative demand. (Non-finite spellings like "nan" already fail the
+  // numeric extraction itself and surface as the syntax error below.)
+  expect_fail_at(head + "Origin 1\n2 : -5.0;\n", 4, "finite and >= 0");
+  // Entry syntax garbage, and a row before the metadata ends.
+  expect_fail_at(head + "Origin 1\n2 = 5.0;\n", 4, "expected 'dest : flow;'");
+  expect_fail_at("<NUMBER OF ZONES> 2\nOrigin 1\n", 2,
+                 "before <END OF METADATA>");
+}
+
+TEST(TntpTrips, StructuralErrors) {
+  {
+    // No <END OF METADATA>.
+    std::istringstream is("<NUMBER OF ZONES> 2\n");
+    EXPECT_THROW(read_tntp_trips(is), Error);
+  }
+  {
+    // No positive interzonal demand at all.
+    std::istringstream is(
+        "<END OF METADATA>\nOrigin 1\n1 : 5.0; 2 : 0.0;\n");
+    EXPECT_THROW(read_tntp_trips(is), Error);
+  }
+  EXPECT_THROW(read_tntp_trips_file("/nonexistent/trips.tntp"), Error);
+}
+
 }  // namespace
 }  // namespace stackroute

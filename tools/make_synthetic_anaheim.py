@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Generate the synthetic Anaheim-class TNTP instance shipped in
+examples/instances/ (Anaheim_net.tntp + Anaheim_trips.tntp).
+
+This is NOT the real Anaheim network from the Transportation Networks
+repository — it is a deterministic synthetic instance built to the same
+scale (~416 nodes, ~914 directed links, 38 zones) so the assignment
+benchmarks exercise a realistic road-network shape without vendoring
+third-party data. Topology: a 14x27 grid of through nodes with
+alternating one-way streets, two-way boundary arterials, and 38 zone
+centroids attached by bidirectional connectors. Every parameter comes
+from a fixed linear-congruential stream, so reruns reproduce the shipped
+files byte for byte.
+
+Usage: tools/make_synthetic_anaheim.py [outdir]   (default examples/instances)
+"""
+import os
+import sys
+
+COLS, ROWS = 14, 27          # 378 through nodes
+ZONES = 38                   # nodes 1..38 are zone centroids
+GRID_BASE = ZONES            # grid node ids start at ZONES + 1 (1-based)
+NODES = ZONES + COLS * ROWS  # 416
+
+
+class Lcg:
+    """Deterministic parameter stream (MMIX constants)."""
+
+    def __init__(self, seed=20060730):
+        self.state = seed
+
+    def next(self):
+        self.state = (self.state * 6364136223846793005 + 1442695040888963407) % (1 << 64)
+        return self.state >> 11
+
+    def uniform(self, lo, hi):
+        return lo + (hi - lo) * (self.next() / float(1 << 53))
+
+    def randint(self, lo, hi):
+        return lo + self.next() % (hi - lo + 1)
+
+
+def grid_node(col, row):
+    return GRID_BASE + row * COLS + col + 1  # 1-based
+
+
+def build_links(rng):
+    links = []  # (init, term, capacity, length, fft)
+
+    def road(a, b, capacity_lo, capacity_hi):
+        length = rng.uniform(0.3, 0.8)                 # miles
+        speed = rng.uniform(25.0, 45.0)                # mph
+        fft = 60.0 * length / speed                    # minutes
+        links.append((a, b, rng.uniform(capacity_lo, capacity_hi), length, fft))
+
+    # Alternating one-way rows (east on even rows) and columns (south on
+    # even columns) — the Manhattan pattern.
+    for row in range(ROWS):
+        for col in range(COLS - 1):
+            a, b = grid_node(col, row), grid_node(col + 1, row)
+            road(*((a, b) if row % 2 == 0 else (b, a)), 1800.0, 3600.0)
+    for col in range(COLS):
+        for row in range(ROWS - 1):
+            a, b = grid_node(col, row), grid_node(col, row + 1)
+            road(*((a, b) if col % 2 == 0 else (b, a)), 1800.0, 3600.0)
+
+    # Two-way boundary arterials: add the missing reverse direction along
+    # the perimeter, which also guarantees strong connectivity.
+    for col in range(COLS - 1):
+        road(grid_node(col + 1, 0), grid_node(col, 0), 3600.0, 5400.0)
+        a, b = grid_node(col, ROWS - 1), grid_node(col + 1, ROWS - 1)
+        if (ROWS - 1) % 2 == 0:
+            a, b = b, a
+        road(a, b, 3600.0, 5400.0)
+    for row in range(ROWS - 1):
+        road(grid_node(0, row + 1), grid_node(0, row), 3600.0, 5400.0)
+        a, b = grid_node(COLS - 1, row), grid_node(COLS - 1, row + 1)
+        if (COLS - 1) % 2 == 0:
+            a, b = b, a
+        road(a, b, 3600.0, 5400.0)
+
+    # Zone centroids: every zone gets one bidirectional connector to a
+    # deterministic grid attach point; the first 22 zones get a second
+    # (denser downtown zones), landing the link count in Anaheim's range.
+    def connector(zone, col, row):
+        g = grid_node(col, row)
+        for a, b in ((zone, g), (g, zone)):
+            links.append((a, b, rng.uniform(7000.0, 9000.0), 0.1,
+                          rng.uniform(0.15, 0.35)))
+
+    for zone in range(1, ZONES + 1):
+        connector(zone, rng.randint(0, COLS - 1), rng.randint(0, ROWS - 1))
+        if zone <= 22:
+            connector(zone, rng.randint(0, COLS - 1), rng.randint(0, ROWS - 1))
+
+    # One extra one-way downtown arterial to hit 914 links exactly.
+    road(grid_node(3, 13), grid_node(10, 13), 3600.0, 5400.0)
+    return links
+
+
+def build_trips(rng):
+    trips = {}  # origin -> [(dest, flow)]
+    for origin in range(1, ZONES + 1):
+        dests = []
+        seen = {origin}
+        while len(dests) < 10:
+            d = rng.randint(1, ZONES)
+            if d not in seen:
+                seen.add(d)
+                dests.append(d)
+        trips[origin] = [(d, round(rng.uniform(40.0, 400.0), 1))
+                         for d in sorted(dests)]
+    return trips
+
+
+def check_strongly_connected(links):
+    fwd, rev = {}, {}
+    for a, b, *_ in links:
+        fwd.setdefault(a, []).append(b)
+        rev.setdefault(b, []).append(a)
+
+    def reach(adj):
+        seen, stack = {1}, [1]
+        while stack:
+            for nxt in adj.get(stack.pop(), []):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return seen
+
+    assert len(reach(fwd)) == NODES, "not strongly connected (forward)"
+    assert len(reach(rev)) == NODES, "not strongly connected (reverse)"
+
+
+def main():
+    outdir = sys.argv[1] if len(sys.argv) > 1 else os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "examples", "instances")
+    rng = Lcg()
+    links = build_links(rng)
+    check_strongly_connected(links)
+    trips = build_trips(rng)
+    total = sum(f for row in trips.values() for _, f in row)
+
+    net_path = os.path.join(outdir, "Anaheim_net.tntp")
+    with open(net_path, "w") as f:
+        f.write("~ Synthetic Anaheim-class instance generated by\n")
+        f.write("~ tools/make_synthetic_anaheim.py -- NOT the real Anaheim\n")
+        f.write("~ network; same scale, fabricated topology and parameters.\n")
+        f.write("<NUMBER OF ZONES> %d\n" % ZONES)
+        f.write("<NUMBER OF NODES> %d\n" % NODES)
+        f.write("<FIRST THRU NODE> %d\n" % (ZONES + 1))
+        f.write("<NUMBER OF LINKS> %d\n" % len(links))
+        f.write("<END OF METADATA>\n\n")
+        f.write("~ \tInit node \tTerm node \tCapacity \tLength \t"
+                "Free Flow Time \tB\tPower\tSpeed limit \tToll \tLink Type\t;\n")
+        for a, b, cap, length, fft in links:
+            f.write("\t%d\t%d\t%.4f\t%.4f\t%.6f\t0.15\t4\t0\t0\t1\t;\n"
+                    % (a, b, cap, length, fft))
+
+    trips_path = os.path.join(outdir, "Anaheim_trips.tntp")
+    with open(trips_path, "w") as f:
+        f.write("~ Synthetic Anaheim-class OD matrix generated by\n")
+        f.write("~ tools/make_synthetic_anaheim.py -- see Anaheim_net.tntp.\n")
+        f.write("<NUMBER OF ZONES> %d\n" % ZONES)
+        f.write("<TOTAL OD FLOW> %.1f\n" % total)
+        f.write("<END OF METADATA>\n\n")
+        for origin in range(1, ZONES + 1):
+            f.write("Origin %d\n" % origin)
+            row = trips[origin]
+            for i in range(0, len(row), 5):
+                f.write("    " + "".join("%d : %.1f;  " % e
+                                         for e in row[i:i + 5]).rstrip() + "\n")
+
+    print("wrote %s: %d nodes, %d links, %d zones" %
+          (net_path, NODES, len(links), ZONES))
+    print("wrote %s: %d OD pairs, total flow %.1f" %
+          (trips_path, sum(len(v) for v in trips.values()), total))
+
+
+if __name__ == "__main__":
+    main()

@@ -33,7 +33,10 @@
 //   demand        demand override (scaled proportionally on networks)
 //   alpha         Leader fraction for op=strategy (scale/llf)
 //   strategy      "aloof" | "scale" | "llf" (op=strategy, default aloof)
-//   method        "pe" | "fw" equilibrium solver on networks (default pe)
+//   backend       "pe" | "fw" | "bush" equilibrium backend on networks
+//                 (default: the server's --backend flag, itself pe)
+//   method        legacy spelling of "backend" ("path" means pe); when a
+//                 request carries both, backend wins
 //   deadline_ms   per-request wall-clock budget
 //   max_iters     per-request iteration budget
 //
@@ -93,6 +96,9 @@ int usage(std::ostream& os, int code) {
         "  --table-budget-mb N  compiled-table cache byte budget (0 = "
         "off)\n"
         "  --session-budget-mb N  session/workspace byte budget (0 = off)\n"
+        "  --backend NAME       default equilibrium backend for requests\n"
+        "                       that set neither \"backend\" nor \"method\":\n"
+        "                       pe (default) | fw | bush\n"
         "  --quiet              suppress the stderr run summary\n"
         "  --help               show this message\n"
         "Serves line-delimited JSON requests (one object per line) against\n"
@@ -117,6 +123,8 @@ struct ToolOptions {
   std::size_t max_line_bytes = 1 << 20;
   std::size_t table_budget_mb = 0;
   std::size_t session_budget_mb = 0;
+  stackroute::EquilibriumBackend backend =
+      stackroute::EquilibriumBackend::kPathEqualization;
 };
 
 stackroute::engine::EngineOptions engine_options(const ToolOptions& o) {
@@ -133,6 +141,7 @@ stackroute::serve::FrontEndOptions frontend_options(const ToolOptions& o) {
   opts.max_client_queue = o.max_client_queue;
   opts.write_buffer_bytes = o.write_buffer_bytes;
   opts.show_bytes = o.table_budget_mb > 0 || o.session_budget_mb > 0;
+  opts.default_backend = o.backend;
   return opts;
 }
 
@@ -627,6 +636,15 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--session-budget-mb") {
       if (!count_flag("--session-budget-mb", &o.session_budget_mb)) {
+        return usage(std::cerr, 1);
+      }
+    } else if (arg == "--backend") {
+      const char* v = value("--backend");
+      if (v == nullptr) return usage(std::cerr, 1);
+      try {
+        o.backend = stackroute::parse_equilibrium_backend(v);
+      } catch (const std::exception& e) {
+        std::cerr << "--backend: " << e.what() << "\n";
         return usage(std::cerr, 1);
       }
     } else {

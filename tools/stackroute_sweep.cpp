@@ -42,6 +42,11 @@ int usage(std::ostream& os, int code) {
         "  --generate NAME       sweep a generated instance over demand\n"
         "                        (NAME may be any unambiguous prefix of a\n"
         "                        generator family, e.g. 'grid')\n"
+        "  --backend NAME        equilibrium backend for network Nash solves:\n"
+        "                        pe (path equalization, default) | fw\n"
+        "                        (Frank-Wolfe) | bush (origin-based bushes);\n"
+        "                        reports the equilibrium metric columns and\n"
+        "                        needs --file/--generate\n"
         "  --strategy NAME       aloof | scale | llf | optop: report the\n"
         "                        named Leader baseline's C(S+T)/C(O) column\n"
         "                        instead of the default metrics (needs\n"
@@ -111,6 +116,7 @@ struct Args {
   int demand_count = 11;
   bool demand_given = false;
   std::string strategy;
+  std::string backend;
   double alpha_lo = 0.0, alpha_hi = 1.0;
   int alpha_count = 11;
   bool alpha_given = false;
@@ -179,6 +185,8 @@ bool parse_args(int argc, char** argv, Args& args) {
         args.demand_given = true;
       } else if (a == "--strategy" && need(i, 1)) {
         args.strategy = argv[++i];
+      } else if (a == "--backend" && need(i, 1)) {
+        args.backend = argv[++i];
       } else if (a == "--alpha" && need(i, 3)) {
         args.alpha_lo = std::stod(argv[++i]);
         args.alpha_hi = std::stod(argv[++i]);
@@ -249,6 +257,18 @@ bool parse_args(int argc, char** argv, Args& args) {
         args.strategy != "llf" && args.strategy != "optop") {
       std::cerr << "bad value for --strategy: " << args.strategy
                 << " (expected aloof, scale, llf or optop)\n";
+      return false;
+    }
+  }
+  if (!args.backend.empty()) {
+    if (args.file.empty() && args.generate.empty()) {
+      std::cerr << "--backend only applies to --file/--generate sweeps\n";
+      return false;
+    }
+    if (!args.strategy.empty()) {
+      // Strategy baselines pin the follower solves to the induced-solver
+      // path; offering --backend there would silently not take effect.
+      std::cerr << "--backend and --strategy are mutually exclusive\n";
       return false;
     }
   }
@@ -470,9 +490,19 @@ int main(int argc, char** argv) {
         spec.grid.add_linspace("alpha", args.alpha_lo, args.alpha_hi,
                                args.alpha_count);
       }
-      spec.metrics = args.strategy.empty()
-                         ? sweep::default_metrics()
-                         : strategy_cli_metrics(args.strategy);
+      if (!args.backend.empty()) {
+        // Unknown names throw here and get the one usage footer below,
+        // like unknown scenario or generator names.
+        spec.backend = parse_equilibrium_backend(args.backend);
+        // A backend run is about the equilibrium itself: report the Nash
+        // cost (the column the FW-vs-bush comparisons use) instead of the
+        // Stackelberg battery, whose β/C(S+T) solves bypass the backend.
+        spec.metrics = {sweep::metric_nash_cost()};
+      } else {
+        spec.metrics = args.strategy.empty()
+                           ? sweep::default_metrics()
+                           : strategy_cli_metrics(args.strategy);
+      }
       spec.warm_axis = alpha_swept ? "alpha" : "demand";
     } else {
       spec = sweep::make_scenario(args.scenario);

@@ -83,6 +83,54 @@ def main():
     check("bad-inject-field", 1, *common, "--inject", "fail:xyz")
     check("unknown-scenario", 1, "--scenario", "no-such-scenario")
 
+    # --backend: unknown names are usage errors (one footer, like unknown
+    # scenarios), and the flag needs an instance sweep, sans --strategy.
+    gen = [
+        "--generate", "grid-bpr", "--threads", "1", "--format", "csv",
+        "--demand", "1.0", "2.0", "3",
+    ]
+    bad_backend = check(
+        "unknown-backend", 1, *gen, "--backend", "simplex",
+        stderr_contains="unknown backend",
+    )
+    if (
+        bad_backend is not None
+        and bad_backend.stderr.count("usage: stackroute-sweep") != 1
+    ):
+        failures.append(
+            "unknown-backend: expected exactly one usage block on stderr, "
+            f"got {bad_backend.stderr.count('usage: stackroute-sweep')}"
+        )
+    check("backend-needs-instance", 1, "--backend", "bush")
+    check(
+        "backend-vs-strategy", 1, *gen, "--backend", "bush",
+        "--strategy", "llf",
+    )
+
+    # 0: pe and bush both sweep cleanly and agree on every Nash cost.
+    pe_run = check("backend-pe", 0, *gen, "--backend", "pe")
+    bush_run = check("backend-bush", 0, *gen, "--backend", "bush")
+    if pe_run is not None and bush_run is not None:
+        def nash_costs(stdout):
+            rows = [ln.split(",") for ln in stdout.splitlines() if ln.strip()]
+            col = rows[0].index("nash_cost")
+            return [float(r[col]) for r in rows[1:]]
+
+        pe_costs = nash_costs(pe_run.stdout)
+        bush_costs = nash_costs(bush_run.stdout)
+        if len(pe_costs) != 3 or len(bush_costs) != 3:
+            failures.append(
+                f"backend-agree: expected 3 rows, got {len(pe_costs)} pe / "
+                f"{len(bush_costs)} bush"
+            )
+        elif any(
+            abs(a - b) > 1e-6 * max(abs(a), abs(b), 1.0)
+            for a, b in zip(pe_costs, bush_costs)
+        ):
+            failures.append(
+                f"backend-agree: pe {pe_costs} vs bush {bush_costs}"
+            )
+
     # 2: completed with a failed row (fail twice to defeat the one cold
     # retry), with the per-task error line on stderr.
     check(

@@ -202,6 +202,71 @@ def main():
         proc.stdout,
     )
 
+    # --- backend selection: "backend" is canonical, "method" the legacy
+    # spelling, bush solves for real, and unknown names are per-line
+    # errors that do not kill the stream ----------------------------------
+    backend_stream = "\n".join(
+        [
+            '{"id":1,"op":"equilibrium","generate":"grid-bpr",'
+            '"backend":"bush"}',
+            '{"id":2,"op":"equilibrium","generate":"grid-bpr",'
+            '"method":"bush"}',
+            '{"id":3,"op":"equilibrium","generate":"grid-bpr",'
+            '"backend":"simplex"}',
+            '{"id":4,"op":"equilibrium","generate":"grid-bpr",'
+            '"method":"simplex"}',
+            '{"id":5,"op":"equilibrium","generate":"grid-bpr"}',
+        ]
+    )
+    proc = run(binary, stdin=backend_stream)
+    expect(proc.returncode == 2, "backend-exit", f"exit {proc.returncode}")
+    resps = parse_lines(proc.stdout)
+    expect(len(resps) == 5, "backend-count", f"{len(resps)} responses")
+    for idx, name in [(0, "backend"), (1, "method")]:
+        r = resps[idx]
+        expect(
+            r["ok"] and r["status"] == "converged",
+            f"backend-bush-via-{name}",
+            str(r),
+        )
+    for idx, line_no, field in [(2, 3, "backend"), (3, 4, "method")]:
+        r = resps[idx]
+        expect(
+            not r["ok"]
+            and f"field '{field}'" in r.get("error", "")
+            and "unknown backend" in r.get("error", ""),
+            f"backend-unknown-{field}",
+            str(r),
+        )
+    expect(resps[4]["ok"], "backend-stream-survives", str(resps[4]))
+    # The default pe path and the bush backend agree on equilibrium cost.
+    rel = abs(resps[0]["cost"] - resps[4]["cost"]) / max(
+        abs(resps[4]["cost"]), 1.0
+    )
+    expect(rel <= 1e-6, "backend-costs-agree", proc.stdout)
+
+    # --backend sets the server-wide default; unknown names are usage
+    # errors with exactly one usage block.
+    one = '{"id":1,"op":"equilibrium","generate":"grid-bpr"}'
+    proc = run(binary, "--backend", "bush", stdin=one)
+    resps = parse_lines(proc.stdout)
+    expect(
+        proc.returncode == 0 and resps and resps[0]["ok"],
+        "backend-flag-default",
+        proc.stdout,
+    )
+    proc = run(binary, "--backend", "simplex", stdin=one)
+    expect(
+        proc.returncode == 1 and "unknown backend" in proc.stderr,
+        "backend-flag-unknown",
+        f"exit {proc.returncode}: {proc.stderr[:200]}",
+    )
+    expect(
+        proc.stderr.count("usage: stackroute-serve") == 1,
+        "backend-flag-usage-once",
+        proc.stderr[:200],
+    )
+
     # --- replay mode: same stdout as the stdin path -----------------------
     with tempfile.NamedTemporaryFile(
         "w", suffix=".ldjson", delete=False
